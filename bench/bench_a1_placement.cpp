@@ -1,0 +1,122 @@
+/// \file bench_a1_placement.cpp
+/// \brief Ablation A1 (paper §I-B.3: "A configurable chunk distribution
+///        strategy is employed ... in order to maximize the benefits of
+///        data distribution"): how the placement strategy affects write
+///        balance and aggregate throughput.
+///
+/// Two tables:
+///   A1a — balance: after a large striped write, the byte imbalance
+///         (max/min provider load) per strategy.
+///   A1b — throughput under a skewed arrival pattern (some writers issue
+///         many more chunks): load-aware placement keeps providers even
+///         and sustains higher aggregate write throughput than random.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace blobseer;
+using namespace blobseer::bench;
+
+constexpr std::uint64_t kChunk = 64 << 10;
+
+const char* name_of(provider::PlacementStrategy s) {
+    return provider::to_string(s);
+}
+
+void balance_table() {
+    Table table({"strategy", "max/min bytes", "stddev %"});
+    for (const auto strategy : {provider::PlacementStrategy::kRoundRobin,
+                                provider::PlacementStrategy::kRandom,
+                                provider::PlacementStrategy::kLoadAware}) {
+        auto cfg = grid_config(12, 6);
+        cfg.placement = strategy;
+        cfg.network.latency = Duration::zero();
+        cfg.network.node_bandwidth_bps = 0;  // balance only; no timing
+        core::Cluster cluster(cfg);
+        auto client = cluster.make_client();
+        core::Blob blob = client->create(kChunk);
+        const std::uint64_t total = scaled(240) * kChunk;
+        const std::uint64_t stripe = 24 * kChunk;
+        for (std::uint64_t off = 0; off < total; off += stripe) {
+            client->write(blob.id(), off,
+                          make_pattern(blob.id(), off, off, stripe));
+        }
+        std::uint64_t lo = ~0ULL;
+        std::uint64_t hi = 0;
+        double sum = 0;
+        double sq = 0;
+        const std::size_t n = cluster.data_provider_count();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t b = cluster.data_provider(i).stored_bytes();
+            lo = std::min(lo, b);
+            hi = std::max(hi, b);
+            sum += static_cast<double>(b);
+            sq += static_cast<double>(b) * static_cast<double>(b);
+        }
+        const double mean = sum / static_cast<double>(n);
+        const double var = sq / static_cast<double>(n) - mean * mean;
+        table.row(name_of(strategy),
+                  lo == 0 ? 999.0
+                          : static_cast<double>(hi) /
+                                static_cast<double>(lo),
+                  100.0 * std::sqrt(std::max(var, 0.0)) / mean);
+    }
+    table.print("A1a: provider load balance after 15 MB striped write");
+}
+
+void skewed_throughput() {
+    Table table({"strategy", "agg write MB/s", "max/min bytes"});
+    const std::size_t clients = 12;
+    for (const auto strategy : {provider::PlacementStrategy::kRoundRobin,
+                                provider::PlacementStrategy::kRandom,
+                                provider::PlacementStrategy::kLoadAware}) {
+        auto cfg = grid_config(12, 6);
+        cfg.placement = strategy;
+        core::Cluster cluster(cfg);
+        auto owner = cluster.make_client();
+        core::Blob blob = owner->create(kChunk);
+
+        std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+        for (std::size_t i = 0; i < clients; ++i) {
+            cs.push_back(cluster.make_client());
+        }
+        // Skew: client i writes (i+1) stripes — a 12x spread between the
+        // lightest and heaviest writer.
+        std::uint64_t total_bytes = 0;
+        std::vector<std::uint64_t> offsets(clients);
+        std::uint64_t cursor = 0;
+        for (std::size_t i = 0; i < clients; ++i) {
+            offsets[i] = cursor;
+            cursor += (i + 1) * scaled(4) * kChunk;
+        }
+        total_bytes = cursor;
+        const double sec = run_clients(clients, [&](std::size_t i) {
+            const std::uint64_t bytes = (i + 1) * scaled(4) * kChunk;
+            cs[i]->write(blob.id(), offsets[i],
+                         make_pattern(blob.id(), i, offsets[i], bytes));
+        });
+        std::uint64_t lo = ~0ULL;
+        std::uint64_t hi = 0;
+        for (std::size_t i = 0; i < cluster.data_provider_count(); ++i) {
+            const std::uint64_t b = cluster.data_provider(i).stored_bytes();
+            lo = std::min(lo, b);
+            hi = std::max(hi, b);
+        }
+        table.row(name_of(strategy), mbps(total_bytes, sec),
+                  lo == 0 ? 999.0
+                          : static_cast<double>(hi) /
+                                static_cast<double>(lo));
+    }
+    table.print(
+        "A1b: skewed concurrent writers (1x..12x load spread), 12 "
+        "providers");
+}
+
+}  // namespace
+
+int main() {
+    balance_table();
+    skewed_throughput();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_a2_replication.cpp
+/// \brief Ablation A2: the cost of chunk replication and the transfer
+///        topology (direct client fan-out vs provider-to-provider
+///        pipelining).
+///
+/// The paper adds "configurable per-blob data replication capabilities"
+/// in §IV-E without fixing a transfer topology. Both obvious choices are
+/// implemented; this bench quantifies the trade-off: with direct
+/// fan-out, write throughput divides by the replication factor (the
+/// client uplink sends every copy); pipelining keeps the client cost
+/// flat and shifts copying onto provider NICs.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace blobseer;
+using namespace blobseer::bench;
+
+constexpr std::uint64_t kChunk = 64 << 10;
+
+double run_one(std::uint32_t replication, bool pipelined,
+               std::size_t clients) {
+    auto cfg = grid_config(12, 6);
+    cfg.pipelined_replication = pipelined;
+    core::Cluster cluster(cfg);
+    auto owner = cluster.make_client();
+    core::Blob blob = owner->create(kChunk, replication);
+
+    const std::uint64_t region = scaled(48) * kChunk;  // 3 MB per writer
+    std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+    for (std::size_t i = 0; i < clients; ++i) {
+        cs.push_back(cluster.make_client());
+    }
+    const double sec = run_clients(clients, [&](std::size_t i) {
+        cs[i]->write(blob.id(), i * region,
+                     make_pattern(blob.id(), i, 0, region));
+    });
+    return mbps(clients * region, sec);
+}
+
+void run() {
+    // Two regimes. A lone writer is uplink-bound: pipelining offloads
+    // copies onto provider NICs and wins. Many writers saturate provider
+    // NICs instead: forwarding adds provider load and direct fan-out
+    // wins. Both effects are real deployment trade-offs.
+    for (const std::size_t clients : {std::size_t{1}, std::size_t{8}}) {
+        Table table({"replication", "direct MB/s", "pipelined MB/s",
+                     "pipeline gain"});
+        for (const std::uint32_t r : {1, 2, 3}) {
+            const double direct = run_one(r, false, clients);
+            const double piped = run_one(r, true, clients);
+            table.row(r, direct, piped, piped / direct);
+        }
+        table.print("A2: replica transfer topology, " +
+                    std::to_string(clients) +
+                    " writer(s), 3 MB each (12 providers)");
+    }
+}
+
+}  // namespace
+
+int main() {
+    run();
+    return 0;
+}

@@ -1,0 +1,193 @@
+/// \file bench_e2_metadata_cache.cpp
+/// \brief Experiment E2 (paper §IV-A, results of [15]): the
+///        supernova-detection access pattern — concurrent fine-grain
+///        random reads of a huge shared blob — with and without
+///        client-side metadata caching.
+///
+/// Reproduces: "Our results show good concurrent access performance and
+/// also underline the benefits of metadata caching on the client side."
+/// Expected shape: with caching, repeated rounds over the sky keep read
+/// latency flat and metadata traffic collapses after round 1; without
+/// caching, every read pays the full O(log n) DHT descent forever.
+
+#include <atomic>
+
+#include "baseline/lock_manager.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace blobseer;
+using namespace blobseer::bench;
+
+constexpr std::uint64_t kChunk = 64 << 10;
+
+struct RoundResult {
+    double mbps = 0;
+    double meta_gets_per_read = 0;
+    double ms_per_read = 0;
+};
+
+RoundResult run_round(core::Cluster& cluster,
+                      std::vector<std::unique_ptr<core::BlobSeerClient>>& cs,
+                      BlobId blob, std::uint64_t blob_size,
+                      std::size_t reads_per_client, std::uint64_t read_size,
+                      std::uint64_t seed) {
+    std::uint64_t gets0 = 0;
+    for (std::size_t i = 0; i < cluster.metadata_provider_count(); ++i) {
+        gets0 += cluster.metadata_provider(i).stats().ops.get();
+    }
+    const std::size_t clients = cs.size();
+    const Stopwatch sw;
+    run_clients(clients, [&](std::size_t i) {
+        Rng rng(seed * 1000 + i);
+        Buffer out(read_size);
+        for (std::size_t r = 0; r < reads_per_client; ++r) {
+            // Random sky tile, chunk-aligned like the telescope pipeline.
+            const std::uint64_t tiles = blob_size / read_size;
+            const std::uint64_t tile = rng.below(tiles);
+            cs[i]->read(blob, kLatestVersion, tile * read_size, out);
+        }
+    });
+    const double sec = sw.elapsed_seconds();
+    std::uint64_t gets1 = 0;
+    for (std::size_t i = 0; i < cluster.metadata_provider_count(); ++i) {
+        gets1 += cluster.metadata_provider(i).stats().ops.get();
+    }
+    const auto total_reads =
+        static_cast<double>(clients * reads_per_client);
+    RoundResult res;
+    res.mbps = mbps(clients * reads_per_client * read_size, sec);
+    res.meta_gets_per_read =
+        static_cast<double>(gets1 - gets0) / total_reads;
+    res.ms_per_read = sec * 1000.0 / total_reads;
+    return res;
+}
+
+void run() {
+    const std::size_t clients = 16;
+    const std::uint64_t blob_size = scaled(512) * kChunk;  // 32 MB sky
+    const std::uint64_t read_size = 2 * kChunk;            // 128 KB tiles
+    const std::size_t reads_per_client = scaled(32);
+
+    Table table({"cache", "round", "agg MB/s", "meta RPC/read", "ms/read"});
+
+    for (const bool cached : {false, true}) {
+        auto cfg = grid_config(16, 8);
+        cfg.client_meta_cache_nodes = cached ? 65536 : 0;
+        core::Cluster cluster(cfg);
+        auto owner = cluster.make_client();
+        core::Blob blob = owner->create(kChunk);
+        // Build the sky image.
+        const std::uint64_t stripe = blob_size / 8;
+        for (std::uint64_t off = 0; off < blob_size; off += stripe) {
+            owner->write(blob.id(), off,
+                         make_pattern(blob.id(), 1, off, stripe));
+        }
+
+        std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+        for (std::size_t i = 0; i < clients; ++i) {
+            cs.push_back(cluster.make_client());
+        }
+        for (int round = 1; round <= 3; ++round) {
+            const auto r = run_round(cluster, cs, blob.id(), blob_size,
+                                     reads_per_client, read_size,
+                                     static_cast<std::uint64_t>(round));
+            table.row(cached ? "on" : "off", round, r.mbps,
+                      r.meta_gets_per_read, r.ms_per_read);
+        }
+    }
+    table.print(
+        "E2: supernova pattern — 16 clients, random 128 KB tiles of a "
+        "32 MB blob, client metadata cache off/on");
+}
+
+/// E2b: lock-free versioned access vs a global reader-writer lock
+/// (paper §IV-A/[15]: "eliminating the need to lock the string itself").
+/// N readers scan random tiles while writers continuously rewrite tiles;
+/// with the lock, every writer pass stalls the whole reader fleet and
+/// every op pays lock RPCs; with versioning, readers never block.
+void lock_free_vs_locked() {
+    const std::size_t readers = 12;
+    const std::size_t writers = 2;
+    const std::uint64_t blob_size = 128 * kChunk;
+    const std::uint64_t tile = 2 * kChunk;
+    const std::size_t reads_per_client = scaled(24);
+    const std::size_t writes_per_client = scaled(12);
+
+    Table table({"mode", "read MB/s", "write MB/s"});
+    for (const bool locked : {true, false}) {
+        auto cfg = grid_config(16, 8);
+        core::Cluster cluster(cfg);
+        const NodeId lm_node = cluster.network().add_node("lock-manager");
+        baseline::LockManager lm(lm_node);
+
+        auto owner = cluster.make_client();
+        core::Blob blob = owner->create(kChunk);
+        owner->write(blob.id(), 0, make_pattern(blob.id(), 0, 0, blob_size));
+
+        std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+        for (std::size_t i = 0; i < readers + writers; ++i) {
+            cs.push_back(cluster.make_client());
+        }
+        std::atomic<std::uint64_t> read_bytes{0};
+        std::atomic<std::uint64_t> write_bytes{0};
+
+        auto lock_rpc = [&](NodeId self, auto&& fn) {
+            cluster.network().call(self, lm_node, 32, 16, fn);
+        };
+
+        const double sec = run_clients(readers + writers, [&](std::size_t i) {
+            Rng rng(i + 1);
+            auto& client = *cs[i];
+            if (i < readers) {
+                Buffer out(tile);
+                for (std::size_t k = 0; k < reads_per_client; ++k) {
+                    const std::uint64_t off =
+                        rng.below(blob_size / tile) * tile;
+                    if (locked) {
+                        lock_rpc(client.node(),
+                                 [&] { lm.lock_shared(blob.id()); });
+                        client.read(blob.id(), kLatestVersion, off, out);
+                        lock_rpc(client.node(),
+                                 [&] { lm.unlock_shared(blob.id()); });
+                    } else {
+                        client.read(blob.id(), kLatestVersion, off, out);
+                    }
+                    read_bytes.fetch_add(tile);
+                }
+            } else {
+                for (std::size_t k = 0; k < writes_per_client; ++k) {
+                    const std::uint64_t off =
+                        rng.below(blob_size / tile) * tile;
+                    const Buffer data =
+                        make_pattern(blob.id(), i * 100 + k, 0, tile);
+                    if (locked) {
+                        lock_rpc(client.node(),
+                                 [&] { lm.lock_exclusive(blob.id()); });
+                        client.write(blob.id(), off, data);
+                        lock_rpc(client.node(),
+                                 [&] { lm.unlock_exclusive(blob.id()); });
+                    } else {
+                        client.write(blob.id(), off, data);
+                    }
+                    write_bytes.fetch_add(tile);
+                }
+            }
+        });
+        table.row(locked ? "global RW lock" : "versioned (lock-free)",
+                  mbps(read_bytes.load(), sec),
+                  mbps(write_bytes.load(), sec));
+    }
+    table.print(
+        "E2b: 12 readers + 2 writers on one blob — global lock vs "
+        "versioning-based concurrency control");
+}
+
+}  // namespace
+
+int main() {
+    run();
+    lock_free_vs_locked();
+    return 0;
+}

@@ -1,0 +1,90 @@
+/// \file bench_e3_append.cpp
+/// \brief Experiment E3 (paper §IV-B, results of [3]): concurrent append
+///        performance.
+///
+/// Part A sweeps the number of concurrent appenders to one blob; part B
+/// sweeps the append size at a fixed concurrency. The paper's claim:
+/// "Results suggest a good scalability with respect to the data size and
+/// to the number of concurrent accesses" — appends only serialize at the
+/// (tiny) version-manager assign step, so aggregate throughput grows
+/// with the appender count until provider NICs saturate.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace blobseer;
+using namespace blobseer::bench;
+
+constexpr std::uint64_t kChunk = 64 << 10;
+
+void sweep_appenders() {
+    Table table({"appenders", "agg MB/s", "appends/s", "publish lag ok"});
+    const std::size_t per_client = scaled(8);
+    const std::uint64_t append_size = 4 * kChunk;  // 256 KB
+
+    for (const std::size_t clients : {1, 2, 4, 8, 16, 32}) {
+        auto cfg = grid_config(16, 8);
+        core::Cluster cluster(cfg);
+        auto owner = cluster.make_client();
+        core::Blob blob = owner->create(kChunk);
+
+        std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+        for (std::size_t i = 0; i < clients; ++i) {
+            cs.push_back(cluster.make_client());
+        }
+        const double sec = run_clients(clients, [&](std::size_t i) {
+            for (std::size_t k = 0; k < per_client; ++k) {
+                cs[i]->append(blob.id(),
+                              make_pattern(blob.id(), i * 100 + k, 0,
+                                           append_size));
+            }
+        });
+        const std::uint64_t total = clients * per_client * append_size;
+        // In-order publication must have caught up with all commits.
+        const auto vi = owner->stat(blob.id());
+        table.row(clients, mbps(total, sec),
+                  static_cast<double>(clients * per_client) / sec,
+                  vi.version == clients * per_client ? "yes" : "NO");
+    }
+    table.print(
+        "E3a: concurrent appenders to one blob (256 KB appends, 16 data "
+        "providers)");
+}
+
+void sweep_append_size() {
+    Table table({"append KB", "agg MB/s", "ms/append"});
+    const std::size_t clients = 8;
+
+    for (const std::uint64_t chunks : {1, 2, 4, 8, 16}) {
+        const std::uint64_t append_size = chunks * kChunk;
+        const std::size_t per_client = scaled(8);
+        auto cfg = grid_config(16, 8);
+        core::Cluster cluster(cfg);
+        auto owner = cluster.make_client();
+        core::Blob blob = owner->create(kChunk);
+        std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+        for (std::size_t i = 0; i < clients; ++i) {
+            cs.push_back(cluster.make_client());
+        }
+        const double sec = run_clients(clients, [&](std::size_t i) {
+            for (std::size_t k = 0; k < per_client; ++k) {
+                cs[i]->append(blob.id(),
+                              make_pattern(blob.id(), i, 0, append_size));
+            }
+        });
+        table.row(append_size >> 10,
+                  mbps(clients * per_client * append_size, sec),
+                  sec * 1000.0 /
+                      static_cast<double>(clients * per_client));
+    }
+    table.print("E3b: append size sweep (8 concurrent appenders)");
+}
+
+}  // namespace
+
+int main() {
+    sweep_appenders();
+    sweep_append_size();
+    return 0;
+}

@@ -1,0 +1,174 @@
+/// \file bench_e6_qos.cpp
+/// \brief Experiment E6 (paper §IV-E): quality of service under
+///        failures — replication + behaviour-model feedback.
+///
+/// A fleet of clients runs a mixed read/append workload for a fixed
+/// span while a scripted failure schedule degrades and kills data
+/// providers. Three configurations, as in the paper's GloBeM study:
+///
+///   no-repl      replication 1, no feedback (failures lose data)
+///   repl         replication 2, no feedback
+///   repl+model   replication 2 + behaviour model classifying provider
+///                windows and steering placement away from dangerous
+///                providers
+///
+/// Reported per configuration: mean aggregate throughput, p5/p95
+/// stability band of the per-window throughput, and failed operations.
+/// Paper: "Our results show a substantial improvement in quality of
+/// service by sustaining a higher and more stable data access
+/// throughput."
+
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "qos/behavior_model.hpp"
+#include "qos/failure_schedule.hpp"
+#include "qos/monitor.hpp"
+
+namespace {
+
+using namespace blobseer;
+using namespace blobseer::bench;
+
+constexpr std::uint64_t kChunk = 64 << 10;
+
+struct RunResult {
+    double mean_mbps = 0;
+    double p5_mbps = 0;
+    double p95_mbps = 0;
+    std::uint64_t failed_ops = 0;
+};
+
+RunResult run_config(std::uint32_t replication, bool feedback,
+                     double duration_s) {
+    auto cfg = grid_config(8, 4, 20'000);
+    cfg.default_replication = replication;
+    core::Cluster cluster(cfg);
+    auto owner = cluster.make_client();
+    core::Blob blob = owner->create(kChunk, replication);
+    const std::uint64_t preload = 64 * kChunk;
+    owner->write(blob.id(), 0, make_pattern(blob.id(), 0, 0, preload));
+
+    // Deterministic fault timeline: every 3 s one provider goes bad for
+    // 2.5 s — mostly gray failures (slow-but-alive), occasionally a
+    // crash.
+    auto schedule =
+        qos::FailureSchedule::random(cluster.data_provider_count(),
+                                     duration_s, 3.0, 2.5, 0.2, 42);
+
+    qos::ClusterMonitor monitor(cluster);
+    qos::BehaviorModel model;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ok_bytes{0};
+    std::atomic<std::uint64_t> failed{0};
+
+    const std::size_t clients = 8;
+    std::vector<std::unique_ptr<core::BlobSeerClient>> cs;
+    for (std::size_t i = 0; i < clients; ++i) {
+        cs.push_back(cluster.make_client());
+    }
+    std::vector<std::thread> workers;
+    for (std::size_t i = 0; i < clients; ++i) {
+        workers.emplace_back([&, i] {
+            Rng rng(i + 1);
+            Buffer out(2 * kChunk);
+            while (!stop.load()) {
+                try {
+                    if (rng.chance(0.7)) {
+                        const std::uint64_t tiles = preload / out.size();
+                        cs[i]->read(blob.id(), kLatestVersion,
+                                    rng.below(tiles) * out.size(), out);
+                    } else {
+                        // Overwrite a random interior region (bounded
+                        // working set so the blob does not grow without
+                        // limit).
+                        const std::uint64_t slot = rng.below(32);
+                        cs[i]->write(blob.id(), slot * 2 * kChunk,
+                                     make_pattern(blob.id(), slot, 0,
+                                                  2 * kChunk));
+                    }
+                    ok_bytes.fetch_add(out.size());
+                } catch (const Error&) {
+                    failed.fetch_add(1);
+                }
+            }
+        });
+    }
+
+    // Control loop: apply failures, sample the monitor at 4 Hz, refit +
+    // feed back every 500 ms.
+    std::vector<std::uint64_t> window_bytes;
+    const Stopwatch sw;
+    std::uint64_t last_ok = 0;
+    int tick = 0;
+    while (sw.elapsed_seconds() < duration_s) {
+        std::this_thread::sleep_for(milliseconds(250));
+        ++tick;
+        schedule.run_until(cluster, sw.elapsed_seconds());
+        monitor.sample();
+        const std::uint64_t now_ok = ok_bytes.load();
+        window_bytes.push_back(now_ok - last_ok);
+        last_ok = now_ok;
+        if (feedback && tick % 2 == 0) {
+            model.fit(monitor);
+            model.apply_feedback(monitor, cluster);
+            // Gossip the health view to clients so reads prefer healthy
+            // replicas (the "client-side quality of service feedback" of
+            // §IV-E).
+            std::unordered_map<NodeId, double> view;
+            for (std::size_t p = 0; p < cluster.data_provider_count();
+                 ++p) {
+                const NodeId node = cluster.data_provider(p).node();
+                view[node] = cluster.provider_manager().health(node);
+            }
+            for (auto& c : cs) {
+                c->update_health_view(view);
+            }
+        }
+    }
+    stop.store(true);
+    for (auto& w : workers) {
+        w.join();
+    }
+
+    // Percentiles over the per-window throughput series.
+    std::vector<std::uint64_t> sorted = window_bytes;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&](double q) {
+        const std::size_t idx = static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size() - 1));
+        return mbps(sorted[idx], 0.25);
+    };
+    RunResult r;
+    r.mean_mbps = mbps(ok_bytes.load(), sw.elapsed_seconds());
+    r.p5_mbps = sorted.empty() ? 0 : pct(0.05);
+    r.p95_mbps = sorted.empty() ? 0 : pct(0.95);
+    r.failed_ops = failed.load();
+    return r;
+}
+
+void run() {
+    const double duration = 10.0 * bench_scale();
+    Table table({"config", "mean MB/s", "p5 MB/s", "p95 MB/s",
+                 "failed ops"});
+    const auto none = run_config(1, false, duration);
+    table.row("repl=1, no feedback", none.mean_mbps, none.p5_mbps,
+              none.p95_mbps, none.failed_ops);
+    const auto repl = run_config(2, false, duration);
+    table.row("repl=2, no feedback", repl.mean_mbps, repl.p5_mbps,
+              repl.p95_mbps, repl.failed_ops);
+    const auto fb = run_config(2, true, duration);
+    table.row("repl=2 + behaviour model", fb.mean_mbps, fb.p5_mbps,
+              fb.p95_mbps, fb.failed_ops);
+    table.print(
+        "E6: QoS under failures — 8 clients mixed read/write, provider "
+        "faults every 3 s");
+}
+
+}  // namespace
+
+int main() {
+    run();
+    return 0;
+}

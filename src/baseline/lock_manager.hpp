@@ -1,0 +1,136 @@
+/// \file lock_manager.hpp
+/// \brief Global reader-writer lock service — the access model BlobSeer
+///        *avoids*.
+///
+/// Paper §IV-A ([15]): "We targeted efficient fine-grain access by
+/// eliminating the need to lock the string itself." To quantify that
+/// claim, this baseline provides what a conventional shared-object store
+/// would use: one lock per blob at a central lock-manager node. Readers
+/// take the lock shared, writers exclusive, both pay the RPC round trips
+/// and the blocking. Experiment E2b contrasts it with BlobSeer's
+/// versioning-based concurrency control on the same workload.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::baseline {
+
+class LockManager {
+  public:
+    explicit LockManager(NodeId node) : node_(node) {}
+
+    [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+    void lock_shared(BlobId blob) {
+        Entry& e = entry_of(blob);
+        std::unique_lock lock(e.mu);
+        e.cv.wait(lock, [&] { return !e.writer && e.writers_waiting == 0; });
+        ++e.readers;
+        shared_grants_.add();
+    }
+
+    void unlock_shared(BlobId blob) {
+        Entry& e = entry_of(blob);
+        {
+            const std::scoped_lock lock(e.mu);
+            --e.readers;
+        }
+        e.cv.notify_all();
+    }
+
+    void lock_exclusive(BlobId blob) {
+        Entry& e = entry_of(blob);
+        std::unique_lock lock(e.mu);
+        // Writer priority: block new readers while a writer waits (the
+        // classic fair-ish RW lock; without it writers starve and the
+        // baseline looks artificially good for readers).
+        ++e.writers_waiting;
+        e.cv.wait(lock, [&] { return !e.writer && e.readers == 0; });
+        --e.writers_waiting;
+        e.writer = true;
+        exclusive_grants_.add();
+    }
+
+    void unlock_exclusive(BlobId blob) {
+        Entry& e = entry_of(blob);
+        {
+            const std::scoped_lock lock(e.mu);
+            e.writer = false;
+        }
+        e.cv.notify_all();
+    }
+
+    [[nodiscard]] std::uint64_t shared_grants() const {
+        return shared_grants_.get();
+    }
+    [[nodiscard]] std::uint64_t exclusive_grants() const {
+        return exclusive_grants_.get();
+    }
+
+  private:
+    struct Entry {
+        std::mutex mu;  // guards the fields below
+        std::condition_variable cv;
+        std::uint32_t readers = 0;
+        std::uint32_t writers_waiting = 0;
+        bool writer = false;
+    };
+
+    Entry& entry_of(BlobId blob) {
+        const std::scoped_lock lock(map_mu_);
+        return entries_[blob];  // default-constructs on first use
+    }
+
+    const NodeId node_;
+    std::mutex map_mu_;  // guards entries_ layout (entries are stable)
+    std::unordered_map<BlobId, Entry> entries_;
+    Counter shared_grants_;
+    Counter exclusive_grants_;
+};
+
+/// RAII guards used by clients (lock RPCs charged by the caller).
+class SharedLockGuard {
+  public:
+    SharedLockGuard(LockManager& lm, BlobId blob) : lm_(&lm), blob_(blob) {
+        lm_->lock_shared(blob_);
+    }
+    ~SharedLockGuard() {
+        if (lm_ != nullptr) {
+            lm_->unlock_shared(blob_);
+        }
+    }
+    SharedLockGuard(const SharedLockGuard&) = delete;
+    SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+  private:
+    LockManager* lm_;
+    BlobId blob_;
+};
+
+class ExclusiveLockGuard {
+  public:
+    ExclusiveLockGuard(LockManager& lm, BlobId blob)
+        : lm_(&lm), blob_(blob) {
+        lm_->lock_exclusive(blob_);
+    }
+    ~ExclusiveLockGuard() {
+        if (lm_ != nullptr) {
+            lm_->unlock_exclusive(blob_);
+        }
+    }
+    ExclusiveLockGuard(const ExclusiveLockGuard&) = delete;
+    ExclusiveLockGuard& operator=(const ExclusiveLockGuard&) = delete;
+
+  private:
+    LockManager* lm_;
+    BlobId blob_;
+};
+
+}  // namespace blobseer::baseline

@@ -1,0 +1,270 @@
+#include "baseline/simple_dfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace blobseer::baseline {
+
+// ---- Namenode -------------------------------------------------------------
+
+Namenode::File& Namenode::file_of(const std::string& path) {
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+        throw NotFoundError("dfs file " + path);
+    }
+    return it->second;
+}
+
+DfsFileStatus Namenode::create(const std::string& raw_path, NodeId writer) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    if (files_.contains(path)) {
+        throw InvalidArgument("dfs path exists: " + path);
+    }
+    File f;
+    f.id = next_file_++;
+    f.lease_holder = writer;
+    files_.emplace(path, std::move(f));
+    return DfsFileStatus{files_[path].id, 0, block_size_};
+}
+
+DfsFileStatus Namenode::acquire_lease(const std::string& raw_path,
+                                      NodeId writer) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    if (f.lease_holder != kInvalidNode && f.lease_holder != writer) {
+        throw LeaseHeld(path + " by node " +
+                        std::to_string(f.lease_holder));
+    }
+    f.lease_holder = writer;
+    return DfsFileStatus{f.id, f.committed_length, block_size_};
+}
+
+void Namenode::release_lease(const std::string& raw_path, NodeId writer) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    if (f.lease_holder == writer) {
+        f.lease_holder = kInvalidNode;
+    }
+}
+
+BlockLocation Namenode::allocate_block(const std::string& raw_path,
+                                       NodeId writer, std::uint32_t size) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    if (f.lease_holder != writer) {
+        throw LeaseHeld("allocate without lease on " + path);
+    }
+    if (providers_.empty()) {
+        throw RpcError("no datanodes registered");
+    }
+    Block b;
+    b.uid = next_uid_++;
+    b.size = size;
+    b.committed = false;
+    const std::uint32_t copies = std::min<std::uint32_t>(
+        replication_, static_cast<std::uint32_t>(providers_.size()));
+    for (std::uint32_t k = 0; k < copies; ++k) {
+        b.replicas.push_back(providers_[(rr_ + k) % providers_.size()]);
+    }
+    ++rr_;
+    f.blocks.push_back(b);
+    return BlockLocation{b.uid, b.size, b.replicas.front(), b.replicas};
+}
+
+void Namenode::complete_block(const std::string& raw_path, NodeId writer,
+                              std::uint64_t block_uid) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    if (f.lease_holder != writer) {
+        throw LeaseHeld("complete without lease on " + path);
+    }
+    for (auto& b : f.blocks) {
+        if (b.uid == block_uid) {
+            if (!b.committed) {
+                b.committed = true;
+                f.committed_length += b.size;
+            }
+            return;
+        }
+    }
+    throw NotFoundError("block " + std::to_string(block_uid));
+}
+
+DfsFileStatus Namenode::stat(const std::string& raw_path) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    return DfsFileStatus{f.id, f.committed_length, block_size_};
+}
+
+bool Namenode::exists(const std::string& raw_path) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    return files_.contains(path);
+}
+
+std::vector<BlockLocation> Namenode::block_locations(
+    const std::string& raw_path, std::uint64_t first, std::uint64_t count) {
+    gate_.transmit(1);
+    ops_.add();
+    const std::string path = fs::normalize_path(raw_path);
+    const std::scoped_lock lock(mu_);
+    File& f = file_of(path);
+    std::vector<BlockLocation> out;
+    for (std::uint64_t i = first; i < first + count && i < f.blocks.size();
+         ++i) {
+        const Block& b = f.blocks[i];
+        if (!b.committed) {
+            break;  // readers only see the committed prefix
+        }
+        out.push_back(BlockLocation{b.uid, b.size, b.replicas.front(),
+                                    b.replicas});
+    }
+    return out;
+}
+
+// ---- SimpleDfs / client -----------------------------------------------------
+
+std::unique_ptr<SimpleDfsClient> SimpleDfs::make_client() {
+    return std::make_unique<SimpleDfsClient>(
+        *this, cluster_.network().add_node("dfs-client"));
+}
+
+void SimpleDfsClient::create(const std::string& path) {
+    nn_call([&](Namenode& nn) { return nn.create(path, self_); });
+}
+
+void SimpleDfsClient::append_open(const std::string& path) {
+    nn_call([&](Namenode& nn) { return nn.acquire_lease(path, self_); });
+}
+
+void SimpleDfsClient::close_file(const std::string& path) {
+    nn_call([&](Namenode& nn) {
+        nn.release_lease(path, self_);
+        return 0;
+    });
+}
+
+void SimpleDfsClient::append(const std::string& path, ConstBytes data) {
+    auto& net = dfs_.cluster().network();
+    const auto& dps = dfs_.cluster().data_provider_map();
+    const std::uint64_t bs = dfs_.namenode().block_size();
+
+    for (std::size_t pos = 0; pos < data.size(); pos += bs) {
+        const std::uint32_t n = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(bs, data.size() - pos));
+        const auto loc = nn_call(
+            [&](Namenode& nn) { return nn.allocate_block(path, self_, n); });
+
+        auto payload = std::make_shared<Buffer>(
+            data.begin() + static_cast<std::ptrdiff_t>(pos),
+            data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+        // DFS blocks share the chunk store; key them under blob id 0
+        // (never used by BlobSeer, whose ids start at 1).
+        const chunk::ChunkKey key{0, loc.block_uid};
+        for (const NodeId target : loc.replicas) {
+            const auto it = dps.find(target);
+            if (it == dps.end()) {
+                throw ConsistencyError("namenode returned unknown datanode");
+            }
+            net.call(self_, target, n + 64, 16,
+                     [&] { it->second->put_chunk(key, payload); });
+        }
+        nn_call([&](Namenode& nn) {
+            nn.complete_block(path, self_, loc.block_uid);
+            return 0;
+        });
+    }
+}
+
+DfsFileStatus SimpleDfsClient::stat(const std::string& path) {
+    return nn_call([&](Namenode& nn) { return nn.stat(path); });
+}
+
+bool SimpleDfsClient::exists(const std::string& path) {
+    return nn_call([&](Namenode& nn) { return nn.exists(path); });
+}
+
+std::size_t SimpleDfsClient::read(const std::string& path,
+                                  std::uint64_t offset, MutableBytes out) {
+    const auto status = stat(path);
+    if (offset + out.size() > status.length) {
+        throw InvalidArgument("dfs read past end of " + path);
+    }
+    auto& net = dfs_.cluster().network();
+    const auto& dps = dfs_.cluster().data_provider_map();
+    const std::uint64_t bs = status.block_size;
+
+    // Blocks are fixed-size except possibly the last, so the offset maps
+    // directly to a block index.
+    std::uint64_t block_index = offset / bs;
+    std::uint64_t in_block = offset % bs;
+    std::size_t done = 0;
+
+    std::vector<BlockLocation> batch;
+    std::uint64_t batch_first = 0;
+
+    while (done < out.size()) {
+        const std::uint64_t rel = block_index - batch_first;
+        if (batch.empty() || rel >= batch.size()) {
+            batch = nn_call([&](Namenode& nn) {
+                return nn.block_locations(path, block_index, kLocationBatch);
+            });
+            batch_first = block_index;
+            if (batch.empty()) {
+                throw ConsistencyError("missing committed block in " + path);
+            }
+        }
+        const BlockLocation& loc = batch[block_index - batch_first];
+        const std::size_t n = std::min<std::uint64_t>(out.size() - done,
+                                                      loc.size - in_block);
+        std::string last_error = "no replicas";
+        bool ok = false;
+        for (const NodeId target : loc.replicas) {
+            const auto it = dps.find(target);
+            if (it == dps.end()) {
+                continue;
+            }
+            try {
+                const auto data = net.call(
+                    self_, target, 64, n + 32,
+                    [&] { return it->second->get_chunk({0, loc.block_uid}); });
+                std::memcpy(out.data() + done, data->data() + in_block, n);
+                ok = true;
+                break;
+            } catch (const RpcError& e) {
+                last_error = e.what();
+            } catch (const NotFoundError& e) {
+                last_error = e.what();
+            }
+        }
+        if (!ok) {
+            throw NotFoundError("dfs block unavailable (" + last_error + ")");
+        }
+        done += n;
+        in_block = 0;
+        ++block_index;
+    }
+    return done;
+}
+
+}  // namespace blobseer::baseline

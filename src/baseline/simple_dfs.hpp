@@ -1,0 +1,217 @@
+/// \file simple_dfs.hpp
+/// \brief SimpleDfs — an HDFS-like baseline file system.
+///
+/// Experiment E5 (paper §IV-D) compares BSFS against Hadoop's HDFS. This
+/// baseline reproduces the two HDFS properties that drive that
+/// comparison:
+///
+///  1. **Centralized metadata**: one namenode owns the namespace AND the
+///     block map; every open, every block-location batch and every block
+///     allocation is a namenode RPC with bounded service capacity.
+///  2. **Single-writer, append-only files**: a writer must hold the
+///     file's exclusive lease; concurrent appenders fail and must retry
+///     (HDFS AlreadyBeingCreated semantics). No versioning: readers see
+///     the committed length at open.
+///
+/// Data blocks are stored on the very same data providers as BlobSeer's
+/// chunks (same simulated hardware), so E5 isolates the architectural
+/// difference rather than the substrate.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bandwidth_gate.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/cluster.hpp"
+#include "fs/path.hpp"
+
+namespace blobseer::baseline {
+
+/// Thrown when an appender races an existing lease holder.
+class LeaseHeld : public Error {
+  public:
+    explicit LeaseHeld(const std::string& what)
+        : Error("lease held: " + what) {}
+};
+
+struct BlockLocation {
+    std::uint64_t block_uid = 0;
+    std::uint32_t size = 0;
+    NodeId provider = kInvalidNode;
+    std::vector<NodeId> replicas;  ///< all copies (primary first)
+};
+
+struct DfsFileStatus {
+    std::uint64_t file_id = 0;
+    std::uint64_t length = 0;
+    std::uint64_t block_size = 0;
+};
+
+/// The centralized namenode service.
+class Namenode {
+  public:
+    /// \param ops_per_second service capacity (0 = infinite);
+    ///        the centralization knob, identical in spirit to
+    ///        dht::MetadataProvider's gate.
+    Namenode(NodeId node, std::uint64_t block_size,
+             std::uint32_t replication, std::uint64_t ops_per_second)
+        : node_(node),
+          block_size_(block_size),
+          replication_(replication),
+          gate_(ops_per_second) {}
+
+    [[nodiscard]] NodeId node() const noexcept { return node_; }
+    [[nodiscard]] std::uint64_t block_size() const noexcept {
+        return block_size_;
+    }
+
+    /// Create an empty file and grant the creator the write lease.
+    DfsFileStatus create(const std::string& raw_path, NodeId writer);
+
+    /// Acquire the append lease. Throws LeaseHeld if another writer
+    /// holds it (HDFS semantics).
+    DfsFileStatus acquire_lease(const std::string& raw_path, NodeId writer);
+
+    void release_lease(const std::string& raw_path, NodeId writer);
+
+    /// Allocate the next block; returns its uid and replica targets.
+    BlockLocation allocate_block(const std::string& raw_path, NodeId writer,
+                                 std::uint32_t size);
+
+    /// Commit an allocated block (makes its bytes visible to readers).
+    void complete_block(const std::string& raw_path, NodeId writer,
+                        std::uint64_t block_uid);
+
+    [[nodiscard]] DfsFileStatus stat(const std::string& raw_path);
+
+    [[nodiscard]] bool exists(const std::string& raw_path);
+
+    /// Locations of \p count blocks starting at block index \p first —
+    /// the batched getBlockLocations() call HDFS clients issue while
+    /// reading.
+    [[nodiscard]] std::vector<BlockLocation> block_locations(
+        const std::string& raw_path, std::uint64_t first,
+        std::uint64_t count);
+
+    [[nodiscard]] std::uint64_t ops() const { return ops_.get(); }
+
+  private:
+    struct Block {
+        std::uint64_t uid;
+        std::uint32_t size;
+        std::vector<NodeId> replicas;
+        bool committed;
+    };
+
+    struct File {
+        std::uint64_t id;
+        std::uint64_t committed_length = 0;
+        std::vector<Block> blocks;
+        NodeId lease_holder = kInvalidNode;
+    };
+
+    File& file_of(const std::string& path);
+
+    const NodeId node_;
+    const std::uint64_t block_size_;
+    const std::uint32_t replication_;
+    BandwidthGate gate_;  // 1 token per metadata op
+
+    std::mutex mu_;  // guards files_, provider round-robin and uid counter
+    std::map<std::string, File> files_;
+    std::vector<NodeId> providers_;
+    std::size_t rr_ = 0;
+    std::uint64_t next_uid_ = 1;
+    std::uint64_t next_file_ = 1;
+    Counter ops_;
+
+  public:
+    /// Register the data providers blocks may land on (bootstrap).
+    void register_provider(NodeId node) {
+        const std::scoped_lock lock(mu_);
+        providers_.push_back(node);
+    }
+};
+
+/// One SimpleDfs deployment on a cluster.
+class SimpleDfs {
+  public:
+    struct Config {
+        std::uint64_t block_size = 64 << 10;
+        std::uint32_t replication = 1;
+        std::uint64_t namenode_ops_per_second = 0;
+    };
+
+    SimpleDfs(core::Cluster& cluster, Config config)
+        : cluster_(cluster),
+          namenode_(cluster.network().add_node("namenode"),
+                    config.block_size, config.replication,
+                    config.namenode_ops_per_second) {
+        for (std::size_t i = 0; i < cluster.data_provider_count(); ++i) {
+            namenode_.register_provider(cluster.data_provider(i).node());
+        }
+    }
+
+    [[nodiscard]] Namenode& namenode() noexcept { return namenode_; }
+    [[nodiscard]] core::Cluster& cluster() noexcept { return cluster_; }
+
+    [[nodiscard]] std::unique_ptr<class SimpleDfsClient> make_client();
+
+  private:
+    core::Cluster& cluster_;
+    Namenode namenode_;
+};
+
+/// Client handle: every namespace/block-map interaction is an RPC to the
+/// namenode; block data moves directly between client and providers.
+class SimpleDfsClient {
+  public:
+    SimpleDfsClient(SimpleDfs& dfs, NodeId self)
+        : dfs_(dfs), self_(self) {}
+
+    [[nodiscard]] NodeId node() const noexcept { return self_; }
+
+    /// Create a file (grabs the lease) and append \p data as blocks;
+    /// keeps the lease for further appends until close_file().
+    void create(const std::string& path);
+
+    /// Append data under an already-held lease (create/append_open first).
+    void append(const std::string& path, ConstBytes data);
+
+    /// Acquire the lease for appending. Throws LeaseHeld on contention.
+    void append_open(const std::string& path);
+
+    void close_file(const std::string& path);
+
+    [[nodiscard]] DfsFileStatus stat(const std::string& path);
+    [[nodiscard]] bool exists(const std::string& path);
+
+    /// Read [offset, offset+out.size()) of the committed file content.
+    std::size_t read(const std::string& path, std::uint64_t offset,
+                     MutableBytes out);
+
+    /// Blocks-location metadata fetched per read, batched like HDFS.
+    static constexpr std::uint64_t kLocationBatch = 8;
+
+  private:
+    template <typename F>
+    auto nn_call(F&& fn) -> std::invoke_result_t<F, Namenode&> {
+        auto& net = dfs_.cluster().network();
+        return net.call(self_, dfs_.namenode().node(), 64, 96,
+                        [&]() -> std::invoke_result_t<F, Namenode&> {
+                            return fn(dfs_.namenode());
+                        });
+    }
+
+    SimpleDfs& dfs_;
+    const NodeId self_;
+};
+
+}  // namespace blobseer::baseline

@@ -1,0 +1,49 @@
+/// \file chunk_key.hpp
+/// \brief Identity of a stored chunk.
+///
+/// A chunk is the unit of data striping (paper §I-B.3). Chunks are
+/// uploaded *before* the writer knows which version it will become (the
+/// paper's write protocol contacts the version manager only after data is
+/// on the providers, keeping the serialized window tiny), so the key
+/// cannot embed a version. Instead every chunk gets a client-allocated
+/// unique id; the metadata tree leaves record it. Chunks are immutable
+/// once stored.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::chunk {
+
+struct ChunkKey {
+    BlobId blob = kInvalidBlob;
+    /// Unique per chunk, allocated by the writing client
+    /// (mix64(client-node, local counter) — collision-free because mix64
+    /// is a bijection and inputs are globally unique).
+    std::uint64_t uid = 0;
+
+    friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+
+    /// Stable hash used for placement and storage indexing.
+    [[nodiscard]] std::uint64_t hash() const noexcept {
+        return mix64(hash_combine(blob, uid));
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        return "chunk(b" + std::to_string(blob) + ",u" + std::to_string(uid) +
+               ")";
+    }
+};
+
+struct ChunkKeyHash {
+    std::size_t operator()(const ChunkKey& k) const noexcept {
+        return static_cast<std::size_t>(k.hash());
+    }
+};
+
+}  // namespace blobseer::chunk

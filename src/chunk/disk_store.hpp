@@ -1,0 +1,168 @@
+/// \file disk_store.hpp
+/// \brief File-per-chunk persistent store.
+///
+/// Section IV-B of the paper introduces "persistent data and metadata
+/// storage". This backend writes each chunk to its own file named after the
+/// key (write-then-rename so a crash never leaves a truncated chunk
+/// visible) and keeps an index of known keys in memory for O(1) contains().
+/// On construction it rescans its directory, which is the provider-restart
+/// recovery path.
+
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chunk/store.hpp"
+#include "common/error.hpp"
+
+namespace blobseer::chunk {
+
+class DiskStore final : public ChunkStore {
+  public:
+    /// Open (and create if needed) the store rooted at \p dir, rescanning
+    /// any chunks a previous incarnation left there.
+    explicit DiskStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+        std::filesystem::create_directories(dir_);
+        for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+            if (!entry.is_regular_file()) {
+                continue;
+            }
+            ChunkKey key{};
+            if (parse_name(entry.path().filename().string(), key)) {
+                const std::scoped_lock lock(mu_);
+                index_[key] = entry.file_size();
+                bytes_ += entry.file_size();
+            }
+        }
+    }
+
+    void put(const ChunkKey& key, ChunkData data) override {
+        {
+            const std::scoped_lock lock(mu_);
+            if (index_.contains(key)) {
+                return;  // immutable chunks: idempotent put
+            }
+        }
+        const auto final_path = path_of(key);
+        const auto tmp_path =
+            final_path.string() + ".tmp" + std::to_string(
+                reinterpret_cast<std::uintptr_t>(&key));
+        write_file(tmp_path, *data);
+        std::filesystem::rename(tmp_path, final_path);
+        const std::scoped_lock lock(mu_);
+        auto [it, inserted] = index_.try_emplace(key, data->size());
+        if (inserted) {
+            bytes_ += data->size();
+        }
+    }
+
+    [[nodiscard]] std::optional<ChunkData> get(const ChunkKey& key) override {
+        {
+            const std::scoped_lock lock(mu_);
+            if (!index_.contains(key)) {
+                return std::nullopt;
+            }
+        }
+        return read_file(path_of(key));
+    }
+
+    [[nodiscard]] bool contains(const ChunkKey& key) override {
+        const std::scoped_lock lock(mu_);
+        return index_.contains(key);
+    }
+
+    void erase(const ChunkKey& key) override {
+        {
+            const std::scoped_lock lock(mu_);
+            const auto it = index_.find(key);
+            if (it == index_.end()) {
+                return;
+            }
+            bytes_ -= it->second;
+            index_.erase(it);
+        }
+        std::error_code ec;  // best effort; index is authoritative
+        std::filesystem::remove(path_of(key), ec);
+    }
+
+    [[nodiscard]] std::size_t count() override {
+        const std::scoped_lock lock(mu_);
+        return index_.size();
+    }
+
+    [[nodiscard]] std::uint64_t bytes() override {
+        const std::scoped_lock lock(mu_);
+        return bytes_;
+    }
+
+    [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+        return dir_;
+    }
+
+  private:
+    [[nodiscard]] std::filesystem::path path_of(const ChunkKey& key) const {
+        return dir_ / (std::to_string(key.blob) + "_" +
+                       std::to_string(key.uid) + ".chunk");
+    }
+
+    static bool parse_name(const std::string& name, ChunkKey& out) {
+        if (!name.ends_with(".chunk")) {
+            return false;
+        }
+        const std::string stem = name.substr(0, name.size() - 6);
+        const auto p1 = stem.find('_');
+        if (p1 == std::string::npos) {
+            return false;
+        }
+        try {
+            out.blob = std::stoull(stem.substr(0, p1));
+            out.uid = std::stoull(stem.substr(p1 + 1));
+        } catch (const std::exception&) {
+            return false;
+        }
+        return true;
+    }
+
+    static void write_file(const std::filesystem::path& path,
+                           const Buffer& data) {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        if (f == nullptr) {
+            throw Error("cannot open " + path.string() + " for writing");
+        }
+        const std::size_t written =
+            data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+        std::fclose(f);
+        if (written != data.size()) {
+            throw Error("short write to " + path.string());
+        }
+    }
+
+    static ChunkData read_file(const std::filesystem::path& path) {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        if (f == nullptr) {
+            throw NotFoundError("chunk file " + path.string());
+        }
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fseek(f, 0, SEEK_SET);
+        auto buf = std::make_shared<Buffer>(static_cast<std::size_t>(size));
+        const std::size_t read =
+            buf->empty() ? 0 : std::fread(buf->data(), 1, buf->size(), f);
+        std::fclose(f);
+        if (read != buf->size()) {
+            throw Error("short read from " + path.string());
+        }
+        return buf;
+    }
+
+    const std::filesystem::path dir_;
+    std::mutex mu_;  // guards index_ and bytes_
+    std::unordered_map<ChunkKey, std::uint64_t, ChunkKeyHash> index_;
+    std::uint64_t bytes_ = 0;
+};
+
+}  // namespace blobseer::chunk

@@ -1,0 +1,98 @@
+/// \file ram_store.hpp
+/// \brief In-memory chunk store (the paper's original RAM-only prototype).
+///
+/// Sharded by key hash so that concurrent clients writing to the same
+/// provider do not serialize on one mutex (the provider's NIC gate is the
+/// intended bottleneck, not a lock).
+
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "chunk/store.hpp"
+#include "common/stats.hpp"
+
+namespace blobseer::chunk {
+
+class RamStore final : public ChunkStore {
+  public:
+    void put(const ChunkKey& key, ChunkData data) override {
+        Shard& s = shard(key);
+        const std::scoped_lock lock(s.mu);
+        auto [it, inserted] = s.map.try_emplace(key, std::move(data));
+        if (inserted) {
+            bytes_.add(it->second->size());
+            count_.add();
+        }
+    }
+
+    [[nodiscard]] std::optional<ChunkData> get(const ChunkKey& key) override {
+        Shard& s = shard(key);
+        const std::scoped_lock lock(s.mu);
+        const auto it = s.map.find(key);
+        if (it == s.map.end()) {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    [[nodiscard]] bool contains(const ChunkKey& key) override {
+        Shard& s = shard(key);
+        const std::scoped_lock lock(s.mu);
+        return s.map.contains(key);
+    }
+
+    void erase(const ChunkKey& key) override {
+        Shard& s = shard(key);
+        const std::scoped_lock lock(s.mu);
+        const auto it = s.map.find(key);
+        if (it != s.map.end()) {
+            removed_bytes_.add(it->second->size());
+            removed_count_.add();
+            s.map.erase(it);
+        }
+    }
+
+    /// Drop every chunk — models a node whose RAM contents were lost on
+    /// crash (used by fault-tolerance tests).
+    void clear() {
+        for (auto& s : shards_) {
+            const std::scoped_lock lock(s.mu);
+            for (const auto& [k, v] : s.map) {
+                removed_bytes_.add(v->size());
+                removed_count_.add();
+            }
+            s.map.clear();
+        }
+    }
+
+    [[nodiscard]] std::size_t count() override {
+        return count_.get() - removed_count_.get();
+    }
+
+    [[nodiscard]] std::uint64_t bytes() override {
+        return bytes_.get() - removed_bytes_.get();
+    }
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard {
+        std::mutex mu;  // guards map
+        std::unordered_map<ChunkKey, ChunkData, ChunkKeyHash> map;
+    };
+
+    Shard& shard(const ChunkKey& key) noexcept {
+        return shards_[key.hash() % kShards];
+    }
+
+    std::array<Shard, kShards> shards_;
+    Counter bytes_;
+    Counter count_;
+    Counter removed_bytes_;
+    Counter removed_count_;
+};
+
+}  // namespace blobseer::chunk

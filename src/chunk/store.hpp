@@ -1,0 +1,51 @@
+/// \file store.hpp
+/// \brief Abstract chunk storage backend used by data providers.
+///
+/// Implementations: RamStore (the paper's original RAM-only prototype,
+/// §IV-A), DiskStore (persistent storage, §IV-B) and TwoTierStore (RAM as
+/// a caching layer over disk, the combination §IV-B describes).
+///
+/// Chunks are immutable: put() of an existing key is idempotent (replicas
+/// of the same chunk are bit-identical by construction) and get() returns
+/// a shared read-only buffer so concurrent readers never copy under a
+/// lock.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "chunk/chunk_key.hpp"
+#include "common/buffer.hpp"
+
+namespace blobseer::chunk {
+
+/// Shared immutable chunk payload.
+using ChunkData = std::shared_ptr<const Buffer>;
+
+class ChunkStore {
+  public:
+    virtual ~ChunkStore() = default;
+
+    /// Store \p data under \p key. Idempotent for identical data.
+    virtual void put(const ChunkKey& key, ChunkData data) = 0;
+
+    /// Fetch the chunk, or nullopt if this store has never seen it.
+    [[nodiscard]] virtual std::optional<ChunkData> get(
+        const ChunkKey& key) = 0;
+
+    /// True iff the chunk is retrievable from this store.
+    [[nodiscard]] virtual bool contains(const ChunkKey& key) = 0;
+
+    /// Remove a chunk (garbage collection of aborted versions).
+    virtual void erase(const ChunkKey& key) = 0;
+
+    /// Number of chunks retrievable.
+    [[nodiscard]] virtual std::size_t count() = 0;
+
+    /// Total payload bytes retrievable.
+    [[nodiscard]] virtual std::uint64_t bytes() = 0;
+};
+
+}  // namespace blobseer::chunk

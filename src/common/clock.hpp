@@ -1,0 +1,45 @@
+/// \file clock.hpp
+/// \brief Time utilities: the cluster-wide clock type and a stopwatch.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace blobseer {
+
+/// All timing in BlobSeer uses the steady clock — wall-clock jumps must not
+/// perturb bandwidth gates or experiment measurements.
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+/// Simple RAII-free stopwatch for measurement loops.
+class Stopwatch {
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    [[nodiscard]] Duration elapsed() const { return Clock::now() - start_; }
+
+    [[nodiscard]] double elapsed_seconds() const {
+        return std::chrono::duration<double>(elapsed()).count();
+    }
+
+    [[nodiscard]] std::uint64_t elapsed_us() const {
+        return static_cast<std::uint64_t>(
+            duration_cast<microseconds>(elapsed()).count());
+    }
+
+  private:
+    TimePoint start_;
+};
+
+}  // namespace blobseer

@@ -1,0 +1,80 @@
+/// \file error.hpp
+/// \brief Exception hierarchy for BlobSeer.
+///
+/// Following the C++ Core Guidelines (E.2), errors that cannot be handled
+/// locally are reported with exceptions. The hierarchy distinguishes the
+/// failure domains a caller may want to react to differently: transport
+/// failures (retry / fail over to a replica), missing data (bug or lost
+/// replica), consistency violations (bug) and invalid arguments (caller
+/// bug).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace blobseer {
+
+/// Root of all BlobSeer exceptions.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated RPC could not be delivered (target node failed or the
+/// network injected a fault). Callers holding replica lists should fail
+/// over; others should propagate.
+class RpcError : public Error {
+  public:
+    explicit RpcError(const std::string& what) : Error("rpc: " + what) {}
+};
+
+/// An operation exceeded its deadline (e.g. a version that never commits).
+class TimeoutError : public Error {
+  public:
+    explicit TimeoutError(const std::string& what)
+        : Error("timeout: " + what) {}
+};
+
+/// A chunk or metadata node that should exist could not be found on any
+/// replica.
+class NotFoundError : public Error {
+  public:
+    explicit NotFoundError(const std::string& what)
+        : Error("not found: " + what) {}
+};
+
+/// An internal invariant was violated (e.g. a published tree with a
+/// dangling child). Always a bug or data loss beyond the replication
+/// factor.
+class ConsistencyError : public Error {
+  public:
+    explicit ConsistencyError(const std::string& what)
+        : Error("consistency: " + what) {}
+};
+
+/// The caller passed arguments outside the API contract (e.g. reading past
+/// the end of a snapshot).
+class InvalidArgument : public Error {
+  public:
+    explicit InvalidArgument(const std::string& what)
+        : Error("invalid argument: " + what) {}
+};
+
+/// The requested version exists but was aborted by the version manager
+/// (its writer died before committing).
+class VersionAborted : public Error {
+  public:
+    explicit VersionAborted(const std::string& what)
+        : Error("version aborted: " + what) {}
+};
+
+/// The requested version was retired (its storage was reclaimed by a
+/// retention policy); only newer or pinned snapshots remain readable.
+class VersionRetired : public Error {
+  public:
+    explicit VersionRetired(const std::string& what)
+        : Error("version retired: " + what) {}
+};
+
+}  // namespace blobseer

@@ -1,0 +1,63 @@
+/// \file hash.hpp
+/// \brief Stable 64-bit hashing used for DHT key placement and content
+///        fingerprints.
+///
+/// The hash must be stable across runs (placement determinism makes tests
+/// and experiments reproducible), so std::hash — whose value is unspecified
+/// — is not used. FNV-1a with an avalanche finalizer is cheap and good
+/// enough for consistent-hashing key spreading.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace blobseer {
+
+/// FNV-1a over raw bytes, finalized with a splitmix64-style avalanche so
+/// that near-identical inputs (sequential ids) spread over the full ring.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const char* data,
+                                              std::size_t n) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ULL;
+    }
+    // splitmix64 finalizer
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s) noexcept {
+    return fnv1a64(s.data(), s.size());
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+    return fnv1a64(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+/// Mix a single 64-bit value (splitmix64 finalizer). Used to hash integer
+/// keys without serializing them to strings.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t h) noexcept {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit constant).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace blobseer

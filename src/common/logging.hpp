@@ -1,0 +1,70 @@
+/// \file logging.hpp
+/// \brief Minimal leveled, thread-safe logger.
+///
+/// Logging defaults to WARN so that tests and benchmarks stay quiet; the
+/// examples turn it up to INFO to narrate what the cluster is doing.
+
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace blobseer {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+  public:
+    /// Process-wide logger instance.
+    static Logger& instance() {
+        static Logger logger;
+        return logger;
+    }
+
+    void set_level(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+    void log(LogLevel level, std::string_view component,
+             const std::string& message) {
+        if (static_cast<int>(level) < static_cast<int>(level_)) {
+            return;
+        }
+        const std::scoped_lock lock(mu_);
+        std::fprintf(stderr, "[%s] %.*s: %s\n", name(level),
+                     static_cast<int>(component.size()), component.data(),
+                     message.c_str());
+    }
+
+  private:
+    Logger() = default;
+
+    static const char* name(LogLevel level) noexcept {
+        switch (level) {
+            case LogLevel::kDebug: return "DEBUG";
+            case LogLevel::kInfo: return "INFO ";
+            case LogLevel::kWarn: return "WARN ";
+            case LogLevel::kError: return "ERROR";
+        }
+        return "?";
+    }
+
+    LogLevel level_ = LogLevel::kWarn;
+    std::mutex mu_;  // serializes stderr writes
+};
+
+inline void log_debug(std::string_view component, const std::string& msg) {
+    Logger::instance().log(LogLevel::kDebug, component, msg);
+}
+inline void log_info(std::string_view component, const std::string& msg) {
+    Logger::instance().log(LogLevel::kInfo, component, msg);
+}
+inline void log_warn(std::string_view component, const std::string& msg) {
+    Logger::instance().log(LogLevel::kWarn, component, msg);
+}
+inline void log_error(std::string_view component, const std::string& msg) {
+    Logger::instance().log(LogLevel::kError, component, msg);
+}
+
+}  // namespace blobseer

@@ -1,0 +1,121 @@
+/// \file random.hpp
+/// \brief Deterministic random number generation for workloads and tests.
+///
+/// Experiments must be reproducible run-to-run, so every random stream is
+/// derived from an explicit seed. Xoshiro256** is used instead of
+/// std::mt19937_64 for speed (benchmark workload generation sits on the
+/// measurement path). A Zipf sampler is provided because data-intensive
+/// access patterns (Section IV-D of the paper: MapReduce over huge files)
+/// are classically skewed.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace blobseer {
+
+/// Xoshiro256** PRNG with splitmix64 seeding. Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+        // SplitMix64 expansion of the seed into the full state, per the
+        // xoshiro authors' recommendation.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            s = mix64(x);
+        }
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return ~static_cast<result_type>(0);
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, n). \p n must be > 0.
+    std::uint64_t below(std::uint64_t n) noexcept {
+        // Lemire's multiply-shift rejection-free approximation is fine for
+        // workload generation (bias < 2^-64 * n).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * n) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+        return lo + below(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using the classic inverse-CDF table.
+/// Construction is O(n); sampling is O(log n). Ranks are *not* shuffled:
+/// rank 0 is the hottest item, which experiment code typically remaps.
+class ZipfSampler {
+  public:
+    ZipfSampler(std::size_t n, double s) : cdf_(n) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    /// Draw one rank in [0, n).
+    [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+        const double u = rng.uniform();
+        // Binary search for the first cdf entry >= u.
+        std::size_t lo = 0;
+        std::size_t hi = cdf_.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo < cdf_.size() ? lo : cdf_.size() - 1;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace blobseer

@@ -1,0 +1,195 @@
+/// \file stats.hpp
+/// \brief Counters, latency histograms and windowed throughput meters.
+///
+/// Every service exposes counters (ops, bytes, errors) that the experiment
+/// harness and the QoS monitor read. Counters are lock-free atomics;
+/// histograms use logarithmic buckets under a mutex (they sit off the hot
+/// path in measurement loops only).
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace blobseer {
+
+/// Monotonic counter, safe for concurrent increment.
+class Counter {
+  public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t get() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log-bucketed histogram of microsecond latencies (or any positive
+/// values). 128 buckets cover [1, ~1.8e13] with ~25% resolution.
+class Histogram {
+  public:
+    void record(std::uint64_t value) noexcept {
+        const std::scoped_lock lock(mu_);
+        buckets_[bucket_of(value)]++;
+        count_++;
+        sum_ += value;
+        max_ = std::max(max_, value);
+        min_ = count_ == 1 ? value : std::min(min_, value);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        const std::scoped_lock lock(mu_);
+        return count_;
+    }
+
+    [[nodiscard]] double mean() const noexcept {
+        const std::scoped_lock lock(mu_);
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    [[nodiscard]] std::uint64_t min() const noexcept {
+        const std::scoped_lock lock(mu_);
+        return min_;
+    }
+
+    [[nodiscard]] std::uint64_t max() const noexcept {
+        const std::scoped_lock lock(mu_);
+        return max_;
+    }
+
+    /// Approximate quantile (bucket upper bound), q in [0, 1].
+    [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+        const std::scoped_lock lock(mu_);
+        if (count_ == 0) {
+            return 0;
+        }
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_ - 1)) + 1;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen >= target) {
+                return upper_bound(i);
+            }
+        }
+        return max_;
+    }
+
+    void reset() noexcept {
+        const std::scoped_lock lock(mu_);
+        buckets_.fill(0);
+        count_ = sum_ = max_ = min_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kBuckets = 128;
+
+    static std::size_t bucket_of(std::uint64_t v) noexcept {
+        if (v < 2) {
+            return v;  // buckets 0 and 1 are exact
+        }
+        // 4 sub-buckets per power of two.
+        const int log2 = 63 - __builtin_clzll(v);
+        const std::uint64_t sub = (v >> (log2 >= 2 ? log2 - 2 : 0)) & 3;
+        const std::size_t idx =
+            2 + static_cast<std::size_t>(log2 - 1) * 4 + sub;
+        return std::min(idx, kBuckets - 1);
+    }
+
+    static std::uint64_t upper_bound(std::size_t idx) noexcept {
+        if (idx < 2) {
+            return idx;
+        }
+        const std::size_t log2 = (idx - 2) / 4 + 1;
+        const std::size_t sub = (idx - 2) % 4;
+        return (1ULL << log2) + ((sub + 1) << (log2 >= 2 ? log2 - 2 : 0)) - 1;
+    }
+
+    mutable std::mutex mu_;  // guards everything below
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = 0;
+};
+
+/// Windowed throughput meter: record(bytes) events are bucketed into fixed
+/// wall-clock windows; the QoS monitor samples per-window byte totals to
+/// build its time series.
+class Meter {
+  public:
+    explicit Meter(Duration window = milliseconds(100))
+        : window_(window), origin_(Clock::now()) {}
+
+    void record(std::uint64_t bytes) {
+        const auto idx = window_index(Clock::now());
+        const std::scoped_lock lock(mu_);
+        if (windows_.size() <= idx) {
+            windows_.resize(idx + 1, 0);
+        }
+        windows_[idx] += bytes;
+    }
+
+    /// Total bytes in the most recent \p n complete windows.
+    [[nodiscard]] std::uint64_t recent_bytes(std::size_t n) const {
+        const auto current = window_index(Clock::now());
+        const std::scoped_lock lock(mu_);
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (current < 1 + i) {
+                break;
+            }
+            const std::size_t idx = current - 1 - i;
+            if (idx < windows_.size()) {
+                total += windows_[idx];
+            }
+        }
+        return total;
+    }
+
+    /// Snapshot of all windows so far (for offline analysis).
+    [[nodiscard]] std::vector<std::uint64_t> series() const {
+        const std::scoped_lock lock(mu_);
+        return {windows_.begin(), windows_.end()};
+    }
+
+    [[nodiscard]] Duration window() const noexcept { return window_; }
+
+  private:
+    [[nodiscard]] std::size_t window_index(TimePoint t) const {
+        return static_cast<std::size_t>((t - origin_) / window_);
+    }
+
+    const Duration window_;
+    const TimePoint origin_;
+    mutable std::mutex mu_;  // guards windows_
+    std::deque<std::uint64_t> windows_;
+};
+
+/// Fixed set of counters every RPC-exposed service keeps.
+struct ServiceStats {
+    Counter ops;          ///< RPCs served
+    Counter bytes_in;     ///< payload bytes received
+    Counter bytes_out;    ///< payload bytes sent
+    Counter errors;       ///< failed RPCs
+    Histogram latency_us; ///< service-side latency per op
+};
+
+}  // namespace blobseer

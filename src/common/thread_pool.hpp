@@ -1,0 +1,125 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool with future-returning submission and a
+///        blocking parallel-for helper.
+///
+/// Clients use the pool to overlap chunk transfers to many providers
+/// (Section I-B.3 of the paper: writers "send their chunks to the storage
+/// space providers independently of each other"). Per Core Guidelines CP.4
+/// callers think in tasks; threads are an implementation detail owned by
+/// this class (CP.25-style joining on destruction).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace blobseer {
+
+class ThreadPool {
+  public:
+    /// Spawn \p n_threads workers. n_threads must be >= 1.
+    explicit ThreadPool(std::size_t n_threads) {
+        if (n_threads == 0) {
+            throw std::invalid_argument("ThreadPool needs >= 1 thread");
+        }
+        workers_.reserve(n_threads);
+        for (std::size_t i = 0; i < n_threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            const std::scoped_lock lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) {
+            w.join();
+        }
+    }
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Submit a task; the returned future carries its result or exception.
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            const std::scoped_lock lock(mu_);
+            if (stopping_) {
+                throw std::runtime_error("submit on stopped ThreadPool");
+            }
+            queue_.emplace_back([task]() mutable { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Run fn(i) for every i in [0, n) on the pool and wait for all of
+    /// them. The first exception (if any) is rethrown on the caller —
+    /// but only after EVERY task finished: tasks reference the caller's
+    /// stack through \p fn, so unwinding early would leave running tasks
+    /// with dangling captures.
+    template <typename F>
+    void parallel_for(std::size_t n, F&& fn) {
+        std::vector<std::future<void>> futs;
+        futs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            futs.push_back(submit([&fn, i] { fn(i); }));
+        }
+        std::exception_ptr first;
+        for (auto& f : futs) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first) {
+                    first = std::current_exception();
+                }
+            }
+        }
+        if (first) {
+            std::rethrow_exception(first);
+        }
+    }
+
+  private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock lock(mu_);
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (stopping_ && queue_.empty()) {
+                    return;
+                }
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    // mu_ guards queue_ and stopping_ (CP.50: mutex lives with its data).
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace blobseer

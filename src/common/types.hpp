@@ -1,0 +1,100 @@
+/// \file types.hpp
+/// \brief Fundamental identifier and size types shared by every BlobSeer
+///        module.
+///
+/// BlobSeer manipulates three id spaces: blobs (logical objects), versions
+/// (snapshots of a blob) and nodes (processes of the simulated cluster:
+/// clients, data providers, metadata providers, the version manager and the
+/// provider manager). All of them are small integer types; strong-typedef
+/// wrappers would add noise without catching realistic bugs here because the
+/// APIs already separate them by parameter position and name.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace blobseer {
+
+/// Identifier of a blob (unique per cluster, assigned by the version
+/// manager at creation time).
+using BlobId = std::uint64_t;
+
+/// Snapshot version of a blob. Version 0 is the empty blob that exists
+/// right after creation; the first write produces version 1.
+using Version = std::uint64_t;
+
+/// Identifier of a simulated cluster process (provider, manager or client).
+using NodeId = std::uint32_t;
+
+/// Index of a chunk within a blob (offset / chunk_size).
+using ChunkIndex = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no blob".
+inline constexpr BlobId kInvalidBlob = std::numeric_limits<BlobId>::max();
+
+/// Sentinel version used for "latest published" in read requests.
+inline constexpr Version kLatestVersion = std::numeric_limits<Version>::max();
+
+/// Byte-range within a blob: [offset, offset + size).
+struct ByteRange {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+
+    [[nodiscard]] std::uint64_t end() const noexcept { return offset + size; }
+    [[nodiscard]] bool empty() const noexcept { return size == 0; }
+
+    /// True iff the two ranges share at least one byte.
+    [[nodiscard]] bool intersects(const ByteRange& o) const noexcept {
+        return offset < o.end() && o.offset < end();
+    }
+
+    /// True iff \p o is fully contained in this range.
+    [[nodiscard]] bool contains(const ByteRange& o) const noexcept {
+        return offset <= o.offset && o.end() <= end();
+    }
+
+    /// True iff the byte at absolute position \p pos falls in this range.
+    [[nodiscard]] bool contains_pos(std::uint64_t pos) const noexcept {
+        return pos >= offset && pos < end();
+    }
+
+    friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+/// Human-readable "[offset, end)" rendering used in logs and test failures.
+[[nodiscard]] inline std::string to_string(const ByteRange& r) {
+    return "[" + std::to_string(r.offset) + ", " + std::to_string(r.end()) +
+           ")";
+}
+
+/// Round \p v up to the next power of two (minimum 1).
+[[nodiscard]] constexpr std::uint64_t pow2_ceil(std::uint64_t v) noexcept {
+    if (v <= 1) return 1;
+    --v;
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v |= v >> 32;
+    return v + 1;
+}
+
+/// True iff \p v is a power of two (and non-zero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Integer ceiling division.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+    return (a + b - 1) / b;
+}
+
+}  // namespace blobseer

@@ -1,0 +1,725 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "meta/tree_builder.hpp"
+
+namespace blobseer::core {
+
+namespace {
+
+/// Wire-size constants for RPC charging (headers + small fixed payloads).
+constexpr std::uint64_t kSmallReq = 48;
+constexpr std::uint64_t kSmallResp = 64;
+constexpr std::uint64_t kChunkHeader = 64;
+
+}  // namespace
+
+BlobSeerClient::BlobSeerClient(Cluster& cluster, NodeId self)
+    : cluster_(cluster),
+      self_(self),
+      dht_(cluster.network(), self, cluster.meta_ring(),
+           cluster.meta_provider_map(), cluster.config().meta_replication),
+      cache_(dht_, cluster.config().client_meta_cache_nodes),
+      io_pool_(cluster.config().client_io_threads) {}
+
+// ---- blob lifecycle ------------------------------------------------------
+
+Blob BlobSeerClient::create(std::uint64_t chunk_size,
+                            std::optional<std::uint32_t> replication) {
+    const std::uint32_t repl =
+        replication.value_or(cluster_.config().default_replication);
+    auto& vm = cluster_.version_manager();
+    const auto info = cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
+        [&] { return vm.create_blob(chunk_size, repl); });
+    {
+        const std::scoped_lock lock(info_mu_);
+        info_cache_[info.id] = info;
+    }
+    return Blob(*this, info);
+}
+
+Blob BlobSeerClient::open(BlobId id) { return Blob(*this, blob_info(id)); }
+
+Blob BlobSeerClient::clone(BlobId src, Version version) {
+    auto& vm = cluster_.version_manager();
+    const auto info = cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
+        [&] { return vm.clone_blob(src, version); });
+    {
+        const std::scoped_lock lock(info_mu_);
+        info_cache_[info.id] = info;
+    }
+    return Blob(*this, info);
+}
+
+std::optional<version::VersionInfo> BlobSeerClient::cached_version(
+    BlobId blob, Version v) {
+    const std::scoped_lock lock(info_mu_);
+    const auto it = version_cache_.find({blob, v});
+    if (it == version_cache_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void BlobSeerClient::remember_version(BlobId blob,
+                                      const version::VersionInfo& vi) {
+    if (vi.status != version::VersionStatus::kPublished) {
+        return;  // only immutable facts are cacheable
+    }
+    const std::scoped_lock lock(info_mu_);
+    version_cache_.emplace(std::pair{blob, vi.version}, vi);
+}
+
+version::BlobInfo BlobSeerClient::blob_info(BlobId blob) {
+    {
+        const std::scoped_lock lock(info_mu_);
+        const auto it = info_cache_.find(blob);
+        if (it != info_cache_.end()) {
+            return it->second;
+        }
+    }
+    auto& vm = cluster_.version_manager();
+    const auto info = cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
+        [&] { return vm.blob_info(blob); });
+    const std::scoped_lock lock(info_mu_);
+    info_cache_[blob] = info;
+    return info;
+}
+
+// ---- RPC stubs -------------------------------------------------------------
+
+version::AssignResult BlobSeerClient::rpc_assign(
+    BlobId blob, std::optional<std::uint64_t> offset, std::uint64_t size) {
+    auto& vm = cluster_.version_manager();
+    // Response size depends on the concurrency degree; charge afterwards
+    // by computing it from the reply (the network model only needs the
+    // magnitude, not pre-knowledge).
+    return cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, 96,
+        [&] { return vm.assign(blob, offset, size); });
+}
+
+void BlobSeerClient::rpc_commit(BlobId blob, Version v) {
+    auto& vm = cluster_.version_manager();
+    cluster_.network().call(self_, cluster_.version_manager_node(), kSmallReq,
+                            16, [&] { vm.commit(blob, v); });
+}
+
+version::VersionInfo BlobSeerClient::rpc_get_version(BlobId blob, Version v) {
+    auto& vm = cluster_.version_manager();
+    return cluster_.network().call(self_, cluster_.version_manager_node(),
+                                   kSmallReq, kSmallResp,
+                                   [&] { return vm.get_version(blob, v); });
+}
+
+version::VersionInfo BlobSeerClient::rpc_wait_published(BlobId blob,
+                                                        Version v) {
+    auto& vm = cluster_.version_manager();
+    const Duration timeout = cluster_.config().publish_timeout;
+    return cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
+        [&] { return vm.wait_published(blob, v, timeout); });
+}
+
+provider::PlacementPlan BlobSeerClient::rpc_place(std::uint64_t n_chunks,
+                                                  std::uint32_t replication,
+                                                  std::uint64_t chunk_bytes) {
+    auto& pm = cluster_.provider_manager();
+    return cluster_.network().call(
+        self_, cluster_.provider_manager_node(), kSmallReq,
+        16 + 4 * n_chunks * replication,
+        [&] { return pm.place(n_chunks, replication, chunk_bytes); });
+}
+
+std::uint64_t BlobSeerClient::next_uid() {
+    const std::uint32_t n = uid_counter_.fetch_add(1);
+    return mix64((static_cast<std::uint64_t>(self_) << 32) | n);
+}
+
+// ---- write path -----------------------------------------------------------
+
+Version BlobSeerClient::write(BlobId blob, std::uint64_t offset,
+                              ConstBytes data) {
+    const Version v = write_impl(blob, offset, data);
+    stats_.writes.add();
+    stats_.bytes_written.add(data.size());
+    return v;
+}
+
+Version BlobSeerClient::append(BlobId blob, ConstBytes data) {
+    const Version v = write_impl(blob, std::nullopt, data);
+    stats_.appends.add();
+    stats_.bytes_written.add(data.size());
+    return v;
+}
+
+BlobSeerClient::UploadedChunk BlobSeerClient::upload_chunk(
+    BlobId blob, ConstBytes payload, std::vector<NodeId> targets) {
+    UploadedChunk result;
+    result.uid = next_uid();
+    result.bytes = static_cast<std::uint32_t>(payload.size());
+    const chunk::ChunkKey key{blob, result.uid};
+    auto data = std::make_shared<Buffer>(payload.begin(), payload.end());
+
+    auto& net = cluster_.network();
+    const auto& dps = cluster_.data_provider_map();
+    const bool pipelined = cluster_.config().pipelined_replication;
+    std::size_t replacement_budget = 3;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        const NodeId target = targets[t];
+        const auto it = dps.find(target);
+        if (it == dps.end()) {
+            throw ConsistencyError("placement returned unknown provider " +
+                                   std::to_string(target));
+        }
+        // Pipelined replication: the first copy leaves the client; each
+        // further copy is forwarded provider-to-provider (the previous
+        // chain member's NIC pays, not the client's — GFS-style).
+        const NodeId src = pipelined && !result.replicas.empty()
+                               ? result.replicas.back()
+                               : self_;
+        try {
+            net.call(src, target, payload.size() + kChunkHeader, 16,
+                     [&] { it->second->put_chunk(key, data); });
+            result.replicas.push_back(target);
+            stats_.chunk_put_rpcs.add();
+        } catch (const RpcError& e) {
+            stats_.chunk_retries.add();
+            log_debug("client", std::string("chunk put failed: ") + e.what());
+            // Heartbeat substitute: tell the provider manager, then ask it
+            // for a replacement target (bounded).
+            auto& pm = cluster_.provider_manager();
+            try {
+                net.call(self_, cluster_.provider_manager_node(), kSmallReq,
+                         16, [&] { pm.mark_dead(target); });
+            } catch (const RpcError&) {
+                // Provider manager unreachable; keep going with what we
+                // have.
+            }
+            if (replacement_budget > 0) {
+                --replacement_budget;
+                try {
+                    auto plan = rpc_place(1, 1, payload.size());
+                    const NodeId fresh = plan.at(0).at(0);
+                    if (std::find(targets.begin(), targets.end(), fresh) ==
+                            targets.end() &&
+                        std::find(result.replicas.begin(),
+                                  result.replicas.end(),
+                                  fresh) == result.replicas.end()) {
+                        targets.push_back(fresh);
+                    }
+                } catch (const Error&) {
+                    // No replacement available; degrade replication.
+                }
+            }
+        }
+    }
+    if (result.replicas.empty()) {
+        throw RpcError("no replica stored for " + key.to_string());
+    }
+    return result;
+}
+
+Version BlobSeerClient::write_impl(BlobId blob,
+                                   std::optional<std::uint64_t> offset_opt,
+                                   ConstBytes data) {
+    if (data.empty()) {
+        throw InvalidArgument("zero-sized write");
+    }
+    const Stopwatch sw;
+    const version::BlobInfo info = blob_info(blob);
+    const std::uint64_t c = info.chunk_size;
+
+    if (offset_opt && *offset_opt % c != 0) {
+        throw InvalidArgument("write offset must be chunk-aligned");
+    }
+
+    // Chunk payload slices. For an explicit (aligned) write these are
+    // known before version assignment, matching the paper's protocol of
+    // uploading data before contacting the version manager; appends
+    // resolve their offset at assign time, so they upload afterwards.
+    std::vector<UploadedChunk> uploaded;
+    std::vector<ConstBytes> payloads;
+    Buffer merged_head;  // unaligned-append tail rewrite, if needed
+
+    auto split_into = [c](ConstBytes bytes, std::vector<ConstBytes>& out) {
+        for (std::size_t pos = 0; pos < bytes.size(); pos += c) {
+            out.push_back(bytes.subspan(
+                pos, std::min<std::size_t>(c, bytes.size() - pos)));
+        }
+    };
+
+    auto upload_all = [&](const std::vector<ConstBytes>& parts)
+        -> std::vector<UploadedChunk> {
+        const auto plan = rpc_place(parts.size(), info.replication, c);
+        std::vector<UploadedChunk> out(parts.size());
+        io_pool_.parallel_for(parts.size(), [&](std::size_t i) {
+            out[i] = upload_chunk(blob, parts[i], plan[i]);
+        });
+        return out;
+    };
+
+    version::AssignResult ar;
+    if (offset_opt) {
+        split_into(data, payloads);
+        uploaded = upload_all(payloads);
+        try {
+            ar = rpc_assign(blob, offset_opt, data.size());
+        } catch (const Error&) {
+            // Assignment refused (e.g. unaligned interior tail after a
+            // concurrent extension): the uploaded chunks are unreachable;
+            // drop them best-effort before propagating.
+            for (const auto& up : uploaded) {
+                for (const NodeId r : up.replicas) {
+                    const auto it = cluster_.data_provider_map().find(r);
+                    if (it == cluster_.data_provider_map().end()) {
+                        continue;
+                    }
+                    try {
+                        cluster_.network().call(
+                            self_, r, kSmallReq, 16, [&] {
+                                it->second->erase_chunk({blob, up.uid});
+                            });
+                    } catch (const RpcError&) {
+                        // Leaked chunk; provider-side GC is out of scope.
+                    }
+                }
+            }
+            throw;
+        }
+    } else {
+        ar = rpc_assign(blob, std::nullopt, data.size());
+        if (ar.offset % c != 0) {
+            // Appending to an unaligned end: the trailing chunk must be
+            // rewritten whole, merging the published predecessor's bytes.
+            const std::uint64_t slot_start = (ar.offset / c) * c;
+            const std::uint64_t prefix_len = ar.offset - slot_start;
+            const Version prev = ar.version - 1;
+            const auto pv = rpc_wait_published(blob, prev);
+            if (pv.status == version::VersionStatus::kAborted) {
+                throw VersionAborted(
+                    "append predecessor aborted; this version is dead too");
+            }
+            const std::uint64_t head_data =
+                std::min<std::uint64_t>(c - prefix_len, data.size());
+            merged_head.resize(prefix_len + head_data);
+            read_tail_for_merge(blob, pv, slot_start,
+                                MutableBytes(merged_head.data(), prefix_len));
+            std::memcpy(merged_head.data() + prefix_len, data.data(),
+                        head_data);
+            payloads.emplace_back(merged_head.data(), merged_head.size());
+            split_into(data.subspan(head_data), payloads);
+        } else {
+            split_into(data, payloads);
+        }
+        uploaded = upload_all(payloads);
+    }
+
+    // Assemble leaves in slot order and build the metadata tree.
+    const meta::TreeGeometry geo(c);
+    const ByteRange write_range{ar.offset, data.size()};
+    const meta::SlotRange write_slots = geo.slots_of(write_range);
+    if (uploaded.size() != write_slots.count) {
+        throw ConsistencyError("chunk count does not match written slots");
+    }
+
+    meta::BuildInput in;
+    in.blob = blob;
+    in.chunk_size = c;
+    in.version = ar.version;
+    in.write_range = write_range;
+    in.size_before = ar.size_before;
+    in.size_after = ar.size_after;
+    in.base = ar.base;
+    in.concurrent = std::move(ar.concurrent);
+    in.leaves.reserve(uploaded.size());
+    for (const auto& up : uploaded) {
+        in.leaves.push_back(
+            meta::MetaNode::leaf(up.replicas, up.uid, up.bytes));
+    }
+    build_version_tree(cache_, in);
+
+    rpc_commit(blob, ar.version);
+    stats_.write_latency_us.record(sw.elapsed_us());
+    return ar.version;
+}
+
+// ---- read path ---------------------------------------------------------------
+
+std::size_t BlobSeerClient::read(BlobId blob, Version version,
+                                 std::uint64_t offset, MutableBytes out) {
+    if (out.empty()) {
+        return 0;
+    }
+    const Stopwatch sw;
+    version::VersionInfo vi;
+    if (const auto cached =
+            version != kLatestVersion
+                ? cached_version(blob, version)
+                : std::optional<version::VersionInfo>{}) {
+        vi = *cached;
+    } else {
+        vi = rpc_get_version(blob, version);
+        if (vi.status == version::VersionStatus::kPending ||
+            vi.status == version::VersionStatus::kCommitted) {
+            vi = rpc_wait_published(blob, vi.version);
+        }
+        if (vi.status == version::VersionStatus::kAborted) {
+            throw VersionAborted("read of aborted version " +
+                                 std::to_string(vi.version));
+        }
+        if (vi.status == version::VersionStatus::kRetired) {
+            throw VersionRetired("read of retired version " +
+                                 std::to_string(vi.version));
+        }
+        remember_version(blob, vi);
+    }
+    if (offset + out.size() > vi.size) {
+        throw InvalidArgument("read past end of snapshot v" +
+                              std::to_string(vi.version) + " (size " +
+                              std::to_string(vi.size) + ")");
+    }
+
+    const version::BlobInfo info = blob_info(blob);
+    const auto plan =
+        meta::plan_read(cache_, vi.tree.blob, vi.tree.version,
+                        info.chunk_size, vi.size, {offset, out.size()});
+
+    io_pool_.parallel_for(plan.segments.size(), [&](std::size_t i) {
+        const meta::ReadSegment& seg = plan.segments[i];
+        MutableBytes slice = out.subspan(seg.blob_range.offset - offset,
+                                         seg.blob_range.size);
+        if (seg.hole) {
+            std::memset(slice.data(), 0, slice.size());
+        } else {
+            fetch_segment(seg, slice);
+        }
+    });
+
+    stats_.reads.add();
+    stats_.bytes_read.add(out.size());
+    stats_.read_latency_us.record(sw.elapsed_us());
+    return out.size();
+}
+
+std::size_t BlobSeerClient::read_available(BlobId blob, Version version,
+                                           std::uint64_t offset,
+                                           MutableBytes out) {
+    const auto vi = stat(blob, version);
+    if (offset >= vi.size) {
+        return 0;
+    }
+    const std::size_t n =
+        std::min<std::uint64_t>(out.size(), vi.size - offset);
+    return read(blob, vi.version, offset, out.first(n));
+}
+
+void BlobSeerClient::update_health_view(
+    std::unordered_map<NodeId, double> view) {
+    const std::scoped_lock lock(health_mu_);
+    health_view_ = std::move(view);
+}
+
+bool BlobSeerClient::is_healthy(NodeId node) const {
+    const std::scoped_lock lock(health_mu_);
+    const auto it = health_view_.find(node);
+    return it == health_view_.end() || it->second >= 0.5;
+}
+
+void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
+                                   MutableBytes out) {
+    auto& net = cluster_.network();
+    const auto& dps = cluster_.data_provider_map();
+    const std::size_t n = seg.replicas.size();
+    if (n == 0) {
+        throw ConsistencyError("leaf with no replicas reached fetch");
+    }
+    // Spread read load across replicas: different clients start at
+    // different replicas of the same chunk — but replicas flagged
+    // unhealthy by the QoS feedback go to the back of the line.
+    const std::size_t start =
+        static_cast<std::size_t>(mix64(self_ ^ seg.chunk.uid)) % n;
+    std::vector<NodeId> order;
+    order.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const NodeId r = seg.replicas[(start + k) % n];
+        if (is_healthy(r)) {
+            order.push_back(r);
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const NodeId r = seg.replicas[(start + k) % n];
+        if (!is_healthy(r)) {
+            order.push_back(r);
+        }
+    }
+    std::string last_error;
+    for (std::size_t k = 0; k < n; ++k) {
+        const NodeId target = order[k];
+        const auto it = dps.find(target);
+        if (it == dps.end()) {
+            continue;
+        }
+        try {
+            const chunk::ChunkData data =
+                net.call(self_, target, kChunkHeader,
+                         seg.blob_range.size + 32,
+                         [&] { return it->second->get_chunk(seg.chunk); });
+            if (seg.chunk_offset + out.size() > data->size()) {
+                throw ConsistencyError("chunk shorter than metadata claims: " +
+                                       seg.chunk.to_string());
+            }
+            std::memcpy(out.data(), data->data() + seg.chunk_offset,
+                        out.size());
+            stats_.chunk_get_rpcs.add();
+            return;
+        } catch (const RpcError& e) {
+            last_error = e.what();
+        } catch (const NotFoundError& e) {
+            last_error = e.what();
+        }
+        stats_.chunk_retries.add();
+    }
+    throw NotFoundError("all replicas failed for " + seg.chunk.to_string() +
+                        " (" + last_error + ")");
+}
+
+void BlobSeerClient::read_tail_for_merge(BlobId blob,
+                                         const version::VersionInfo& vi,
+                                         std::uint64_t slot_start,
+                                         MutableBytes out) {
+    const version::BlobInfo info = blob_info(blob);
+    const auto plan =
+        meta::plan_read(cache_, vi.tree.blob, vi.tree.version,
+                        info.chunk_size, vi.size,
+                        {slot_start, out.size()});
+    for (const meta::ReadSegment& seg : plan.segments) {
+        MutableBytes slice = out.subspan(seg.blob_range.offset - slot_start,
+                                         seg.blob_range.size);
+        if (seg.hole) {
+            std::memset(slice.data(), 0, slice.size());
+        } else {
+            fetch_segment(seg, slice);
+        }
+    }
+}
+
+// ---- queries ------------------------------------------------------------------
+
+version::VersionInfo BlobSeerClient::stat(BlobId blob, Version version) {
+    return rpc_get_version(blob, version);
+}
+
+version::VersionInfo BlobSeerClient::wait_published(BlobId blob,
+                                                    Version version) {
+    const auto vi = rpc_wait_published(blob, version);
+    if (vi.status == version::VersionStatus::kAborted) {
+        throw VersionAborted("version " + std::to_string(version) +
+                             " aborted");
+    }
+    return vi;
+}
+
+std::vector<SegmentLocation> BlobSeerClient::locate(BlobId blob,
+                                                    Version version,
+                                                    ByteRange range) {
+    version::VersionInfo vi = rpc_get_version(blob, version);
+    if (vi.status != version::VersionStatus::kPublished) {
+        throw InvalidArgument("locate on unpublished version");
+    }
+    if (range.end() > vi.size) {
+        throw InvalidArgument("locate past end of snapshot");
+    }
+    const version::BlobInfo info = blob_info(blob);
+    const auto plan = meta::plan_read(cache_, vi.tree.blob, vi.tree.version,
+                                      info.chunk_size, vi.size, range);
+    std::vector<SegmentLocation> out;
+    out.reserve(plan.segments.size());
+    for (const auto& seg : plan.segments) {
+        out.push_back(
+            SegmentLocation{seg.blob_range, seg.hole, seg.replicas});
+    }
+    return out;
+}
+
+std::vector<version::VersionManager::VersionSummary> BlobSeerClient::history(
+    BlobId blob, Version from, Version to) {
+    auto& vm = cluster_.version_manager();
+    return cluster_.network().call(
+        self_, cluster_.version_manager_node(), kSmallReq, 256,
+        [&] { return vm.history(blob, from, to); });
+}
+
+std::vector<ByteRange> BlobSeerClient::changed_ranges(BlobId blob,
+                                                      Version from,
+                                                      Version to) {
+    if (from > to && to != kLatestVersion) {
+        throw InvalidArgument("changed_ranges needs from <= to");
+    }
+    auto summaries = history(blob, from + 1, to);
+    std::vector<ByteRange> ranges;
+    for (const auto& s : summaries) {
+        if (s.status == version::VersionStatus::kAborted || s.size == 0) {
+            continue;
+        }
+        ranges.push_back(ByteRange{s.offset, s.size});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const ByteRange& a, const ByteRange& b) {
+                  return a.offset < b.offset;
+              });
+    std::vector<ByteRange> merged;
+    for (const ByteRange& r : ranges) {
+        if (!merged.empty() && r.offset <= merged.back().end()) {
+            merged.back().size =
+                std::max(merged.back().end(), r.end()) -
+                merged.back().offset;
+        } else {
+            merged.push_back(r);
+        }
+    }
+    return merged;
+}
+
+void BlobSeerClient::pin(BlobId blob, Version version) {
+    auto& vm = cluster_.version_manager();
+    cluster_.network().call(self_, cluster_.version_manager_node(),
+                            kSmallReq, 16, [&] { vm.pin(blob, version); });
+}
+
+void BlobSeerClient::unpin(BlobId blob, Version version) {
+    auto& vm = cluster_.version_manager();
+    cluster_.network().call(self_, cluster_.version_manager_node(),
+                            kSmallReq, 16,
+                            [&] { vm.unpin(blob, version); });
+}
+
+BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
+    BlobId blob, Version keep_from) {
+    auto& vm = cluster_.version_manager();
+    auto& net = cluster_.network();
+    const auto info =
+        net.call(self_, cluster_.version_manager_node(), kSmallReq, 512,
+                 [&] { return vm.retire(blob, keep_from); });
+    const version::BlobInfo binfo = blob_info(blob);
+    const meta::TreeGeometry geo(binfo.chunk_size);
+
+    RetireStats stats;
+    stats.versions = info.retired.size();
+
+    // A node (w, R) lost its last reader iff some version u in
+    // (w, keep_from] also creates R (every surviving tree then resolves
+    // R to u or newer) AND no pinned snapshot sits in [w, u) (it would
+    // still read w's node).
+    auto deletable = [&](Version w, const meta::SlotRange& r) {
+        for (const auto& d : info.descriptors) {
+            if (d.version <= w) {
+                continue;
+            }
+            if (creates_node(d, r, geo)) {
+                for (const Version p : info.pinned) {
+                    if (p >= w && p < d.version) {
+                        return false;
+                    }
+                }
+                return true;
+            }
+        }
+        return false;  // keep_from itself still reads this node
+    };
+
+    for (const Version w : info.retired) {
+        const auto it = std::find_if(
+            info.descriptors.begin(), info.descriptors.end(),
+            [w](const meta::WriteDescriptor& d) { return d.version == w; });
+        if (it == info.descriptors.end()) {
+            continue;
+        }
+        for (const meta::SlotRange& r : created_ranges(*it, geo)) {
+            if (!deletable(w, r)) {
+                continue;
+            }
+            const meta::MetaKey key{blob, w, r};
+            const auto node = dht_.try_get(key);
+            if (node && node->is_leaf() && !node->replicas.empty()) {
+                const chunk::ChunkKey ck{blob, node->chunk_uid};
+                for (const NodeId target : node->replicas) {
+                    const auto dp = cluster_.data_provider_map().find(target);
+                    if (dp == cluster_.data_provider_map().end()) {
+                        continue;
+                    }
+                    try {
+                        net.call(self_, target, kSmallReq, 16,
+                                 [&] { dp->second->erase_chunk(ck); });
+                    } catch (const RpcError&) {
+                        // Dead provider holds no reclaimable bytes.
+                    }
+                }
+                ++stats.chunks;
+            }
+            cache_.erase(key);
+            ++stats.meta_nodes;
+        }
+    }
+    {
+        // Drop this client's own cached facts about retired snapshots.
+        const std::scoped_lock lock(info_mu_);
+        for (const Version w : info.retired) {
+            version_cache_.erase({blob, w});
+        }
+    }
+    return stats;
+}
+
+std::size_t BlobSeerClient::gc_aborted_version(BlobId blob, Version version) {
+    auto& vm = cluster_.version_manager();
+    auto& net = cluster_.network();
+    const auto vi = rpc_get_version(blob, version);
+    if (vi.status != version::VersionStatus::kAborted) {
+        throw InvalidArgument("gc of non-aborted version " +
+                              std::to_string(version));
+    }
+    const auto desc = net.call(self_, cluster_.version_manager_node(),
+                               kSmallReq, kSmallResp,
+                               [&] { return vm.descriptor_of(blob, version); });
+    const version::BlobInfo info = blob_info(blob);
+    const meta::TreeGeometry geo(info.chunk_size);
+
+    std::size_t removed = 0;
+    for (const meta::SlotRange& r : created_ranges(desc, geo)) {
+        const meta::MetaKey key{blob, version, r};
+        // Bypass the cache: aborted nodes were never read through it.
+        const auto node = dht_.try_get(key);
+        if (!node) {
+            continue;  // writer died before storing this one
+        }
+        if (node->is_leaf() && !node->replicas.empty()) {
+            const chunk::ChunkKey ck{blob, node->chunk_uid};
+            for (const NodeId target : node->replicas) {
+                const auto it = cluster_.data_provider_map().find(target);
+                if (it == cluster_.data_provider_map().end()) {
+                    continue;
+                }
+                try {
+                    net.call(self_, target, kSmallReq, 16,
+                             [&] { it->second->erase_chunk(ck); });
+                } catch (const RpcError&) {
+                    // Dead provider: nothing to reclaim there anyway.
+                }
+            }
+        }
+        dht_.erase(key);
+        ++removed;
+    }
+    return removed;
+}
+
+}  // namespace blobseer::core

@@ -1,0 +1,278 @@
+/// \file client.hpp
+/// \brief The BlobSeer client library — the paper's access interface.
+///
+/// Paper §I-B.1: "A client of BlobSeer manipulates a blob through a simple
+/// access interface that enables creating a blob, reading/writing a
+/// subsequence of size bytes from/to the blob starting at offset and
+/// appending a sequence of size bytes to the blob. This access interface
+/// is designed to support versioning explicitly."
+///
+/// Semantics:
+///  * WRITE/APPEND produce a new snapshot version and return its number;
+///    only the difference is stored (chunks of the written range + O(log)
+///    metadata nodes).
+///  * READ addresses any published snapshot; kLatestVersion resolves to
+///    the newest published one. Reads of a still-pending version wait for
+///    its publication (bounded); reads of aborted versions throw.
+///  * All operations are linearizable: writes at their version-manager
+///    assign, reads at their version-resolution query.
+///
+/// Alignment contract (see DESIGN.md §4.1): write offsets are
+/// chunk-aligned; a write may end unaligned only at (or past) the blob's
+/// current end. append() has no alignment restriction — appending to an
+/// unaligned end transparently rewrites the trailing chunk (which requires
+/// waiting for the predecessor version's publication; chunk-aligned
+/// appends never wait).
+///
+/// CLONE (extension): O(1) snapshot of a published version into a new,
+/// independently writable blob sharing all storage with its origin.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/cluster.hpp"
+#include "meta/meta_cache.hpp"
+#include "meta/tree_reader.hpp"
+#include "version/version_manager.hpp"
+
+namespace blobseer::core {
+
+/// Client-side operation counters surfaced to experiments.
+struct ClientStats {
+    Counter writes;
+    Counter appends;
+    Counter reads;
+    Counter bytes_written;
+    Counter bytes_read;
+    Counter chunk_put_rpcs;
+    Counter chunk_get_rpcs;
+    Counter chunk_retries;  ///< replica failovers (reads + writes)
+    Histogram write_latency_us;
+    Histogram read_latency_us;
+};
+
+/// Data-locality record returned by locate() — the Hadoop-style "which
+/// nodes hold this range" API that BSFS exposes to schedulers (§IV-D).
+struct SegmentLocation {
+    ByteRange range;
+    bool hole = false;
+    std::vector<NodeId> providers;
+};
+
+class Blob;
+
+class BlobSeerClient {
+  public:
+    /// Built by Cluster::make_client().
+    BlobSeerClient(Cluster& cluster, NodeId self);
+
+    [[nodiscard]] NodeId node() const noexcept { return self_; }
+
+    // ---- blob lifecycle ---------------------------------------------------
+
+    /// Create a blob with the given chunk size; replication defaults to
+    /// the cluster's configuration.
+    [[nodiscard]] Blob create(std::uint64_t chunk_size,
+                              std::optional<std::uint32_t> replication = {});
+
+    /// Open an existing blob by id.
+    [[nodiscard]] Blob open(BlobId id);
+
+    /// O(1) clone of (\p src, \p version) into a new blob.
+    [[nodiscard]] Blob clone(BlobId src, Version version = kLatestVersion);
+
+    // ---- data path (also reachable through Blob) ----------------------------
+
+    /// Write \p data at \p offset; returns the new snapshot's version.
+    Version write(BlobId blob, std::uint64_t offset, ConstBytes data);
+
+    /// Append \p data at the blob's current end.
+    Version append(BlobId blob, ConstBytes data);
+
+    /// Read out.size() bytes at \p offset of \p version into \p out.
+    /// Returns bytes read (== out.size(); strict bounds). Holes read as
+    /// zeros.
+    std::size_t read(BlobId blob, Version version, std::uint64_t offset,
+                     MutableBytes out);
+
+    /// Clipped read: reads min(out.size(), snapshot_size - offset) bytes.
+    std::size_t read_available(BlobId blob, Version version,
+                               std::uint64_t offset, MutableBytes out);
+
+    /// Snapshot metadata (resolves kLatestVersion).
+    [[nodiscard]] version::VersionInfo stat(BlobId blob,
+                                            Version version = kLatestVersion);
+
+    /// Block until \p version publishes (or aborts — throws then).
+    version::VersionInfo wait_published(BlobId blob, Version version);
+
+    /// Which providers hold each segment of a range (no data transfer).
+    [[nodiscard]] std::vector<SegmentLocation> locate(BlobId blob,
+                                                      Version version,
+                                                      ByteRange range);
+
+    /// Best-effort cleanup of an aborted version's chunks and metadata.
+    /// Returns the number of metadata nodes removed.
+    std::size_t gc_aborted_version(BlobId blob, Version version);
+
+    // ---- history, diff & retirement ---------------------------------------
+
+    /// Version history of a blob (ascending), clamped to what exists.
+    [[nodiscard]] std::vector<version::VersionManager::VersionSummary>
+    history(BlobId blob, Version from = 1, Version to = kLatestVersion);
+
+    /// Byte ranges that differ between snapshots \p from and \p to
+    /// (from < to): the union of every range written by versions in
+    /// (from, to], merged and sorted. O(#versions) — no data is read.
+    [[nodiscard]] std::vector<ByteRange> changed_ranges(BlobId blob,
+                                                        Version from,
+                                                        Version to);
+
+    /// Pin/unpin a published snapshot against retirement.
+    void pin(BlobId blob, Version version);
+    void unpin(BlobId blob, Version version);
+
+    struct RetireStats {
+        std::size_t versions = 0;
+        std::size_t meta_nodes = 0;
+        std::size_t chunks = 0;
+    };
+
+    /// Retire every unpinned snapshot older than \p keep_from and
+    /// physically reclaim the chunks and metadata nodes no surviving
+    /// snapshot references. See VersionManager::retire for semantics.
+    RetireStats retire_versions(BlobId blob, Version keep_from);
+
+    // ---- QoS feedback ----------------------------------------------------------
+
+    /// Install a provider-health snapshot (pushed by the QoS feedback
+    /// loop, §IV-E). Reads prefer replicas on healthy providers;
+    /// providers below 0.5 are used only when no healthy replica
+    /// responds.
+    void update_health_view(std::unordered_map<NodeId, double> view);
+
+    // ---- introspection ---------------------------------------------------------
+
+    [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] meta::MetaCache& meta_cache() noexcept { return cache_; }
+
+  private:
+    friend class Blob;
+
+    struct UploadedChunk {
+        std::uint64_t uid = 0;
+        std::vector<NodeId> replicas;
+        std::uint32_t bytes = 0;
+    };
+
+    /// Shared implementation of write/append.
+    Version write_impl(BlobId blob, std::optional<std::uint64_t> offset,
+                       ConstBytes data);
+
+    /// Upload one chunk to its planned replicas, with failover
+    /// re-placement on provider death. Returns achieved replica set.
+    UploadedChunk upload_chunk(BlobId blob, ConstBytes payload,
+                               std::vector<NodeId> targets);
+
+    /// Fetch the chunk slice a read segment needs into \p out.
+    void fetch_segment(const meta::ReadSegment& seg, MutableBytes out);
+
+    /// Read the published predecessor's bytes [slot_start,
+    /// slot_start+out.size()) for the unaligned-append merge.
+    void read_tail_for_merge(BlobId blob, const version::VersionInfo& vi,
+                             std::uint64_t slot_start, MutableBytes out);
+
+    /// Fresh globally-unique chunk id.
+    [[nodiscard]] std::uint64_t next_uid();
+
+    // -- thin RPC stubs (charge the simulated network, then invoke) --
+    version::AssignResult rpc_assign(BlobId blob,
+                                     std::optional<std::uint64_t> offset,
+                                     std::uint64_t size);
+    void rpc_commit(BlobId blob, Version v);
+    version::VersionInfo rpc_get_version(BlobId blob, Version v);
+    version::VersionInfo rpc_wait_published(BlobId blob, Version v);
+    provider::PlacementPlan rpc_place(std::uint64_t n_chunks,
+                                      std::uint32_t replication,
+                                      std::uint64_t chunk_bytes);
+
+    /// Blob parameters are immutable, so they are fetched once and cached.
+    version::BlobInfo blob_info(BlobId blob);
+
+    /// A published snapshot's info (size, tree ref) can never change;
+    /// cache it so pinned-version reads skip the version-manager RPC.
+    std::optional<version::VersionInfo> cached_version(BlobId blob,
+                                                       Version v);
+    void remember_version(BlobId blob, const version::VersionInfo& vi);
+
+    Cluster& cluster_;
+    const NodeId self_;
+    dht::MetaDht dht_;
+    meta::MetaCache cache_;
+    ThreadPool io_pool_;
+    std::atomic<std::uint32_t> uid_counter_{0};
+    ClientStats stats_;
+
+    std::mutex info_mu_;  // guards info_cache_ and version_cache_
+    std::unordered_map<BlobId, version::BlobInfo> info_cache_;
+    std::map<std::pair<BlobId, Version>, version::VersionInfo>
+        version_cache_;
+
+    mutable std::mutex health_mu_;  // guards health_view_
+    std::unordered_map<NodeId, double> health_view_;
+
+    [[nodiscard]] bool is_healthy(NodeId node) const;
+};
+
+/// Convenience handle combining a client and a blob id.
+class Blob {
+  public:
+    Blob(BlobSeerClient& client, version::BlobInfo info)
+        : client_(&client), info_(info) {}
+
+    [[nodiscard]] BlobId id() const noexcept { return info_.id; }
+    [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+        return info_.chunk_size;
+    }
+    [[nodiscard]] std::uint32_t replication() const noexcept {
+        return info_.replication;
+    }
+
+    Version write(std::uint64_t offset, ConstBytes data) {
+        return client_->write(info_.id, offset, data);
+    }
+    Version append(ConstBytes data) {
+        return client_->append(info_.id, data);
+    }
+    std::size_t read(Version version, std::uint64_t offset,
+                     MutableBytes out) {
+        return client_->read(info_.id, version, offset, out);
+    }
+    [[nodiscard]] version::VersionInfo stat(
+        Version version = kLatestVersion) {
+        return client_->stat(info_.id, version);
+    }
+    /// Size of the latest published snapshot.
+    [[nodiscard]] std::uint64_t size() { return stat().size; }
+    /// Latest published version.
+    [[nodiscard]] Version latest() { return stat().version; }
+
+  private:
+    BlobSeerClient* client_;
+    version::BlobInfo info_;
+};
+
+}  // namespace blobseer::core

@@ -1,0 +1,111 @@
+#include "core/cluster.hpp"
+
+#include "chunk/disk_store.hpp"
+#include "chunk/ram_store.hpp"
+#include "chunk/two_tier_store.hpp"
+#include "core/client.hpp"
+#include "meta/disk_meta_store.hpp"
+
+namespace blobseer::core {
+
+namespace {
+
+std::unique_ptr<chunk::ChunkStore> make_store(const ClusterConfig& cfg,
+                                              std::size_t index) {
+    switch (cfg.store) {
+        case StoreBackend::kRam:
+            return std::make_unique<chunk::RamStore>();
+        case StoreBackend::kDisk:
+            return std::make_unique<chunk::DiskStore>(
+                cfg.disk_root / ("dp-" + std::to_string(index)));
+        case StoreBackend::kTwoTier:
+            return std::make_unique<chunk::TwoTierStore>(
+                std::make_unique<chunk::DiskStore>(
+                    cfg.disk_root / ("dp-" + std::to_string(index))),
+                cfg.ram_cache_budget);
+    }
+    throw InvalidArgument("unknown store backend");
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      net_(config.network),
+      pm_(config.placement, config.seed) {
+    vm_node_ = net_.add_node("version-manager");
+    pm_node_ = net_.add_node("provider-manager");
+
+    data_providers_.reserve(config_.data_providers);
+    for (std::size_t i = 0; i < config_.data_providers; ++i) {
+        const NodeId node = net_.add_node("dp-" + std::to_string(i));
+        data_providers_.push_back(std::make_unique<provider::DataProvider>(
+            node, make_store(config_, i)));
+        dp_by_node_[node] = data_providers_.back().get();
+        pm_.register_provider(node);
+    }
+
+    meta_providers_.reserve(config_.metadata_providers);
+    for (std::size_t i = 0; i < config_.metadata_providers; ++i) {
+        const NodeId node = net_.add_node("mp-" + std::to_string(i));
+        std::unique_ptr<meta::LocalMetaStore> store;
+        if (config_.meta_store == ClusterConfig::MetaBackend::kDisk) {
+            store = std::make_unique<meta::DiskMetaStore>(
+                config_.disk_root / ("mp-" + std::to_string(i)));
+        } else {
+            store = std::make_unique<meta::InMemoryMetaStore>();
+        }
+        meta_providers_.push_back(std::make_unique<dht::MetadataProvider>(
+            node, config_.meta_ops_per_second, std::move(store)));
+        mp_by_node_[node] = meta_providers_.back().get();
+        ring_.add_node(node);
+    }
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<BlobSeerClient> Cluster::make_client(
+    const std::string& name) {
+    const NodeId node =
+        net_.add_node(name + "-" + std::to_string(next_client_++));
+    return std::make_unique<BlobSeerClient>(*this, node);
+}
+
+void Cluster::kill_data_provider(std::size_t i, bool lose_volatile) {
+    provider::DataProvider& dp = data_provider(i);
+    net_.kill(dp.node());
+    if (lose_volatile) {
+        dp.lose_volatile_state();
+    }
+    // Heartbeat loss: the provider manager stops placing data there.
+    pm_.mark_dead(dp.node());
+}
+
+void Cluster::recover_data_provider(std::size_t i) {
+    provider::DataProvider& dp = data_provider(i);
+    net_.recover(dp.node());
+    pm_.mark_alive(dp.node());
+}
+
+void Cluster::kill_metadata_provider(std::size_t i, bool lose_state) {
+    dht::MetadataProvider& mp = metadata_provider(i);
+    net_.kill(mp.node());
+    if (lose_state) {
+        mp.lose_state();
+    }
+}
+
+void Cluster::recover_metadata_provider(std::size_t i) {
+    net_.recover(metadata_provider(i).node());
+}
+
+void Cluster::degrade_data_provider(std::size_t i, double factor,
+                                    Duration extra_latency) {
+    net_.degrade(data_provider(i).node(), factor, extra_latency);
+}
+
+void Cluster::restore_data_provider(std::size_t i) {
+    net_.restore(data_provider(i).node());
+}
+
+}  // namespace blobseer::core

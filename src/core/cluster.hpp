@@ -1,0 +1,129 @@
+/// \file cluster.hpp
+/// \brief In-process BlobSeer deployment.
+///
+/// Owns every simulated process of one deployment (paper §I-B.2): the
+/// version manager, the provider manager, N data providers and M metadata
+/// providers, all registered on one simulated network. Clients are minted
+/// with make_client(); each gets its own network node, metadata cache and
+/// I/O thread pool, so "64 concurrent clients" in an experiment means 64
+/// independent client objects driven from 64 threads.
+///
+/// Fault-injection helpers (kill/recover/degrade) wrap the network-level
+/// primitives and keep the provider manager's liveness view in sync the
+/// way heartbeats would.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dht/meta_dht.hpp"
+#include "dht/metadata_provider.hpp"
+#include "dht/ring.hpp"
+#include "net/sim_network.hpp"
+#include "provider/data_provider.hpp"
+#include "provider/provider_manager.hpp"
+#include "version/version_manager.hpp"
+
+namespace blobseer::core {
+
+class BlobSeerClient;
+
+class Cluster {
+  public:
+    explicit Cluster(ClusterConfig config);
+    ~Cluster();
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    [[nodiscard]] const ClusterConfig& config() const noexcept {
+        return config_;
+    }
+
+    // ---- service access (experiments and tests) -------------------------
+
+    [[nodiscard]] net::SimNetwork& network() noexcept { return net_; }
+    [[nodiscard]] version::VersionManager& version_manager() noexcept {
+        return vm_;
+    }
+    [[nodiscard]] provider::ProviderManager& provider_manager() noexcept {
+        return pm_;
+    }
+    [[nodiscard]] NodeId version_manager_node() const noexcept {
+        return vm_node_;
+    }
+    [[nodiscard]] NodeId provider_manager_node() const noexcept {
+        return pm_node_;
+    }
+
+    [[nodiscard]] std::size_t data_provider_count() const noexcept {
+        return data_providers_.size();
+    }
+    [[nodiscard]] provider::DataProvider& data_provider(std::size_t i) {
+        return *data_providers_.at(i);
+    }
+    [[nodiscard]] std::size_t metadata_provider_count() const noexcept {
+        return meta_providers_.size();
+    }
+    [[nodiscard]] dht::MetadataProvider& metadata_provider(std::size_t i) {
+        return *meta_providers_.at(i);
+    }
+
+    [[nodiscard]] const dht::Ring& meta_ring() const noexcept { return ring_; }
+
+    /// node-id -> service maps used by client stubs.
+    [[nodiscard]] const std::unordered_map<NodeId, provider::DataProvider*>&
+    data_provider_map() const noexcept {
+        return dp_by_node_;
+    }
+    [[nodiscard]] const std::unordered_map<NodeId, dht::MetadataProvider*>&
+    meta_provider_map() const noexcept {
+        return mp_by_node_;
+    }
+
+    // ---- clients -----------------------------------------------------------
+
+    /// Mint a client with its own network identity.
+    [[nodiscard]] std::unique_ptr<BlobSeerClient> make_client(
+        const std::string& name = "client");
+
+    // ---- fault injection -----------------------------------------------------
+
+    /// Kill data provider \p i. \p lose_volatile additionally wipes its
+    /// RAM contents (RAM-backed stores lose everything; two-tier stores
+    /// only lose the cache).
+    void kill_data_provider(std::size_t i, bool lose_volatile = false);
+    void recover_data_provider(std::size_t i);
+
+    void kill_metadata_provider(std::size_t i, bool lose_state = false);
+    void recover_metadata_provider(std::size_t i);
+
+    /// Degrade (slow down) a data provider, the QoS study's "flaky node".
+    void degrade_data_provider(std::size_t i, double factor,
+                               Duration extra_latency = {});
+    void restore_data_provider(std::size_t i);
+
+  private:
+    ClusterConfig config_;
+    net::SimNetwork net_;
+
+    version::VersionManager vm_;
+    NodeId vm_node_ = kInvalidNode;
+
+    provider::ProviderManager pm_;
+    NodeId pm_node_ = kInvalidNode;
+
+    std::vector<std::unique_ptr<provider::DataProvider>> data_providers_;
+    std::vector<std::unique_ptr<dht::MetadataProvider>> meta_providers_;
+    std::unordered_map<NodeId, provider::DataProvider*> dp_by_node_;
+    std::unordered_map<NodeId, dht::MetadataProvider*> mp_by_node_;
+
+    dht::Ring ring_;
+    std::size_t next_client_ = 0;
+};
+
+}  // namespace blobseer::core

@@ -1,0 +1,84 @@
+/// \file config.hpp
+/// \brief Cluster-wide configuration.
+///
+/// One struct drives every deployment knob the experiments sweep:
+/// provider counts (striping width), metadata decentralization degree,
+/// placement strategy, storage backend, replication, network costs and
+/// client-side caching. EXPERIMENTS.md documents which knobs each bench
+/// varies.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "common/clock.hpp"
+#include "net/sim_network.hpp"
+#include "provider/provider_manager.hpp"
+
+namespace blobseer::core {
+
+/// Which chunk-store backend data providers run.
+enum class StoreBackend : std::uint8_t {
+    kRam,      ///< the paper's initial RAM-only prototype (§IV-A)
+    kDisk,     ///< persistent file-per-chunk storage (§IV-B)
+    kTwoTier,  ///< disk with a RAM cache on top (§IV-B)
+};
+
+struct ClusterConfig {
+    /// Number of data providers (striping width).
+    std::size_t data_providers = 8;
+    /// Number of metadata providers forming the DHT; 1 = the centralized
+    /// baseline of §IV-C.
+    std::size_t metadata_providers = 4;
+
+    /// Chunk replica copies for new blobs (per-blob override at create()).
+    std::uint32_t default_replication = 1;
+    /// Copies of each metadata tree node in the DHT.
+    std::uint32_t meta_replication = 1;
+
+    provider::PlacementStrategy placement =
+        provider::PlacementStrategy::kRoundRobin;
+
+    /// Interconnect model (latency + per-NIC bandwidth).
+    net::NetworkConfig network;
+
+    /// Service capacity of each metadata provider in ops/second
+    /// (0 = infinite). The knob that makes centralization hurt.
+    std::uint64_t meta_ops_per_second = 0;
+
+    StoreBackend store = StoreBackend::kRam;
+    /// Root directory for kDisk/kTwoTier backends.
+    std::filesystem::path disk_root = "/tmp/blobseer-store";
+    /// RAM budget of the two-tier cache per provider (bytes).
+    std::uint64_t ram_cache_budget = 64ULL << 20;
+
+    /// Metadata durability: RAM-only (the paper's initial prototype) or
+    /// file-backed with a RAM cache (§IV-B's persistent metadata).
+    /// Disk-backed metadata lives under disk_root / "mp-<i>".
+    enum class MetaBackend : std::uint8_t { kRam, kDisk };
+    MetaBackend meta_store = MetaBackend::kRam;
+
+    /// Replica transfer topology. Direct: the client sends every copy
+    /// itself (simple, costs r x client uplink). Pipelined: the client
+    /// sends one copy and providers forward along the chain
+    /// (GFS/HDFS-style), trading client bandwidth for chain latency —
+    /// ablation A2 measures the difference.
+    bool pipelined_replication = false;
+
+    /// Client-side metadata cache capacity in nodes; 0 disables (the
+    /// ablation of §IV-A / experiment E2).
+    std::size_t client_meta_cache_nodes = 4096;
+    /// Parallelism of one client's chunk transfers.
+    std::size_t client_io_threads = 4;
+
+    /// How long a reader waits for a pending version to publish before
+    /// giving up, and how long the unaligned-append path waits for its
+    /// predecessor.
+    Duration publish_timeout = seconds(30);
+
+    /// Seed for every deterministic random decision in the cluster.
+    std::uint64_t seed = 42;
+};
+
+}  // namespace blobseer::core

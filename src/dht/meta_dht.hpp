@@ -1,0 +1,142 @@
+/// \file meta_dht.hpp
+/// \brief Client-side view of the metadata DHT.
+///
+/// Implements meta::MetaStore over the metadata providers: each node key
+/// is consistent-hashed to its owners; puts go to every replica, gets try
+/// owners in order and fail over on provider death. All traffic is
+/// charged to the simulated network, so every metadata round trip the
+/// tree algorithms make shows up in experiment measurements exactly like
+/// it did on Grid'5000.
+///
+/// With a single registered provider this degenerates into the
+/// *centralized* metadata scheme the paper compares against (§IV-C) — the
+/// baseline configuration reuses this class unchanged.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "dht/metadata_provider.hpp"
+#include "dht/ring.hpp"
+#include "meta/meta_store.hpp"
+#include "net/sim_network.hpp"
+
+namespace blobseer::dht {
+
+class MetaDht final : public meta::MetaStore {
+  public:
+    /// \param self       node id of the calling client (traffic source).
+    /// \param providers  map node-id -> service object for every DHT
+    ///                   member (not owned).
+    /// \param replication copies per node key (>= 1).
+    MetaDht(net::SimNetwork& net, NodeId self, const Ring& ring,
+            std::unordered_map<NodeId, MetadataProvider*> providers,
+            std::uint32_t replication)
+        : net_(net),
+          self_(self),
+          ring_(ring),
+          providers_(std::move(providers)),
+          replication_(replication == 0 ? 1 : replication) {}
+
+    void put(const meta::MetaKey& key, const meta::MetaNode& node) override {
+        const auto owners = ring_.owners(key.hash(), replication_);
+        const std::uint64_t req =
+            meta::kMetaKeyWireSize + node.serialized_size();
+        std::size_t ok = 0;
+        for (const NodeId owner : owners) {
+            try {
+                net_.call(self_, owner, req, 8,
+                          [&] { provider_of(owner)->put(key, node); });
+                ++ok;
+            } catch (const RpcError& e) {
+                // A dead replica target is tolerable as long as one copy
+                // lands; readers fail over the same way.
+                log_debug("meta-dht", std::string("put replica failed: ") +
+                                          e.what());
+            }
+        }
+        puts_.add();
+        if (ok == 0) {
+            throw RpcError("no metadata replica stored for " +
+                           key.to_string());
+        }
+    }
+
+    [[nodiscard]] meta::MetaNode get(const meta::MetaKey& key) override {
+        const auto owners = ring_.owners(key.hash(), replication_);
+        gets_.add();
+        std::string last_error = "no owners";
+        for (const NodeId owner : owners) {
+            try {
+                return net_.call(self_, owner, meta::kMetaKeyWireSize, 48,
+                                 [&] { return provider_of(owner)->get(key); });
+            } catch (const RpcError& e) {
+                last_error = e.what();
+            } catch (const NotFoundError& e) {
+                last_error = e.what();
+            }
+        }
+        throw NotFoundError("metadata " + key.to_string() + " unavailable (" +
+                            last_error + ")");
+    }
+
+    [[nodiscard]] std::optional<meta::MetaNode> try_get(
+        const meta::MetaKey& key) override {
+        const auto owners = ring_.owners(key.hash(), replication_);
+        for (const NodeId owner : owners) {
+            try {
+                auto r = net_.call(self_, owner, meta::kMetaKeyWireSize, 48,
+                                   [&] {
+                                       return provider_of(owner)->try_get(key);
+                                   });
+                if (r) {
+                    return r;
+                }
+            } catch (const RpcError&) {
+                // try next replica
+            }
+        }
+        return std::nullopt;
+    }
+
+    void erase(const meta::MetaKey& key) override {
+        const auto owners = ring_.owners(key.hash(), replication_);
+        for (const NodeId owner : owners) {
+            try {
+                net_.call(self_, owner, meta::kMetaKeyWireSize, 8,
+                          [&] { provider_of(owner)->erase(key); });
+            } catch (const RpcError&) {
+                // best effort
+            }
+        }
+    }
+
+    [[nodiscard]] std::uint64_t puts() const { return puts_.get(); }
+    [[nodiscard]] std::uint64_t gets() const { return gets_.get(); }
+
+  private:
+    [[nodiscard]] MetadataProvider* provider_of(NodeId node) const {
+        const auto it = providers_.find(node);
+        if (it == providers_.end()) {
+            throw ConsistencyError("ring returned unknown provider " +
+                                   std::to_string(node));
+        }
+        return it->second;
+    }
+
+    net::SimNetwork& net_;
+    const NodeId self_;
+    const Ring& ring_;
+    const std::unordered_map<NodeId, MetadataProvider*> providers_;
+    const std::uint32_t replication_;
+
+    Counter puts_;
+    Counter gets_;
+};
+
+}  // namespace blobseer::dht

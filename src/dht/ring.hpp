@@ -1,0 +1,94 @@
+/// \file ring.hpp
+/// \brief Consistent-hashing ring used to spread metadata tree nodes over
+///        the metadata providers.
+///
+/// Paper §I-B.3: "the tree nodes are distributed in a fine-grain manner
+/// among the metadata providers, which form a DHT." Virtual nodes smooth
+/// the key distribution so that even small provider counts split load
+/// evenly; replication walks clockwise to the next distinct owners.
+///
+/// Membership is fixed after cluster bootstrap (the paper's deployments
+/// size the DHT statically per experiment); dynamic membership is out of
+/// scope and documented in DESIGN.md.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::dht {
+
+class Ring {
+  public:
+    /// \param vnodes_per_node virtual nodes per physical node; 64 gives
+    ///        <10% load imbalance for realistic provider counts.
+    explicit Ring(std::size_t vnodes_per_node = 64)
+        : vnodes_per_node_(vnodes_per_node) {}
+
+    /// Add a physical node. Must be called before any lookup.
+    void add_node(NodeId node) {
+        for (std::size_t i = 0; i < vnodes_per_node_; ++i) {
+            const std::uint64_t point =
+                mix64(hash_combine(static_cast<std::uint64_t>(node) + 1,
+                                   0x5bd1e995u * (i + 1)));
+            points_.push_back(VNode{point, node});
+        }
+        std::sort(points_.begin(), points_.end());
+        ++node_count_;
+    }
+
+    [[nodiscard]] std::size_t node_count() const noexcept {
+        return node_count_;
+    }
+
+    /// Primary owner of \p key_hash.
+    [[nodiscard]] NodeId owner(std::uint64_t key_hash) const {
+        return owners(key_hash, 1).front();
+    }
+
+    /// The \p k distinct nodes responsible for \p key_hash, primary
+    /// first (clockwise successor walk). k is clamped to the node count.
+    [[nodiscard]] std::vector<NodeId> owners(std::uint64_t key_hash,
+                                             std::size_t k) const {
+        if (points_.empty()) {
+            throw ConsistencyError("lookup on empty ring");
+        }
+        k = std::min(k, node_count_);
+        std::vector<NodeId> out;
+        out.reserve(k);
+        auto it = std::lower_bound(points_.begin(), points_.end(),
+                                   VNode{key_hash, 0});
+        for (std::size_t steps = 0; out.size() < k && steps < points_.size();
+             ++steps) {
+            if (it == points_.end()) {
+                it = points_.begin();
+            }
+            if (std::find(out.begin(), out.end(), it->node) == out.end()) {
+                out.push_back(it->node);
+            }
+            ++it;
+        }
+        return out;
+    }
+
+  private:
+    struct VNode {
+        std::uint64_t point;
+        NodeId node;
+        friend bool operator<(const VNode& a, const VNode& b) {
+            return a.point < b.point ||
+                   (a.point == b.point && a.node < b.node);
+        }
+    };
+
+    std::size_t vnodes_per_node_;
+    std::size_t node_count_ = 0;
+    std::vector<VNode> points_;
+};
+
+}  // namespace blobseer::dht

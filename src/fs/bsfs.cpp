@@ -1,0 +1,175 @@
+#include "fs/bsfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace blobseer::fs {
+
+std::unique_ptr<BsfsClient> Bsfs::make_client() {
+    return std::make_unique<BsfsClient>(*this,
+                                        cluster_.make_client("bsfs-client"));
+}
+
+// ---- BsfsClient -------------------------------------------------------------
+
+FileInfo BsfsClient::resolve(const std::string& path) {
+    auto info = ns_call([&](NamespaceService& ns) { return ns.lookup(path); });
+    if (!info) {
+        throw NotFoundError("file " + path);
+    }
+    if (info->type != EntryType::kFile) {
+        throw InvalidArgument(path + " is a directory");
+    }
+    return *info;
+}
+
+FileWriter BsfsClient::create(const std::string& path) {
+    // Allocate the backing blob first, then register it; a crash in
+    // between leaks an empty blob, never a dangling file.
+    const core::Blob blob =
+        client_->create(fs_.config().chunk_size, fs_.config().replication);
+    const auto info = ns_call([&](NamespaceService& ns) {
+        return ns.create_file(path, blob.id(), blob.chunk_size());
+    });
+    return FileWriter(*this, info);
+}
+
+FileWriter BsfsClient::open_append(const std::string& path) {
+    return FileWriter(*this, resolve(path));
+}
+
+FileReader BsfsClient::open(const std::string& path) {
+    const FileInfo info = resolve(path);
+    return FileReader(*this, info, client_->stat(info.blob));
+}
+
+void BsfsClient::mkdir(const std::string& path) {
+    ns_call([&](NamespaceService& ns) {
+        ns.mkdir(path);
+        return 0;
+    });
+}
+
+void BsfsClient::mkdirs(const std::string& path) {
+    ns_call([&](NamespaceService& ns) {
+        ns.mkdirs(path);
+        return 0;
+    });
+}
+
+bool BsfsClient::exists(const std::string& path) {
+    return ns_call([&](NamespaceService& ns) { return ns.exists(path); });
+}
+
+std::vector<DirEntry> BsfsClient::list(const std::string& path) {
+    return ns_call([&](NamespaceService& ns) { return ns.list(path); });
+}
+
+void BsfsClient::rename(const std::string& from, const std::string& to) {
+    ns_call([&](NamespaceService& ns) {
+        ns.rename(from, to);
+        return 0;
+    });
+}
+
+void BsfsClient::remove(const std::string& path) {
+    // The blob itself is not destroyed: BlobSeer snapshots are immutable
+    // history; the namespace merely unlinks (matching the paper's
+    // flat-blob addressing).
+    ns_call([&](NamespaceService& ns) { return ns.remove(path); });
+}
+
+std::uint64_t BsfsClient::file_size(const std::string& path) {
+    return client_->stat(resolve(path).blob).size;
+}
+
+std::vector<core::SegmentLocation> BsfsClient::locate(const std::string& path,
+                                                      ByteRange range) {
+    const FileInfo info = resolve(path);
+    const auto vi = client_->stat(info.blob);
+    return client_->locate(info.blob, vi.version, range);
+}
+
+// ---- FileWriter ---------------------------------------------------------------
+
+void FileWriter::write(ConstBytes data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    push_whole_chunks();
+}
+
+void FileWriter::push_whole_chunks() {
+    const std::uint64_t c = info_.chunk_size;
+    const std::size_t threshold =
+        c * client_->fs_.config().writer_buffer_chunks;
+    while (buffer_.size() >= threshold && buffer_.size() >= c) {
+        const std::size_t whole = buffer_.size() / c * c;
+        client_->client_->append(info_.blob,
+                                 ConstBytes(buffer_.data(), whole));
+        pushed_ += whole;
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(whole));
+    }
+}
+
+Version FileWriter::flush() {
+    if (client_ == nullptr || buffer_.empty()) {
+        return 0;
+    }
+    const Version v = client_->client_->append(info_.blob, buffer_);
+    pushed_ += buffer_.size();
+    buffer_.clear();
+    return v;
+}
+
+Version FileWriter::close() {
+    const Version v = flush();
+    client_ = nullptr;
+    return v;
+}
+
+// ---- FileReader --------------------------------------------------------------
+
+void FileReader::refresh() {
+    snapshot_ = client_->client_->stat(info_.blob);
+    window_.clear();
+}
+
+void FileReader::fill_window(std::uint64_t offset, std::uint64_t min_bytes) {
+    const std::uint64_t c = info_.chunk_size;
+    const bool sequential = offset == sequential_at_;
+    const std::uint64_t want =
+        sequential
+            ? std::max(min_bytes,
+                       c * client_->fs_.config().readahead_chunks)
+            : min_bytes;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(want, snapshot_.size - offset);
+    window_.resize(n);
+    client_->client_->read(info_.blob, snapshot_.version, offset, window_);
+    window_start_ = offset;
+    sequential_at_ = offset + n;
+}
+
+std::size_t FileReader::read(MutableBytes out) {
+    std::size_t done = 0;
+    while (done < out.size() && pos_ < snapshot_.size) {
+        if (window_.empty() || pos_ < window_start_ ||
+            pos_ >= window_start_ + window_.size()) {
+            fill_window(pos_, out.size() - done);
+        }
+        const std::uint64_t in_window = pos_ - window_start_;
+        const std::size_t n = std::min<std::uint64_t>(
+            out.size() - done, window_.size() - in_window);
+        std::memcpy(out.data() + done, window_.data() + in_window, n);
+        done += n;
+        pos_ += n;
+    }
+    return done;
+}
+
+std::size_t FileReader::read_at(std::uint64_t offset, MutableBytes out) {
+    pos_ = offset;
+    return read(out);
+}
+
+}  // namespace blobseer::fs

@@ -1,0 +1,227 @@
+/// \file bsfs.hpp
+/// \brief BSFS — the distributed file system layered on BlobSeer.
+///
+/// Paper §IV-D: "we implemented a fully-fledged distributed file system
+/// on top of BlobSeer, BSFS, that manages a hierarchical directory
+/// structure, mapping files to blobs which are addressed in BlobSeer
+/// using a flat scheme. We also had to implement the streaming access API
+/// of Hadoop in BSFS which raised issues such as buffering and
+/// prefetching. Finally ... we had to extend BlobSeer to expose the data
+/// location and then integrate this into BSFS through a Hadoop-specific
+/// API."
+///
+/// Pieces, mapped to that paragraph:
+///  * Bsfs            — one deployment: the namespace manager service
+///                      registered on the cluster network.
+///  * BsfsClient      — per-process handle: namespace RPCs + a BlobSeer
+///                      client for data.
+///  * FileWriter      — buffered streaming writes; whole chunks are
+///                      appended chunk-aligned (the fast concurrent path),
+///                      the tail goes out on flush/close.
+///  * FileReader      — streaming reads with configurable readahead,
+///                      pinned to the snapshot observed at open (Hadoop
+///                      read semantics).
+///  * locate()        — the Hadoop-specific locality API: which providers
+///                      hold each range of a file.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/cluster.hpp"
+#include "fs/namespace_service.hpp"
+
+namespace blobseer::fs {
+
+struct BsfsConfig {
+    std::uint64_t chunk_size = 64 << 10;
+    std::optional<std::uint32_t> replication;  ///< default: cluster's
+    /// Writer buffers this many chunks before pushing an aligned append.
+    std::size_t writer_buffer_chunks = 4;
+    /// Reader prefetches this many chunks per fetch.
+    std::size_t readahead_chunks = 4;
+};
+
+class BsfsClient;
+class FileReader;
+class FileWriter;
+
+/// One BSFS deployment on a cluster: owns the namespace manager.
+class Bsfs {
+  public:
+    Bsfs(core::Cluster& cluster, BsfsConfig config = {})
+        : cluster_(cluster),
+          config_(config),
+          ns_(cluster.network().add_node("bsfs-namespace")) {}
+
+    [[nodiscard]] std::unique_ptr<BsfsClient> make_client();
+
+    [[nodiscard]] NamespaceService& namespace_service() noexcept {
+        return ns_;
+    }
+    [[nodiscard]] const BsfsConfig& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] core::Cluster& cluster() noexcept { return cluster_; }
+
+  private:
+    core::Cluster& cluster_;
+    BsfsConfig config_;
+    NamespaceService ns_;
+};
+
+/// Per-process BSFS handle.
+class BsfsClient {
+  public:
+    BsfsClient(Bsfs& fs, std::unique_ptr<core::BlobSeerClient> client)
+        : fs_(fs), client_(std::move(client)) {}
+
+    // ---- namespace operations (one RPC each) ----------------------------
+
+    /// Create a new file and return a writer positioned at offset 0.
+    [[nodiscard]] FileWriter create(const std::string& path);
+
+    /// Open an existing file for appending.
+    [[nodiscard]] FileWriter open_append(const std::string& path);
+
+    /// Open an existing file for reading (snapshot pinned at open).
+    [[nodiscard]] FileReader open(const std::string& path);
+
+    void mkdir(const std::string& path);
+    void mkdirs(const std::string& path);
+    [[nodiscard]] bool exists(const std::string& path);
+    [[nodiscard]] std::vector<DirEntry> list(const std::string& path);
+    void rename(const std::string& from, const std::string& to);
+    void remove(const std::string& path);
+
+    /// Current size of a file (latest published snapshot).
+    [[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+    /// Hadoop locality API: providers per range of the file's latest
+    /// snapshot.
+    [[nodiscard]] std::vector<core::SegmentLocation> locate(
+        const std::string& path, ByteRange range);
+
+    [[nodiscard]] core::BlobSeerClient& blobseer() noexcept {
+        return *client_;
+    }
+
+  private:
+    friend class FileReader;
+    friend class FileWriter;
+
+    /// RPC-charged namespace call.
+    template <typename F>
+    auto ns_call(F&& fn) -> std::invoke_result_t<F, NamespaceService&> {
+        auto& net = fs_.cluster().network();
+        return net.call(client_->node(), fs_.namespace_service().node(), 64,
+                        96, [&]() -> std::invoke_result_t<F,
+                                                          NamespaceService&> {
+                            return fn(fs_.namespace_service());
+                        });
+    }
+
+    [[nodiscard]] FileInfo resolve(const std::string& path);
+
+    Bsfs& fs_;
+    std::unique_ptr<core::BlobSeerClient> client_;
+};
+
+/// Buffered streaming writer. Appends whole chunks aligned (no merge
+/// path, full write/write concurrency); flush()/close() pushes the
+/// unaligned tail. Not thread-safe (one writer per stream, like Hadoop).
+class FileWriter {
+  public:
+    FileWriter(BsfsClient& client, FileInfo info)
+        : client_(&client), info_(std::move(info)) {}
+
+    FileWriter(FileWriter&&) = default;
+    FileWriter& operator=(FileWriter&&) = default;
+
+    ~FileWriter() {
+        try {
+            flush();
+        } catch (...) {
+            // Destructors must not throw; close() explicitly to observe
+            // flush errors.
+        }
+    }
+
+    /// Append \p data to the stream (buffered).
+    void write(ConstBytes data);
+
+    /// Push every buffered byte to BlobSeer (including an unaligned
+    /// tail). Returns the version produced (0 if nothing was buffered).
+    Version flush();
+
+    /// Flush and detach.
+    Version close();
+
+    [[nodiscard]] const FileInfo& info() const noexcept { return info_; }
+    [[nodiscard]] std::uint64_t buffered() const noexcept {
+        return buffer_.size();
+    }
+    /// Bytes pushed to BlobSeer so far (excludes buffered bytes).
+    [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
+
+  private:
+    void push_whole_chunks();
+
+    BsfsClient* client_;
+    FileInfo info_;
+    Buffer buffer_;
+    std::uint64_t pushed_ = 0;
+};
+
+/// Streaming reader with readahead, pinned to the snapshot observed at
+/// open. Not thread-safe.
+class FileReader {
+  public:
+    FileReader(BsfsClient& client, FileInfo info,
+               version::VersionInfo snapshot)
+        : client_(&client), info_(std::move(info)), snapshot_(snapshot) {}
+
+    FileReader(FileReader&&) = default;
+    FileReader& operator=(FileReader&&) = default;
+
+    /// Sequential read; returns bytes read (0 at EOF).
+    std::size_t read(MutableBytes out);
+
+    /// Positional read (moves the stream position).
+    std::size_t read_at(std::uint64_t offset, MutableBytes out);
+
+    void seek(std::uint64_t offset) { pos_ = offset; }
+    [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
+    [[nodiscard]] std::uint64_t size() const noexcept {
+        return snapshot_.size;
+    }
+    [[nodiscard]] Version version() const noexcept {
+        return snapshot_.version;
+    }
+
+    /// Re-pin to the latest published snapshot (e.g. a tailing reader).
+    void refresh();
+
+  private:
+    /// Fill the window starting at \p offset with at least \p min_bytes.
+    /// Prefetches the full readahead window only when the access pattern
+    /// looks sequential; random jumps fetch exactly what was asked (no
+    /// read amplification).
+    void fill_window(std::uint64_t offset, std::uint64_t min_bytes);
+
+    BsfsClient* client_;
+    FileInfo info_;
+    version::VersionInfo snapshot_;
+    std::uint64_t pos_ = 0;
+
+    Buffer window_;
+    std::uint64_t window_start_ = 0;   ///< file offset of window_[0]
+    std::uint64_t sequential_at_ = 0;  ///< next offset that counts as
+                                       ///< sequential access
+};
+
+}  // namespace blobseer::fs

@@ -1,0 +1,232 @@
+/// \file namespace_service.hpp
+/// \brief BSFS namespace manager: the hierarchical directory tree mapping
+///        file paths to blobs.
+///
+/// Paper §IV-D: BSFS "manages a hierarchical directory structure, mapping
+/// files to blobs". The namespace manager is a (small, centralized)
+/// service — but unlike HDFS's namenode it is consulted once per
+/// file open, never per block: block-range metadata lives in BlobSeer's
+/// decentralized DHT. This asymmetry is what experiment E5 measures.
+///
+/// The service is thread-safe and exposes the usual namespace
+/// operations: create, mkdir, lookup, list, rename, remove.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fs/path.hpp"
+
+namespace blobseer::fs {
+
+enum class EntryType : std::uint8_t { kFile, kDirectory };
+
+struct DirEntry {
+    std::string name;
+    EntryType type = EntryType::kFile;
+    BlobId blob = kInvalidBlob;  ///< files only
+};
+
+struct FileInfo {
+    std::string path;
+    EntryType type = EntryType::kFile;
+    BlobId blob = kInvalidBlob;
+    std::uint64_t chunk_size = 0;
+};
+
+class NamespaceService {
+  public:
+    explicit NamespaceService(NodeId node) : node_(node) {
+        entries_.emplace("/", Entry{EntryType::kDirectory, kInvalidBlob, 0});
+    }
+
+    [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+    /// Register a file at \p raw_path backed by \p blob. Parent
+    /// directories must exist. Throws if the path exists.
+    FileInfo create_file(const std::string& raw_path, BlobId blob,
+                         std::uint64_t chunk_size) {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        require_dir(parent_of(path));
+        if (entries_.contains(path)) {
+            throw InvalidArgument("path exists: " + path);
+        }
+        entries_.emplace(path, Entry{EntryType::kFile, blob, chunk_size});
+        ops_.add();
+        return FileInfo{path, EntryType::kFile, blob, chunk_size};
+    }
+
+    /// Create a directory (parents must exist; mkdir -p via mkdirs).
+    void mkdir(const std::string& raw_path) {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        require_dir(parent_of(path));
+        if (entries_.contains(path)) {
+            throw InvalidArgument("path exists: " + path);
+        }
+        entries_.emplace(path, Entry{EntryType::kDirectory, kInvalidBlob, 0});
+        ops_.add();
+    }
+
+    /// Create a directory and any missing ancestors.
+    void mkdirs(const std::string& raw_path) {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        std::string cur;
+        for (const auto& comp : components_of(path)) {
+            cur += '/';
+            cur += comp;
+            const auto it = entries_.find(cur);
+            if (it == entries_.end()) {
+                entries_.emplace(cur,
+                                 Entry{EntryType::kDirectory, kInvalidBlob,
+                                       0});
+            } else if (it->second.type != EntryType::kDirectory) {
+                throw InvalidArgument("not a directory: " + cur);
+            }
+        }
+        ops_.add();
+    }
+
+    [[nodiscard]] std::optional<FileInfo> lookup(
+        const std::string& raw_path) const {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        ops_.add();
+        const auto it = entries_.find(path);
+        if (it == entries_.end()) {
+            return std::nullopt;
+        }
+        return FileInfo{path, it->second.type, it->second.blob,
+                        it->second.chunk_size};
+    }
+
+    [[nodiscard]] bool exists(const std::string& raw_path) const {
+        return lookup(raw_path).has_value();
+    }
+
+    /// Immediate children of a directory.
+    [[nodiscard]] std::vector<DirEntry> list(
+        const std::string& raw_path) const {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        require_dir(path);
+        ops_.add();
+        std::vector<DirEntry> out;
+        const std::string prefix = path == "/" ? "/" : path + "/";
+        for (auto it = entries_.upper_bound(prefix); it != entries_.end();
+             ++it) {
+            if (it->first.compare(0, prefix.size(), prefix) != 0) {
+                break;
+            }
+            if (it->first.find('/', prefix.size()) != std::string::npos) {
+                continue;  // deeper descendant
+            }
+            out.push_back(DirEntry{it->first.substr(prefix.size()),
+                                   it->second.type, it->second.blob});
+        }
+        return out;
+    }
+
+    /// Rename a file or (empty-safe) an entire subtree.
+    void rename(const std::string& raw_from, const std::string& raw_to) {
+        const std::string from = normalize_path(raw_from);
+        const std::string to = normalize_path(raw_to);
+        const std::scoped_lock lock(mu_);
+        const auto it = entries_.find(from);
+        if (it == entries_.end()) {
+            throw NotFoundError("path " + from);
+        }
+        require_dir(parent_of(to));
+        if (entries_.contains(to)) {
+            throw InvalidArgument("target exists: " + to);
+        }
+        // Collect the subtree (map is ordered; prefix scan).
+        std::vector<std::pair<std::string, Entry>> moved;
+        moved.emplace_back(to, it->second);
+        const std::string prefix = from + "/";
+        for (auto sub = entries_.upper_bound(prefix);
+             sub != entries_.end() &&
+             sub->first.compare(0, prefix.size(), prefix) == 0;
+             ++sub) {
+            moved.emplace_back(to + sub->first.substr(from.size()),
+                               sub->second);
+        }
+        entries_.erase(from);
+        for (auto sub = entries_.upper_bound(prefix);
+             sub != entries_.end() &&
+             sub->first.compare(0, prefix.size(), prefix) == 0;) {
+            sub = entries_.erase(sub);
+        }
+        for (auto& [p, e] : moved) {
+            entries_.emplace(std::move(p), e);
+        }
+        ops_.add();
+    }
+
+    /// Remove a file or an empty directory. Returns the blob id the path
+    /// was backed by (kInvalidBlob for directories).
+    BlobId remove(const std::string& raw_path) {
+        const std::string path = normalize_path(raw_path);
+        const std::scoped_lock lock(mu_);
+        if (path == "/") {
+            throw InvalidArgument("cannot remove the root");
+        }
+        const auto it = entries_.find(path);
+        if (it == entries_.end()) {
+            throw NotFoundError("path " + path);
+        }
+        if (it->second.type == EntryType::kDirectory) {
+            const std::string prefix = path + "/";
+            const auto child = entries_.upper_bound(prefix);
+            if (child != entries_.end() &&
+                child->first.compare(0, prefix.size(), prefix) == 0) {
+                throw InvalidArgument("directory not empty: " + path);
+            }
+        }
+        const BlobId blob = it->second.blob;
+        entries_.erase(it);
+        ops_.add();
+        return blob;
+    }
+
+    [[nodiscard]] std::size_t entry_count() const {
+        const std::scoped_lock lock(mu_);
+        return entries_.size();
+    }
+
+    [[nodiscard]] std::uint64_t ops() const { return ops_.get(); }
+
+  private:
+    struct Entry {
+        EntryType type;
+        BlobId blob;
+        std::uint64_t chunk_size;
+    };
+
+    /// Caller holds mu_.
+    void require_dir(const std::string& path) const {
+        const auto it = entries_.find(path);
+        if (it == entries_.end()) {
+            throw NotFoundError("directory " + path);
+        }
+        if (it->second.type != EntryType::kDirectory) {
+            throw InvalidArgument("not a directory: " + path);
+        }
+    }
+
+    const NodeId node_;
+    mutable std::mutex mu_;  // guards entries_
+    std::map<std::string, Entry> entries_;  // ordered for prefix scans
+    mutable Counter ops_;
+};
+
+}  // namespace blobseer::fs

@@ -1,0 +1,85 @@
+/// \file path.hpp
+/// \brief Path normalization helpers for the BSFS namespace.
+///
+/// BSFS (paper §IV-D) "manages a hierarchical directory structure,
+/// mapping files to blobs which are addressed in BlobSeer using a flat
+/// scheme." Paths are absolute, '/'-separated, with no trailing slash
+/// (except the root itself).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace blobseer::fs {
+
+/// Normalize an absolute path: collapse duplicate separators, forbid
+/// relative components. Returns "/" for the root.
+[[nodiscard]] inline std::string normalize_path(std::string_view raw) {
+    if (raw.empty() || raw.front() != '/') {
+        throw InvalidArgument("path must be absolute: '" + std::string(raw) +
+                              "'");
+    }
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+        while (i < raw.size() && raw[i] == '/') {
+            ++i;
+        }
+        std::size_t j = i;
+        while (j < raw.size() && raw[j] != '/') {
+            ++j;
+        }
+        if (j > i) {
+            const std::string_view comp = raw.substr(i, j - i);
+            if (comp == "." || comp == "..") {
+                throw InvalidArgument("relative components not supported: '" +
+                                      std::string(raw) + "'");
+            }
+            out += '/';
+            out += comp;
+        }
+        i = j;
+    }
+    return out.empty() ? "/" : out;
+}
+
+/// Parent directory of a normalized path ("/" for top-level entries).
+[[nodiscard]] inline std::string parent_of(const std::string& path) {
+    if (path == "/") {
+        throw InvalidArgument("root has no parent");
+    }
+    const auto pos = path.rfind('/');
+    return pos == 0 ? "/" : path.substr(0, pos);
+}
+
+/// Last component of a normalized path.
+[[nodiscard]] inline std::string basename_of(const std::string& path) {
+    if (path == "/") {
+        return "/";
+    }
+    return path.substr(path.rfind('/') + 1);
+}
+
+/// Split a normalized path into components.
+[[nodiscard]] inline std::vector<std::string> components_of(
+    const std::string& path) {
+    std::vector<std::string> out;
+    std::size_t i = 1;
+    while (i < path.size()) {
+        const auto j = path.find('/', i);
+        if (j == std::string::npos) {
+            out.push_back(path.substr(i));
+            break;
+        }
+        out.push_back(path.substr(i, j - i));
+        i = j + 1;
+    }
+    return out;
+}
+
+}  // namespace blobseer::fs

@@ -1,0 +1,115 @@
+/// \file slot_range.hpp
+/// \brief Chunk-slot range algebra for the versioned segment tree.
+///
+/// The metadata tree (paper §I-B.3 "Metadata decentralization") is a binary
+/// segment tree over *chunk slots*: slot i covers blob bytes
+/// [i*chunk_size, (i+1)*chunk_size). Every tree node covers a
+/// power-of-two-sized, alignment-respecting slot range; leaves cover
+/// exactly one slot. Working in slots rather than bytes keeps the
+/// power-of-two arithmetic exact.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace blobseer::meta {
+
+/// [first, first + count) in chunk-slot units. Invariants for tree nodes:
+/// count is a power of two and first % count == 0.
+struct SlotRange {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+
+    [[nodiscard]] std::uint64_t end() const noexcept { return first + count; }
+    [[nodiscard]] bool empty() const noexcept { return count == 0; }
+    [[nodiscard]] bool is_leaf() const noexcept { return count == 1; }
+
+    [[nodiscard]] bool intersects(const SlotRange& o) const noexcept {
+        return first < o.end() && o.first < end();
+    }
+
+    [[nodiscard]] bool contains(const SlotRange& o) const noexcept {
+        return first <= o.first && o.end() <= end();
+    }
+
+    /// Left half of an inner node's range.
+    [[nodiscard]] SlotRange left() const noexcept {
+        assert(count >= 2);
+        return {first, count / 2};
+    }
+
+    /// Right half of an inner node's range.
+    [[nodiscard]] SlotRange right() const noexcept {
+        assert(count >= 2);
+        return {first + count / 2, count / 2};
+    }
+
+    /// True iff this is a well-formed tree-node range.
+    [[nodiscard]] bool aligned() const noexcept {
+        return count > 0 && is_pow2(count) && first % count == 0;
+    }
+
+    friend bool operator==(const SlotRange&, const SlotRange&) = default;
+
+    [[nodiscard]] std::string to_string() const {
+        return "[" + std::to_string(first) + "," + std::to_string(end()) +
+               ")";
+    }
+};
+
+/// Geometry of one blob's trees: converts byte coordinates to slot
+/// coordinates. The chunk size is fixed at blob creation (paper §I-B.3:
+/// "chunks of a fixed size which is specified at the time the blob is
+/// created").
+class TreeGeometry {
+  public:
+    explicit TreeGeometry(std::uint64_t chunk_size)
+        : chunk_size_(chunk_size) {
+        assert(chunk_size > 0);
+    }
+
+    [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+        return chunk_size_;
+    }
+
+    /// Number of slots needed to hold \p bytes (not rounded to pow2).
+    [[nodiscard]] std::uint64_t slots_for(std::uint64_t bytes) const noexcept {
+        return ceil_div(bytes, chunk_size_);
+    }
+
+    /// Slot capacity of the tree for a blob of \p bytes: the smallest
+    /// power of two covering all used slots; 0 for an empty blob (no tree).
+    [[nodiscard]] std::uint64_t tree_slots(std::uint64_t bytes) const noexcept {
+        const std::uint64_t used = slots_for(bytes);
+        return used == 0 ? 0 : pow2_ceil(used);
+    }
+
+    /// Root range of the tree for a blob of \p bytes.
+    [[nodiscard]] SlotRange root_range(std::uint64_t bytes) const noexcept {
+        return {0, tree_slots(bytes)};
+    }
+
+    /// Slot range touched by the byte range [offset, offset+size).
+    [[nodiscard]] SlotRange slots_of(const ByteRange& r) const noexcept {
+        if (r.size == 0) {
+            return {r.offset / chunk_size_, 0};
+        }
+        const std::uint64_t first = r.offset / chunk_size_;
+        const std::uint64_t last = (r.end() - 1) / chunk_size_;
+        return {first, last - first + 1};
+    }
+
+    /// Byte range covered by slot \p slot.
+    [[nodiscard]] ByteRange bytes_of_slot(std::uint64_t slot) const noexcept {
+        return {slot * chunk_size_, chunk_size_};
+    }
+
+  private:
+    std::uint64_t chunk_size_;
+};
+
+}  // namespace blobseer::meta

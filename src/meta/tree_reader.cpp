@@ -1,0 +1,182 @@
+#include "meta/tree_reader.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "meta/slot_range.hpp"
+
+namespace blobseer::meta {
+
+namespace {
+
+class ReadWalker {
+  public:
+    ReadWalker(MetaStore& store, const TreeGeometry& geo, ByteRange request)
+        : store_(store),
+          geo_(geo),
+          request_(request),
+          req_slots_(geo.slots_of(request)) {}
+
+    ReadPlan run(const ChildRef& root, const SlotRange& root_range) {
+        walk(root, root_range);
+        return std::move(plan_);
+    }
+
+  private:
+    /// Byte intersection of a slot range with the request.
+    [[nodiscard]] ByteRange clip(const SlotRange& r) const noexcept {
+        const std::uint64_t lo = std::max(r.first * geo_.chunk_size(),
+                                          request_.offset);
+        const std::uint64_t hi =
+            std::min(r.end() * geo_.chunk_size(), request_.end());
+        return {lo, hi > lo ? hi - lo : 0};
+    }
+
+    void walk(const ChildRef& ref, const SlotRange& r) {
+        if (!r.intersects(req_slots_)) {
+            return;
+        }
+        if (ref.is_hole()) {
+            emit_hole(clip(r));
+            return;
+        }
+        const MetaNode node = store_.get({ref.blob, ref.version, r});
+        ++plan_.store_reads;
+        if (r.is_leaf()) {
+            if (!node.is_leaf()) {
+                throw ConsistencyError("leaf-range node stored as inner at " +
+                                       r.to_string());
+            }
+            emit_leaf(ref, r, node);
+            return;
+        }
+        if (node.is_leaf()) {
+            throw ConsistencyError("inner-range node stored as leaf at " +
+                                   r.to_string());
+        }
+        walk(node.left, r.left());
+        walk(node.right, r.right());
+    }
+
+    void emit_hole(const ByteRange& range) {
+        if (range.empty()) {
+            return;
+        }
+        // Merge adjacent holes to keep plans small.
+        if (!plan_.segments.empty()) {
+            ReadSegment& last = plan_.segments.back();
+            if (last.hole && last.blob_range.end() == range.offset) {
+                last.blob_range.size += range.size;
+                return;
+            }
+        }
+        ReadSegment seg;
+        seg.blob_range = range;
+        seg.hole = true;
+        plan_.segments.push_back(std::move(seg));
+    }
+
+    void emit_leaf(const ChildRef& ref, const SlotRange& r,
+                   const MetaNode& node) {
+        const ByteRange range = clip(r);
+        if (range.empty()) {
+            return;
+        }
+        if (node.replicas.empty()) {
+            emit_hole(range);  // bridge hole leaf
+            return;
+        }
+        const std::uint64_t slot_start = r.first * geo_.chunk_size();
+        const std::uint64_t payload_end = slot_start + node.chunk_bytes;
+        // A chunk stores fewer than chunk_size bytes when it was the
+        // blob's trailing chunk at write time. If a later version extended
+        // the blob past it without rewriting the slot, the tail of the
+        // slot is a gap that reads as zeros.
+        const std::uint64_t data_end = std::min(range.end(), payload_end);
+        if (data_end > range.offset) {
+            ReadSegment seg;
+            seg.blob_range = {range.offset, data_end - range.offset};
+            seg.hole = false;
+            seg.chunk = chunk::ChunkKey{ref.blob, node.chunk_uid};
+            seg.replicas = node.replicas;
+            seg.chunk_offset = range.offset - slot_start;
+            seg.chunk_bytes = node.chunk_bytes;
+            plan_.segments.push_back(std::move(seg));
+        }
+        if (range.end() > data_end) {
+            const std::uint64_t hole_start = std::max(range.offset, data_end);
+            emit_hole({hole_start, range.end() - hole_start});
+        }
+    }
+
+    MetaStore& store_;
+    const TreeGeometry& geo_;
+    ByteRange request_;
+    SlotRange req_slots_;
+    ReadPlan plan_;
+};
+
+}  // namespace
+
+ReadPlan plan_read(MetaStore& store, BlobId blob, Version version,
+                   std::uint64_t chunk_size, std::uint64_t snapshot_size,
+                   ByteRange request) {
+    if (request.size == 0) {
+        return {};
+    }
+    if (request.end() > snapshot_size) {
+        throw InvalidArgument("read " + to_string(request) +
+                              " past snapshot size " +
+                              std::to_string(snapshot_size));
+    }
+    const TreeGeometry geo(chunk_size);
+    ReadWalker walker(store, geo, request);
+    return walker.run(ChildRef{blob, version}, geo.root_range(snapshot_size));
+}
+
+namespace {
+
+void check_walk(MetaStore& store, const ChildRef& ref, const SlotRange& r,
+                std::size_t depth, TreeCheck& out) {
+    if (ref.is_hole()) {
+        ++out.holes;
+        return;
+    }
+    out.max_depth = std::max(out.max_depth, depth);
+    const auto node = store.try_get({ref.blob, ref.version, r});
+    if (!node) {
+        throw ConsistencyError("dangling reference to " +
+                               MetaKey{ref.blob, ref.version, r}.to_string());
+    }
+    if (r.is_leaf()) {
+        if (!node->is_leaf()) {
+            throw ConsistencyError("leaf range holds inner node at " +
+                                   r.to_string());
+        }
+        ++out.leaves;
+        return;
+    }
+    if (node->is_leaf()) {
+        throw ConsistencyError("inner range holds leaf node at " +
+                               r.to_string());
+    }
+    ++out.inner_nodes;
+    check_walk(store, node->left, r.left(), depth + 1, out);
+    check_walk(store, node->right, r.right(), depth + 1, out);
+}
+
+}  // namespace
+
+TreeCheck validate_tree(MetaStore& store, BlobId blob, Version version,
+                        std::uint64_t chunk_size,
+                        std::uint64_t snapshot_size) {
+    TreeCheck out;
+    const TreeGeometry geo(chunk_size);
+    const SlotRange root = geo.root_range(snapshot_size);
+    if (!root.empty()) {
+        check_walk(store, ChildRef{blob, version}, root, 0, out);
+    }
+    return out;
+}
+
+}  // namespace blobseer::meta

@@ -1,0 +1,69 @@
+/// \file tree_reader.hpp
+/// \brief Read-side descent of a version's metadata tree.
+///
+/// Readers never synchronize with anybody (paper §I-B.3: "from the reader
+/// point of view the blob snapshot is at all times in a consistent
+/// state"). Given a *published* version, plan_read() walks the immutable
+/// tree and produces the ordered list of chunk segments (and holes) that
+/// cover the requested byte range; the caller then fetches chunk data from
+/// data providers in parallel.
+///
+/// validate_tree() is the invariant checker used by the property tests:
+/// it walks a whole snapshot and verifies coverage, alignment, node kinds
+/// and reference integrity.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chunk/chunk_key.hpp"
+#include "common/types.hpp"
+#include "meta/meta_node.hpp"
+#include "meta/meta_store.hpp"
+
+namespace blobseer::meta {
+
+/// One contiguous piece of a read: either a hole (reads as zeros) or a
+/// slice of one stored chunk.
+struct ReadSegment {
+    /// Byte range of the blob this segment covers (already clipped to the
+    /// request).
+    ByteRange blob_range;
+    bool hole = true;
+    /// Valid when !hole:
+    chunk::ChunkKey chunk;
+    std::vector<NodeId> replicas;
+    /// Offset of blob_range.offset within the chunk payload.
+    std::uint64_t chunk_offset = 0;
+    /// Stored payload size of the chunk.
+    std::uint32_t chunk_bytes = 0;
+};
+
+struct ReadPlan {
+    std::vector<ReadSegment> segments;  ///< ordered by blob offset
+    std::size_t store_reads = 0;        ///< metadata fetches performed
+};
+
+/// Descend the tree of (\p blob, \p version) — a snapshot of byte size
+/// \p snapshot_size — and plan the read of \p request. The request must
+/// lie within the snapshot ([InvalidArgument] otherwise).
+[[nodiscard]] ReadPlan plan_read(MetaStore& store, BlobId blob,
+                                 Version version, std::uint64_t chunk_size,
+                                 std::uint64_t snapshot_size,
+                                 ByteRange request);
+
+/// Whole-tree invariant check (test/debug utility).
+struct TreeCheck {
+    std::size_t inner_nodes = 0;
+    std::size_t leaves = 0;
+    std::size_t holes = 0;  ///< hole references encountered
+    std::size_t max_depth = 0;
+};
+
+[[nodiscard]] TreeCheck validate_tree(MetaStore& store, BlobId blob,
+                                      Version version,
+                                      std::uint64_t chunk_size,
+                                      std::uint64_t snapshot_size);
+
+}  // namespace blobseer::meta

@@ -1,0 +1,31 @@
+#include "meta/write_descriptor.hpp"
+
+namespace blobseer::meta {
+
+namespace {
+
+void collect(const WriteDescriptor& w, const TreeGeometry& geo,
+             const SlotRange& r, std::vector<SlotRange>& out) {
+    if (!creates_node(w, r, geo)) {
+        return;
+    }
+    out.push_back(r);
+    if (!r.is_leaf()) {
+        collect(w, geo, r.left(), out);
+        collect(w, geo, r.right(), out);
+    }
+}
+
+}  // namespace
+
+std::vector<SlotRange> created_ranges(const WriteDescriptor& w,
+                                      const TreeGeometry& geo) {
+    std::vector<SlotRange> out;
+    const SlotRange root = geo.root_range(w.size_after);
+    if (!root.empty()) {
+        collect(w, geo, root, out);
+    }
+    return out;
+}
+
+}  // namespace blobseer::meta

@@ -1,0 +1,263 @@
+/// \file sim_network.hpp
+/// \brief In-process cluster network simulation.
+///
+/// This is the substitution for the paper's Grid'5000 testbed (see
+/// DESIGN.md §2). Every cluster process (client, data provider, metadata
+/// provider, version manager, provider manager) registers as a node. A
+/// remote procedure call from node A to node B costs:
+///
+///   one-way latency + req_bytes through A's TX NIC + req_bytes through
+///   B's RX NIC + [handler runs] + resp_bytes through B's TX NIC +
+///   resp_bytes through A's RX NIC + one-way latency
+///
+/// NICs are serialized-link BandwidthGates, so N concurrent clients
+/// fetching chunks from one provider share that provider's TX bandwidth —
+/// the effect that makes data striping matter in the paper's experiments.
+/// All waiting is sleeping, never spinning, so hundreds of simulated nodes
+/// coexist on one physical core.
+///
+/// Fault injection: nodes can be killed/recovered, pairs of nodes can be
+/// partitioned, and a node can be degraded (bandwidth penalty + extra
+/// latency) to model the flaky machines of the paper's QoS study
+/// (Section IV-E).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bandwidth_gate.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::net {
+
+/// Static parameters of the simulated interconnect.
+struct NetworkConfig {
+    /// One-way message latency (applied once per direction per RPC).
+    Duration latency = microseconds(100);
+    /// Per-node NIC capacity in bytes/second; 0 = infinite (no cost).
+    std::uint64_t node_bandwidth_bps = 0;
+};
+
+/// Per-node runtime state.
+struct NodeState {
+    explicit NodeState(std::string name_, std::uint64_t bw)
+        : name(std::move(name_)), tx(bw), rx(bw) {}
+
+    std::string name;
+    BandwidthGate tx;
+    BandwidthGate rx;
+    std::atomic<bool> alive{true};
+    /// Multiplier applied to transfer durations (1000 = 1.0x). Stored as
+    /// fixed-point so it can be atomic.
+    std::atomic<std::uint32_t> penalty_milli{1000};
+    /// Additional latency injected on calls touching this node.
+    std::atomic<std::int64_t> extra_latency_ns{0};
+    Counter msgs_in;
+    Counter msgs_out;
+    Counter bytes_in;
+    Counter bytes_out;
+};
+
+class SimNetwork {
+  public:
+    explicit SimNetwork(NetworkConfig config = {}) : config_(config) {}
+
+    SimNetwork(const SimNetwork&) = delete;
+    SimNetwork& operator=(const SimNetwork&) = delete;
+
+    /// Register a node; returns its id. Thread-safe.
+    NodeId add_node(std::string name) {
+        const std::scoped_lock lock(mu_);
+        nodes_.push_back(std::make_unique<NodeState>(
+            std::move(name), config_.node_bandwidth_bps));
+        return static_cast<NodeId>(nodes_.size() - 1);
+    }
+
+    [[nodiscard]] std::size_t node_count() const {
+        const std::scoped_lock lock(mu_);
+        return nodes_.size();
+    }
+
+    [[nodiscard]] const NodeState& node(NodeId id) const {
+        return *node_ptr(id);
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    /// Kill a node: every RPC to or from it fails (after the latency it
+    /// takes the caller to notice).
+    void kill(NodeId id) { node_ptr(id)->alive.store(false); }
+
+    /// Bring a killed node back (its stored state is whatever the service
+    /// object still holds — BlobSeer providers are expected to lose RAM
+    /// contents only if the service chooses to clear them).
+    void recover(NodeId id) { node_ptr(id)->alive.store(true); }
+
+    [[nodiscard]] bool is_alive(NodeId id) const {
+        return node_ptr(id)->alive.load();
+    }
+
+    /// Block all traffic between \p a and \p b (both directions).
+    void partition(NodeId a, NodeId b) {
+        const std::scoped_lock lock(mu_);
+        partitions_.insert(ordered(a, b));
+    }
+
+    void heal_partition(NodeId a, NodeId b) {
+        const std::scoped_lock lock(mu_);
+        partitions_.erase(ordered(a, b));
+    }
+
+    /// Degrade a node: transfers touching it take \p factor times longer
+    /// and calls gain \p extra latency. factor >= 1.0.
+    void degrade(NodeId id, double factor, Duration extra = {}) {
+        auto* n = node_ptr(id);
+        n->penalty_milli.store(static_cast<std::uint32_t>(factor * 1000.0));
+        n->extra_latency_ns.store(
+            duration_cast<nanoseconds>(extra).count());
+    }
+
+    void restore(NodeId id) { degrade(id, 1.0, {}); }
+
+    // ---- RPC ------------------------------------------------------------
+
+    /// Execute \p handler as an RPC from \p src to \p dst, charging
+    /// \p req_bytes on the request path and \p resp_bytes on the response
+    /// path. Throws RpcError if either endpoint is dead or partitioned.
+    ///
+    /// The handler runs on the calling thread (services are thread-safe
+    /// objects); what this wrapper adds is the time cost and the failure
+    /// surface of a real network.
+    template <typename F>
+    auto call(NodeId src, NodeId dst, std::uint64_t req_bytes,
+              std::uint64_t resp_bytes, F&& handler)
+        -> std::invoke_result_t<F> {
+        NodeState* s = node_ptr(src);
+        NodeState* d = node_ptr(dst);
+
+        check_reachable(src, dst, *s, *d);
+
+        // Request path.
+        sleep_latency(*s, *d);
+        s->tx.transmit(scaled(req_bytes, *s));
+        d->rx.transmit(scaled(req_bytes, *d));
+        s->msgs_out.add();
+        s->bytes_out.add(req_bytes);
+        d->msgs_in.add();
+        d->bytes_in.add(req_bytes);
+
+        // The destination may have died while the request was in flight.
+        check_reachable(src, dst, *s, *d);
+
+        if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+            handler();
+            respond(src, dst, *s, *d, resp_bytes);
+        } else {
+            auto result = handler();
+            respond(src, dst, *s, *d, resp_bytes);
+            return result;
+        }
+    }
+
+    /// One-way message (no response path) — used for heartbeats.
+    template <typename F>
+    void send(NodeId src, NodeId dst, std::uint64_t bytes, F&& handler) {
+        NodeState* s = node_ptr(src);
+        NodeState* d = node_ptr(dst);
+        check_reachable(src, dst, *s, *d);
+        sleep_latency(*s, *d);
+        s->tx.transmit(scaled(bytes, *s));
+        d->rx.transmit(scaled(bytes, *d));
+        s->msgs_out.add();
+        d->msgs_in.add();
+        check_reachable(src, dst, *s, *d);
+        handler();
+    }
+
+    [[nodiscard]] const NetworkConfig& config() const noexcept {
+        return config_;
+    }
+
+    /// Total messages delivered network-wide (request legs only).
+    [[nodiscard]] std::uint64_t total_messages() const {
+        const std::scoped_lock lock(mu_);
+        std::uint64_t n = 0;
+        for (const auto& node : nodes_) {
+            n += node->msgs_out.get();
+        }
+        return n;
+    }
+
+  private:
+    static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+        return a < b ? std::pair{a, b} : std::pair{b, a};
+    }
+
+    NodeState* node_ptr(NodeId id) const {
+        const std::scoped_lock lock(mu_);
+        if (id >= nodes_.size()) {
+            throw InvalidArgument("unknown node id " + std::to_string(id));
+        }
+        return nodes_[id].get();
+    }
+
+    void check_reachable(NodeId src, NodeId dst, const NodeState& s,
+                         const NodeState& d) const {
+        if (!s.alive.load()) {
+            throw RpcError("source node " + s.name + " is down");
+        }
+        if (!d.alive.load()) {
+            throw RpcError("target node " + d.name + " is down");
+        }
+        const std::scoped_lock lock(mu_);
+        if (partitions_.contains(ordered(src, dst))) {
+            throw RpcError("partition between " + s.name + " and " + d.name);
+        }
+    }
+
+    void sleep_latency(const NodeState& s, const NodeState& d) const {
+        auto lat = config_.latency;
+        lat += nanoseconds(s.extra_latency_ns.load());
+        lat += nanoseconds(d.extra_latency_ns.load());
+        if (lat > Duration::zero()) {
+            std::this_thread::sleep_for(lat);
+        }
+    }
+
+    /// Apply the degradation penalty by inflating the byte count charged
+    /// to the gates (equivalent to slowing the link by the same factor).
+    static std::uint64_t scaled(std::uint64_t bytes, const NodeState& n) {
+        const std::uint64_t p = n.penalty_milli.load();
+        return p == 1000 ? bytes : bytes * p / 1000;
+    }
+
+    void respond(NodeId src, NodeId dst, NodeState& s, NodeState& d,
+                 std::uint64_t resp_bytes) {
+        check_reachable(src, dst, s, d);
+        d.tx.transmit(scaled(resp_bytes, d));
+        s.rx.transmit(scaled(resp_bytes, s));
+        d.msgs_out.add();
+        d.bytes_out.add(resp_bytes);
+        s.msgs_in.add();
+        s.bytes_in.add(resp_bytes);
+        sleep_latency(s, d);
+    }
+
+    const NetworkConfig config_;
+    mutable std::mutex mu_;  // guards nodes_ vector layout and partitions_
+    std::vector<std::unique_ptr<NodeState>> nodes_;
+    std::set<std::pair<NodeId, NodeId>> partitions_;
+};
+
+}  // namespace blobseer::net

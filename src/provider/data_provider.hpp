@@ -1,0 +1,97 @@
+/// \file data_provider.hpp
+/// \brief Data-provider service: stores and serves chunks.
+///
+/// Paper §I-B.2: "Each blob is made up of fixed-sized chunks that are
+/// distributed among data providers." The provider is deliberately dumb —
+/// all intelligence (placement, replication, metadata) lives elsewhere —
+/// which is what lets BlobSeer aggregate storage from many cheap nodes
+/// with minimal overhead.
+///
+/// The service object is thread-safe; the simulated network invokes its
+/// methods on client threads after charging transfer costs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "chunk/ram_store.hpp"
+#include "chunk/store.hpp"
+#include "chunk/two_tier_store.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::provider {
+
+class DataProvider {
+  public:
+    DataProvider(NodeId node, std::unique_ptr<chunk::ChunkStore> store)
+        : node_(node), store_(std::move(store)) {}
+
+    [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+    /// Store one chunk replica. Idempotent (chunks are immutable).
+    void put_chunk(const chunk::ChunkKey& key, chunk::ChunkData data) {
+        const std::uint64_t n = data->size();
+        store_->put(key, std::move(data));
+        stats_.ops.add();
+        stats_.bytes_in.add(n);
+        write_meter_.record(n);
+    }
+
+    /// Serve one chunk. Throws NotFoundError if this replica is missing
+    /// (the client fails over to another replica).
+    [[nodiscard]] chunk::ChunkData get_chunk(const chunk::ChunkKey& key) {
+        auto data = store_->get(key);
+        stats_.ops.add();
+        if (!data) {
+            stats_.errors.add();
+            throw NotFoundError(key.to_string() + " on provider " +
+                                std::to_string(node_));
+        }
+        stats_.bytes_out.add((*data)->size());
+        read_meter_.record((*data)->size());
+        return *data;
+    }
+
+    [[nodiscard]] bool has_chunk(const chunk::ChunkKey& key) {
+        return store_->contains(key);
+    }
+
+    /// Garbage-collect one chunk (aborted version cleanup).
+    void erase_chunk(const chunk::ChunkKey& key) { store_->erase(key); }
+
+    /// Crash simulation: lose whatever is volatile. A RAM-only store
+    /// loses everything; a two-tier store only loses its cache.
+    void lose_volatile_state() {
+        if (auto* ram = dynamic_cast<chunk::RamStore*>(store_.get())) {
+            ram->clear();
+        } else if (auto* two =
+                       dynamic_cast<chunk::TwoTierStore*>(store_.get())) {
+            two->drop_cache();
+        }
+    }
+
+    [[nodiscard]] chunk::ChunkStore& store() noexcept { return *store_; }
+    [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const Meter& read_meter() const noexcept {
+        return read_meter_;
+    }
+    [[nodiscard]] const Meter& write_meter() const noexcept {
+        return write_meter_;
+    }
+
+    /// Bytes currently stored (load signal for placement & monitoring).
+    [[nodiscard]] std::uint64_t stored_bytes() { return store_->bytes(); }
+
+  private:
+    const NodeId node_;
+    std::unique_ptr<chunk::ChunkStore> store_;
+    ServiceStats stats_;
+    Meter read_meter_;
+    Meter write_meter_;
+};
+
+}  // namespace blobseer::provider

@@ -1,0 +1,225 @@
+/// \file provider_manager.hpp
+/// \brief The provider manager: decides where chunks go.
+///
+/// Paper §I-B.2: "a provider manager decides which chunks are stored on
+/// which data providers when writes or appends are issued" and §I-B.3:
+/// "A configurable chunk distribution strategy is employed ... (for
+/// example, round-robin can be used to achieve load-balancing)."
+///
+/// Three strategies are provided; all of them honor liveness and the QoS
+/// health feedback of §IV-E (a provider classified as "dangerous" by the
+/// behaviour model is deprioritized until it recovers).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::provider {
+
+enum class PlacementStrategy : std::uint8_t {
+    kRoundRobin,  ///< even spread; the paper's load-balancing default
+    kRandom,      ///< uniform random (baseline for ablations)
+    kLoadAware,   ///< least-assigned-bytes first
+};
+
+[[nodiscard]] inline const char* to_string(PlacementStrategy s) noexcept {
+    switch (s) {
+        case PlacementStrategy::kRoundRobin: return "round-robin";
+        case PlacementStrategy::kRandom: return "random";
+        case PlacementStrategy::kLoadAware: return "load-aware";
+    }
+    return "?";
+}
+
+/// Replica targets for each chunk of one write: plan[i] lists the
+/// providers that must receive chunk i (distinct nodes, size = min(
+/// replication, live providers)).
+using PlacementPlan = std::vector<std::vector<NodeId>>;
+
+class ProviderManager {
+  public:
+    explicit ProviderManager(PlacementStrategy strategy,
+                             std::uint64_t seed = 42)
+        : strategy_(strategy), rng_(seed) {}
+
+    /// Register a data provider node.
+    void register_provider(NodeId node) {
+        const std::scoped_lock lock(mu_);
+        entries_.push_back(Entry{node});
+    }
+
+    [[nodiscard]] std::size_t provider_count() const {
+        const std::scoped_lock lock(mu_);
+        return entries_.size();
+    }
+
+    /// Plan placement of \p n_chunks chunks of \p chunk_bytes each with
+    /// the given replication factor. Throws RpcError when no live,
+    /// healthy provider exists.
+    [[nodiscard]] PlacementPlan place(std::uint64_t n_chunks,
+                                      std::uint32_t replication,
+                                      std::uint64_t chunk_bytes) {
+        const std::scoped_lock lock(mu_);
+        std::vector<std::size_t> eligible;
+        eligible.reserve(entries_.size());
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].alive && entries_[i].health >= min_health_) {
+                eligible.push_back(i);
+            }
+        }
+        if (eligible.empty()) {
+            // Degraded fallback: prefer an unhealthy-but-live provider
+            // over failing the write outright.
+            for (std::size_t i = 0; i < entries_.size(); ++i) {
+                if (entries_[i].alive) {
+                    eligible.push_back(i);
+                }
+            }
+        }
+        if (eligible.empty()) {
+            throw RpcError("no live data providers");
+        }
+        const std::uint32_t copies = static_cast<std::uint32_t>(std::min<
+            std::size_t>(replication, eligible.size()));
+
+        PlacementPlan plan(n_chunks);
+        for (auto& targets : plan) {
+            targets = pick(eligible, copies, chunk_bytes);
+        }
+        placements_.add(n_chunks);
+        return plan;
+    }
+
+    // ---- liveness & QoS feedback ---------------------------------------
+
+    void mark_dead(NodeId node) { set_alive(node, false); }
+    void mark_alive(NodeId node) { set_alive(node, true); }
+
+    [[nodiscard]] bool is_alive(NodeId node) const {
+        const std::scoped_lock lock(mu_);
+        return entry_of(node).alive;
+    }
+
+    /// QoS feedback (paper §IV-E): health in [0,1]; providers below the
+    /// eligibility threshold are avoided by placement until they recover.
+    void set_health(NodeId node, double health) {
+        const std::scoped_lock lock(mu_);
+        entry_of(node).health = std::clamp(health, 0.0, 1.0);
+    }
+
+    [[nodiscard]] double health(NodeId node) const {
+        const std::scoped_lock lock(mu_);
+        return entry_of(node).health;
+    }
+
+    /// Bytes this manager has routed to \p node so far (the load signal
+    /// the load-aware strategy balances).
+    [[nodiscard]] std::uint64_t assigned_bytes(NodeId node) const {
+        const std::scoped_lock lock(mu_);
+        return entry_of(node).assigned_bytes;
+    }
+
+    [[nodiscard]] std::uint64_t placements() const {
+        return placements_.get();
+    }
+
+    [[nodiscard]] PlacementStrategy strategy() const noexcept {
+        return strategy_;
+    }
+
+  private:
+    struct Entry {
+        NodeId node = kInvalidNode;
+        std::uint64_t assigned_bytes = 0;
+        bool alive = true;
+        double health = 1.0;
+    };
+
+    void set_alive(NodeId node, bool alive) {
+        const std::scoped_lock lock(mu_);
+        entry_of(node).alive = alive;
+    }
+
+    [[nodiscard]] Entry& entry_of(NodeId node) {
+        for (auto& e : entries_) {
+            if (e.node == node) {
+                return e;
+            }
+        }
+        throw NotFoundError("provider " + std::to_string(node));
+    }
+
+    [[nodiscard]] const Entry& entry_of(NodeId node) const {
+        return const_cast<ProviderManager*>(this)->entry_of(node);
+    }
+
+    /// Pick \p copies distinct providers from \p eligible. Caller holds
+    /// mu_.
+    [[nodiscard]] std::vector<NodeId> pick(
+        const std::vector<std::size_t>& eligible, std::uint32_t copies,
+        std::uint64_t chunk_bytes) {
+        std::vector<std::size_t> chosen;
+        chosen.reserve(copies);
+        switch (strategy_) {
+            case PlacementStrategy::kRoundRobin:
+                for (std::uint32_t k = 0; k < copies; ++k) {
+                    chosen.push_back(
+                        eligible[(rr_next_ + k) % eligible.size()]);
+                }
+                ++rr_next_;
+                break;
+
+            case PlacementStrategy::kRandom:
+                while (chosen.size() < copies) {
+                    const std::size_t c =
+                        eligible[rng_.below(eligible.size())];
+                    if (std::find(chosen.begin(), chosen.end(), c) ==
+                        chosen.end()) {
+                        chosen.push_back(c);
+                    }
+                }
+                break;
+
+            case PlacementStrategy::kLoadAware: {
+                std::vector<std::size_t> sorted = eligible;
+                std::sort(sorted.begin(), sorted.end(),
+                          [this](std::size_t a, std::size_t b) {
+                              return entries_[a].assigned_bytes <
+                                     entries_[b].assigned_bytes;
+                          });
+                for (std::uint32_t k = 0; k < copies; ++k) {
+                    chosen.push_back(sorted[k]);
+                }
+                break;
+            }
+        }
+        std::vector<NodeId> out;
+        out.reserve(chosen.size());
+        for (const std::size_t idx : chosen) {
+            entries_[idx].assigned_bytes += chunk_bytes;
+            out.push_back(entries_[idx].node);
+        }
+        return out;
+    }
+
+    const PlacementStrategy strategy_;
+    const double min_health_ = 0.25;
+
+    mutable std::mutex mu_;  // guards entries_, rr_next_, rng_
+    std::vector<Entry> entries_;
+    std::size_t rr_next_ = 0;
+    Rng rng_;
+
+    Counter placements_;
+};
+
+}  // namespace blobseer::provider

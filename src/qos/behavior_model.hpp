@@ -1,0 +1,151 @@
+/// \file behavior_model.hpp
+/// \brief GloBeM-style global behaviour modeling with placement feedback.
+///
+/// Paper §IV-E: "It automates the process of identifying dangerous
+/// behavior patterns in storage services ... We demonstrated our approach
+/// by using GloBeM ... to improve the quality of service in BlobSeer."
+///
+/// Pipeline (offline analysis -> online feedback):
+///  1. Feature extraction per (provider, window) from the monitor
+///     history: normalized throughput, error rate, NIC backlog, liveness.
+///  2. k-means clustering of those vectors into behaviour *states*.
+///  3. A state is flagged *dangerous* when its centroid shows elevated
+///     errors, heavy congestion, or death.
+///  4. Feedback: each provider's most recent window is classified; a
+///     provider sitting in a dangerous state has its health dropped at
+///     the provider manager, steering new placements away until it
+///     recovers (paper: "client-side quality of service feedback").
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "provider/provider_manager.hpp"
+#include "qos/kmeans.hpp"
+#include "qos/monitor.hpp"
+
+namespace blobseer::qos {
+
+struct BehaviorConfig {
+    std::size_t states = 4;
+    int kmeans_iterations = 50;
+    std::uint64_t seed = 17;
+    /// A state whose mean error count per window exceeds this is
+    /// dangerous.
+    double error_threshold = 0.5;
+    /// A state whose mean NIC backlog exceeds this (ms) is dangerous.
+    double backlog_threshold_ms = 5.0;
+    /// A state whose mean slowness (gray-failure signal) exceeds this is
+    /// dangerous.
+    double slowness_threshold = 0.3;
+    /// Health assigned to providers classified into dangerous states.
+    double dangerous_health = 0.0;
+};
+
+class BehaviorModel {
+  public:
+    explicit BehaviorModel(BehaviorConfig config = {}) : config_(config) {}
+
+    /// Feature vector of one monitoring window. \p tput_scale normalizes
+    /// throughput into ~[0,1] so the distance metric is balanced.
+    [[nodiscard]] static FeatureVec features(const ProviderSample& s,
+                                             double tput_scale) {
+        return FeatureVec{
+            static_cast<double>(s.read_bytes + s.write_bytes) / tput_scale,
+            static_cast<double>(s.errors),
+            s.backlog_ms / 10.0,   // keep dimensions comparable
+            s.alive ? 0.0 : 1.0,
+            s.slowness * 5.0,      // gray-failure axis dominates when hot
+        };
+    }
+
+    /// Offline phase: fit states from the full monitor history.
+    void fit(const ClusterMonitor& monitor) {
+        std::vector<FeatureVec> points;
+        double max_tput = 1.0;
+        for (const auto& series : monitor.history()) {
+            for (const auto& s : series) {
+                max_tput = std::max(
+                    max_tput,
+                    static_cast<double>(s.read_bytes + s.write_bytes));
+            }
+        }
+        tput_scale_ = max_tput;
+        for (const auto& series : monitor.history()) {
+            for (const auto& s : series) {
+                points.push_back(features(s, tput_scale_));
+            }
+        }
+        model_ = kmeans(points, config_.states, config_.kmeans_iterations,
+                        config_.seed);
+
+        dangerous_.assign(model_.centroids.size(), false);
+        for (std::size_t c = 0; c < model_.centroids.size(); ++c) {
+            const FeatureVec& centroid = model_.centroids[c];
+            dangerous_[c] =
+                centroid[1] > config_.error_threshold ||
+                centroid[2] > config_.backlog_threshold_ms / 10.0 ||
+                centroid[3] > 0.5 ||
+                centroid[4] > config_.slowness_threshold * 5.0;
+        }
+        fitted_ = true;
+    }
+
+    [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+    [[nodiscard]] std::size_t state_count() const {
+        return model_.centroids.size();
+    }
+    [[nodiscard]] bool is_dangerous(std::size_t state) const {
+        return dangerous_.at(state);
+    }
+    [[nodiscard]] std::size_t dangerous_states() const {
+        return static_cast<std::size_t>(
+            std::count(dangerous_.begin(), dangerous_.end(), true));
+    }
+
+    /// Classify one window into a state.
+    [[nodiscard]] std::size_t classify(const ProviderSample& s) const {
+        const FeatureVec f = features(s, tput_scale_);
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < model_.centroids.size(); ++c) {
+            const double d = sq_distance(f, model_.centroids[c]);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        return best;
+    }
+
+    /// Online phase: classify every provider's latest window and push
+    /// health feedback into the provider manager. Returns the number of
+    /// providers currently flagged dangerous.
+    std::size_t apply_feedback(const ClusterMonitor& monitor,
+                               core::Cluster& cluster) const {
+        if (!fitted_ || monitor.windows() == 0) {
+            return 0;
+        }
+        std::size_t flagged = 0;
+        auto& pm = cluster.provider_manager();
+        for (std::size_t i = 0; i < monitor.providers(); ++i) {
+            const std::size_t state = classify(monitor.latest(i));
+            const bool danger = dangerous_.at(state);
+            pm.set_health(cluster.data_provider(i).node(),
+                          danger ? config_.dangerous_health : 1.0);
+            flagged += danger ? 1 : 0;
+        }
+        return flagged;
+    }
+
+  private:
+    BehaviorConfig config_;
+    KMeansResult model_;
+    std::vector<bool> dangerous_;
+    double tput_scale_ = 1.0;
+    bool fitted_ = false;
+};
+
+}  // namespace blobseer::qos

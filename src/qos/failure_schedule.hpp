@@ -1,0 +1,122 @@
+/// \file failure_schedule.hpp
+/// \brief Scripted fault timelines for QoS experiments.
+///
+/// Paper §IV-E evaluates "long periods of service uptime ... while
+/// supporting failures of the physical storage components". A schedule
+/// is a list of timed events (kill / recover / degrade / restore) that
+/// the experiment loop applies as simulated time passes — deterministic
+/// and replayable across the compared configurations.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/random.hpp"
+#include "core/cluster.hpp"
+
+namespace blobseer::qos {
+
+struct FailureEvent {
+    enum class Kind : std::uint8_t { kKill, kRecover, kDegrade, kRestore };
+
+    double at_seconds = 0.0;
+    Kind kind = Kind::kKill;
+    std::size_t provider = 0;
+    bool lose_data = false;   ///< kKill only
+    double factor = 1.0;      ///< kDegrade only
+    Duration extra_latency{}; ///< kDegrade only
+};
+
+class FailureSchedule {
+  public:
+    FailureSchedule() = default;
+
+    explicit FailureSchedule(std::vector<FailureEvent> events)
+        : events_(std::move(events)) {
+        std::stable_sort(events_.begin(), events_.end(),
+                         [](const FailureEvent& a, const FailureEvent& b) {
+                             return a.at_seconds < b.at_seconds;
+                         });
+    }
+
+    /// Random schedule: every `period` seconds one random provider is
+    /// degraded (or killed with probability kill_prob) and restored
+    /// `outage` seconds later. Deterministic per seed.
+    [[nodiscard]] static FailureSchedule random(std::size_t providers,
+                                                double duration_s,
+                                                double period_s,
+                                                double outage_s,
+                                                double kill_prob,
+                                                std::uint64_t seed) {
+        Rng rng(seed);
+        std::vector<FailureEvent> events;
+        for (double t = period_s; t + outage_s < duration_s; t += period_s) {
+            const std::size_t victim = rng.below(providers);
+            if (rng.chance(kill_prob)) {
+                // A crash wipes the provider's volatile state: RAM-backed
+                // chunks are gone for good (the fault-tolerance argument
+                // for replication in paper §V).
+                events.push_back({t, FailureEvent::Kind::kKill, victim,
+                                  /*lose_data=*/true, 1.0, {}});
+                events.push_back({t + outage_s, FailureEvent::Kind::kRecover,
+                                  victim, false, 1.0, {}});
+            } else {
+                // Gray failure: the node still answers, ~16x slower — the
+                // case heartbeats cannot catch and the behaviour model
+                // exists for.
+                events.push_back({t, FailureEvent::Kind::kDegrade, victim,
+                                  false, 16.0, milliseconds(5)});
+                events.push_back({t + outage_s, FailureEvent::Kind::kRestore,
+                                  victim, false, 1.0, {}});
+            }
+        }
+        return FailureSchedule(std::move(events));
+    }
+
+    /// Apply every event due at or before \p elapsed_seconds. Returns the
+    /// number applied. Call repeatedly with increasing time.
+    std::size_t run_until(core::Cluster& cluster, double elapsed_seconds) {
+        std::size_t applied = 0;
+        while (next_ < events_.size() &&
+               events_[next_].at_seconds <= elapsed_seconds) {
+            apply(cluster, events_[next_]);
+            ++next_;
+            ++applied;
+        }
+        return applied;
+    }
+
+    [[nodiscard]] std::size_t pending() const {
+        return events_.size() - next_;
+    }
+    [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
+        return events_;
+    }
+
+  private:
+    static void apply(core::Cluster& cluster, const FailureEvent& e) {
+        switch (e.kind) {
+            case FailureEvent::Kind::kKill:
+                cluster.kill_data_provider(e.provider, e.lose_data);
+                break;
+            case FailureEvent::Kind::kRecover:
+                cluster.recover_data_provider(e.provider);
+                break;
+            case FailureEvent::Kind::kDegrade:
+                cluster.degrade_data_provider(e.provider, e.factor,
+                                              e.extra_latency);
+                break;
+            case FailureEvent::Kind::kRestore:
+                cluster.restore_data_provider(e.provider);
+                break;
+        }
+    }
+
+    std::vector<FailureEvent> events_;
+    std::size_t next_ = 0;
+};
+
+}  // namespace blobseer::qos

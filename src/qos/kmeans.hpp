@@ -1,0 +1,130 @@
+/// \file kmeans.hpp
+/// \brief Small deterministic k-means (k-means++ seeding) used by the
+///        behaviour model.
+///
+/// GloBeM (the paper's external tool) applies machine-learning
+/// clustering to monitoring data to discover global behaviour states;
+/// this is the minimal self-contained equivalent (see DESIGN.md §2 for
+/// the substitution rationale).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace blobseer::qos {
+
+using FeatureVec = std::vector<double>;
+
+struct KMeansResult {
+    std::vector<FeatureVec> centroids;
+    std::vector<std::size_t> assignment;  ///< per input point
+    double inertia = 0.0;                 ///< sum of squared distances
+};
+
+[[nodiscard]] inline double sq_distance(const FeatureVec& a,
+                                        const FeatureVec& b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double x = a[i] - b[i];
+        d += x * x;
+    }
+    return d;
+}
+
+/// Cluster \p points into (at most) \p k groups. Deterministic for a
+/// fixed seed. Handles k >= points.size() by clamping.
+[[nodiscard]] inline KMeansResult kmeans(const std::vector<FeatureVec>& points,
+                                         std::size_t k, int iterations,
+                                         std::uint64_t seed) {
+    KMeansResult result;
+    if (points.empty()) {
+        return result;
+    }
+    k = std::min(k, points.size());
+    Rng rng(seed);
+
+    // k-means++ seeding.
+    result.centroids.push_back(points[rng.below(points.size())]);
+    std::vector<double> dist(points.size(),
+                             std::numeric_limits<double>::max());
+    while (result.centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            dist[i] = std::min(dist[i],
+                               sq_distance(points[i],
+                                           result.centroids.back()));
+            total += dist[i];
+        }
+        if (total == 0.0) {
+            break;  // fewer distinct points than k
+        }
+        double target = rng.uniform() * total;
+        std::size_t pick = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= dist[i];
+            if (target <= 0.0) {
+                pick = i;
+                break;
+            }
+        }
+        result.centroids.push_back(points[pick]);
+    }
+
+    // Lloyd iterations.
+    result.assignment.assign(points.size(), 0);
+    for (int it = 0; it < iterations; ++it) {
+        bool moved = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+                const double d = sq_distance(points[i], result.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                moved = true;
+            }
+        }
+        // Recompute centroids.
+        const std::size_t dims = points.front().size();
+        std::vector<FeatureVec> sums(result.centroids.size(),
+                                     FeatureVec(dims, 0.0));
+        std::vector<std::size_t> counts(result.centroids.size(), 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            for (std::size_t d = 0; d < dims; ++d) {
+                sums[result.assignment[i]][d] += points[i][d];
+            }
+            ++counts[result.assignment[i]];
+        }
+        for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+            if (counts[c] == 0) {
+                continue;  // empty cluster keeps its centroid
+            }
+            for (std::size_t d = 0; d < dims; ++d) {
+                result.centroids[c][d] = sums[c][d] /
+                                         static_cast<double>(counts[c]);
+            }
+        }
+        if (!moved && it > 0) {
+            break;
+        }
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.inertia +=
+            sq_distance(points[i], result.centroids[result.assignment[i]]);
+    }
+    return result;
+}
+
+}  // namespace blobseer::qos

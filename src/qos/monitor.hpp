@@ -1,0 +1,117 @@
+/// \file monitor.hpp
+/// \brief Cluster monitoring: periodic snapshots of per-provider behaviour.
+///
+/// Paper §IV-E proposes "an offline analysis approach to improve the
+/// quality of service in distributed storage systems based on global
+/// behavior modeling combined with client-side quality of service
+/// feedback". The monitor is the data-collection half: each sample()
+/// captures, for every data provider, the bytes served, errors and NIC
+/// congestion since the previous sample. The BehaviorModel consumes this
+/// history.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace blobseer::qos {
+
+/// One provider's activity during one monitoring window.
+struct ProviderSample {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t errors = 0;     ///< failed ops in the window
+    double backlog_ms = 0.0;      ///< NIC queueing delay at sample time
+    bool alive = true;
+    /// Gray-failure signal in [0,1]: 1 - effective_rate / nominal_rate,
+    /// where the effective rate is real bytes moved per NIC busy-second.
+    /// A healthy link sits near 0; a degraded (slow-but-alive) link
+    /// approaches 1. Zero when the link was idle (no evidence).
+    double slowness = 0.0;
+};
+
+class ClusterMonitor {
+  public:
+    explicit ClusterMonitor(core::Cluster& cluster)
+        : cluster_(cluster),
+          history_(cluster.data_provider_count()),
+          last_read_(cluster.data_provider_count(), 0),
+          last_write_(cluster.data_provider_count(), 0),
+          last_errors_(cluster.data_provider_count(), 0),
+          last_busy_(cluster.data_provider_count(), 0) {}
+
+    /// Capture one window for every provider. Call at a fixed cadence
+    /// from the experiment loop (event-driven: the monitor spawns no
+    /// threads of its own).
+    void sample() {
+        auto& net = cluster_.network();
+        for (std::size_t i = 0; i < cluster_.data_provider_count(); ++i) {
+            auto& dp = cluster_.data_provider(i);
+            const std::uint64_t r = dp.stats().bytes_out.get();
+            const std::uint64_t w = dp.stats().bytes_in.get();
+            const std::uint64_t e = dp.stats().errors.get();
+
+            ProviderSample s;
+            s.read_bytes = r - last_read_[i];
+            s.write_bytes = w - last_write_[i];
+            s.errors = e - last_errors_[i];
+            s.alive = net.is_alive(dp.node());
+            const auto& node = net.node(dp.node());
+            const auto backlog = node.tx.backlog();
+            s.backlog_ms =
+                std::chrono::duration<double, std::milli>(backlog).count();
+
+            // Effective vs nominal service rate (gray-failure signal).
+            const std::int64_t busy =
+                node.tx.busy_ns() + node.rx.busy_ns();
+            const std::int64_t busy_delta = busy - last_busy_[i];
+            const std::uint64_t moved =
+                s.read_bytes + s.write_bytes;
+            const std::uint64_t nominal = node.tx.rate();
+            if (nominal > 0 && busy_delta > 500'000 && moved > 0) {
+                const double effective =
+                    static_cast<double>(moved) /
+                    (static_cast<double>(busy_delta) / 1e9);
+                s.slowness = std::clamp(
+                    1.0 - effective / static_cast<double>(nominal), 0.0,
+                    1.0);
+            }
+            last_busy_[i] = busy;
+
+            last_read_[i] = r;
+            last_write_[i] = w;
+            last_errors_[i] = e;
+            history_[i].push_back(s);
+        }
+    }
+
+    /// history()[provider][window]
+    [[nodiscard]] const std::vector<std::vector<ProviderSample>>& history()
+        const noexcept {
+        return history_;
+    }
+
+    [[nodiscard]] std::size_t windows() const {
+        return history_.empty() ? 0 : history_.front().size();
+    }
+
+    [[nodiscard]] std::size_t providers() const { return history_.size(); }
+
+    /// Latest sample of one provider (windows() must be > 0).
+    [[nodiscard]] const ProviderSample& latest(std::size_t provider) const {
+        return history_.at(provider).back();
+    }
+
+  private:
+    core::Cluster& cluster_;
+    std::vector<std::vector<ProviderSample>> history_;
+    std::vector<std::uint64_t> last_read_;
+    std::vector<std::uint64_t> last_write_;
+    std::vector<std::uint64_t> last_errors_;
+    std::vector<std::int64_t> last_busy_;
+};
+
+}  // namespace blobseer::qos

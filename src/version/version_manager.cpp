@@ -1,0 +1,409 @@
+#include "version/version_manager.hpp"
+
+#include <algorithm>
+
+namespace blobseer::version {
+
+BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,
+                                     std::uint32_t replication) {
+    if (chunk_size == 0) {
+        throw InvalidArgument("chunk_size must be > 0");
+    }
+    if (replication == 0) {
+        throw InvalidArgument("replication must be >= 1");
+    }
+    const std::scoped_lock lock(mu_);
+    BlobState b;
+    b.info = BlobInfo{next_blob_++, chunk_size, replication};
+    const BlobInfo info = b.info;
+    blobs_.emplace(info.id, std::move(b));
+    return info;
+}
+
+BlobInfo VersionManager::clone_blob(BlobId src, Version src_version) {
+    const std::scoped_lock lock(mu_);
+    const auto it = blobs_.find(src);
+    if (it == blobs_.end()) {
+        throw NotFoundError("blob " + std::to_string(src));
+    }
+    const BlobState& s = it->second;
+    Version v = src_version == kLatestVersion ? s.published : src_version;
+    if (v > s.published) {
+        throw InvalidArgument("cannot clone unpublished version " +
+                              std::to_string(v));
+    }
+    if (v > 0 && s.records[v - 1].status != VersionStatus::kPublished) {
+        throw VersionAborted("cannot clone aborted version " +
+                             std::to_string(v));
+    }
+
+    if (v > 0 && s.records[v - 1].status == VersionStatus::kRetired) {
+        throw VersionAborted("cannot clone retired version " +
+                             std::to_string(v));
+    }
+
+    BlobState b;
+    b.info = BlobInfo{next_blob_, s.info.chunk_size, s.info.replication};
+    if (v == 0) {
+        // Cloning version 0 of a clone chains to the original tree;
+        // cloning version 0 of a fresh blob yields another empty blob.
+        b.origin = s.origin;
+        b.v0_size = s.v0_size;
+    } else {
+        b.origin = meta::TreeRef{src, v, size_of_version(s, v)};
+        b.v0_size = b.origin.size;
+        // The clone reads through the origin's tree forever: protect that
+        // snapshot from retirement.
+        it->second.pinned.insert(v);
+    }
+    b.size = b.v0_size;
+    ++next_blob_;
+    const BlobInfo info = b.info;
+    blobs_.emplace(info.id, std::move(b));
+    return info;
+}
+
+BlobInfo VersionManager::blob_info(BlobId blob) const {
+    const std::scoped_lock lock(mu_);
+    return state_of(blob).info;
+}
+
+std::size_t VersionManager::blob_count() const {
+    const std::scoped_lock lock(mu_);
+    return blobs_.size();
+}
+
+AssignResult VersionManager::assign(BlobId blob,
+                                    std::optional<std::uint64_t> offset_opt,
+                                    std::uint64_t size) {
+    if (size == 0) {
+        throw InvalidArgument("zero-sized write");
+    }
+    const std::scoped_lock lock(mu_);
+    BlobState& b = state_of(blob);
+    const std::uint64_t c = b.info.chunk_size;
+    const std::uint64_t offset = offset_opt.value_or(b.size);
+
+    // Alignment contract (see DESIGN.md §4.1 and core/client): explicit
+    // writes need a chunk-aligned offset and a short trailing chunk is
+    // only legal at the (new) end of the blob. Appends are exempt — they
+    // start at the current end by construction and the client rewrites
+    // the trailing chunk whole (merge path).
+    if (offset_opt) {
+        if (offset % c != 0) {
+            throw InvalidArgument("write offset " + std::to_string(offset) +
+                                  " not chunk-aligned (chunk " +
+                                  std::to_string(c) + ")");
+        }
+        if (offset + size < b.size && size % c != 0) {
+            throw InvalidArgument("interior write must cover whole chunks");
+        }
+    }
+    const std::uint64_t end = offset + size;
+
+    AssignResult r;
+    r.version = ++b.max_assigned;
+    r.offset = offset;
+    r.size_before = b.size;
+    r.size_after = std::max(b.size, end);
+    r.base = published_base(b);
+    r.chunk_size = c;
+    r.replication = b.info.replication;
+    for (Version w = b.published + 1; w < r.version; ++w) {
+        const VersionRecord& rec = b.records[w - 1];
+        if (rec.status != VersionStatus::kAborted) {
+            r.concurrent.push_back(rec.desc);
+        }
+    }
+
+    VersionRecord rec;
+    rec.desc = meta::WriteDescriptor{r.version, offset, size, r.size_before,
+                                     r.size_after};
+    rec.status = VersionStatus::kPending;
+    rec.assigned_at = Clock::now();
+    b.records.push_back(rec);
+    b.size = r.size_after;
+    assigns_.add();
+    return r;
+}
+
+void VersionManager::commit(BlobId blob, Version v) {
+    {
+        const std::scoped_lock lock(mu_);
+        BlobState& b = state_of(blob);
+        if (v == 0 || v > b.max_assigned) {
+            throw InvalidArgument("commit of unassigned version " +
+                                  std::to_string(v));
+        }
+        VersionRecord& rec = b.records[v - 1];
+        switch (rec.status) {
+            case VersionStatus::kPending:
+                rec.status = VersionStatus::kCommitted;
+                break;
+            case VersionStatus::kAborted:
+                throw VersionAborted("version " + std::to_string(v) +
+                                     " was aborted before commit");
+            case VersionStatus::kRetired:
+                // Commit after retirement is impossible in-protocol
+                // (retire only touches published versions), so treat it
+                // as the caller following a stale handle.
+                throw InvalidArgument("commit of retired version " +
+                                      std::to_string(v));
+            case VersionStatus::kCommitted:
+            case VersionStatus::kPublished:
+                return;  // idempotent
+        }
+        advance_publication(b);
+        commits_.add();
+    }
+    publish_cv_.notify_all();
+}
+
+void VersionManager::abort(BlobId blob, Version v) {
+    {
+        const std::scoped_lock lock(mu_);
+        BlobState& b = state_of(blob);
+        if (v == 0 || v > b.max_assigned) {
+            throw InvalidArgument("abort of unassigned version " +
+                                  std::to_string(v));
+        }
+        if (b.records[v - 1].status == VersionStatus::kPublished) {
+            throw InvalidArgument("cannot abort published version " +
+                                  std::to_string(v));
+        }
+        abort_tail(b, v);
+        advance_publication(b);
+    }
+    publish_cv_.notify_all();
+}
+
+std::size_t VersionManager::abort_stalled(BlobId blob, Duration max_age) {
+    std::size_t aborted = 0;
+    {
+        const std::scoped_lock lock(mu_);
+        BlobState& b = state_of(blob);
+        const TimePoint cutoff = Clock::now() - max_age;
+        for (Version v = b.pub_cursor + 1; v <= b.max_assigned; ++v) {
+            const VersionRecord& rec = b.records[v - 1];
+            if (rec.status == VersionStatus::kPending &&
+                rec.assigned_at < cutoff) {
+                aborted = abort_tail(b, v);
+                advance_publication(b);
+                break;
+            }
+            if (rec.status == VersionStatus::kPending) {
+                // Oldest unpublished pending version is still fresh: the
+                // tail behind it must keep waiting (in-order publication).
+                break;
+            }
+        }
+    }
+    if (aborted > 0) {
+        publish_cv_.notify_all();
+    }
+    return aborted;
+}
+
+VersionInfo VersionManager::get_version(BlobId blob, Version v) const {
+    const std::scoped_lock lock(mu_);
+    const BlobState& b = state_of(blob);
+    VersionInfo info;
+    info.version = v == kLatestVersion ? b.published : v;
+    if (info.version > b.max_assigned) {
+        throw NotFoundError("version " + std::to_string(info.version) +
+                            " of blob " + std::to_string(blob));
+    }
+    if (info.version == 0) {
+        info.size = b.v0_size;
+        info.status = VersionStatus::kPublished;
+        info.tree = b.origin;  // invalid TreeRef for a fresh blob: no data
+        return info;
+    }
+    const VersionRecord& rec = b.records[info.version - 1];
+    info.size = rec.desc.size_after;
+    info.status = rec.status;
+    info.tree = meta::TreeRef{blob, info.version, info.size};
+    return info;
+}
+
+Version VersionManager::latest(BlobId blob) const {
+    const std::scoped_lock lock(mu_);
+    return state_of(blob).published;
+}
+
+VersionInfo VersionManager::wait_published(BlobId blob, Version v,
+                                           Duration timeout) const {
+    std::unique_lock lock(mu_);
+    const TimePoint deadline = Clock::now() + timeout;
+    const BlobState& b = state_of(blob);
+    if (v == 0) {
+        lock.unlock();
+        return get_version(blob, 0);
+    }
+    const auto done = [&] {
+        if (v > b.max_assigned) {
+            return false;
+        }
+        const VersionStatus s = b.records[v - 1].status;
+        return s == VersionStatus::kPublished || s == VersionStatus::kAborted;
+    };
+    if (!publish_cv_.wait_until(lock, deadline, done)) {
+        throw TimeoutError("waiting for publication of version " +
+                           std::to_string(v));
+    }
+    VersionInfo info;
+    info.version = v;
+    const VersionRecord& rec = b.records[v - 1];
+    info.size = rec.desc.size_after;
+    info.status = rec.status;
+    info.tree = meta::TreeRef{blob, v, info.size};
+    return info;
+}
+
+meta::WriteDescriptor VersionManager::descriptor_of(BlobId blob,
+                                                    Version v) const {
+    const std::scoped_lock lock(mu_);
+    const BlobState& b = state_of(blob);
+    if (v == 0 || v > b.max_assigned) {
+        throw NotFoundError("descriptor of version " + std::to_string(v));
+    }
+    return b.records[v - 1].desc;
+}
+
+std::vector<VersionManager::VersionSummary> VersionManager::history(
+    BlobId blob, Version from, Version to) const {
+    const std::scoped_lock lock(mu_);
+    const BlobState& b = state_of(blob);
+    std::vector<VersionSummary> out;
+    from = std::max<Version>(from, 1);
+    to = std::min<Version>(to, b.max_assigned);
+    for (Version v = from; v <= to; ++v) {
+        const VersionRecord& rec = b.records[v - 1];
+        out.push_back(VersionSummary{v, rec.status, rec.desc.offset,
+                                     rec.desc.size, rec.desc.size_after});
+    }
+    return out;
+}
+
+void VersionManager::pin(BlobId blob, Version v) {
+    const std::scoped_lock lock(mu_);
+    BlobState& b = state_of(blob);
+    if (v == 0 || v > b.max_assigned ||
+        b.records[v - 1].status != VersionStatus::kPublished) {
+        throw InvalidArgument("only published versions can be pinned");
+    }
+    b.pinned.insert(v);
+}
+
+void VersionManager::unpin(BlobId blob, Version v) {
+    const std::scoped_lock lock(mu_);
+    state_of(blob).pinned.erase(v);
+}
+
+std::vector<Version> VersionManager::pinned(BlobId blob) const {
+    const std::scoped_lock lock(mu_);
+    const BlobState& b = state_of(blob);
+    return {b.pinned.begin(), b.pinned.end()};
+}
+
+VersionManager::RetireInfo VersionManager::retire(BlobId blob,
+                                                  Version keep_from) {
+    const std::scoped_lock lock(mu_);
+    BlobState& b = state_of(blob);
+    if (keep_from == 0 || keep_from > b.published) {
+        throw InvalidArgument(
+            "keep_from must name a published version (got " +
+            std::to_string(keep_from) + ", published " +
+            std::to_string(b.published) + ")");
+    }
+    RetireInfo info;
+    info.keep_from = keep_from;
+    for (Version v = 1; v < keep_from; ++v) {
+        VersionRecord& rec = b.records[v - 1];
+        if (rec.status == VersionStatus::kPublished &&
+            !b.pinned.contains(v)) {
+            rec.status = VersionStatus::kRetired;
+            info.retired.push_back(v);
+        }
+    }
+    for (Version v = 1; v <= keep_from; ++v) {
+        const VersionRecord& rec = b.records[v - 1];
+        if (rec.status != VersionStatus::kAborted) {
+            info.descriptors.push_back(rec.desc);
+        }
+    }
+    for (const Version p : b.pinned) {
+        if (p <= keep_from) {
+            info.pinned.push_back(p);
+        }
+    }
+    return info;
+}
+
+const VersionManager::BlobState& VersionManager::state_of(BlobId blob) const {
+    const auto it = blobs_.find(blob);
+    if (it == blobs_.end()) {
+        throw NotFoundError("blob " + std::to_string(blob));
+    }
+    return it->second;
+}
+
+VersionManager::BlobState& VersionManager::state_of(BlobId blob) {
+    const auto it = blobs_.find(blob);
+    if (it == blobs_.end()) {
+        throw NotFoundError("blob " + std::to_string(blob));
+    }
+    return it->second;
+}
+
+void VersionManager::advance_publication(BlobState& b) {
+    while (b.pub_cursor < b.max_assigned) {
+        VersionRecord& rec = b.records[b.pub_cursor];
+        if (rec.status == VersionStatus::kCommitted) {
+            rec.status = VersionStatus::kPublished;
+            ++b.pub_cursor;
+            b.published = b.pub_cursor;
+        } else if (rec.status == VersionStatus::kAborted) {
+            // Version number consumed but unreadable; readers of "latest"
+            // stay on the previous published snapshot.
+            ++b.pub_cursor;
+        } else {
+            break;
+        }
+    }
+}
+
+std::size_t VersionManager::abort_tail(BlobState& b, Version v) {
+    std::size_t aborted = 0;
+    for (Version w = v; w <= b.max_assigned; ++w) {
+        VersionRecord& rec = b.records[w - 1];
+        if (rec.status == VersionStatus::kPublished) {
+            throw ConsistencyError(
+                "abort cascade reached a published version");
+        }
+        if (rec.status != VersionStatus::kAborted) {
+            rec.status = VersionStatus::kAborted;
+            ++aborted;
+            aborts_.add();
+        }
+    }
+    // Roll the running size back to just before the first aborted version
+    // so new writers do not build on vanished data.
+    b.size = b.records[v - 1].desc.size_before;
+    return aborted;
+}
+
+meta::TreeRef VersionManager::published_base(const BlobState& b) const {
+    if (b.published >= 1) {
+        return meta::TreeRef{b.info.id, b.published,
+                             size_of_version(b, b.published)};
+    }
+    return b.origin;  // clone alias, or invalid for a fresh blob
+}
+
+std::uint64_t VersionManager::size_of_version(const BlobState& b,
+                                              Version v) const {
+    return v == 0 ? b.v0_size : b.records[v - 1].desc.size_after;
+}
+
+}  // namespace blobseer::version

@@ -1,0 +1,259 @@
+/// \file version_manager.hpp
+/// \brief The version manager: the only serialization point of BlobSeer.
+///
+/// Paper §I-B.2: "A central version manager is responsible of assigning
+/// versions to writes and appends and exposing these versions to reads in
+/// such way as to ensure consistency."
+///
+/// The design keeps the serialized step tiny: an assign() is a few dozen
+/// bytes of bookkeeping — everything heavy (chunk upload, tree
+/// construction) happens before and after, fully in parallel across
+/// writers. Versions become visible to readers strictly in assignment
+/// order (commit() merely marks completion; publication advances through
+/// the contiguous committed prefix), which is what makes all operations
+/// linearizable: a write linearizes at its assign, a read at its
+/// version-resolution query.
+///
+/// Fault handling: a writer that dies between assign and commit blocks
+/// publication. abort_stalled() implements the documented recovery policy:
+/// the oldest stalled version and every version assigned after it are
+/// aborted (later versions may have woven references into the dead
+/// version's never-written metadata, so the whole tail must go), and the
+/// blob's running size is rolled back.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "meta/tree_builder.hpp"
+#include "meta/write_descriptor.hpp"
+
+namespace blobseer::version {
+
+/// Immutable per-blob parameters fixed at creation.
+struct BlobInfo {
+    BlobId id = kInvalidBlob;
+    std::uint64_t chunk_size = 0;
+    std::uint32_t replication = 1;
+};
+
+enum class VersionStatus : std::uint8_t {
+    kPending,    ///< assigned, writer still working
+    kCommitted,  ///< writer finished, waiting for in-order publication
+    kPublished,  ///< visible to readers
+    kAborted,    ///< writer declared dead; snapshot unreadable forever
+    kRetired,    ///< old snapshot garbage-collected (storage reclaimed)
+};
+
+[[nodiscard]] inline const char* to_string(VersionStatus s) noexcept {
+    switch (s) {
+        case VersionStatus::kPending: return "pending";
+        case VersionStatus::kCommitted: return "committed";
+        case VersionStatus::kPublished: return "published";
+        case VersionStatus::kAborted: return "aborted";
+        case VersionStatus::kRetired: return "retired";
+    }
+    return "?";
+}
+
+/// Reply to an assign(): everything a writer needs to build its tree with
+/// zero further coordination.
+struct AssignResult {
+    Version version = 0;
+    std::uint64_t offset = 0;  ///< resolved offset (== old size for appends)
+    std::uint64_t size_before = 0;
+    std::uint64_t size_after = 0;
+    /// Latest published tree at assign time (invalid for a fresh blob).
+    meta::TreeRef base;
+    /// Descriptors of unpublished versions in (base, version), ascending.
+    std::vector<meta::WriteDescriptor> concurrent;
+    std::uint64_t chunk_size = 0;
+    std::uint32_t replication = 1;
+
+    /// Wire-size estimate for network charging.
+    [[nodiscard]] std::uint64_t serialized_size() const noexcept {
+        return 96 + 40 * concurrent.size();
+    }
+};
+
+/// Reply to a version query.
+struct VersionInfo {
+    Version version = 0;  ///< resolved (useful when querying kLatestVersion)
+    std::uint64_t size = 0;
+    VersionStatus status = VersionStatus::kPublished;
+    /// Tree to descend for reading this snapshot. For a clone's version 0
+    /// this points into the origin blob's tree.
+    meta::TreeRef tree;
+};
+
+class VersionManager {
+  public:
+    VersionManager() = default;
+
+    // ---- blob lifecycle --------------------------------------------------
+
+    /// Create a blob. \p chunk_size must be > 0; \p replication >= 1.
+    BlobInfo create_blob(std::uint64_t chunk_size, std::uint32_t replication);
+
+    /// O(1) snapshot clone (extension feature; see DESIGN.md): the new
+    /// blob's version 0 is an alias of (\p src, \p src_version), which
+    /// must be published.
+    BlobInfo clone_blob(BlobId src, Version src_version);
+
+    [[nodiscard]] BlobInfo blob_info(BlobId blob) const;
+
+    /// Number of blobs created so far.
+    [[nodiscard]] std::size_t blob_count() const;
+
+    // ---- write path -------------------------------------------------------
+
+    /// Assign the next version for a write of \p size bytes at \p offset
+    /// (nullopt = append at the current end). Validates the alignment
+    /// contract: offset chunk-aligned; a write that ends before the
+    /// current blob end must cover whole chunks.
+    AssignResult assign(BlobId blob, std::optional<std::uint64_t> offset,
+                        std::uint64_t size);
+
+    /// Writer finished storing chunks and metadata for \p v; publish it as
+    /// soon as every earlier version is published.
+    void commit(BlobId blob, Version v);
+
+    /// Abort \p v and cascade to every later assigned version. Explicit
+    /// form of the policy used by abort_stalled (exposed for tests and for
+    /// clients that know their write failed).
+    void abort(BlobId blob, Version v);
+
+    /// Apply the timeout policy: abort the tail starting at the oldest
+    /// pending version older than \p max_age. Returns the number of
+    /// versions aborted.
+    std::size_t abort_stalled(BlobId blob, Duration max_age);
+
+    // ---- read path ----------------------------------------------------------
+
+    /// Resolve \p v (or kLatestVersion) to snapshot info. Reading an
+    /// unpublished version is allowed to *query* (status says pending);
+    /// actually descending its tree before publication is a protocol
+    /// violation the client library never commits.
+    [[nodiscard]] VersionInfo get_version(BlobId blob, Version v) const;
+
+    /// Latest published version number (0 = nothing published yet).
+    [[nodiscard]] Version latest(BlobId blob) const;
+
+    /// Block until \p v is published or aborted. Returns its final info.
+    /// Throws TimeoutError after \p timeout.
+    VersionInfo wait_published(BlobId blob, Version v, Duration timeout) const;
+
+    /// Descriptor of an assigned version (GC and introspection).
+    [[nodiscard]] meta::WriteDescriptor descriptor_of(BlobId blob,
+                                                      Version v) const;
+
+    // ---- history, pinning & retirement ----------------------------------
+
+    /// Summary of one version for history listings.
+    struct VersionSummary {
+        Version version = 0;
+        VersionStatus status = VersionStatus::kPending;
+        std::uint64_t offset = 0;
+        std::uint64_t size = 0;
+        std::uint64_t size_after = 0;
+    };
+
+    /// Versions in [from, to] (clamped to what exists), ascending.
+    [[nodiscard]] std::vector<VersionSummary> history(BlobId blob,
+                                                      Version from,
+                                                      Version to) const;
+
+    /// Pin a published snapshot: it survives retirement (clones pin their
+    /// origin automatically).
+    void pin(BlobId blob, Version v);
+    void unpin(BlobId blob, Version v);
+    [[nodiscard]] std::vector<Version> pinned(BlobId blob) const;
+
+    /// Everything a client needs to physically reclaim retired versions'
+    /// storage (see retire()).
+    struct RetireInfo {
+        /// Versions whose status just flipped to kRetired.
+        std::vector<Version> retired;
+        /// Descriptors of every non-aborted version <= keep_from
+        /// (retired + survivors), ascending — enough to decide which
+        /// nodes/chunks lost their last reader.
+        std::vector<meta::WriteDescriptor> descriptors;
+        /// Pinned versions <= keep_from (they still read the old data).
+        std::vector<Version> pinned;
+        std::uint64_t keep_from = 0;
+    };
+
+    /// Retire every unpinned published version < \p keep_from.
+    /// \p keep_from must itself be published. Reading a retired version
+    /// throws; reads of keep_from and newer (and of pinned snapshots)
+    /// are unaffected. The caller is responsible for the physical
+    /// deletion pass (core::BlobSeerClient::reclaim_retired).
+    RetireInfo retire(BlobId blob, Version keep_from);
+
+    // ---- stats ---------------------------------------------------------------
+
+    [[nodiscard]] std::uint64_t assigns() const { return assigns_.get(); }
+    [[nodiscard]] std::uint64_t commits() const { return commits_.get(); }
+    [[nodiscard]] std::uint64_t aborts() const { return aborts_.get(); }
+
+  private:
+    struct VersionRecord {
+        meta::WriteDescriptor desc;
+        VersionStatus status = VersionStatus::kPending;
+        TimePoint assigned_at;
+    };
+
+    struct BlobState {
+        BlobInfo info;
+        /// Valid for clones: the aliased snapshot backing version 0.
+        meta::TreeRef origin;
+        std::uint64_t v0_size = 0;
+        std::uint64_t size = 0;       ///< running size over assigned versions
+        Version max_assigned = 0;
+        Version published = 0;        ///< highest version visible to readers
+        Version pub_cursor = 0;       ///< in-order publication scan position
+        /// records[v-1] describes version v.
+        std::vector<VersionRecord> records;
+        /// Snapshots protected from retirement (explicit pins and clone
+        /// origins).
+        std::set<Version> pinned;
+    };
+
+    [[nodiscard]] const BlobState& state_of(BlobId blob) const;
+    [[nodiscard]] BlobState& state_of(BlobId blob);
+
+    /// Advance the publication cursor through committed/aborted records.
+    /// Caller holds mu_.
+    void advance_publication(BlobState& b);
+
+    /// Abort the tail starting at version \p v. Caller holds mu_.
+    std::size_t abort_tail(BlobState& b, Version v);
+
+    /// Base tree of the latest published snapshot. Caller holds mu_.
+    [[nodiscard]] meta::TreeRef published_base(const BlobState& b) const;
+
+    [[nodiscard]] std::uint64_t size_of_version(const BlobState& b,
+                                                Version v) const;
+
+    mutable std::mutex mu_;  // guards blobs_ and every BlobState
+    mutable std::condition_variable publish_cv_;
+    std::unordered_map<BlobId, BlobState> blobs_;
+    BlobId next_blob_ = 1;
+
+    Counter assigns_;
+    Counter commits_;
+    Counter aborts_;
+};
+
+}  // namespace blobseer::version

@@ -1,0 +1,240 @@
+/// \file test_baseline.cpp
+/// \brief Tests of the HDFS-like SimpleDfs baseline: append-only files,
+///        exclusive leases, batched block-location reads and replication.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "baseline/lock_manager.hpp"
+#include "baseline/simple_dfs.hpp"
+#include "testing_util.hpp"
+
+namespace blobseer::baseline {
+namespace {
+
+class DfsFixture : public ::testing::Test {
+  protected:
+    DfsFixture()
+        : cluster_(blobseer::testing::fast_config()),
+          dfs_(cluster_, SimpleDfs::Config{.block_size = 64,
+                                           .replication = 1,
+                                           .namenode_ops_per_second = 0}) {
+        client_ = dfs_.make_client();
+    }
+
+    core::Cluster cluster_;
+    SimpleDfs dfs_;
+    std::unique_ptr<SimpleDfsClient> client_;
+};
+
+TEST_F(DfsFixture, AppendAndReadBack) {
+    client_->create("/f");
+    const Buffer data = make_pattern(1, 1, 0, 1000);
+    client_->append("/f", data);
+    client_->close_file("/f");
+
+    EXPECT_EQ(client_->stat("/f").length, 1000u);
+    Buffer out(1000);
+    EXPECT_EQ(client_->read("/f", 0, out), 1000u);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(DfsFixture, SubRangeReads) {
+    client_->create("/f");
+    const Buffer data = make_pattern(1, 2, 0, 640);
+    client_->append("/f", data);
+    client_->close_file("/f");
+    Buffer out(130);
+    EXPECT_EQ(client_->read("/f", 100, out), 130u);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + 100));
+    EXPECT_THROW(client_->read("/f", 600, out), InvalidArgument);
+}
+
+TEST_F(DfsFixture, LeaseExcludesConcurrentAppenders) {
+    client_->create("/f");
+    auto other = dfs_.make_client();
+    EXPECT_THROW((void)other->append_open("/f"), LeaseHeld);
+    EXPECT_THROW(other->append("/f", Buffer(10, 1)), LeaseHeld);
+    client_->close_file("/f");
+    EXPECT_NO_THROW(other->append_open("/f"));
+    other->append("/f", Buffer(10, 1));
+    other->close_file("/f");
+    EXPECT_EQ(client_->stat("/f").length, 10u);
+}
+
+TEST_F(DfsFixture, CreateDuplicateRejected) {
+    client_->create("/f");
+    EXPECT_THROW(client_->create("/f"), InvalidArgument);
+    EXPECT_TRUE(client_->exists("/f"));
+    EXPECT_FALSE(client_->exists("/g"));
+    EXPECT_THROW((void)client_->stat("/g"), NotFoundError);
+}
+
+TEST_F(DfsFixture, UncommittedBlocksInvisible) {
+    client_->create("/f");
+    // Allocate a block directly without completing it.
+    (void)cluster_.network().call(
+        client_->node(), dfs_.namenode().node(), 64, 96, [&] {
+            return dfs_.namenode().allocate_block("/f", client_->node(), 64);
+        });
+    EXPECT_EQ(client_->stat("/f").length, 0u);
+}
+
+TEST_F(DfsFixture, ManyBlocksBatchLocations) {
+    client_->create("/big");
+    const Buffer data = make_pattern(2, 7, 0, 64 * 20);  // 20 blocks
+    client_->append("/big", data);
+    client_->close_file("/big");
+
+    const std::uint64_t nn_ops_before = dfs_.namenode().ops();
+    Buffer out(data.size());
+    EXPECT_EQ(client_->read("/big", 0, out), data.size());
+    EXPECT_EQ(out, data);
+    const std::uint64_t lookups = dfs_.namenode().ops() - nn_ops_before;
+    // 1 stat + ceil(20/8) location batches = 4 RPCs, not 20.
+    EXPECT_LE(lookups, 5u);
+}
+
+TEST(DfsReplication, SurvivesDatanodeDeath) {
+    auto cfg = blobseer::testing::fast_config();
+    core::Cluster cluster(cfg);
+    SimpleDfs dfs(cluster, SimpleDfs::Config{.block_size = 64,
+                                             .replication = 2,
+                                             .namenode_ops_per_second = 0});
+    auto client = dfs.make_client();
+    client->create("/f");
+    const Buffer data = make_pattern(3, 3, 0, 640);
+    client->append("/f", data);
+    client->close_file("/f");
+
+    cluster.kill_data_provider(0, /*lose_volatile=*/true);
+    Buffer out(data.size());
+    EXPECT_EQ(client->read("/f", 0, out), data.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(DfsCapacity, NamenodeGateThrottles) {
+    auto cfg = blobseer::testing::fast_config();
+    core::Cluster cluster(cfg);
+    SimpleDfs dfs(cluster, SimpleDfs::Config{.block_size = 64,
+                                             .replication = 1,
+                                             .namenode_ops_per_second =
+                                                 1000});
+    auto client = dfs.make_client();
+    const Stopwatch sw;
+    client->create("/f");
+    client->append("/f", Buffer(64 * 10, 1));  // 10 blocks = 20+ NN ops
+    EXPECT_GE(sw.elapsed_us(), 15000u);
+}
+
+TEST_F(DfsFixture, ShortTailBlock) {
+    client_->create("/f");
+    client_->append("/f", Buffer(100, 0x55));  // 64 + 36
+    client_->close_file("/f");
+    EXPECT_EQ(client_->stat("/f").length, 100u);
+    Buffer out(100);
+    EXPECT_EQ(client_->read("/f", 0, out), 100u);
+    EXPECT_EQ(out, Buffer(100, 0x55));
+}
+
+// ---- LockManager (the lock-based access baseline of E2b) -------------------
+
+TEST(LockManager, SharedLocksCoexist) {
+    LockManager lm(0);
+    lm.lock_shared(1);
+    lm.lock_shared(1);
+    lm.unlock_shared(1);
+    lm.unlock_shared(1);
+    EXPECT_EQ(lm.shared_grants(), 2u);
+}
+
+TEST(LockManager, ExclusiveExcludesReaders) {
+    LockManager lm(0);
+    lm.lock_exclusive(1);
+    std::atomic<bool> reader_in{false};
+    std::thread reader([&] {
+        lm.lock_shared(1);
+        reader_in.store(true);
+        lm.unlock_shared(1);
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(reader_in.load());  // blocked behind the writer
+    lm.unlock_exclusive(1);
+    reader.join();
+    EXPECT_TRUE(reader_in.load());
+}
+
+TEST(LockManager, WriterWaitsForReaders) {
+    LockManager lm(0);
+    lm.lock_shared(1);
+    std::atomic<bool> writer_in{false};
+    std::thread writer([&] {
+        lm.lock_exclusive(1);
+        writer_in.store(true);
+        lm.unlock_exclusive(1);
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(writer_in.load());
+    lm.unlock_shared(1);
+    writer.join();
+    EXPECT_TRUE(writer_in.load());
+}
+
+TEST(LockManager, WaitingWriterBlocksNewReaders) {
+    LockManager lm(0);
+    lm.lock_shared(1);
+    std::atomic<bool> writer_in{false};
+    std::atomic<bool> late_reader_in{false};
+    std::thread writer([&] {
+        lm.lock_exclusive(1);
+        writer_in.store(true);
+        std::this_thread::sleep_for(milliseconds(20));
+        lm.unlock_exclusive(1);
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    std::thread late_reader([&] {
+        lm.lock_shared(1);  // must queue behind the waiting writer
+        late_reader_in.store(true);
+        lm.unlock_shared(1);
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(writer_in.load());
+    EXPECT_FALSE(late_reader_in.load());
+    lm.unlock_shared(1);
+    writer.join();
+    late_reader.join();
+    EXPECT_TRUE(writer_in.load());
+    EXPECT_TRUE(late_reader_in.load());
+}
+
+TEST(LockManager, IndependentBlobsDontInterfere) {
+    LockManager lm(0);
+    lm.lock_exclusive(1);
+    // A different blob's lock is free.
+    std::atomic<bool> got{false};
+    std::thread other([&] {
+        ExclusiveLockGuard guard(lm, 2);
+        got.store(true);
+    });
+    other.join();
+    EXPECT_TRUE(got.load());
+    lm.unlock_exclusive(1);
+}
+
+TEST(LockManager, GuardsReleaseOnScopeExit) {
+    LockManager lm(0);
+    {
+        SharedLockGuard guard(lm, 5);
+    }
+    {
+        ExclusiveLockGuard guard(lm, 5);
+    }
+    // If either guard leaked its lock this would deadlock:
+    ExclusiveLockGuard final_guard(lm, 5);
+    EXPECT_EQ(lm.exclusive_grants(), 2u);
+}
+
+}  // namespace
+}  // namespace blobseer::baseline

@@ -1,0 +1,251 @@
+/// \file test_client.cpp
+/// \brief End-to-end tests of the client library on an in-process
+///        cluster: the paper's full access interface (create / read /
+///        write / append / versioning / clone) plus locality queries,
+///        caching and replication effects.
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace blobseer::core {
+namespace {
+
+using blobseer::testing::fast_config;
+
+constexpr std::uint64_t kChunk = 64;
+
+class ClientFixture : public ::testing::Test {
+  protected:
+    ClientFixture() : cluster_(fast_config()) {
+        client_ = cluster_.make_client();
+    }
+
+    Buffer read_back(Blob& blob, Version v, std::uint64_t offset,
+                     std::size_t n) {
+        Buffer out(n);
+        EXPECT_EQ(blob.read(v, offset, out), n);
+        return out;
+    }
+
+    Cluster cluster_;
+    std::unique_ptr<BlobSeerClient> client_;
+};
+
+TEST_F(ClientFixture, WriteReadRoundTrip) {
+    Blob blob = client_->create(kChunk);
+    const Buffer data = make_pattern(blob.id(), 1, 0, 3 * kChunk);
+    const Version v = blob.write(0, data);
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(blob.size(), 3 * kChunk);
+    EXPECT_EQ(read_back(blob, v, 0, data.size()), data);
+}
+
+TEST_F(ClientFixture, SubRangeReads) {
+    Blob blob = client_->create(kChunk);
+    const Buffer data = make_pattern(blob.id(), 1, 0, 4 * kChunk);
+    blob.write(0, data);
+    // Misaligned sub-range spanning chunk boundaries:
+    const auto got = read_back(blob, 1, 17, 2 * kChunk + 5);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin() + 17));
+}
+
+TEST_F(ClientFixture, VersionedReadsSeeTheirSnapshot) {
+    Blob blob = client_->create(kChunk);
+    const Buffer v1 = make_pattern(blob.id(), 1, 0, 2 * kChunk);
+    const Buffer v2 = make_pattern(blob.id(), 2, 0, kChunk);
+    blob.write(0, v1);
+    blob.write(kChunk, v2);  // v2 overwrites chunk 1
+
+    // v1 snapshot unchanged:
+    EXPECT_EQ(read_back(blob, 1, 0, 2 * kChunk), v1);
+    // v2 snapshot: chunk 0 from v1, chunk 1 from the new write.
+    const auto got = read_back(blob, 2, 0, 2 * kChunk);
+    EXPECT_TRUE(std::equal(got.begin(), got.begin() + kChunk, v1.begin()));
+    EXPECT_TRUE(std::equal(got.begin() + kChunk, got.end(), v2.begin()));
+}
+
+TEST_F(ClientFixture, AppendsGrowTheBlob) {
+    Blob blob = client_->create(kChunk);
+    Buffer all;
+    for (int i = 0; i < 5; ++i) {
+        const Buffer part = make_pattern(blob.id(), 100 + i, 0, kChunk);
+        blob.append(part);
+        all.insert(all.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(blob.latest(), 5u);
+    EXPECT_EQ(blob.size(), 5 * kChunk);
+    EXPECT_EQ(read_back(blob, 5, 0, all.size()), all);
+}
+
+TEST_F(ClientFixture, UnalignedAppendMergesTail) {
+    Blob blob = client_->create(kChunk);
+    const Buffer head = make_pattern(blob.id(), 1, 0, 10);  // short tail
+    const Buffer tail = make_pattern(blob.id(), 2, 0, 100);
+    blob.append(head);
+    blob.append(tail);  // starts at offset 10, mid-chunk
+    EXPECT_EQ(blob.size(), 110u);
+    const auto got = read_back(blob, 2, 0, 110);
+    EXPECT_TRUE(std::equal(got.begin(), got.begin() + 10, head.begin()));
+    EXPECT_TRUE(std::equal(got.begin() + 10, got.end(), tail.begin()));
+    // The first snapshot still reads exactly its 10 bytes.
+    EXPECT_EQ(read_back(blob, 1, 0, 10), head);
+}
+
+TEST_F(ClientFixture, ManySmallUnalignedAppends) {
+    Blob blob = client_->create(kChunk);
+    Buffer all;
+    for (int i = 0; i < 20; ++i) {
+        const Buffer part =
+            make_pattern(blob.id(), 500 + i, 0, 7 + (i % 13));
+        blob.append(part);
+        all.insert(all.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(blob.size(), all.size());
+    EXPECT_EQ(read_back(blob, blob.latest(), 0, all.size()), all);
+}
+
+TEST_F(ClientFixture, SparseWriteReadsZerosInHoles) {
+    Blob blob = client_->create(kChunk);
+    const Buffer data = make_pattern(blob.id(), 1, 0, kChunk);
+    blob.write(4 * kChunk, data);  // leaves [0, 4*kChunk) as holes
+    EXPECT_EQ(blob.size(), 5 * kChunk);
+    const auto got = read_back(blob, 1, 0, 5 * kChunk);
+    for (std::uint64_t i = 0; i < 4 * kChunk; ++i) {
+        ASSERT_EQ(got[i], 0u) << "hole byte " << i;
+    }
+    EXPECT_TRUE(std::equal(got.begin() + 4 * kChunk, got.end(),
+                           data.begin()));
+}
+
+TEST_F(ClientFixture, LatestVersionResolves) {
+    Blob blob = client_->create(kChunk);
+    blob.append(make_pattern(blob.id(), 1, 0, kChunk));
+    blob.append(make_pattern(blob.id(), 2, 0, kChunk));
+    Buffer out(kChunk);
+    client_->read(blob.id(), kLatestVersion, kChunk, out);
+    EXPECT_TRUE(blobseer::testing::matches(blob.id(), 2, 0, out));
+}
+
+TEST_F(ClientFixture, ReadPastEndRejected) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 10));
+    Buffer out(20);
+    EXPECT_THROW(client_->read(blob.id(), 1, 0, out), InvalidArgument);
+    EXPECT_EQ(client_->read_available(blob.id(), 1, 0, out), 10u);
+    EXPECT_EQ(client_->read_available(blob.id(), 1, 10, out), 0u);
+}
+
+TEST_F(ClientFixture, UnalignedWriteOffsetRejected) {
+    Blob blob = client_->create(kChunk);
+    EXPECT_THROW(blob.write(5, make_pattern(blob.id(), 1, 0, 10)),
+                 InvalidArgument);
+    EXPECT_THROW(blob.write(0, {}), InvalidArgument);
+}
+
+TEST_F(ClientFixture, OpenExistingBlob) {
+    Blob blob = client_->create(kChunk);
+    blob.append(make_pattern(blob.id(), 1, 0, kChunk));
+    auto other = cluster_.make_client();
+    Blob reopened = other->open(blob.id());
+    EXPECT_EQ(reopened.chunk_size(), kChunk);
+    Buffer out(kChunk);
+    reopened.read(1, 0, out);
+    EXPECT_TRUE(blobseer::testing::matches(blob.id(), 1, 0, out));
+    EXPECT_THROW((void)client_->open(999), NotFoundError);
+}
+
+TEST_F(ClientFixture, CloneDiverges) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 2 * kChunk));
+    Blob copy = client_->clone(blob.id());
+    EXPECT_EQ(copy.stat(0).size, 2 * kChunk);
+
+    // Clone reads the origin's data...
+    Buffer out(2 * kChunk);
+    copy.read(0, 0, out);
+    EXPECT_TRUE(blobseer::testing::matches(blob.id(), 1, 0, out));
+
+    // ...and writes to the clone do not disturb the origin.
+    copy.write(0, make_pattern(copy.id(), 9, 0, kChunk));
+    Buffer cl(kChunk);
+    copy.read(1, 0, cl);
+    EXPECT_TRUE(blobseer::testing::matches(copy.id(), 9, 0, cl));
+    Buffer orig(kChunk);
+    blob.read(1, 0, orig);
+    EXPECT_TRUE(blobseer::testing::matches(blob.id(), 1, 0, orig));
+}
+
+TEST_F(ClientFixture, LocateReportsProviders) {
+    Blob blob = client_->create(kChunk, 2);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 4 * kChunk));
+    const auto locs = client_->locate(blob.id(), 1, {0, 4 * kChunk});
+    ASSERT_EQ(locs.size(), 4u);
+    std::uint64_t cursor = 0;
+    for (const auto& loc : locs) {
+        EXPECT_EQ(loc.range.offset, cursor);
+        EXPECT_FALSE(loc.hole);
+        EXPECT_EQ(loc.providers.size(), 2u);  // replication factor
+        cursor = loc.range.end();
+    }
+    EXPECT_EQ(cursor, 4 * kChunk);
+}
+
+TEST_F(ClientFixture, StripingUsesAllProviders) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0,
+                               kChunk * 4 * cluster_.data_provider_count()));
+    for (std::size_t i = 0; i < cluster_.data_provider_count(); ++i) {
+        EXPECT_GT(cluster_.data_provider(i).stored_bytes(), 0u)
+            << "provider " << i << " received nothing";
+    }
+}
+
+TEST_F(ClientFixture, ReplicationStoresCopies) {
+    Blob blob = client_->create(kChunk, 3);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 2 * kChunk));
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < cluster_.data_provider_count(); ++i) {
+        total += cluster_.data_provider(i).stored_bytes();
+    }
+    EXPECT_EQ(total, 3 * 2 * kChunk);
+}
+
+TEST_F(ClientFixture, MetadataCacheCutsDhtTraffic) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 8 * kChunk));
+
+    auto reader = cluster_.make_client();
+    Buffer out(8 * kChunk);
+    reader->read(blob.id(), 1, 0, out);
+    const auto misses_cold = reader->meta_cache().misses();
+    EXPECT_GT(misses_cold, 0u);
+    reader->read(blob.id(), 1, 0, out);
+    EXPECT_EQ(reader->meta_cache().misses(), misses_cold)
+        << "warm read should be served from the client cache";
+    EXPECT_GT(reader->meta_cache().hits(), 0u);
+}
+
+TEST_F(ClientFixture, StatsAccumulate) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0, kChunk));
+    blob.append(make_pattern(blob.id(), 2, 0, kChunk));
+    Buffer out(2 * kChunk);
+    blob.read(2, 0, out);
+    const auto& st = client_->stats();
+    EXPECT_EQ(st.writes.get(), 1u);
+    EXPECT_EQ(st.appends.get(), 1u);
+    EXPECT_EQ(st.reads.get(), 1u);
+    EXPECT_EQ(st.bytes_written.get(), 2 * kChunk);
+    EXPECT_EQ(st.bytes_read.get(), 2 * kChunk);
+    EXPECT_EQ(st.write_latency_us.count(), 2u);
+}
+
+TEST_F(ClientFixture, EmptyReadIsNoop) {
+    Blob blob = client_->create(kChunk);
+    Buffer out;
+    EXPECT_EQ(client_->read(blob.id(), kLatestVersion, 0, out), 0u);
+}
+
+}  // namespace
+}  // namespace blobseer::core

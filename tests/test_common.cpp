@@ -1,0 +1,301 @@
+/// \file test_common.cpp
+/// \brief Unit tests for the common substrate: range math, hashing, RNG,
+///        deterministic buffers, histograms, gates and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bandwidth_gate.hpp"
+#include "common/buffer.hpp"
+#include "common/clock.hpp"
+#include "common/hash.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace blobseer {
+namespace {
+
+// ---- pow2 / range math ------------------------------------------------------
+
+TEST(Pow2, CeilBasics) {
+    EXPECT_EQ(pow2_ceil(0), 1u);
+    EXPECT_EQ(pow2_ceil(1), 1u);
+    EXPECT_EQ(pow2_ceil(2), 2u);
+    EXPECT_EQ(pow2_ceil(3), 4u);
+    EXPECT_EQ(pow2_ceil(4), 4u);
+    EXPECT_EQ(pow2_ceil(5), 8u);
+    EXPECT_EQ(pow2_ceil(1023), 1024u);
+    EXPECT_EQ(pow2_ceil(1024), 1024u);
+    EXPECT_EQ(pow2_ceil(1025), 2048u);
+}
+
+TEST(Pow2, CeilLarge) {
+    EXPECT_EQ(pow2_ceil((1ULL << 40) - 1), 1ULL << 40);
+    EXPECT_EQ(pow2_ceil((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(Pow2, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ULL << 63));
+    EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(CeilDiv, Basics) {
+    EXPECT_EQ(ceil_div(0, 8), 0u);
+    EXPECT_EQ(ceil_div(1, 8), 1u);
+    EXPECT_EQ(ceil_div(8, 8), 1u);
+    EXPECT_EQ(ceil_div(9, 8), 2u);
+}
+
+TEST(ByteRange, IntersectsAndContains) {
+    const ByteRange a{10, 10};  // [10,20)
+    EXPECT_TRUE(a.intersects({15, 1}));
+    EXPECT_TRUE(a.intersects({0, 11}));
+    EXPECT_FALSE(a.intersects({20, 5}));
+    EXPECT_FALSE(a.intersects({0, 10}));
+    EXPECT_TRUE(a.contains({10, 10}));
+    EXPECT_TRUE(a.contains({12, 3}));
+    EXPECT_FALSE(a.contains({12, 9}));
+    EXPECT_TRUE(a.contains_pos(19));
+    EXPECT_FALSE(a.contains_pos(20));
+}
+
+// ---- hashing -------------------------------------------------------------
+
+TEST(Hash, StableAcrossCalls) {
+    EXPECT_EQ(fnv1a64("blobseer"), fnv1a64("blobseer"));
+    EXPECT_NE(fnv1a64("blobseer"), fnv1a64("blobsees"));
+}
+
+TEST(Hash, Mix64SpreadsSequentialInputs) {
+    // Sequential ids must land far apart for ring placement to balance.
+    std::set<std::uint64_t> top_bytes;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        top_bytes.insert(mix64(i) >> 56);
+    }
+    EXPECT_GT(top_bytes.size(), 32u);
+}
+
+// ---- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(7);
+    Rng b(7);
+    Rng c(8);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        diverged |= va != c();
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowInRange) {
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+    Rng rng(3);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+    Rng rng(5);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i) {
+        ++counts[zipf.sample(rng)];
+    }
+    EXPECT_GT(counts[0], counts[50] * 5);
+    EXPECT_GT(counts[0], 0);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+    Rng rng(5);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        ++counts[zipf.sample(rng)];
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, 700);
+        EXPECT_LT(c, 1300);
+    }
+}
+
+// ---- deterministic buffers ------------------------------------------------------
+
+TEST(Buffer, PatternRoundTrip) {
+    const Buffer b = make_pattern(42, 7, 1000, 4096);
+    EXPECT_EQ(verify_pattern(42, 7, 1000, b), -1);
+}
+
+TEST(Buffer, PatternDetectsCorruption) {
+    Buffer b = make_pattern(42, 7, 0, 256);
+    b[100] ^= 0xFF;
+    EXPECT_EQ(verify_pattern(42, 7, 0, b), 100);
+}
+
+TEST(Buffer, PatternDependsOnAllCoordinates) {
+    const Buffer base = make_pattern(1, 1, 0, 64);
+    EXPECT_NE(base, make_pattern(2, 1, 0, 64));
+    EXPECT_NE(base, make_pattern(1, 2, 0, 64));
+    EXPECT_NE(base, make_pattern(1, 1, 64, 64));
+}
+
+TEST(Buffer, UnalignedFillMatchesReference) {
+    // fill_pattern's word fast path must agree with the per-byte
+    // definition at any offset.
+    for (const std::uint64_t off : {0ULL, 1ULL, 3ULL, 7ULL, 8ULL, 13ULL}) {
+        Buffer b(41);
+        fill_pattern(9, 3, off, b);
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            ASSERT_EQ(b[i], pattern_byte(9, 3, off + i))
+                << "offset " << off << " index " << i;
+        }
+    }
+}
+
+// ---- stats ------------------------------------------------------------------------
+
+TEST(Counter, ConcurrentAdds) {
+    Counter c;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i) {
+                c.add();
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(c.get(), 40000u);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_NEAR(h.mean(), 500.5, 1.0);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+    // Log buckets: the median estimate must be within a bucket (~25%).
+    EXPECT_GT(h.quantile(0.5), 350u);
+    EXPECT_LT(h.quantile(0.5), 700u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Meter, AccumulatesIntoWindows) {
+    Meter m(milliseconds(10));
+    m.record(100);
+    m.record(200);
+    const auto series = m.series();
+    std::uint64_t total = 0;
+    for (const auto w : series) {
+        total += w;
+    }
+    EXPECT_EQ(total, 300u);
+}
+
+// ---- bandwidth gate -------------------------------------------------------------------
+
+TEST(BandwidthGate, ZeroRateIsFree) {
+    BandwidthGate gate(0);
+    const Stopwatch sw;
+    gate.transmit(100 << 20);
+    EXPECT_LT(sw.elapsed_us(), 20000u);
+}
+
+TEST(BandwidthGate, RateLimitsThroughput) {
+    // 10 MB/s: 100 KB should take ~10 ms.
+    BandwidthGate gate(10 << 20);
+    const Stopwatch sw;
+    gate.transmit(100 << 10);
+    const auto us = sw.elapsed_us();
+    EXPECT_GE(us, 8000u);
+    EXPECT_LT(us, 100000u);
+}
+
+TEST(BandwidthGate, ConcurrentTransfersSerialize) {
+    // Two concurrent 50 KB transfers over a 10 MB/s link take ~10 ms
+    // total, not ~5 ms.
+    BandwidthGate gate(10 << 20);
+    const Stopwatch sw;
+    std::thread t1([&] { gate.transmit(50 << 10); });
+    std::thread t2([&] { gate.transmit(50 << 10); });
+    t1.join();
+    t2.join();
+    EXPECT_GE(sw.elapsed_us(), 8000u);
+}
+
+// ---- thread pool ------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(2);
+    auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstError) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(10,
+                                   [](std::size_t i) {
+                                       if (i == 5) {
+                                           throw std::runtime_error("x");
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+    EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blobseer

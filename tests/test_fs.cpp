@@ -1,0 +1,293 @@
+/// \file test_fs.cpp
+/// \brief Tests of BSFS: path handling, the namespace service, and the
+///        streaming reader/writer over a live cluster.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fs/bsfs.hpp"
+#include "fs/path.hpp"
+#include "testing_util.hpp"
+
+namespace blobseer::fs {
+namespace {
+
+// ---- paths ------------------------------------------------------------------
+
+TEST(Path, Normalization) {
+    EXPECT_EQ(normalize_path("/"), "/");
+    EXPECT_EQ(normalize_path("/a/b"), "/a/b");
+    EXPECT_EQ(normalize_path("//a///b/"), "/a/b");
+    EXPECT_THROW((void)normalize_path("a/b"), InvalidArgument);
+    EXPECT_THROW((void)normalize_path(""), InvalidArgument);
+    EXPECT_THROW((void)normalize_path("/a/../b"), InvalidArgument);
+}
+
+TEST(Path, ParentAndBasename) {
+    EXPECT_EQ(parent_of("/a/b/c"), "/a/b");
+    EXPECT_EQ(parent_of("/a"), "/");
+    EXPECT_THROW((void)parent_of("/"), InvalidArgument);
+    EXPECT_EQ(basename_of("/a/b/c"), "c");
+    EXPECT_EQ(basename_of("/"), "/");
+}
+
+TEST(Path, Components) {
+    const auto c = components_of("/a/bb/ccc");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], "a");
+    EXPECT_EQ(c[2], "ccc");
+    EXPECT_TRUE(components_of("/").empty());
+}
+
+// ---- namespace service ---------------------------------------------------------
+
+TEST(Namespace, CreateLookupRemove) {
+    NamespaceService ns(0);
+    ns.mkdir("/data");
+    const auto info = ns.create_file("/data/f1", 42, 64);
+    EXPECT_EQ(info.blob, 42u);
+    EXPECT_TRUE(ns.exists("/data/f1"));
+    const auto found = ns.lookup("/data/f1");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->blob, 42u);
+    EXPECT_EQ(found->chunk_size, 64u);
+    EXPECT_EQ(ns.remove("/data/f1"), 42u);
+    EXPECT_FALSE(ns.exists("/data/f1"));
+}
+
+TEST(Namespace, ParentMustExist) {
+    NamespaceService ns(0);
+    EXPECT_THROW((void)ns.create_file("/missing/f", 1, 64), NotFoundError);
+    EXPECT_THROW(ns.mkdir("/a/b"), NotFoundError);
+    ns.mkdirs("/a/b/c");
+    EXPECT_TRUE(ns.exists("/a/b/c"));
+    EXPECT_NO_THROW(ns.create_file("/a/b/c/f", 1, 64));
+}
+
+TEST(Namespace, DuplicatesRejected) {
+    NamespaceService ns(0);
+    ns.mkdir("/d");
+    ns.create_file("/d/f", 1, 64);
+    EXPECT_THROW((void)ns.create_file("/d/f", 2, 64), InvalidArgument);
+    EXPECT_THROW(ns.mkdir("/d"), InvalidArgument);
+    EXPECT_NO_THROW(ns.mkdirs("/d"));  // mkdirs tolerates existing dirs
+}
+
+TEST(Namespace, ListImmediateChildrenOnly) {
+    NamespaceService ns(0);
+    ns.mkdirs("/x/y");
+    ns.create_file("/x/f1", 1, 64);
+    ns.create_file("/x/y/deep", 2, 64);
+    const auto entries = ns.list("/x");
+    ASSERT_EQ(entries.size(), 2u);  // f1 and y, not y/deep
+    EXPECT_THROW((void)ns.list("/x/f1"), InvalidArgument);
+    EXPECT_THROW((void)ns.list("/nope"), NotFoundError);
+}
+
+TEST(Namespace, RenameFileAndSubtree) {
+    NamespaceService ns(0);
+    ns.mkdirs("/src/sub");
+    ns.create_file("/src/f", 7, 64);
+    ns.create_file("/src/sub/g", 8, 64);
+    ns.mkdir("/dst");
+    ns.rename("/src", "/dst/moved");
+    EXPECT_FALSE(ns.exists("/src"));
+    EXPECT_TRUE(ns.exists("/dst/moved/f"));
+    EXPECT_TRUE(ns.exists("/dst/moved/sub/g"));
+    EXPECT_EQ(ns.lookup("/dst/moved/f")->blob, 7u);
+    EXPECT_THROW(ns.rename("/nope", "/x"), NotFoundError);
+}
+
+TEST(Namespace, RemoveGuards) {
+    NamespaceService ns(0);
+    ns.mkdirs("/a/b");
+    EXPECT_THROW(ns.remove("/a"), InvalidArgument);  // not empty
+    ns.remove("/a/b");
+    EXPECT_NO_THROW(ns.remove("/a"));
+    EXPECT_THROW(ns.remove("/"), InvalidArgument);
+}
+
+// ---- BSFS over a live cluster ------------------------------------------------------
+
+class BsfsFixture : public ::testing::Test {
+  protected:
+    BsfsFixture()
+        : cluster_(blobseer::testing::fast_config()),
+          fs_(cluster_, BsfsConfig{.chunk_size = 64,
+                                   .replication = {},
+                                   .writer_buffer_chunks = 2,
+                                   .readahead_chunks = 2}) {
+        client_ = fs_.make_client();
+    }
+
+    core::Cluster cluster_;
+    Bsfs fs_;
+    std::unique_ptr<BsfsClient> client_;
+};
+
+TEST_F(BsfsFixture, WriteThenReadBack) {
+    client_->mkdirs("/data");
+    const Buffer data = make_pattern(1, 99, 0, 1000);
+    {
+        auto writer = client_->create("/data/file");
+        writer.write(data);
+        writer.close();
+    }
+    EXPECT_EQ(client_->file_size("/data/file"), 1000u);
+
+    auto reader = client_->open("/data/file");
+    Buffer out(1000);
+    EXPECT_EQ(reader.read(out), 1000u);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(reader.read(out), 0u);  // EOF
+}
+
+TEST_F(BsfsFixture, StreamingChunksFlushAligned) {
+    client_->mkdirs("/s");
+    auto writer = client_->create("/s/f");
+    // 5 writes of 100 bytes with 64-byte chunks and a 2-chunk buffer:
+    // whole chunks get pushed as aligned appends along the way.
+    Buffer all;
+    for (int i = 0; i < 5; ++i) {
+        const Buffer part = make_pattern(2, i, 0, 100);
+        writer.write(part);
+        all.insert(all.end(), part.begin(), part.end());
+    }
+    EXPECT_GT(writer.pushed(), 0u);
+    EXPECT_LT(writer.buffered(), 128u);
+    writer.close();
+
+    auto reader = client_->open("/s/f");
+    Buffer out(all.size());
+    EXPECT_EQ(reader.read(out), all.size());
+    EXPECT_EQ(out, all);
+}
+
+TEST_F(BsfsFixture, ReaderSeeksAndPositionalReads) {
+    client_->mkdirs("/r");
+    const Buffer data = make_pattern(3, 1, 0, 640);
+    auto writer = client_->create("/r/f");
+    writer.write(data);
+    writer.close();
+
+    auto reader = client_->open("/r/f");
+    Buffer out(100);
+    EXPECT_EQ(reader.read_at(500, out), 100u);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin() + 500));
+    reader.seek(0);
+    Buffer head(64);
+    EXPECT_EQ(reader.read(head), 64u);
+    EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+    // Short read at the tail:
+    Buffer tail(100);
+    EXPECT_EQ(reader.read_at(600, tail), 40u);
+}
+
+TEST_F(BsfsFixture, ReaderPinnedToSnapshotUntilRefresh) {
+    client_->mkdirs("/p");
+    auto writer = client_->create("/p/f");
+    writer.write(Buffer(128, 0xAA));
+    writer.flush();
+
+    auto reader = client_->open("/p/f");
+    EXPECT_EQ(reader.size(), 128u);
+
+    writer.write(Buffer(128, 0xBB));
+    writer.flush();
+    // Old handle still sees the pinned snapshot...
+    EXPECT_EQ(reader.size(), 128u);
+    reader.refresh();
+    EXPECT_EQ(reader.size(), 256u);
+    Buffer out(256);
+    EXPECT_EQ(reader.read_at(0, out), 256u);
+    EXPECT_EQ(out[0], 0xAA);
+    EXPECT_EQ(out[255], 0xBB);
+    writer.close();
+}
+
+TEST_F(BsfsFixture, ConcurrentAppendersInterleaveAtomically) {
+    client_->mkdirs("/c");
+    {
+        auto w = client_->create("/c/log");
+        w.close();
+    }
+    const std::size_t writers = 4;
+    const int records = 6;
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < writers; ++w) {
+        threads.emplace_back([&, w] {
+            auto c = fs_.make_client();
+            auto writer = c->open_append("/c/log");
+            for (int i = 0; i < records; ++i) {
+                // One record = exactly one chunk, tagged by writer id.
+                writer.write(Buffer(64, static_cast<std::uint8_t>(1 + w)));
+                writer.flush();
+            }
+            writer.close();
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(client_->file_size("/c/log"), writers * records * 64);
+    auto reader = client_->open("/c/log");
+    Buffer out(writers * records * 64);
+    EXPECT_EQ(reader.read(out), out.size());
+    std::map<std::uint8_t, int> counts;
+    for (std::size_t b = 0; b < out.size(); b += 64) {
+        for (std::size_t i = 0; i < 64; ++i) {
+            ASSERT_EQ(out[b + i], out[b]) << "torn record";
+        }
+        ++counts[out[b]];
+    }
+    for (std::size_t w = 0; w < writers; ++w) {
+        EXPECT_EQ(counts[static_cast<std::uint8_t>(1 + w)], records);
+    }
+}
+
+TEST_F(BsfsFixture, LocateExposesProviders) {
+    client_->mkdirs("/l");
+    auto writer = client_->create("/l/f");
+    writer.write(make_pattern(9, 9, 0, 256));
+    writer.close();
+    const auto locs = client_->locate("/l/f", {0, 256});
+    ASSERT_FALSE(locs.empty());
+    for (const auto& loc : locs) {
+        EXPECT_FALSE(loc.hole);
+        EXPECT_FALSE(loc.providers.empty());
+    }
+}
+
+TEST_F(BsfsFixture, NamespaceOperationsThroughClient) {
+    client_->mkdirs("/dir/sub");
+    {
+        auto w = client_->create("/dir/sub/f");
+        w.write(Buffer(10, 1));
+        w.close();
+    }
+    EXPECT_TRUE(client_->exists("/dir/sub/f"));
+    const auto entries = client_->list("/dir/sub");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].name, "f");
+    client_->rename("/dir/sub/f", "/dir/g");
+    EXPECT_FALSE(client_->exists("/dir/sub/f"));
+    EXPECT_EQ(client_->file_size("/dir/g"), 10u);
+    client_->remove("/dir/g");
+    EXPECT_FALSE(client_->exists("/dir/g"));
+    EXPECT_THROW((void)client_->open("/dir/g"), NotFoundError);
+    EXPECT_THROW((void)client_->open("/dir"), InvalidArgument);
+}
+
+TEST_F(BsfsFixture, EmptyFileReadsNothing) {
+    client_->mkdirs("/e");
+    auto w = client_->create("/e/f");
+    w.close();
+    auto reader = client_->open("/e/f");
+    Buffer out(10);
+    EXPECT_EQ(reader.read(out), 0u);
+    EXPECT_EQ(reader.size(), 0u);
+}
+
+}  // namespace
+}  // namespace blobseer::fs

@@ -1,0 +1,175 @@
+/// \file test_net.cpp
+/// \brief Tests of the simulated network: cost model, failures,
+///        partitions, degradation and accounting.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.hpp"
+#include "net/sim_network.hpp"
+
+namespace blobseer::net {
+namespace {
+
+TEST(SimNetwork, CallExecutesHandlerAndReturns) {
+    SimNetwork net({.latency = Duration::zero(), .node_bandwidth_bps = 0});
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    const int result = net.call(a, b, 100, 100, [] { return 42; });
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(net.node(a).msgs_out.get(), 1u);
+    EXPECT_EQ(net.node(b).msgs_in.get(), 1u);
+    EXPECT_EQ(net.node(b).bytes_in.get(), 100u);
+    EXPECT_EQ(net.node(a).bytes_in.get(), 100u);  // response leg
+}
+
+TEST(SimNetwork, VoidCallWorks) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    bool ran = false;
+    net.call(a, b, 10, 10, [&] { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(SimNetwork, LatencyIsCharged) {
+    SimNetwork net({.latency = milliseconds(5), .node_bandwidth_bps = 0});
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    const Stopwatch sw;
+    net.call(a, b, 10, 10, [] {});
+    EXPECT_GE(sw.elapsed_us(), 9000u);  // 2 one-way latencies
+}
+
+TEST(SimNetwork, BandwidthIsCharged) {
+    // 10 MB/s NICs: a 100 KB transfer takes >= ~10 ms on each NIC.
+    SimNetwork net({.latency = Duration::zero(),
+                    .node_bandwidth_bps = 10 << 20});
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    const Stopwatch sw;
+    net.call(a, b, 100 << 10, 0, [] {});
+    EXPECT_GE(sw.elapsed_us(), 15000u);  // tx + rx serialization
+}
+
+TEST(SimNetwork, ConcurrentClientsShareServerNic) {
+    // Two clients each pulling 50 KB from the same server NIC at 10 MB/s:
+    // total >= ~10 ms because the server TX serializes.
+    SimNetwork net({.latency = Duration::zero(),
+                    .node_bandwidth_bps = 10 << 20});
+    const NodeId c1 = net.add_node("c1");
+    const NodeId c2 = net.add_node("c2");
+    const NodeId server = net.add_node("server");
+    const Stopwatch sw;
+    std::thread t1([&] { net.call(c1, server, 0, 50 << 10, [] {}); });
+    std::thread t2([&] { net.call(c2, server, 0, 50 << 10, [] {}); });
+    t1.join();
+    t2.join();
+    EXPECT_GE(sw.elapsed_us(), 8000u);
+}
+
+TEST(SimNetwork, KilledNodeRefusesCalls) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    net.kill(b);
+    EXPECT_THROW(net.call(a, b, 1, 1, [] {}), RpcError);
+    EXPECT_FALSE(net.is_alive(b));
+    net.recover(b);
+    EXPECT_NO_THROW(net.call(a, b, 1, 1, [] {}));
+}
+
+TEST(SimNetwork, DeadSourceCannotCall) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    net.kill(a);
+    EXPECT_THROW(net.call(a, b, 1, 1, [] {}), RpcError);
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirectionsAndHeals) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    const NodeId c = net.add_node("c");
+    net.partition(a, b);
+    EXPECT_THROW(net.call(a, b, 1, 1, [] {}), RpcError);
+    EXPECT_THROW(net.call(b, a, 1, 1, [] {}), RpcError);
+    EXPECT_NO_THROW(net.call(a, c, 1, 1, [] {}));  // unrelated pair fine
+    net.heal_partition(a, b);
+    EXPECT_NO_THROW(net.call(a, b, 1, 1, [] {}));
+}
+
+TEST(SimNetwork, DegradationSlowsTransfers) {
+    SimNetwork net({.latency = Duration::zero(),
+                    .node_bandwidth_bps = 10 << 20});
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+
+    const Stopwatch fast;
+    net.call(a, b, 50 << 10, 0, [] {});
+    const auto fast_us = fast.elapsed_us();
+
+    net.degrade(b, 4.0);
+    const Stopwatch slow;
+    net.call(a, b, 50 << 10, 0, [] {});
+    const auto slow_us = slow.elapsed_us();
+    EXPECT_GT(slow_us, fast_us * 2);
+
+    net.restore(b);
+    const Stopwatch restored;
+    net.call(a, b, 50 << 10, 0, [] {});
+    EXPECT_LT(restored.elapsed_us(), slow_us);
+}
+
+TEST(SimNetwork, ExtraLatencyInjected) {
+    SimNetwork net({.latency = Duration::zero(), .node_bandwidth_bps = 0});
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    net.degrade(b, 1.0, milliseconds(5));
+    const Stopwatch sw;
+    net.call(a, b, 1, 1, [] {});
+    EXPECT_GE(sw.elapsed_us(), 9000u);
+}
+
+TEST(SimNetwork, UnknownNodeRejected) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    EXPECT_THROW(net.call(a, 99, 1, 1, [] {}), InvalidArgument);
+}
+
+TEST(SimNetwork, MessageAccounting) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    for (int i = 0; i < 5; ++i) {
+        net.call(a, b, 10, 20, [] {});
+    }
+    // 5 requests from a + 5 responses from b.
+    EXPECT_EQ(net.total_messages(), 10u);
+    EXPECT_EQ(net.node(b).bytes_out.get(), 100u);
+}
+
+TEST(SimNetwork, OneWaySend) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    bool delivered = false;
+    net.send(a, b, 8, [&] { delivered = true; });
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(net.node(b).msgs_in.get(), 1u);
+    EXPECT_EQ(net.node(b).msgs_out.get(), 0u);
+}
+
+TEST(SimNetwork, HandlerExceptionPropagates) {
+    SimNetwork net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    EXPECT_THROW(
+        net.call(a, b, 1, 1, [] { throw NotFoundError("x"); }),
+        NotFoundError);
+}
+
+}  // namespace
+}  // namespace blobseer::net

@@ -1,0 +1,178 @@
+/// \file test_provider.cpp
+/// \brief Tests of the data provider service and the placement
+///        strategies of the provider manager.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chunk/ram_store.hpp"
+#include "provider/data_provider.hpp"
+#include "provider/provider_manager.hpp"
+
+namespace blobseer::provider {
+namespace {
+
+chunk::ChunkData payload(std::size_t n) {
+    return std::make_shared<Buffer>(n, std::uint8_t{0xAB});
+}
+
+TEST(DataProvider, PutGetErase) {
+    DataProvider dp(3, std::make_unique<chunk::RamStore>());
+    const chunk::ChunkKey key{1, 9};
+    dp.put_chunk(key, payload(128));
+    EXPECT_TRUE(dp.has_chunk(key));
+    EXPECT_EQ(dp.get_chunk(key)->size(), 128u);
+    EXPECT_EQ(dp.stored_bytes(), 128u);
+    dp.erase_chunk(key);
+    EXPECT_FALSE(dp.has_chunk(key));
+    EXPECT_THROW((void)dp.get_chunk(key), NotFoundError);
+}
+
+TEST(DataProvider, StatsTrackTraffic) {
+    DataProvider dp(0, std::make_unique<chunk::RamStore>());
+    dp.put_chunk({1, 1}, payload(100));
+    (void)dp.get_chunk({1, 1});
+    EXPECT_EQ(dp.stats().bytes_in.get(), 100u);
+    EXPECT_EQ(dp.stats().bytes_out.get(), 100u);
+    EXPECT_EQ(dp.stats().ops.get(), 2u);
+}
+
+TEST(DataProvider, VolatileLossClearsRamStore) {
+    DataProvider dp(0, std::make_unique<chunk::RamStore>());
+    dp.put_chunk({1, 1}, payload(10));
+    dp.lose_volatile_state();
+    EXPECT_FALSE(dp.has_chunk({1, 1}));
+}
+
+// ---- ProviderManager -------------------------------------------------------
+
+std::unique_ptr<ProviderManager> make_pm(PlacementStrategy s,
+                                         std::size_t n) {
+    auto pm = std::make_unique<ProviderManager>(s, 7);
+    for (NodeId i = 0; i < n; ++i) {
+        pm->register_provider(100 + i);
+    }
+    return pm;
+}
+
+TEST(ProviderManager, RoundRobinSpreadsEvenly) {
+    const auto pm = make_pm(PlacementStrategy::kRoundRobin, 4);
+    std::map<NodeId, int> counts;
+    const auto plan = pm->place(40, 1, 1024);
+    ASSERT_EQ(plan.size(), 40u);
+    for (const auto& replicas : plan) {
+        ASSERT_EQ(replicas.size(), 1u);
+        ++counts[replicas[0]];
+    }
+    for (const auto& [node, count] : counts) {
+        EXPECT_EQ(count, 10) << "node " << node;
+    }
+}
+
+TEST(ProviderManager, ReplicasAreDistinct) {
+    for (const auto strategy :
+         {PlacementStrategy::kRoundRobin, PlacementStrategy::kRandom,
+          PlacementStrategy::kLoadAware}) {
+        const auto pm = make_pm(strategy, 5);
+        const auto plan = pm->place(20, 3, 64);
+        for (const auto& replicas : plan) {
+            const std::set<NodeId> uniq(replicas.begin(), replicas.end());
+            EXPECT_EQ(uniq.size(), 3u) << to_string(strategy);
+        }
+    }
+}
+
+TEST(ProviderManager, ReplicationClampedToLiveProviders) {
+    const auto pm = make_pm(PlacementStrategy::kRoundRobin, 2);
+    const auto plan = pm->place(1, 5, 64);
+    EXPECT_EQ(plan[0].size(), 2u);
+}
+
+TEST(ProviderManager, DeadProvidersSkipped) {
+    const auto pm = make_pm(PlacementStrategy::kRoundRobin, 3);
+    pm->mark_dead(101);
+    const auto plan = pm->place(30, 1, 64);
+    for (const auto& replicas : plan) {
+        EXPECT_NE(replicas[0], 101u);
+    }
+    pm->mark_alive(101);
+    bool seen = false;
+    for (const auto& replicas : pm->place(30, 1, 64)) {
+        seen |= replicas[0] == 101;
+    }
+    EXPECT_TRUE(seen);
+}
+
+TEST(ProviderManager, AllDeadThrows) {
+    const auto pm = make_pm(PlacementStrategy::kRandom, 2);
+    pm->mark_dead(100);
+    pm->mark_dead(101);
+    EXPECT_THROW((void)pm->place(1, 1, 64), RpcError);
+}
+
+TEST(ProviderManager, UnhealthyProvidersAvoided) {
+    const auto pm = make_pm(PlacementStrategy::kRoundRobin, 3);
+    pm->set_health(102, 0.0);  // classified dangerous by the QoS model
+    for (const auto& replicas : pm->place(30, 1, 64)) {
+        EXPECT_NE(replicas[0], 102u);
+    }
+    pm->set_health(102, 1.0);
+    bool seen = false;
+    for (const auto& replicas : pm->place(30, 1, 64)) {
+        seen |= replicas[0] == 102;
+    }
+    EXPECT_TRUE(seen);
+}
+
+TEST(ProviderManager, AllUnhealthyFallsBackToLive) {
+    const auto pm = make_pm(PlacementStrategy::kRoundRobin, 2);
+    pm->set_health(100, 0.0);
+    pm->set_health(101, 0.0);
+    // Degraded but live beats failing the write.
+    EXPECT_EQ(pm->place(1, 1, 64)[0].size(), 1u);
+}
+
+TEST(ProviderManager, LoadAwarePrefersLeastLoaded) {
+    const auto pm = make_pm(PlacementStrategy::kLoadAware, 3);
+    // Preload node 100 with lots of assigned bytes.
+    (void)pm->place(10, 1, 1 << 20);  // these spread: all start at 0
+    // Now find the least-loaded provider and check the next placement
+    // picks it.
+    NodeId least = 100;
+    for (NodeId n = 100; n < 103; ++n) {
+        if (pm->assigned_bytes(n) < pm->assigned_bytes(least)) {
+            least = n;
+        }
+    }
+    const auto plan = pm->place(1, 1, 64);
+    EXPECT_EQ(plan[0][0], least);
+}
+
+TEST(ProviderManager, LoadAwareConvergesToBalance) {
+    const auto pm = make_pm(PlacementStrategy::kLoadAware, 4);
+    for (int i = 0; i < 100; ++i) {
+        (void)pm->place(1, 1, 1024);
+    }
+    std::uint64_t lo = ~0ULL;
+    std::uint64_t hi = 0;
+    for (NodeId n = 100; n < 104; ++n) {
+        lo = std::min(lo, pm->assigned_bytes(n));
+        hi = std::max(hi, pm->assigned_bytes(n));
+    }
+    EXPECT_LE(hi - lo, 1024u);
+}
+
+TEST(ProviderManager, HealthQueryAndCounters) {
+    const auto pm = make_pm(PlacementStrategy::kRandom, 2);
+    pm->set_health(100, 0.7);
+    EXPECT_DOUBLE_EQ(pm->health(100), 0.7);
+    EXPECT_THROW(pm->set_health(999, 1.0), NotFoundError);
+    (void)pm->place(5, 1, 64);
+    EXPECT_EQ(pm->placements(), 5u);
+    EXPECT_EQ(pm->provider_count(), 2u);
+}
+
+}  // namespace
+}  // namespace blobseer::provider

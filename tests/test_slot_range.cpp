@@ -1,0 +1,87 @@
+/// \file test_slot_range.cpp
+/// \brief Unit tests for the segment-tree range algebra and geometry.
+
+#include <gtest/gtest.h>
+
+#include "meta/slot_range.hpp"
+
+namespace blobseer::meta {
+namespace {
+
+TEST(SlotRange, Halves) {
+    const SlotRange r{8, 8};
+    EXPECT_EQ(r.left(), (SlotRange{8, 4}));
+    EXPECT_EQ(r.right(), (SlotRange{12, 4}));
+    EXPECT_TRUE(r.aligned());
+    EXPECT_TRUE(r.left().aligned());
+    EXPECT_TRUE(r.right().aligned());
+}
+
+TEST(SlotRange, Alignment) {
+    EXPECT_TRUE((SlotRange{0, 1}).aligned());
+    EXPECT_TRUE((SlotRange{4, 4}).aligned());
+    EXPECT_FALSE((SlotRange{2, 4}).aligned());  // first not multiple of count
+    EXPECT_FALSE((SlotRange{0, 3}).aligned());  // count not pow2
+    EXPECT_FALSE((SlotRange{0, 0}).aligned());
+}
+
+TEST(SlotRange, LeafDetection) {
+    EXPECT_TRUE((SlotRange{5, 1}).is_leaf());
+    EXPECT_FALSE((SlotRange{4, 2}).is_leaf());
+}
+
+TEST(SlotRange, Intersection) {
+    const SlotRange a{4, 4};  // [4,8)
+    EXPECT_TRUE(a.intersects({7, 2}));
+    EXPECT_FALSE(a.intersects({8, 4}));
+    EXPECT_FALSE(a.intersects({0, 4}));
+    EXPECT_TRUE(a.contains({4, 4}));
+    EXPECT_TRUE(a.contains({6, 2}));
+    EXPECT_FALSE(a.contains({6, 4}));
+}
+
+TEST(TreeGeometry, SlotsForBytes) {
+    const TreeGeometry geo(8);
+    EXPECT_EQ(geo.slots_for(0), 0u);
+    EXPECT_EQ(geo.slots_for(1), 1u);
+    EXPECT_EQ(geo.slots_for(8), 1u);
+    EXPECT_EQ(geo.slots_for(9), 2u);
+    EXPECT_EQ(geo.slots_for(64), 8u);
+}
+
+TEST(TreeGeometry, TreeSlotsArePow2) {
+    const TreeGeometry geo(8);
+    EXPECT_EQ(geo.tree_slots(0), 0u);   // empty blob: no tree
+    EXPECT_EQ(geo.tree_slots(1), 1u);
+    EXPECT_EQ(geo.tree_slots(17), 4u);  // 3 slots -> 4
+    EXPECT_EQ(geo.tree_slots(64), 8u);
+    EXPECT_EQ(geo.tree_slots(65), 16u);
+}
+
+TEST(TreeGeometry, SlotsOfByteRange) {
+    const TreeGeometry geo(8);
+    EXPECT_EQ(geo.slots_of({0, 8}), (SlotRange{0, 1}));
+    EXPECT_EQ(geo.slots_of({0, 9}), (SlotRange{0, 2}));
+    EXPECT_EQ(geo.slots_of({8, 8}), (SlotRange{1, 1}));
+    EXPECT_EQ(geo.slots_of({7, 2}), (SlotRange{0, 2}));  // straddles
+    EXPECT_EQ(geo.slots_of({16, 1}), (SlotRange{2, 1}));
+    EXPECT_TRUE(geo.slots_of({5, 0}).empty());
+}
+
+TEST(TreeGeometry, BytesOfSlot) {
+    const TreeGeometry geo(64);
+    EXPECT_EQ(geo.bytes_of_slot(0), (ByteRange{0, 64}));
+    EXPECT_EQ(geo.bytes_of_slot(3), (ByteRange{192, 64}));
+}
+
+TEST(TreeGeometry, RootRangeGrowsWithSize) {
+    const TreeGeometry geo(4);
+    EXPECT_TRUE(geo.root_range(0).empty());
+    EXPECT_EQ(geo.root_range(4), (SlotRange{0, 1}));
+    EXPECT_EQ(geo.root_range(5), (SlotRange{0, 2}));
+    EXPECT_EQ(geo.root_range(16), (SlotRange{0, 4}));
+    EXPECT_EQ(geo.root_range(17), (SlotRange{0, 8}));
+}
+
+}  // namespace
+}  // namespace blobseer::meta

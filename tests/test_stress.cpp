@@ -1,0 +1,359 @@
+/// \file test_stress.cpp
+/// \brief Heavier randomized integration scenarios: chaos mixed
+///        workloads under provider churn, long version histories with
+///        retirement waves, clone farms, BSFS under failures and client
+///        partitions. These run the whole stack for longer and check
+///        system-level invariants rather than per-operation oracles.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "fs/bsfs.hpp"
+#include "testing_util.hpp"
+
+namespace blobseer::core {
+namespace {
+
+constexpr std::uint64_t kChunk = 64;
+
+TEST(Stress, ChaosMixedWorkloadKeepsInvariants) {
+    auto cfg = blobseer::testing::fast_config();
+    cfg.data_providers = 6;
+    cfg.metadata_providers = 3;
+    cfg.default_replication = 2;
+    cfg.meta_replication = 2;
+    Cluster cluster(cfg);
+    auto owner = cluster.make_client();
+    Blob blob = owner->create(kChunk, 2);
+    blob.write(0, Buffer(16 * kChunk, 0x11));
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops_ok{0};
+    std::atomic<std::uint64_t> ops_failed{0};
+
+    // Churn: repeatedly bounce one provider (no data loss: repl handles
+    // reads; the churn mainly exercises failover + replacement paths).
+    std::thread churn([&] {
+        int round = 0;
+        while (!stop.load()) {
+            const std::size_t victim = round++ % 3;
+            cluster.kill_data_provider(victim, false);
+            std::this_thread::sleep_for(milliseconds(3));
+            cluster.recover_data_provider(victim);
+            std::this_thread::sleep_for(milliseconds(3));
+        }
+    });
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&, w] {
+            auto client = cluster.make_client();
+            Rng rng(w * 7 + 1);
+            Buffer out(2 * kChunk);
+            for (int i = 0; i < 60; ++i) {
+                try {
+                    const double dice = rng.uniform();
+                    if (dice < 0.4) {
+                        const auto vi = client->stat(blob.id());
+                        if (vi.size >= out.size()) {
+                            const std::uint64_t tiles =
+                                vi.size / out.size();
+                            client->read(blob.id(), vi.version,
+                                         rng.below(tiles) * out.size(),
+                                         out);
+                        }
+                    } else if (dice < 0.6) {
+                        // Read a random historical version.
+                        const auto latest = client->stat(blob.id()).version;
+                        const Version v = 1 + rng.below(latest);
+                        const auto vi = client->stat(blob.id(), v);
+                        if (vi.status ==
+                                version::VersionStatus::kPublished &&
+                            vi.size > 0) {
+                            Buffer one(std::min<std::uint64_t>(vi.size,
+                                                               kChunk));
+                            client->read(blob.id(), v, 0, one);
+                        }
+                    } else if (dice < 0.85) {
+                        client->write(blob.id(),
+                                      rng.below(16) * kChunk,
+                                      Buffer(kChunk,
+                                             static_cast<std::uint8_t>(w)));
+                    } else {
+                        client->append(
+                            blob.id(),
+                            Buffer(kChunk,
+                                   static_cast<std::uint8_t>(0xA0 + w)));
+                    }
+                    ops_ok.fetch_add(1);
+                } catch (const Error&) {
+                    ops_failed.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : workers) {
+        t.join();
+    }
+    stop.store(true);
+    churn.join();
+
+    // With replication 2 and single-node churn every operation should
+    // have found a live replica / placement.
+    EXPECT_EQ(ops_failed.load(), 0u)
+        << "ok=" << ops_ok.load() << " failed=" << ops_failed.load();
+
+    // The final snapshot is fully readable and history is consistent.
+    const auto vi = owner->stat(blob.id());
+    Buffer all(vi.size);
+    EXPECT_EQ(owner->read(blob.id(), vi.version, 0, all), vi.size);
+    const auto h = owner->history(blob.id());
+    EXPECT_EQ(h.back().version, vi.version);
+    std::uint64_t prev_size = 0;
+    for (const auto& s : h) {
+        EXPECT_GE(s.size_after, prev_size) << "size must be monotone";
+        prev_size = s.size_after;
+        EXPECT_EQ(s.status, version::VersionStatus::kPublished);
+    }
+}
+
+TEST(Stress, LongHistoryWithRetirementWaves) {
+    auto cfg = blobseer::testing::fast_config();
+    Cluster cluster(cfg);
+    auto client = cluster.make_client();
+    Blob blob = client->create(kChunk);
+
+    // Reference model of the latest content only.
+    Buffer model;
+    Rng rng(99);
+    const int versions = 120;
+    for (int i = 0; i < versions; ++i) {
+        const std::uint64_t slots = model.size() / kChunk;
+        if (slots > 2 && rng.chance(0.7)) {
+            const std::uint64_t slot = rng.below(slots);
+            const Buffer data = make_pattern(blob.id(), i, 0, kChunk);
+            blob.write(slot * kChunk, data);
+            std::copy(data.begin(), data.end(),
+                      model.begin() + static_cast<std::ptrdiff_t>(
+                                          slot * kChunk));
+        } else {
+            const Buffer data = make_pattern(blob.id(), i, 0, 2 * kChunk);
+            blob.append(data);
+            model.insert(model.end(), data.begin(), data.end());
+        }
+        // Retire in waves, keeping a sliding window of ~20 versions.
+        if (i % 25 == 24) {
+            const Version latest = client->stat(blob.id()).version;
+            if (latest > 20) {
+                client->retire_versions(blob.id(), latest - 20);
+            }
+        }
+    }
+    const auto vi = client->stat(blob.id());
+    Buffer got(vi.size);
+    ASSERT_EQ(client->read(blob.id(), vi.version, 0, got), vi.size);
+    EXPECT_EQ(got, model);
+
+    // Recent window still readable; ancient versions retired.
+    Buffer probe(kChunk);
+    EXPECT_NO_THROW(client->read(blob.id(), vi.version - 5, 0, probe));
+    EXPECT_THROW(client->read(blob.id(), 1, 0, probe), VersionRetired);
+}
+
+TEST(Stress, CloneFarmIsolation) {
+    auto cfg = blobseer::testing::fast_config();
+    Cluster cluster(cfg);
+    auto client = cluster.make_client();
+    Blob root = client->create(kChunk);
+    root.write(0, make_pattern(root.id(), 0, 0, 8 * kChunk));
+
+    // Two generations of clones, each customized at a distinct slot.
+    std::vector<Blob> farm;
+    for (int g1 = 0; g1 < 3; ++g1) {
+        Blob child = client->clone(root.id());
+        child.write(g1 * kChunk,
+                    make_pattern(child.id(), 100 + g1, 0, kChunk));
+        for (int g2 = 0; g2 < 2; ++g2) {
+            Blob grand = client->clone(child.id());
+            grand.write((4 + g2) * kChunk,
+                        make_pattern(grand.id(), 200 + g2, 0, kChunk));
+            farm.push_back(grand);
+        }
+        farm.push_back(std::move(child));
+    }
+
+    // Every clone sees: its own writes, its parent's writes (for
+    // grandchildren), and root data elsewhere. The root is untouched.
+    Buffer out(kChunk);
+    root.read(1, 7 * kChunk, out);
+    EXPECT_TRUE(blobseer::testing::matches(root.id(), 0, 7 * kChunk, out));
+    for (auto& b : farm) {
+        const auto vi = b.stat();
+        Buffer full(vi.size);
+        EXPECT_EQ(b.read(vi.version, 0, full), vi.size);
+        // Slot 7 always still root's.
+        EXPECT_TRUE(blobseer::testing::matches(
+            root.id(), 0, 7 * kChunk,
+            ConstBytes(full).subspan(7 * kChunk, kChunk)));
+    }
+    // Concurrent writes to different clones do not interfere.
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < farm.size(); ++i) {
+        threads.emplace_back([&, i] {
+            auto c = cluster.make_client();
+            c->write(farm[i].id(), 6 * kChunk,
+                     make_pattern(farm[i].id(), 999, 0, kChunk));
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (auto& b : farm) {
+        Buffer slot(kChunk);
+        b.read(b.stat().version, 6 * kChunk, slot);
+        EXPECT_TRUE(blobseer::testing::matches(b.id(), 999, 0, slot));
+    }
+}
+
+TEST(Stress, BsfsUnderProviderChurn) {
+    auto cfg = blobseer::testing::fast_config();
+    cfg.data_providers = 5;
+    cfg.default_replication = 2;
+    cfg.meta_replication = 2;
+    Cluster cluster(cfg);
+    fs::Bsfs bsfs(cluster, fs::BsfsConfig{.chunk_size = kChunk,
+                                          .replication = 2,
+                                          .writer_buffer_chunks = 1,
+                                          .readahead_chunks = 2});
+    auto admin = bsfs.make_client();
+    admin->mkdirs("/churn");
+    {
+        auto w = admin->create("/churn/log");
+        w.close();
+    }
+
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+        int round = 0;
+        while (!stop.load()) {
+            const std::size_t victim = round++ % 2;
+            cluster.kill_data_provider(victim, false);
+            std::this_thread::sleep_for(milliseconds(4));
+            cluster.recover_data_provider(victim);
+            std::this_thread::sleep_for(milliseconds(4));
+        }
+    });
+
+    const std::size_t writers = 3;
+    const int records = 8;
+    std::atomic<std::uint64_t> failures{0};
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < writers; ++w) {
+        threads.emplace_back([&, w] {
+            auto c = bsfs.make_client();
+            auto writer = c->open_append("/churn/log");
+            for (int r = 0; r < records; ++r) {
+                try {
+                    writer.write(Buffer(kChunk,
+                                        static_cast<std::uint8_t>(1 + w)));
+                    writer.flush();
+                } catch (const Error&) {
+                    failures.fetch_add(1);
+                }
+            }
+            writer.close();
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    stop.store(true);
+    churn.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(admin->file_size("/churn/log"), writers * records * kChunk);
+    auto reader = admin->open("/churn/log");
+    Buffer all(writers * records * kChunk);
+    EXPECT_EQ(reader.read(all), all.size());
+    std::map<std::uint8_t, int> counts;
+    for (std::size_t b = 0; b < all.size(); b += kChunk) {
+        ++counts[all[b]];
+    }
+    for (std::size_t w = 0; w < writers; ++w) {
+        EXPECT_EQ(counts[static_cast<std::uint8_t>(1 + w)], records);
+    }
+}
+
+TEST(Stress, PartitionedClientFailsCleanlyAndRecovers) {
+    auto cfg = blobseer::testing::fast_config();
+    Cluster cluster(cfg);
+    auto client = cluster.make_client();
+    Blob blob = client->create(kChunk);
+    blob.write(0, Buffer(4 * kChunk, 1));
+    Buffer out(kChunk);
+    client->read(blob.id(), 1, 0, out);  // caches v1's snapshot info
+
+    // Partition the client from the version manager: every operation
+    // that needs version resolution fails fast with RpcError.
+    cluster.network().partition(client->node(),
+                                cluster.version_manager_node());
+    EXPECT_THROW((void)client->stat(blob.id()), RpcError);
+    EXPECT_THROW(client->append(blob.id(), Buffer(kChunk, 2)), RpcError);
+    // Reads of an already-seen published version still work: snapshot
+    // info is immutable and cached; data providers are reachable.
+    EXPECT_NO_THROW(client->read(blob.id(), 1, 0, out));
+
+    cluster.network().heal_partition(client->node(),
+                                     cluster.version_manager_node());
+    EXPECT_NO_THROW(client->append(blob.id(), Buffer(kChunk, 2)));
+    EXPECT_EQ(client->stat(blob.id()).version, 2u);
+
+    // A blob whose state was never touched by this client still works
+    // after healing (no stale poisoned caches).
+    auto fresh = cluster.make_client();
+    Buffer all(5 * kChunk);
+    EXPECT_EQ(fresh->read(blob.id(), kLatestVersion, 0, all), all.size());
+}
+
+TEST(Stress, ManyBlobsManyClients) {
+    auto cfg = blobseer::testing::fast_config();
+    Cluster cluster(cfg);
+    const std::size_t n = 10;
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> failures{0};
+    for (std::size_t t = 0; t < n; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                auto client = cluster.make_client();
+                Blob blob = client->create(32 * (1 + t % 3));
+                Buffer model;
+                Rng rng(t);
+                for (int i = 0; i < 15; ++i) {
+                    const Buffer part =
+                        make_pattern(blob.id(), i, model.size(),
+                                     1 + rng.below(100));
+                    blob.append(part);
+                    model.insert(model.end(), part.begin(), part.end());
+                }
+                Buffer got(model.size());
+                if (client->read(blob.id(), kLatestVersion, 0, got) !=
+                        model.size() ||
+                    got != model) {
+                    failures.fetch_add(1);
+                }
+            } catch (const Error&) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(cluster.version_manager().blob_count(), n);
+}
+
+}  // namespace
+}  // namespace blobseer::core

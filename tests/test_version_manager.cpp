@@ -1,0 +1,231 @@
+/// \file test_version_manager.cpp
+/// \brief Tests of version assignment, in-order publication, clone
+///        aliasing and the abort/timeout policy.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "version/version_manager.hpp"
+
+namespace blobseer::version {
+namespace {
+
+class VmFixture : public ::testing::Test {
+  protected:
+    VmFixture() { info_ = vm_.create_blob(8, 2); }
+
+    VersionManager vm_;
+    BlobInfo info_;
+};
+
+TEST_F(VmFixture, CreateValidates) {
+    EXPECT_THROW(vm_.create_blob(0, 1), InvalidArgument);
+    EXPECT_THROW(vm_.create_blob(8, 0), InvalidArgument);
+    const auto b2 = vm_.create_blob(16, 3);
+    EXPECT_NE(b2.id, info_.id);
+    EXPECT_EQ(vm_.blob_count(), 2u);
+    EXPECT_EQ(vm_.blob_info(b2.id).chunk_size, 16u);
+    EXPECT_THROW((void)vm_.blob_info(999), NotFoundError);
+}
+
+TEST_F(VmFixture, FreshBlobIsEmptyVersionZero) {
+    const auto vi = vm_.get_version(info_.id, kLatestVersion);
+    EXPECT_EQ(vi.version, 0u);
+    EXPECT_EQ(vi.size, 0u);
+    EXPECT_EQ(vi.status, VersionStatus::kPublished);
+    EXPECT_FALSE(vi.tree.valid());
+}
+
+TEST_F(VmFixture, AssignSequence) {
+    const auto a1 = vm_.assign(info_.id, 0, 16);
+    EXPECT_EQ(a1.version, 1u);
+    EXPECT_EQ(a1.size_before, 0u);
+    EXPECT_EQ(a1.size_after, 16u);
+    EXPECT_TRUE(a1.concurrent.empty());
+    EXPECT_FALSE(a1.base.valid());
+
+    const auto a2 = vm_.assign(info_.id, std::nullopt, 8);
+    EXPECT_EQ(a2.version, 2u);
+    EXPECT_EQ(a2.offset, 16u);  // append lands at the running end
+    EXPECT_EQ(a2.size_before, 16u);
+    // v1 has not published: it appears as a concurrent descriptor.
+    ASSERT_EQ(a2.concurrent.size(), 1u);
+    EXPECT_EQ(a2.concurrent[0].version, 1u);
+}
+
+TEST_F(VmFixture, PublicationIsInOrder) {
+    (void)vm_.assign(info_.id, 0, 8);
+    (void)vm_.assign(info_.id, 8, 8);
+    (void)vm_.assign(info_.id, 16, 8);
+    vm_.commit(info_.id, 3);
+    vm_.commit(info_.id, 2);
+    EXPECT_EQ(vm_.latest(info_.id), 0u);  // blocked on v1
+    vm_.commit(info_.id, 1);
+    EXPECT_EQ(vm_.latest(info_.id), 3u);  // all flush at once
+}
+
+TEST_F(VmFixture, ConcurrentListShrinksAfterPublication) {
+    const auto a1 = vm_.assign(info_.id, 0, 8);
+    vm_.commit(info_.id, a1.version);
+    const auto a2 = vm_.assign(info_.id, 0, 8);
+    EXPECT_TRUE(a2.concurrent.empty());
+    EXPECT_TRUE(a2.base.valid());
+    EXPECT_EQ(a2.base.version, 1u);
+    EXPECT_EQ(a2.base.size, 8u);
+}
+
+TEST_F(VmFixture, AlignmentValidation) {
+    EXPECT_THROW(vm_.assign(info_.id, 3, 8), InvalidArgument);
+    EXPECT_THROW(vm_.assign(info_.id, 0, 0), InvalidArgument);
+    const auto a1 = vm_.assign(info_.id, 0, 32);
+    vm_.commit(info_.id, a1.version);
+    EXPECT_THROW(vm_.assign(info_.id, 0, 5), InvalidArgument);
+    EXPECT_NO_THROW(vm_.assign(info_.id, 32, 5));  // short tail at end
+}
+
+TEST_F(VmFixture, CommitValidation) {
+    EXPECT_THROW(vm_.commit(info_.id, 1), InvalidArgument);  // unassigned
+    const auto a = vm_.assign(info_.id, 0, 8);
+    vm_.commit(info_.id, a.version);
+    EXPECT_NO_THROW(vm_.commit(info_.id, a.version));  // idempotent
+}
+
+TEST_F(VmFixture, GetVersionStates) {
+    const auto a = vm_.assign(info_.id, 0, 8);
+    EXPECT_EQ(vm_.get_version(info_.id, 1).status, VersionStatus::kPending);
+    vm_.commit(info_.id, a.version);
+    EXPECT_EQ(vm_.get_version(info_.id, 1).status, VersionStatus::kPublished);
+    EXPECT_THROW((void)vm_.get_version(info_.id, 2), NotFoundError);
+}
+
+TEST_F(VmFixture, WaitPublishedBlocksUntilCommit) {
+    const auto a = vm_.assign(info_.id, 0, 8);
+    std::thread committer([&] {
+        std::this_thread::sleep_for(milliseconds(30));
+        vm_.commit(info_.id, a.version);
+    });
+    const auto vi = vm_.wait_published(info_.id, 1, seconds(5));
+    EXPECT_EQ(vi.status, VersionStatus::kPublished);
+    committer.join();
+}
+
+TEST_F(VmFixture, WaitPublishedTimesOut) {
+    (void)vm_.assign(info_.id, 0, 8);
+    EXPECT_THROW((void)vm_.wait_published(info_.id, 1, milliseconds(30)),
+                 TimeoutError);
+}
+
+TEST_F(VmFixture, AbortCascadesToTail) {
+    (void)vm_.assign(info_.id, 0, 8);    // v1 (will die)
+    (void)vm_.assign(info_.id, 8, 8);    // v2
+    (void)vm_.assign(info_.id, 16, 8);   // v3
+    vm_.commit(info_.id, 2);             // committed but blocked
+    vm_.abort(info_.id, 1);
+    // The whole tail dies: v2 wove references to v1's metadata.
+    EXPECT_EQ(vm_.get_version(info_.id, 1).status, VersionStatus::kAborted);
+    EXPECT_EQ(vm_.get_version(info_.id, 2).status, VersionStatus::kAborted);
+    EXPECT_EQ(vm_.get_version(info_.id, 3).status, VersionStatus::kAborted);
+    EXPECT_EQ(vm_.latest(info_.id), 0u);
+
+    // Size rolled back: the next writer starts from scratch and version
+    // numbers are not reused.
+    const auto a4 = vm_.assign(info_.id, std::nullopt, 8);
+    EXPECT_EQ(a4.version, 4u);
+    EXPECT_EQ(a4.offset, 0u);
+    EXPECT_TRUE(a4.concurrent.empty());  // aborted versions excluded
+    vm_.commit(info_.id, 4);
+    EXPECT_EQ(vm_.latest(info_.id), 4u);
+    EXPECT_EQ(vm_.get_version(info_.id, 4).size, 8u);
+}
+
+TEST_F(VmFixture, AbortOnlyTail) {
+    const auto a1 = vm_.assign(info_.id, 0, 8);
+    vm_.commit(info_.id, a1.version);
+    (void)vm_.assign(info_.id, 8, 8);  // v2 dies
+    vm_.abort(info_.id, 2);
+    EXPECT_EQ(vm_.latest(info_.id), 1u);  // v1 survives
+    EXPECT_THROW(vm_.abort(info_.id, 1), InvalidArgument);  // published
+}
+
+TEST_F(VmFixture, CommitAfterAbortThrows) {
+    (void)vm_.assign(info_.id, 0, 8);
+    vm_.abort(info_.id, 1);
+    EXPECT_THROW(vm_.commit(info_.id, 1), VersionAborted);
+}
+
+TEST_F(VmFixture, AbortStalledRespectsAge) {
+    (void)vm_.assign(info_.id, 0, 8);
+    // Fresh version: nothing to abort.
+    EXPECT_EQ(vm_.abort_stalled(info_.id, seconds(10)), 0u);
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_EQ(vm_.abort_stalled(info_.id, milliseconds(1)), 1u);
+    EXPECT_EQ(vm_.get_version(info_.id, 1).status, VersionStatus::kAborted);
+}
+
+TEST_F(VmFixture, AbortStalledSkipsCommittedPrefix) {
+    const auto a1 = vm_.assign(info_.id, 0, 8);
+    (void)vm_.assign(info_.id, 8, 8);
+    vm_.commit(info_.id, a1.version);
+    std::this_thread::sleep_for(milliseconds(20));
+    // v1 published; v2 pending and stale -> only v2 goes.
+    EXPECT_EQ(vm_.abort_stalled(info_.id, milliseconds(1)), 1u);
+    EXPECT_EQ(vm_.latest(info_.id), 1u);
+}
+
+TEST_F(VmFixture, DescriptorLookup) {
+    (void)vm_.assign(info_.id, 16, 8);
+    const auto d = vm_.descriptor_of(info_.id, 1);
+    EXPECT_EQ(d.offset, 16u);
+    EXPECT_EQ(d.size, 8u);
+    EXPECT_EQ(d.size_before, 0u);
+    EXPECT_EQ(d.size_after, 24u);
+    EXPECT_THROW((void)vm_.descriptor_of(info_.id, 2), NotFoundError);
+}
+
+// ---- clones ---------------------------------------------------------------
+
+TEST_F(VmFixture, CloneAliasesPublishedVersion) {
+    const auto a1 = vm_.assign(info_.id, 0, 24);
+    vm_.commit(info_.id, a1.version);
+
+    const auto c = vm_.clone_blob(info_.id, 1);
+    EXPECT_NE(c.id, info_.id);
+    EXPECT_EQ(c.chunk_size, info_.chunk_size);
+
+    const auto v0 = vm_.get_version(c.id, 0);
+    EXPECT_EQ(v0.size, 24u);
+    EXPECT_TRUE(v0.tree.valid());
+    EXPECT_EQ(v0.tree.blob, info_.id);
+    EXPECT_EQ(v0.tree.version, 1u);
+
+    // First write to the clone bases on the alias.
+    const auto ca = vm_.assign(c.id, 0, 8);
+    EXPECT_EQ(ca.size_before, 24u);
+    EXPECT_EQ(ca.base.blob, info_.id);
+}
+
+TEST_F(VmFixture, CloneRejectsUnpublished) {
+    (void)vm_.assign(info_.id, 0, 8);
+    EXPECT_THROW((void)vm_.clone_blob(info_.id, 1), InvalidArgument);
+}
+
+TEST_F(VmFixture, CloneOfCloneChainsToOrigin) {
+    const auto a1 = vm_.assign(info_.id, 0, 8);
+    vm_.commit(info_.id, a1.version);
+    const auto c1 = vm_.clone_blob(info_.id, 1);
+    const auto c2 = vm_.clone_blob(c1.id, 0);  // clone of the alias itself
+    const auto v0 = vm_.get_version(c2.id, 0);
+    EXPECT_EQ(v0.tree.blob, info_.id);  // chained through, not nested
+    EXPECT_EQ(v0.size, 8u);
+}
+
+TEST_F(VmFixture, CloneLatestResolves) {
+    const auto a1 = vm_.assign(info_.id, 0, 8);
+    vm_.commit(info_.id, a1.version);
+    const auto c = vm_.clone_blob(info_.id, kLatestVersion);
+    EXPECT_EQ(vm_.get_version(c.id, 0).size, 8u);
+}
+
+}  // namespace
+}  // namespace blobseer::version

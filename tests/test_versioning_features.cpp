@@ -1,0 +1,217 @@
+/// \file test_versioning_features.cpp
+/// \brief Tests of the version-history surface: history listings,
+///        changed-range diffs, snapshot pinning and version retirement
+///        with physical storage reclamation.
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace blobseer::core {
+namespace {
+
+constexpr std::uint64_t kChunk = 64;
+
+class VersioningFixture : public ::testing::Test {
+  protected:
+    VersioningFixture() : cluster_(blobseer::testing::fast_config()) {
+        client_ = cluster_.make_client();
+        blob_ = std::make_unique<Blob>(client_->create(kChunk));
+    }
+
+    std::uint64_t stored_chunk_bytes() {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < cluster_.data_provider_count(); ++i) {
+            total += cluster_.data_provider(i).stored_bytes();
+        }
+        return total;
+    }
+
+    std::size_t stored_meta_nodes() {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cluster_.metadata_provider_count();
+             ++i) {
+            total += cluster_.metadata_provider(i).stored_nodes();
+        }
+        return total;
+    }
+
+    Cluster cluster_;
+    std::unique_ptr<BlobSeerClient> client_;
+    std::unique_ptr<Blob> blob_;
+};
+
+TEST_F(VersioningFixture, HistoryListsWrites) {
+    blob_->write(0, Buffer(2 * kChunk, 1));
+    blob_->append(Buffer(kChunk, 2));
+    blob_->write(kChunk, Buffer(kChunk, 3));
+
+    const auto h = client_->history(blob_->id());
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0].version, 1u);
+    EXPECT_EQ(h[0].offset, 0u);
+    EXPECT_EQ(h[0].size, 2 * kChunk);
+    EXPECT_EQ(h[1].offset, 2 * kChunk);  // append landed at the end
+    EXPECT_EQ(h[1].size_after, 3 * kChunk);
+    EXPECT_EQ(h[2].offset, kChunk);
+    EXPECT_EQ(h[2].status, version::VersionStatus::kPublished);
+
+    // Sub-ranges clamp.
+    EXPECT_EQ(client_->history(blob_->id(), 2, 2).size(), 1u);
+    EXPECT_EQ(client_->history(blob_->id(), 5, 99).size(), 0u);
+}
+
+TEST_F(VersioningFixture, ChangedRangesMergesWrites) {
+    blob_->write(0, Buffer(8 * kChunk, 1));        // v1
+    blob_->write(0, Buffer(kChunk, 2));            // v2: [0, c)
+    blob_->write(kChunk, Buffer(kChunk, 3));       // v3: [c, 2c) adjacent
+    blob_->write(4 * kChunk, Buffer(kChunk, 4));   // v4: [4c, 5c) separate
+
+    const auto diff = client_->changed_ranges(blob_->id(), 1, 4);
+    ASSERT_EQ(diff.size(), 2u);
+    EXPECT_EQ(diff[0], (ByteRange{0, 2 * kChunk}));  // v2+v3 merged
+    EXPECT_EQ(diff[1], (ByteRange{4 * kChunk, kChunk}));
+
+    // Diff of adjacent versions is that version's write only.
+    const auto one = client_->changed_ranges(blob_->id(), 3, 4);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], (ByteRange{4 * kChunk, kChunk}));
+
+    EXPECT_TRUE(client_->changed_ranges(blob_->id(), 4, 4 + 0).empty());
+}
+
+TEST_F(VersioningFixture, ChangedRangesValidation) {
+    blob_->write(0, Buffer(kChunk, 1));
+    EXPECT_THROW((void)client_->changed_ranges(blob_->id(), 2, 1),
+                 InvalidArgument);
+}
+
+TEST_F(VersioningFixture, RetireReclaimsStorage) {
+    // v1 fills 8 chunks; v2..v4 each rewrite chunk 0. Retiring below v4
+    // must delete exactly the three superseded chunk-0 chunks and their
+    // private tree paths.
+    blob_->write(0, Buffer(8 * kChunk, 1));
+    for (int i = 0; i < 3; ++i) {
+        blob_->write(0, Buffer(kChunk, static_cast<std::uint8_t>(2 + i)));
+    }
+    const std::uint64_t bytes_before = stored_chunk_bytes();
+    const std::size_t meta_before = stored_meta_nodes();
+
+    const auto stats = client_->retire_versions(blob_->id(), 4);
+    EXPECT_EQ(stats.versions, 3u);  // v1, v2, v3
+    // v2 and v3's chunk-0 chunks are superseded (by v3 and v4); v1's
+    // chunk 0 is superseded by v2. Chunks 1..7 of v1 are still read by
+    // v4 and must survive.
+    EXPECT_EQ(stats.chunks, 3u);
+    EXPECT_GT(stats.meta_nodes, 0u);
+    EXPECT_EQ(stored_chunk_bytes(), bytes_before - 3 * kChunk);
+    EXPECT_LT(stored_meta_nodes(), meta_before);
+
+    // The surviving snapshot is fully readable.
+    Buffer out(8 * kChunk);
+    EXPECT_EQ(client_->read(blob_->id(), 4, 0, out), out.size());
+    EXPECT_EQ(out[0], 4u);          // newest chunk-0 rewrite
+    EXPECT_EQ(out[kChunk], 1u);     // v1 data preserved
+
+    // Retired snapshots refuse reads.
+    EXPECT_THROW(client_->read(blob_->id(), 1, 0, out), VersionRetired);
+    EXPECT_THROW(client_->read(blob_->id(), 3, 0, out), VersionRetired);
+    EXPECT_EQ(client_->stat(blob_->id()).version, 4u);
+}
+
+TEST_F(VersioningFixture, RetireIsIdempotentAndIncremental) {
+    for (int i = 0; i < 5; ++i) {
+        blob_->append(Buffer(kChunk, static_cast<std::uint8_t>(i)));
+    }
+    EXPECT_EQ(client_->retire_versions(blob_->id(), 3).versions, 2u);
+    EXPECT_EQ(client_->retire_versions(blob_->id(), 3).versions, 0u);
+    EXPECT_EQ(client_->retire_versions(blob_->id(), 5).versions, 2u);
+    // Appends never supersede old chunks, so nothing is reclaimable —
+    // every byte is still part of the latest snapshot.
+    Buffer out(5 * kChunk);
+    EXPECT_EQ(client_->read(blob_->id(), 5, 0, out), out.size());
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(out[i * kChunk], i);
+    }
+}
+
+TEST_F(VersioningFixture, RetireValidation) {
+    blob_->write(0, Buffer(kChunk, 1));
+    EXPECT_THROW(client_->retire_versions(blob_->id(), 0), InvalidArgument);
+    EXPECT_THROW(client_->retire_versions(blob_->id(), 2), InvalidArgument);
+    EXPECT_EQ(client_->retire_versions(blob_->id(), 1).versions, 0u);
+}
+
+TEST_F(VersioningFixture, PinProtectsSnapshot) {
+    blob_->write(0, Buffer(2 * kChunk, 1));              // v1
+    blob_->write(0, Buffer(2 * kChunk, 2));              // v2
+    blob_->write(0, Buffer(2 * kChunk, 3));              // v3
+    client_->pin(blob_->id(), 1);
+
+    const auto stats = client_->retire_versions(blob_->id(), 3);
+    EXPECT_EQ(stats.versions, 1u);  // only v2; v1 is pinned
+
+    Buffer out(2 * kChunk);
+    EXPECT_EQ(client_->read(blob_->id(), 1, 0, out), out.size());
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_THROW(client_->read(blob_->id(), 2, 0, out), VersionRetired);
+
+    // Unpin, retire again: now v1 goes too.
+    client_->unpin(blob_->id(), 1);
+    EXPECT_EQ(client_->retire_versions(blob_->id(), 3).versions, 1u);
+    EXPECT_THROW(client_->read(blob_->id(), 1, 0, out), VersionRetired);
+}
+
+TEST_F(VersioningFixture, PinValidation) {
+    blob_->write(0, Buffer(kChunk, 1));
+    EXPECT_THROW(client_->pin(blob_->id(), 0), InvalidArgument);
+    EXPECT_THROW(client_->pin(blob_->id(), 2), InvalidArgument);
+    EXPECT_NO_THROW(client_->pin(blob_->id(), 1));
+    EXPECT_NO_THROW(client_->unpin(blob_->id(), 1));
+    EXPECT_NO_THROW(client_->unpin(blob_->id(), 1));  // idempotent
+}
+
+TEST_F(VersioningFixture, CloneOriginSurvivesRetirement) {
+    blob_->write(0, Buffer(4 * kChunk, 1));  // v1
+    Blob copy = client_->clone(blob_->id(), 1);
+    blob_->write(0, Buffer(4 * kChunk, 2));  // v2
+    blob_->write(0, Buffer(4 * kChunk, 3));  // v3
+
+    // v1 is a clone origin: auto-pinned, not retirable, still readable
+    // through the clone.
+    const auto stats = client_->retire_versions(blob_->id(), 3);
+    EXPECT_EQ(stats.versions, 1u);  // v2 only
+
+    Buffer out(4 * kChunk);
+    EXPECT_EQ(copy.read(0, 0, out), out.size());
+    EXPECT_EQ(out[0], 1u);
+    // Direct read of v1 on the origin is also still allowed (pinned).
+    EXPECT_EQ(client_->read(blob_->id(), 1, 0, out), out.size());
+}
+
+TEST_F(VersioningFixture, CloneOfRetiredVersionRejected) {
+    blob_->write(0, Buffer(kChunk, 1));
+    blob_->write(0, Buffer(kChunk, 2));
+    client_->retire_versions(blob_->id(), 2);
+    EXPECT_THROW((void)client_->clone(blob_->id(), 1), VersionAborted);
+}
+
+TEST_F(VersioningFixture, RetireWithOverlappingSparseHistory) {
+    // Build a messy history and verify the survivor is byte-exact after
+    // reclamation.
+    blob_->write(0, make_pattern(blob_->id(), 1, 0, 6 * kChunk));
+    blob_->write(2 * kChunk, make_pattern(blob_->id(), 2, 0, 2 * kChunk));
+    blob_->append(make_pattern(blob_->id(), 3, 0, kChunk + 7));
+    blob_->write(0, make_pattern(blob_->id(), 4, 0, kChunk));
+    const auto before = client_->stat(blob_->id());
+    Buffer expect(before.size);
+    client_->read(blob_->id(), before.version, 0, expect);
+
+    client_->retire_versions(blob_->id(), before.version);
+    Buffer got(before.size);
+    client_->read(blob_->id(), before.version, 0, got);
+    EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace blobseer::core

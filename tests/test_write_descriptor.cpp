@@ -1,0 +1,112 @@
+/// \file test_write_descriptor.cpp
+/// \brief Tests of the node-creation rule — the single predicate that
+///        keeps concurrent writers' key predictions and actual tree
+///        construction in agreement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "meta/write_descriptor.hpp"
+
+namespace blobseer::meta {
+namespace {
+
+constexpr std::uint64_t kChunk = 8;
+
+WriteDescriptor desc(Version v, std::uint64_t offset, std::uint64_t size,
+                     std::uint64_t before) {
+    return WriteDescriptor{v, offset, size, before,
+                           std::max(before, offset + size)};
+}
+
+TEST(CreatesNode, AncestorsOfWrittenLeaves) {
+    const TreeGeometry geo(kChunk);
+    // Blob of 4 slots (32 bytes), write slots [1,2) (bytes [8,16)).
+    const auto w = desc(3, 8, 8, 32);
+    EXPECT_TRUE(creates_node(w, {0, 4}, geo));   // root
+    EXPECT_TRUE(creates_node(w, {0, 2}, geo));   // parent of slot 1
+    EXPECT_TRUE(creates_node(w, {1, 1}, geo));   // written leaf
+    EXPECT_FALSE(creates_node(w, {0, 1}, geo));  // untouched leaf
+    EXPECT_FALSE(creates_node(w, {2, 2}, geo));  // untouched subtree
+    EXPECT_FALSE(creates_node(w, {2, 1}, geo));
+    EXPECT_FALSE(creates_node(w, {3, 1}, geo));
+}
+
+TEST(CreatesNode, OutOfTreeBounds) {
+    const TreeGeometry geo(kChunk);
+    const auto w = desc(1, 0, 32, 32);  // 4-slot tree
+    EXPECT_FALSE(creates_node(w, {0, 8}, geo));  // taller root than w's tree
+    EXPECT_FALSE(creates_node(w, {4, 4}, geo));  // beyond w's tree
+    EXPECT_TRUE(creates_node(w, {0, 4}, geo));
+}
+
+TEST(CreatesNode, BridgePrefixesWhenTreeGrows) {
+    const TreeGeometry geo(kChunk);
+    // Blob grows from 4 slots to 16: append at bytes [96, 128)
+    // (slots [12,16)), size_before = 32 (4 slots).
+    const auto w = desc(5, 96, 32, 32);
+    // Normal ancestors:
+    EXPECT_TRUE(creates_node(w, {0, 16}, geo));
+    EXPECT_TRUE(creates_node(w, {8, 8}, geo));
+    EXPECT_TRUE(creates_node(w, {12, 4}, geo));
+    EXPECT_TRUE(creates_node(w, {12, 1}, geo));
+    // Bridge prefixes that splice the old 4-slot root under the taller
+    // tree ([0,8) does not intersect the write, but w must create it):
+    EXPECT_TRUE(creates_node(w, {0, 8}, geo));
+    // The old root itself is NOT recreated:
+    EXPECT_FALSE(creates_node(w, {0, 4}, geo));
+    // Nor untouched interior nodes:
+    EXPECT_FALSE(creates_node(w, {0, 2}, geo));
+    EXPECT_FALSE(creates_node(w, {8, 4}, geo));
+    EXPECT_FALSE(creates_node(w, {4, 4}, geo));
+}
+
+TEST(CreatesNode, FirstWritePastSlotZeroCreatesHolePrefix) {
+    const TreeGeometry geo(kChunk);
+    // First write of a fresh blob at slot 5 (bytes [40,48)).
+    const auto w = desc(1, 40, 8, 0);
+    EXPECT_TRUE(creates_node(w, {0, 8}, geo));  // root
+    EXPECT_TRUE(creates_node(w, {4, 4}, geo));
+    EXPECT_TRUE(creates_node(w, {5, 1}, geo));
+    // Bridge prefixes (size_before = 0 -> every prefix is new):
+    EXPECT_TRUE(creates_node(w, {0, 4}, geo));
+    EXPECT_TRUE(creates_node(w, {0, 2}, geo));
+    EXPECT_TRUE(creates_node(w, {0, 1}, geo));  // hole leaf at slot 0
+    // Non-prefix untouched ranges are not created:
+    EXPECT_FALSE(creates_node(w, {1, 1}, geo));
+    EXPECT_FALSE(creates_node(w, {2, 2}, geo));
+    EXPECT_FALSE(creates_node(w, {6, 2}, geo));
+}
+
+TEST(CreatedRanges, MatchesPredicateExhaustively) {
+    const TreeGeometry geo(kChunk);
+    const auto w = desc(2, 16, 24, 32);  // slots [2,5) of a 4->8 slot blob
+    const auto ranges = created_ranges(w, geo);
+    // Every enumerated range satisfies the predicate...
+    for (const auto& r : ranges) {
+        EXPECT_TRUE(creates_node(w, r, geo)) << r.to_string();
+    }
+    // ...and every tree range satisfying the predicate is enumerated.
+    const std::uint64_t slots = geo.tree_slots(w.size_after);
+    std::size_t expected = 0;
+    for (std::uint64_t count = 1; count <= slots; count *= 2) {
+        for (std::uint64_t first = 0; first < slots; first += count) {
+            if (creates_node(w, {first, count}, geo)) {
+                ++expected;
+            }
+        }
+    }
+    EXPECT_EQ(ranges.size(), expected);
+}
+
+TEST(CreatedRanges, LogarithmicForSmallWrite) {
+    const TreeGeometry geo(kChunk);
+    // One-chunk write into a 1024-slot blob: root-to-leaf path only.
+    const auto w = desc(9, 512 * kChunk, kChunk, 1024 * kChunk);
+    const auto ranges = created_ranges(w, geo);
+    EXPECT_EQ(ranges.size(), 11u);  // log2(1024) + 1
+}
+
+}  // namespace
+}  // namespace blobseer::meta

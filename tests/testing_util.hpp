@@ -1,0 +1,41 @@
+/// \file testing_util.hpp
+/// \brief Shared helpers for integration tests: fast cluster configs (no
+///        simulated network costs) and pattern-data helpers.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+#include "core/client.hpp"
+#include "core/cluster.hpp"
+
+namespace blobseer::testing {
+
+/// Cluster with zero network cost — correctness tests should not wait on
+/// simulated wires.
+inline core::ClusterConfig fast_config() {
+    core::ClusterConfig cfg;
+    cfg.network.latency = Duration::zero();
+    cfg.network.node_bandwidth_bps = 0;
+    cfg.data_providers = 4;
+    cfg.metadata_providers = 2;
+    cfg.publish_timeout = seconds(5);
+    return cfg;
+}
+
+/// Write `size` pattern bytes tagged by (blob, tag) at `offset`; the tag
+/// lets the reader verify which write produced the data.
+inline Buffer tagged(BlobId blob, std::uint64_t tag, std::uint64_t offset,
+                     std::size_t size) {
+    return make_pattern(blob, tag, offset, size);
+}
+
+/// Assert helper: true iff every byte of \p data matches the (blob, tag)
+/// pattern starting at \p offset.
+inline bool matches(BlobId blob, std::uint64_t tag, std::uint64_t offset,
+                    ConstBytes data) {
+    return verify_pattern(blob, tag, offset, data) == -1;
+}
+
+}  // namespace blobseer::testing

@@ -1,0 +1,264 @@
+/// \file blobseer_cli.cpp
+/// \brief Interactive / scriptable shell over a BlobSeer cluster.
+///
+/// Boots an in-process cluster and exposes the whole public API as shell
+/// commands — handy for demos, exploration and reproducing bug reports.
+/// Reads commands from stdin, one per line; `help` lists them. Payloads
+/// are deterministic patterns tagged by a user-chosen integer so reads
+/// can verify which write produced the bytes.
+///
+///   $ printf 'create 65536\nappend 1 131072 7\nstat 1\nquit\n' | ./tools/blobseer_cli
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/cluster.hpp"
+
+using namespace blobseer;
+
+namespace {
+
+class Shell {
+  public:
+    Shell() {
+        core::ClusterConfig cfg;
+        cfg.data_providers = 8;
+        cfg.metadata_providers = 4;
+        cfg.default_replication = 2;
+        cfg.network.latency = microseconds(50);
+        cfg.network.node_bandwidth_bps = 400ULL << 20;
+        cluster_ = std::make_unique<core::Cluster>(cfg);
+        client_ = cluster_->make_client();
+        std::printf("blobseer-cli: cluster up (%zu data providers, %zu "
+                    "metadata providers). Type 'help'.\n",
+                    cluster_->data_provider_count(),
+                    cluster_->metadata_provider_count());
+    }
+
+    int run() {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!dispatch(line)) {
+                break;
+            }
+        }
+        return 0;
+    }
+
+  private:
+    static Version parse_version(const std::string& s) {
+        return s == "latest" ? kLatestVersion : std::stoull(s);
+    }
+
+    bool dispatch(const std::string& line) {
+        std::istringstream in(line);
+        std::string cmd;
+        if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') {
+            return true;
+        }
+        try {
+            if (cmd == "quit" || cmd == "exit") {
+                return false;
+            } else if (cmd == "help") {
+                help();
+            } else if (cmd == "create") {
+                std::uint64_t chunk = 0;
+                std::uint32_t repl = 0;
+                in >> chunk;
+                const bool has_repl = static_cast<bool>(in >> repl);
+                const auto blob =
+                    has_repl ? client_->create(chunk, repl)
+                             : client_->create(chunk);
+                std::printf("blob %llu created (chunk %llu, replication "
+                            "%u)\n",
+                            (unsigned long long)blob.id(),
+                            (unsigned long long)blob.chunk_size(),
+                            blob.replication());
+            } else if (cmd == "write" || cmd == "append") {
+                BlobId id = 0;
+                std::uint64_t offset = 0;
+                std::uint64_t size = 0;
+                std::uint64_t tag = 0;
+                in >> id;
+                if (cmd == "write") {
+                    in >> offset;
+                }
+                in >> size >> tag;
+                const Buffer data = make_pattern(id, tag, 0, size);
+                const Version v = cmd == "write"
+                                      ? client_->write(id, offset, data)
+                                      : client_->append(id, data);
+                std::printf("-> version %llu\n", (unsigned long long)v);
+            } else if (cmd == "read") {
+                BlobId id = 0;
+                std::string vs;
+                std::uint64_t offset = 0;
+                std::uint64_t size = 0;
+                std::uint64_t tag = 0;
+                in >> id >> vs >> offset >> size;
+                const bool check = static_cast<bool>(in >> tag);
+                Buffer out(size);
+                client_->read(id, parse_version(vs), offset, out);
+                std::printf("read %llu bytes, fnv=%016llx%s\n",
+                            (unsigned long long)size,
+                            (unsigned long long)fnv1a64(ConstBytes(out)),
+                            !check ? ""
+                            : verify_pattern(id, tag, 0, out) == -1
+                                ? " [tag matches]"
+                                : " [TAG MISMATCH]");
+            } else if (cmd == "stat") {
+                BlobId id = 0;
+                std::string vs = "latest";
+                in >> id >> vs;
+                const auto vi = client_->stat(id, parse_version(vs));
+                std::printf("blob %llu v%llu: size %llu, status %s\n",
+                            (unsigned long long)id,
+                            (unsigned long long)vi.version,
+                            (unsigned long long)vi.size,
+                            to_string(vi.status));
+            } else if (cmd == "history") {
+                BlobId id = 0;
+                in >> id;
+                for (const auto& s : client_->history(id)) {
+                    std::printf("  v%-4llu %-9s write [%llu, %llu) -> "
+                                "size %llu\n",
+                                (unsigned long long)s.version,
+                                to_string(s.status),
+                                (unsigned long long)s.offset,
+                                (unsigned long long)(s.offset + s.size),
+                                (unsigned long long)s.size_after);
+                }
+            } else if (cmd == "diff") {
+                BlobId id = 0;
+                Version from = 0;
+                Version to = 0;
+                in >> id >> from >> to;
+                for (const auto& r : client_->changed_ranges(id, from, to)) {
+                    std::printf("  [%llu, %llu)\n",
+                                (unsigned long long)r.offset,
+                                (unsigned long long)r.end());
+                }
+            } else if (cmd == "clone") {
+                BlobId src = 0;
+                std::string vs = "latest";
+                in >> src >> vs;
+                const auto blob = client_->clone(src, parse_version(vs));
+                std::printf("clone -> blob %llu\n",
+                            (unsigned long long)blob.id());
+            } else if (cmd == "pin" || cmd == "unpin") {
+                BlobId id = 0;
+                Version v = 0;
+                in >> id >> v;
+                if (cmd == "pin") {
+                    client_->pin(id, v);
+                } else {
+                    client_->unpin(id, v);
+                }
+                std::printf("ok\n");
+            } else if (cmd == "retire") {
+                BlobId id = 0;
+                Version keep = 0;
+                in >> id >> keep;
+                const auto st = client_->retire_versions(id, keep);
+                std::printf("retired %zu versions, freed %zu chunks, %zu "
+                            "metadata nodes\n",
+                            st.versions, st.chunks, st.meta_nodes);
+            } else if (cmd == "locate") {
+                BlobId id = 0;
+                std::string vs;
+                std::uint64_t offset = 0;
+                std::uint64_t size = 0;
+                in >> id >> vs >> offset >> size;
+                const auto vi = client_->stat(id, parse_version(vs));
+                for (const auto& loc :
+                     client_->locate(id, vi.version, {offset, size})) {
+                    std::string nodes;
+                    for (const NodeId n : loc.providers) {
+                        nodes += std::to_string(n) + " ";
+                    }
+                    std::printf("  [%llu, %llu) %s\n",
+                                (unsigned long long)loc.range.offset,
+                                (unsigned long long)loc.range.end(),
+                                loc.hole ? "(hole)" : nodes.c_str());
+                }
+            } else if (cmd == "providers") {
+                for (std::size_t i = 0;
+                     i < cluster_->data_provider_count(); ++i) {
+                    auto& dp = cluster_->data_provider(i);
+                    std::printf("  dp-%zu node=%u alive=%s bytes=%llu "
+                                "chunks=%zu\n",
+                                i, dp.node(),
+                                cluster_->network().is_alive(dp.node())
+                                    ? "yes"
+                                    : "no",
+                                (unsigned long long)dp.stored_bytes(),
+                                dp.store().count());
+                }
+            } else if (cmd == "kill") {
+                std::size_t i = 0;
+                int lose = 0;
+                in >> i >> lose;
+                cluster_->kill_data_provider(i, lose != 0);
+                std::printf("dp-%zu killed%s\n", i,
+                            lose ? " (volatile state lost)" : "");
+            } else if (cmd == "recover") {
+                std::size_t i = 0;
+                in >> i;
+                cluster_->recover_data_provider(i);
+                std::printf("dp-%zu recovered\n", i);
+            } else if (cmd == "degrade") {
+                std::size_t i = 0;
+                double factor = 1.0;
+                in >> i >> factor;
+                cluster_->degrade_data_provider(i, factor);
+                std::printf("dp-%zu degraded %.1fx\n", i, factor);
+            } else if (cmd == "restore") {
+                std::size_t i = 0;
+                in >> i;
+                cluster_->restore_data_provider(i);
+                std::printf("dp-%zu restored\n", i);
+            } else {
+                std::printf("unknown command '%s' (try 'help')\n",
+                            cmd.c_str());
+            }
+        } catch (const Error& e) {
+            std::printf("error: %s\n", e.what());
+        } catch (const std::exception& e) {
+            std::printf("bad arguments: %s\n", e.what());
+        }
+        return true;
+    }
+
+    static void help() {
+        std::printf(
+            "commands:\n"
+            "  create <chunk_bytes> [replication]\n"
+            "  write <blob> <offset> <size> <tag>   (pattern payload)\n"
+            "  append <blob> <size> <tag>\n"
+            "  read <blob> <version|latest> <offset> <size> [tag]\n"
+            "  stat <blob> [version|latest]\n"
+            "  history <blob>\n"
+            "  diff <blob> <from_version> <to_version>\n"
+            "  clone <blob> [version|latest]\n"
+            "  pin|unpin <blob> <version>\n"
+            "  retire <blob> <keep_from_version>\n"
+            "  locate <blob> <version|latest> <offset> <size>\n"
+            "  providers | kill <i> <lose01> | recover <i>\n"
+            "  degrade <i> <factor> | restore <i>\n"
+            "  help | quit\n");
+    }
+
+    std::unique_ptr<core::Cluster> cluster_;
+    std::unique_ptr<core::BlobSeerClient> client_;
+};
+
+}  // namespace
+
+int main() {
+    Shell shell;
+    return shell.run();
+}
