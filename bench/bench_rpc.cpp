@@ -1,0 +1,143 @@
+/// \file bench_rpc.cpp
+/// \brief RPC-stack microbenchmark: direct call vs. SimTransport vs.
+///        TCP loopback.
+///
+/// Quantifies what each layer of the new wire protocol costs:
+///
+///  * direct — invoke the service object, no serialization (the seed's
+///    original call path, kept as the floor);
+///  * sim    — full encode → dispatch → decode round trip through
+///    SimTransport with a zero-cost simulated wire (codec + dispatch
+///    overhead);
+///  * tcp    — the same frames over real loopback sockets against an
+///    in-process TcpRpcServer (adds syscalls and TCP).
+///
+/// Two workloads: a small control RPC (get-version, ~60-byte frames) and
+/// a 64 KiB chunk put+get pair. Reported: throughput, mean and p99
+/// latency.
+///
+///   $ BLOBSEER_BENCH_SCALE=0.25 ./bench_rpc   # quick smoke run
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rpc/service_client.hpp"
+#include "rpc/sim_transport.hpp"
+#include "rpc/tcp_transport.hpp"
+
+using namespace blobseer;
+
+namespace {
+
+struct RunStats {
+    double ops_per_s = 0;
+    double mean_us = 0;
+    double p99_us = 0;
+    double mb_per_s = 0;  ///< payload throughput (chunk workload only)
+};
+
+RunStats timed_loop(std::size_t n, std::uint64_t payload_bytes,
+                    const std::function<void()>& op) {
+    std::vector<std::uint64_t> lat_us;
+    lat_us.reserve(n);
+    const Stopwatch total;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Stopwatch sw;
+        op();
+        lat_us.push_back(sw.elapsed_us());
+    }
+    const double secs = total.elapsed_seconds();
+    std::sort(lat_us.begin(), lat_us.end());
+    RunStats s;
+    s.ops_per_s = static_cast<double>(n) / secs;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : lat_us) {
+        sum += v;
+    }
+    s.mean_us = static_cast<double>(sum) / static_cast<double>(n);
+    s.p99_us = static_cast<double>(lat_us[(n * 99) / 100]);
+    s.mb_per_s = static_cast<double>(n) * static_cast<double>(payload_bytes) /
+                 secs / (1 << 20);
+    return s;
+}
+
+}  // namespace
+
+int main() {
+    core::ClusterConfig cfg;
+    cfg.data_providers = 4;
+    cfg.metadata_providers = 2;
+    cfg.default_replication = 1;
+    // Zero-cost simulated wire: the difference between modes is pure
+    // protocol overhead, not modeled bandwidth.
+    cfg.network.latency = Duration::zero();
+    cfg.network.node_bandwidth_bps = 0;
+    core::Cluster cluster(cfg);
+
+    // One published version to query, one stored chunk to re-fetch.
+    auto client = cluster.make_client("bench");
+    auto blob = client->create(64 << 10);
+    const Buffer payload = make_pattern(blob.id(), 1, 0, 64 << 10);
+    blob.write(0, payload);
+
+    const NodeId bench_node = cluster.network().add_node("bench-rpc");
+    rpc::SimTransport sim(cluster.network(), bench_node,
+                          cluster.dispatcher());
+    rpc::TcpRpcServer server(cluster.dispatcher(), 0, "127.0.0.1");
+    rpc::TcpTransport tcp("127.0.0.1", server.port());
+
+    rpc::ServiceClient sim_svc(sim, cluster.version_manager_node(),
+                               cluster.provider_manager_node());
+    rpc::ServiceClient tcp_svc(tcp, cluster.version_manager_node(),
+                               cluster.provider_manager_node());
+
+    const std::size_t n_small = bench::scaled(20000);
+    const std::size_t n_chunk = bench::scaled(1500);
+    const BlobId id = blob.id();
+    auto& vm = cluster.version_manager();
+    auto& dp = cluster.data_provider(0);
+    const NodeId dp_node = dp.node();
+
+    // -- small control RPC ---------------------------------------------------
+    bench::Table small({"mode", "ops/s", "mean us", "p99 us"});
+    const auto run_small = [&](const char* mode,
+                               const std::function<void()>& op) {
+        const RunStats s = timed_loop(n_small, 0, op);
+        small.row(mode, s.ops_per_s, s.mean_us, s.p99_us);
+    };
+    run_small("direct", [&] { (void)vm.get_version(id, kLatestVersion); });
+    run_small("sim", [&] { (void)sim_svc.get_version(id, kLatestVersion); });
+    run_small("tcp", [&] { (void)tcp_svc.get_version(id, kLatestVersion); });
+    small.print("get-version RPC (" + std::to_string(n_small) + " ops)");
+
+    // -- 64 KiB chunk put+get ------------------------------------------------
+    bench::Table chunks({"mode", "pairs/s", "MB/s", "mean us", "p99 us"});
+    std::uint64_t uid = 1u << 20;
+    const auto run_chunk = [&](const char* mode,
+                               const std::function<void()>& op) {
+        const RunStats s = timed_loop(n_chunk, 2 * payload.size(), op);
+        chunks.row(mode, s.ops_per_s, s.mb_per_s, s.mean_us, s.p99_us);
+    };
+    run_chunk("direct", [&] {
+        const chunk::ChunkKey key{id, uid++};
+        dp.put_chunk(key, std::make_shared<const Buffer>(payload));
+        (void)dp.get_chunk(key);
+    });
+    run_chunk("sim", [&] {
+        const chunk::ChunkKey key{id, uid++};
+        sim_svc.put_chunk(dp_node, key, payload);
+        (void)sim_svc.get_chunk(dp_node, key, 0, 0);
+    });
+    run_chunk("tcp", [&] {
+        const chunk::ChunkKey key{id, uid++};
+        tcp_svc.put_chunk(dp_node, key, payload);
+        (void)tcp_svc.get_chunk(dp_node, key, 0, 0);
+    });
+    chunks.print("64 KiB chunk put+get (" + std::to_string(n_chunk) +
+                 " pairs)");
+
+    return 0;
+}

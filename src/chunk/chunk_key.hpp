@@ -22,9 +22,10 @@ namespace blobseer::chunk {
 
 struct ChunkKey {
     BlobId blob = kInvalidBlob;
-    /// Unique per chunk, allocated by the writing client
-    /// (mix64(client-node, local counter) — collision-free because mix64
-    /// is a bijection and inputs are globally unique).
+    /// Unique per chunk, allocated by the writing client: mix64 over
+    /// (client id << 40 | 64-bit local counter) — collision-free because
+    /// mix64 is a bijection and the packed input stays unique for 2^40
+    /// allocations per client (see BlobSeerClient::next_uid).
     std::uint64_t uid = 0;
 
     friend bool operator==(const ChunkKey&, const ChunkKey&) = default;

@@ -10,33 +10,30 @@
 
 namespace blobseer::core {
 
-namespace {
-
-/// Wire-size constants for RPC charging (headers + small fixed payloads).
-constexpr std::uint64_t kSmallReq = 48;
-constexpr std::uint64_t kSmallResp = 64;
-constexpr std::uint64_t kChunkHeader = 64;
-
-}  // namespace
-
-BlobSeerClient::BlobSeerClient(Cluster& cluster, NodeId self)
-    : cluster_(cluster),
-      self_(self),
-      dht_(cluster.network(), self, cluster.meta_ring(),
-           cluster.meta_provider_map(), cluster.config().meta_replication),
-      cache_(dht_, cluster.config().client_meta_cache_nodes),
-      io_pool_(cluster.config().client_io_threads) {}
+BlobSeerClient::BlobSeerClient(ClientEnv env)
+    : env_(std::move(env)),
+      svc_(*env_.transport, env_.vm_node, env_.pm_node),
+      dht_(svc_, env_.meta_ring, env_.meta_replication),
+      cache_(dht_, env_.meta_cache_nodes),
+      io_pool_(env_.io_threads) {
+    // next_uid() packs the client id into 24 bits; a wider id would
+    // silently truncate and could collide chunk uids across clients.
+    // Simulated node ids stay tiny and the dispatcher mints remote ids
+    // from 2^20 upward, so this fires only after ~16M handshakes.
+    if (env_.self >= (1u << 24)) {
+        throw InvalidArgument("client node id " +
+                              std::to_string(env_.self) +
+                              " exceeds the 24-bit uid namespace");
+    }
+}
 
 // ---- blob lifecycle ------------------------------------------------------
 
 Blob BlobSeerClient::create(std::uint64_t chunk_size,
                             std::optional<std::uint32_t> replication) {
     const std::uint32_t repl =
-        replication.value_or(cluster_.config().default_replication);
-    auto& vm = cluster_.version_manager();
-    const auto info = cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
-        [&] { return vm.create_blob(chunk_size, repl); });
+        replication.value_or(env_.default_replication);
+    const auto info = svc_.create_blob(chunk_size, repl);
     {
         const std::scoped_lock lock(info_mu_);
         info_cache_[info.id] = info;
@@ -47,10 +44,7 @@ Blob BlobSeerClient::create(std::uint64_t chunk_size,
 Blob BlobSeerClient::open(BlobId id) { return Blob(*this, blob_info(id)); }
 
 Blob BlobSeerClient::clone(BlobId src, Version version) {
-    auto& vm = cluster_.version_manager();
-    const auto info = cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
-        [&] { return vm.clone_blob(src, version); });
+    const auto info = svc_.clone_blob(src, version);
     {
         const std::scoped_lock lock(info_mu_);
         info_cache_[info.id] = info;
@@ -85,63 +79,22 @@ version::BlobInfo BlobSeerClient::blob_info(BlobId blob) {
             return it->second;
         }
     }
-    auto& vm = cluster_.version_manager();
-    const auto info = cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
-        [&] { return vm.blob_info(blob); });
+    const auto info = svc_.blob_info(blob);
     const std::scoped_lock lock(info_mu_);
     info_cache_[blob] = info;
     return info;
 }
 
-// ---- RPC stubs -------------------------------------------------------------
-
-version::AssignResult BlobSeerClient::rpc_assign(
-    BlobId blob, std::optional<std::uint64_t> offset, std::uint64_t size) {
-    auto& vm = cluster_.version_manager();
-    // Response size depends on the concurrency degree; charge afterwards
-    // by computing it from the reply (the network model only needs the
-    // magnitude, not pre-knowledge).
-    return cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, 96,
-        [&] { return vm.assign(blob, offset, size); });
-}
-
-void BlobSeerClient::rpc_commit(BlobId blob, Version v) {
-    auto& vm = cluster_.version_manager();
-    cluster_.network().call(self_, cluster_.version_manager_node(), kSmallReq,
-                            16, [&] { vm.commit(blob, v); });
-}
-
-version::VersionInfo BlobSeerClient::rpc_get_version(BlobId blob, Version v) {
-    auto& vm = cluster_.version_manager();
-    return cluster_.network().call(self_, cluster_.version_manager_node(),
-                                   kSmallReq, kSmallResp,
-                                   [&] { return vm.get_version(blob, v); });
-}
-
-version::VersionInfo BlobSeerClient::rpc_wait_published(BlobId blob,
-                                                        Version v) {
-    auto& vm = cluster_.version_manager();
-    const Duration timeout = cluster_.config().publish_timeout;
-    return cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, kSmallResp,
-        [&] { return vm.wait_published(blob, v, timeout); });
-}
-
-provider::PlacementPlan BlobSeerClient::rpc_place(std::uint64_t n_chunks,
-                                                  std::uint32_t replication,
-                                                  std::uint64_t chunk_bytes) {
-    auto& pm = cluster_.provider_manager();
-    return cluster_.network().call(
-        self_, cluster_.provider_manager_node(), kSmallReq,
-        16 + 4 * n_chunks * replication,
-        [&] { return pm.place(n_chunks, replication, chunk_bytes); });
-}
-
 std::uint64_t BlobSeerClient::next_uid() {
-    const std::uint32_t n = uid_counter_.fetch_add(1);
-    return mix64((static_cast<std::uint64_t>(self_) << 32) | n);
+    // Pack (client, allocation#) into 64 bits — 24 high bits of client
+    // identity (bounded in the constructor), 40 low bits of allocation
+    // counter (2^40 chunks per client before any reuse; a 32-bit
+    // counter wrapped three orders of magnitude earlier). mix64 is a
+    // bijection, so uids stay collision-free while the packed input is
+    // unique.
+    const std::uint64_t n = uid_counter_.fetch_add(1);
+    return mix64((static_cast<std::uint64_t>(env_.self) << 40) |
+                 (n & ((1ULL << 40) - 1)));
 }
 
 // ---- write path -----------------------------------------------------------
@@ -167,28 +120,19 @@ BlobSeerClient::UploadedChunk BlobSeerClient::upload_chunk(
     result.uid = next_uid();
     result.bytes = static_cast<std::uint32_t>(payload.size());
     const chunk::ChunkKey key{blob, result.uid};
-    auto data = std::make_shared<Buffer>(payload.begin(), payload.end());
 
-    auto& net = cluster_.network();
-    const auto& dps = cluster_.data_provider_map();
-    const bool pipelined = cluster_.config().pipelined_replication;
+    const bool pipelined = env_.pipelined_replication;
     std::size_t replacement_budget = 3;
     for (std::size_t t = 0; t < targets.size(); ++t) {
         const NodeId target = targets[t];
-        const auto it = dps.find(target);
-        if (it == dps.end()) {
-            throw ConsistencyError("placement returned unknown provider " +
-                                   std::to_string(target));
-        }
         // Pipelined replication: the first copy leaves the client; each
         // further copy is forwarded provider-to-provider (the previous
         // chain member's NIC pays, not the client's — GFS-style).
-        const NodeId src = pipelined && !result.replicas.empty()
+        const NodeId via = pipelined && !result.replicas.empty()
                                ? result.replicas.back()
-                               : self_;
+                               : kInvalidNode;
         try {
-            net.call(src, target, payload.size() + kChunkHeader, 16,
-                     [&] { it->second->put_chunk(key, data); });
+            svc_.put_chunk(target, key, payload, via);
             result.replicas.push_back(target);
             stats_.chunk_put_rpcs.add();
         } catch (const RpcError& e) {
@@ -196,10 +140,8 @@ BlobSeerClient::UploadedChunk BlobSeerClient::upload_chunk(
             log_debug("client", std::string("chunk put failed: ") + e.what());
             // Heartbeat substitute: tell the provider manager, then ask it
             // for a replacement target (bounded).
-            auto& pm = cluster_.provider_manager();
             try {
-                net.call(self_, cluster_.provider_manager_node(), kSmallReq,
-                         16, [&] { pm.mark_dead(target); });
+                svc_.mark_dead(target);
             } catch (const RpcError&) {
                 // Provider manager unreachable; keep going with what we
                 // have.
@@ -207,7 +149,7 @@ BlobSeerClient::UploadedChunk BlobSeerClient::upload_chunk(
             if (replacement_budget > 0) {
                 --replacement_budget;
                 try {
-                    auto plan = rpc_place(1, 1, payload.size());
+                    auto plan = svc_.place(1, 1, payload.size());
                     const NodeId fresh = plan.at(0).at(0);
                     if (std::find(targets.begin(), targets.end(), fresh) ==
                             targets.end() &&
@@ -259,7 +201,7 @@ Version BlobSeerClient::write_impl(BlobId blob,
 
     auto upload_all = [&](const std::vector<ConstBytes>& parts)
         -> std::vector<UploadedChunk> {
-        const auto plan = rpc_place(parts.size(), info.replication, c);
+        const auto plan = svc_.place(parts.size(), info.replication, c);
         std::vector<UploadedChunk> out(parts.size());
         io_pool_.parallel_for(parts.size(), [&](std::size_t i) {
             out[i] = upload_chunk(blob, parts[i], plan[i]);
@@ -272,22 +214,15 @@ Version BlobSeerClient::write_impl(BlobId blob,
         split_into(data, payloads);
         uploaded = upload_all(payloads);
         try {
-            ar = rpc_assign(blob, offset_opt, data.size());
+            ar = svc_.assign(blob, offset_opt, data.size());
         } catch (const Error&) {
             // Assignment refused (e.g. unaligned interior tail after a
             // concurrent extension): the uploaded chunks are unreachable;
             // drop them best-effort before propagating.
             for (const auto& up : uploaded) {
                 for (const NodeId r : up.replicas) {
-                    const auto it = cluster_.data_provider_map().find(r);
-                    if (it == cluster_.data_provider_map().end()) {
-                        continue;
-                    }
                     try {
-                        cluster_.network().call(
-                            self_, r, kSmallReq, 16, [&] {
-                                it->second->erase_chunk({blob, up.uid});
-                            });
+                        svc_.erase_chunk(r, {blob, up.uid});
                     } catch (const RpcError&) {
                         // Leaked chunk; provider-side GC is out of scope.
                     }
@@ -296,14 +231,15 @@ Version BlobSeerClient::write_impl(BlobId blob,
             throw;
         }
     } else {
-        ar = rpc_assign(blob, std::nullopt, data.size());
+        ar = svc_.assign(blob, std::nullopt, data.size());
         if (ar.offset % c != 0) {
             // Appending to an unaligned end: the trailing chunk must be
             // rewritten whole, merging the published predecessor's bytes.
             const std::uint64_t slot_start = (ar.offset / c) * c;
             const std::uint64_t prefix_len = ar.offset - slot_start;
             const Version prev = ar.version - 1;
-            const auto pv = rpc_wait_published(blob, prev);
+            const auto pv =
+                svc_.wait_published(blob, prev, env_.publish_timeout);
             if (pv.status == version::VersionStatus::kAborted) {
                 throw VersionAborted(
                     "append predecessor aborted; this version is dead too");
@@ -347,7 +283,7 @@ Version BlobSeerClient::write_impl(BlobId blob,
     }
     build_version_tree(cache_, in);
 
-    rpc_commit(blob, ar.version);
+    svc_.commit(blob, ar.version);
     stats_.write_latency_us.record(sw.elapsed_us());
     return ar.version;
 }
@@ -367,10 +303,11 @@ std::size_t BlobSeerClient::read(BlobId blob, Version version,
                 : std::optional<version::VersionInfo>{}) {
         vi = *cached;
     } else {
-        vi = rpc_get_version(blob, version);
+        vi = svc_.get_version(blob, version);
         if (vi.status == version::VersionStatus::kPending ||
             vi.status == version::VersionStatus::kCommitted) {
-            vi = rpc_wait_published(blob, vi.version);
+            vi = svc_.wait_published(blob, vi.version,
+                                     env_.publish_timeout);
         }
         if (vi.status == version::VersionStatus::kAborted) {
             throw VersionAborted("read of aborted version " +
@@ -436,8 +373,6 @@ bool BlobSeerClient::is_healthy(NodeId node) const {
 
 void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
                                    MutableBytes out) {
-    auto& net = cluster_.network();
-    const auto& dps = cluster_.data_provider_map();
     const std::size_t n = seg.replicas.size();
     if (n == 0) {
         throw ConsistencyError("leaf with no replicas reached fetch");
@@ -446,7 +381,7 @@ void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
     // different replicas of the same chunk — but replicas flagged
     // unhealthy by the QoS feedback go to the back of the line.
     const std::size_t start =
-        static_cast<std::size_t>(mix64(self_ ^ seg.chunk.uid)) % n;
+        static_cast<std::size_t>(mix64(env_.self ^ seg.chunk.uid)) % n;
     std::vector<NodeId> order;
     order.reserve(n);
     for (std::size_t k = 0; k < n; ++k) {
@@ -464,21 +399,15 @@ void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
     std::string last_error;
     for (std::size_t k = 0; k < n; ++k) {
         const NodeId target = order[k];
-        const auto it = dps.find(target);
-        if (it == dps.end()) {
-            continue;
-        }
         try {
-            const chunk::ChunkData data =
-                net.call(self_, target, kChunkHeader,
-                         seg.blob_range.size + 32,
-                         [&] { return it->second->get_chunk(seg.chunk); });
-            if (seg.chunk_offset + out.size() > data->size()) {
+            const auto slice = svc_.get_chunk(target, seg.chunk,
+                                              seg.chunk_offset, out.size());
+            if (seg.chunk_offset + out.size() > slice.chunk_size ||
+                slice.bytes.size() < out.size()) {
                 throw ConsistencyError("chunk shorter than metadata claims: " +
                                        seg.chunk.to_string());
             }
-            std::memcpy(out.data(), data->data() + seg.chunk_offset,
-                        out.size());
+            std::memcpy(out.data(), slice.bytes.data(), out.size());
             stats_.chunk_get_rpcs.add();
             return;
         } catch (const RpcError& e) {
@@ -515,12 +444,13 @@ void BlobSeerClient::read_tail_for_merge(BlobId blob,
 // ---- queries ------------------------------------------------------------------
 
 version::VersionInfo BlobSeerClient::stat(BlobId blob, Version version) {
-    return rpc_get_version(blob, version);
+    return svc_.get_version(blob, version);
 }
 
 version::VersionInfo BlobSeerClient::wait_published(BlobId blob,
                                                     Version version) {
-    const auto vi = rpc_wait_published(blob, version);
+    const auto vi =
+        svc_.wait_published(blob, version, env_.publish_timeout);
     if (vi.status == version::VersionStatus::kAborted) {
         throw VersionAborted("version " + std::to_string(version) +
                              " aborted");
@@ -531,7 +461,7 @@ version::VersionInfo BlobSeerClient::wait_published(BlobId blob,
 std::vector<SegmentLocation> BlobSeerClient::locate(BlobId blob,
                                                     Version version,
                                                     ByteRange range) {
-    version::VersionInfo vi = rpc_get_version(blob, version);
+    version::VersionInfo vi = svc_.get_version(blob, version);
     if (vi.status != version::VersionStatus::kPublished) {
         throw InvalidArgument("locate on unpublished version");
     }
@@ -552,10 +482,7 @@ std::vector<SegmentLocation> BlobSeerClient::locate(BlobId blob,
 
 std::vector<version::VersionManager::VersionSummary> BlobSeerClient::history(
     BlobId blob, Version from, Version to) {
-    auto& vm = cluster_.version_manager();
-    return cluster_.network().call(
-        self_, cluster_.version_manager_node(), kSmallReq, 256,
-        [&] { return vm.history(blob, from, to); });
+    return svc_.history(blob, from, to);
 }
 
 std::vector<ByteRange> BlobSeerClient::changed_ranges(BlobId blob,
@@ -590,25 +517,16 @@ std::vector<ByteRange> BlobSeerClient::changed_ranges(BlobId blob,
 }
 
 void BlobSeerClient::pin(BlobId blob, Version version) {
-    auto& vm = cluster_.version_manager();
-    cluster_.network().call(self_, cluster_.version_manager_node(),
-                            kSmallReq, 16, [&] { vm.pin(blob, version); });
+    svc_.pin(blob, version);
 }
 
 void BlobSeerClient::unpin(BlobId blob, Version version) {
-    auto& vm = cluster_.version_manager();
-    cluster_.network().call(self_, cluster_.version_manager_node(),
-                            kSmallReq, 16,
-                            [&] { vm.unpin(blob, version); });
+    svc_.unpin(blob, version);
 }
 
 BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
     BlobId blob, Version keep_from) {
-    auto& vm = cluster_.version_manager();
-    auto& net = cluster_.network();
-    const auto info =
-        net.call(self_, cluster_.version_manager_node(), kSmallReq, 512,
-                 [&] { return vm.retire(blob, keep_from); });
+    const auto info = svc_.retire(blob, keep_from);
     const version::BlobInfo binfo = blob_info(blob);
     const meta::TreeGeometry geo(binfo.chunk_size);
 
@@ -652,13 +570,8 @@ BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
             if (node && node->is_leaf() && !node->replicas.empty()) {
                 const chunk::ChunkKey ck{blob, node->chunk_uid};
                 for (const NodeId target : node->replicas) {
-                    const auto dp = cluster_.data_provider_map().find(target);
-                    if (dp == cluster_.data_provider_map().end()) {
-                        continue;
-                    }
                     try {
-                        net.call(self_, target, kSmallReq, 16,
-                                 [&] { dp->second->erase_chunk(ck); });
+                        svc_.erase_chunk(target, ck);
                     } catch (const RpcError&) {
                         // Dead provider holds no reclaimable bytes.
                     }
@@ -680,16 +593,12 @@ BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
 }
 
 std::size_t BlobSeerClient::gc_aborted_version(BlobId blob, Version version) {
-    auto& vm = cluster_.version_manager();
-    auto& net = cluster_.network();
-    const auto vi = rpc_get_version(blob, version);
+    const auto vi = svc_.get_version(blob, version);
     if (vi.status != version::VersionStatus::kAborted) {
         throw InvalidArgument("gc of non-aborted version " +
                               std::to_string(version));
     }
-    const auto desc = net.call(self_, cluster_.version_manager_node(),
-                               kSmallReq, kSmallResp,
-                               [&] { return vm.descriptor_of(blob, version); });
+    const auto desc = svc_.descriptor_of(blob, version);
     const version::BlobInfo info = blob_info(blob);
     const meta::TreeGeometry geo(info.chunk_size);
 
@@ -704,13 +613,8 @@ std::size_t BlobSeerClient::gc_aborted_version(BlobId blob, Version version) {
         if (node->is_leaf() && !node->replicas.empty()) {
             const chunk::ChunkKey ck{blob, node->chunk_uid};
             for (const NodeId target : node->replicas) {
-                const auto it = cluster_.data_provider_map().find(target);
-                if (it == cluster_.data_provider_map().end()) {
-                    continue;
-                }
                 try {
-                    net.call(self_, target, kSmallReq, 16,
-                             [&] { it->second->erase_chunk(ck); });
+                    svc_.erase_chunk(target, ck);
                 } catch (const RpcError&) {
                     // Dead provider: nothing to reclaim there anyway.
                 }

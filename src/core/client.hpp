@@ -17,6 +17,12 @@
 ///  * All operations are linearizable: writes at their version-manager
 ///    assign, reads at their version-resolution query.
 ///
+/// Every cross-node operation is an encoded RPC round trip over a
+/// pluggable rpc::Transport: in-process deployments inject SimTransport
+/// (simulated wire costs, fault injection), remote clients inject
+/// TcpTransport against a blobseer_serverd daemon. The client itself is
+/// transport-agnostic — it only sees ClientEnv.
+///
 /// Alignment contract (see DESIGN.md §4.1): write offsets are
 /// chunk-aligned; a write may end unaligned only at (or past) the blob's
 /// current end. append() has no alignment restriction — appending to an
@@ -40,15 +46,39 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
-#include "core/cluster.hpp"
+#include "dht/meta_dht.hpp"
+#include "dht/ring.hpp"
 #include "meta/meta_cache.hpp"
 #include "meta/tree_reader.hpp"
+#include "rpc/service_client.hpp"
+#include "rpc/transport.hpp"
 #include "version/version_manager.hpp"
 
 namespace blobseer::core {
+
+/// Everything a client needs to operate against a deployment, local or
+/// remote: a transport, the manager node ids, the DHT membership and the
+/// client-side knobs. Cluster::make_client fills this in for in-process
+/// deployments; rpc::connect_tcp-style bootstrap (tools/blobseer_cli.cpp)
+/// fills it from a kTopology RPC.
+struct ClientEnv {
+    std::shared_ptr<rpc::Transport> transport;
+    NodeId self = kInvalidNode;
+    NodeId vm_node = kInvalidNode;
+    NodeId pm_node = kInvalidNode;
+    /// Metadata DHT membership (static per deployment).
+    dht::Ring meta_ring;
+    std::uint32_t meta_replication = 1;
+    std::uint32_t default_replication = 1;
+    bool pipelined_replication = false;
+    std::size_t meta_cache_nodes = 4096;
+    std::size_t io_threads = 4;
+    Duration publish_timeout = seconds(30);
+};
 
 /// Client-side operation counters surfaced to experiments.
 struct ClientStats {
@@ -76,10 +106,11 @@ class Blob;
 
 class BlobSeerClient {
   public:
-    /// Built by Cluster::make_client().
-    BlobSeerClient(Cluster& cluster, NodeId self);
+    /// Built by Cluster::make_client() (SimTransport) or from a fetched
+    /// topology (TcpTransport).
+    explicit BlobSeerClient(ClientEnv env);
 
-    [[nodiscard]] NodeId node() const noexcept { return self_; }
+    [[nodiscard]] NodeId node() const noexcept { return env_.self; }
 
     // ---- blob lifecycle ---------------------------------------------------
 
@@ -168,6 +199,7 @@ class BlobSeerClient {
 
     [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
     [[nodiscard]] meta::MetaCache& meta_cache() noexcept { return cache_; }
+    [[nodiscard]] rpc::ServiceClient& services() noexcept { return svc_; }
 
   private:
     friend class Blob;
@@ -198,17 +230,6 @@ class BlobSeerClient {
     /// Fresh globally-unique chunk id.
     [[nodiscard]] std::uint64_t next_uid();
 
-    // -- thin RPC stubs (charge the simulated network, then invoke) --
-    version::AssignResult rpc_assign(BlobId blob,
-                                     std::optional<std::uint64_t> offset,
-                                     std::uint64_t size);
-    void rpc_commit(BlobId blob, Version v);
-    version::VersionInfo rpc_get_version(BlobId blob, Version v);
-    version::VersionInfo rpc_wait_published(BlobId blob, Version v);
-    provider::PlacementPlan rpc_place(std::uint64_t n_chunks,
-                                      std::uint32_t replication,
-                                      std::uint64_t chunk_bytes);
-
     /// Blob parameters are immutable, so they are fetched once and cached.
     version::BlobInfo blob_info(BlobId blob);
 
@@ -218,12 +239,14 @@ class BlobSeerClient {
                                                        Version v);
     void remember_version(BlobId blob, const version::VersionInfo& vi);
 
-    Cluster& cluster_;
-    const NodeId self_;
+    const ClientEnv env_;
+    rpc::ServiceClient svc_;
     dht::MetaDht dht_;
     meta::MetaCache cache_;
     ThreadPool io_pool_;
-    std::atomic<std::uint32_t> uid_counter_{0};
+    /// 64-bit allocation counter (a 32-bit one silently wraps after 2^32
+    /// chunks and recycles uids — see next_uid()).
+    std::atomic<std::uint64_t> uid_counter_{0};
     ClientStats stats_;
 
     std::mutex info_mu_;  // guards info_cache_ and version_cache_

@@ -5,6 +5,7 @@
 #include "chunk/two_tier_store.hpp"
 #include "core/client.hpp"
 #include "meta/disk_meta_store.hpp"
+#include "rpc/sim_transport.hpp"
 
 namespace blobseer::core {
 
@@ -60,15 +61,59 @@ Cluster::Cluster(ClusterConfig config)
         mp_by_node_[node] = meta_providers_.back().get();
         ring_.add_node(node);
     }
+
+    // Wire every service into the RPC skeleton. Remote client ids start
+    // far above any simulated node id so the two spaces never collide.
+    dispatcher_.set_version_manager(vm_node_, &vm_);
+    dispatcher_.set_provider_manager(pm_node_, &pm_);
+    for (const auto& [node, dp] : dp_by_node_) {
+        dispatcher_.add_data_provider(node, dp);
+    }
+    for (const auto& [node, mp] : mp_by_node_) {
+        dispatcher_.add_metadata_provider(node, mp);
+    }
+    dispatcher_.set_topology(topology(), 1u << 20);
 }
 
 Cluster::~Cluster() = default;
+
+rpc::Topology Cluster::topology() const {
+    rpc::Topology t;
+    t.vm_node = vm_node_;
+    t.pm_node = pm_node_;
+    t.data_nodes.reserve(data_providers_.size());
+    for (const auto& dp : data_providers_) {
+        t.data_nodes.push_back(dp->node());
+    }
+    t.meta_nodes.reserve(meta_providers_.size());
+    for (const auto& mp : meta_providers_) {
+        t.meta_nodes.push_back(mp->node());
+    }
+    t.meta_replication = config_.meta_replication;
+    t.default_replication = config_.default_replication;
+    t.publish_timeout_ms = static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(config_.publish_timeout).count());
+    return t;
+}
 
 std::unique_ptr<BlobSeerClient> Cluster::make_client(
     const std::string& name) {
     const NodeId node =
         net_.add_node(name + "-" + std::to_string(next_client_++));
-    return std::make_unique<BlobSeerClient>(*this, node);
+    ClientEnv env;
+    env.transport =
+        std::make_shared<rpc::SimTransport>(net_, node, dispatcher_);
+    env.self = node;
+    env.vm_node = vm_node_;
+    env.pm_node = pm_node_;
+    env.meta_ring = ring_;
+    env.meta_replication = config_.meta_replication;
+    env.default_replication = config_.default_replication;
+    env.pipelined_replication = config_.pipelined_replication;
+    env.meta_cache_nodes = config_.client_meta_cache_nodes;
+    env.io_threads = config_.client_io_threads;
+    env.publish_timeout = config_.publish_timeout;
+    return std::make_unique<BlobSeerClient>(std::move(env));
 }
 
 void Cluster::kill_data_provider(std::size_t i, bool lose_volatile) {

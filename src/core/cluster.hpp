@@ -20,12 +20,12 @@
 #include <vector>
 
 #include "core/config.hpp"
-#include "dht/meta_dht.hpp"
 #include "dht/metadata_provider.hpp"
 #include "dht/ring.hpp"
 #include "net/sim_network.hpp"
 #include "provider/data_provider.hpp"
 #include "provider/provider_manager.hpp"
+#include "rpc/dispatcher.hpp"
 #include "version/version_manager.hpp"
 
 namespace blobseer::core {
@@ -75,6 +75,16 @@ class Cluster {
 
     [[nodiscard]] const dht::Ring& meta_ring() const noexcept { return ring_; }
 
+    /// Server-side RPC skeleton fronting every service of this
+    /// deployment. SimTransport clients dispatch into it inline; a
+    /// TcpRpcServer (blobseer_serverd) serves it over real sockets.
+    [[nodiscard]] rpc::Dispatcher& dispatcher() noexcept {
+        return dispatcher_;
+    }
+
+    /// The topology advertised to remote clients (kTopology RPC).
+    [[nodiscard]] rpc::Topology topology() const;
+
     /// node-id -> service maps used by client stubs.
     [[nodiscard]] const std::unordered_map<NodeId, provider::DataProvider*>&
     data_provider_map() const noexcept {
@@ -123,6 +133,7 @@ class Cluster {
     std::unordered_map<NodeId, dht::MetadataProvider*> mp_by_node_;
 
     dht::Ring ring_;
+    rpc::Dispatcher dispatcher_;
     std::size_t next_client_ = 0;
 };
 

@@ -1,0 +1,32 @@
+#include "core/remote.hpp"
+
+#include "rpc/service_client.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace blobseer::core {
+
+ClientEnv connect_tcp(const std::string& host, std::uint16_t port,
+                      const RemoteOptions& options) {
+    auto transport = std::make_shared<rpc::TcpTransport>(host, port);
+    const rpc::Topology topo = rpc::fetch_topology(*transport);
+
+    ClientEnv env;
+    env.transport = std::move(transport);
+    env.self = topo.client_id;
+    env.vm_node = topo.vm_node;
+    env.pm_node = topo.pm_node;
+    for (const NodeId node : topo.meta_nodes) {
+        env.meta_ring.add_node(node);
+    }
+    env.meta_replication = topo.meta_replication;
+    env.default_replication = topo.default_replication;
+    // Pipelined replication needs the cost model of the simulator; over
+    // a real wire every copy leaves this client.
+    env.pipelined_replication = false;
+    env.meta_cache_nodes = options.meta_cache_nodes;
+    env.io_threads = options.io_threads;
+    env.publish_timeout = milliseconds(topo.publish_timeout_ms);
+    return env;
+}
+
+}  // namespace blobseer::core

@@ -1,0 +1,34 @@
+/// \file remote.hpp
+/// \brief Bootstrap of a BlobSeer client against a remote deployment.
+///
+/// connect_tcp() is the network-mode entry point: it opens a TcpTransport
+/// to a blobseer_serverd daemon (or an in-process TcpRpcServer), performs
+/// the kTopology handshake to learn the deployment's service node ids,
+/// DHT membership and replication parameters, and assembles a ClientEnv
+/// ready to construct a BlobSeerClient. The resulting client speaks the
+/// exact same wire protocol as in-process SimTransport clients — the
+/// end-to-end tests assert byte-identical results between the two paths.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/client.hpp"
+
+namespace blobseer::core {
+
+/// Client-local knobs a remote deployment cannot dictate.
+struct RemoteOptions {
+    std::size_t meta_cache_nodes = 4096;
+    std::size_t io_threads = 4;
+};
+
+/// Connect to a daemon at \p host:\p port and build a client environment
+/// from its advertised topology. Throws RpcError when the daemon is
+/// unreachable or speaks a different protocol version.
+[[nodiscard]] ClientEnv connect_tcp(const std::string& host,
+                                    std::uint16_t port,
+                                    const RemoteOptions& options = {});
+
+}  // namespace blobseer::core

@@ -3,10 +3,11 @@
 ///
 /// Implements meta::MetaStore over the metadata providers: each node key
 /// is consistent-hashed to its owners; puts go to every replica, gets try
-/// owners in order and fail over on provider death. All traffic is
-/// charged to the simulated network, so every metadata round trip the
-/// tree algorithms make shows up in experiment measurements exactly like
-/// it did on Grid'5000.
+/// owners in order and fail over on provider death. Every operation is a
+/// real encode → transport → decode round trip (rpc::ServiceClient), so
+/// the metadata traffic the tree algorithms generate is charged at its
+/// actual serialized size under SimTransport and travels real sockets
+/// under TcpTransport.
 ///
 /// With a single registered provider this degenerates into the
 /// *centralized* metadata scheme the paper compares against (§IV-C) — the
@@ -15,43 +16,34 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
-#include "dht/metadata_provider.hpp"
 #include "dht/ring.hpp"
 #include "meta/meta_store.hpp"
-#include "net/sim_network.hpp"
+#include "rpc/service_client.hpp"
 
 namespace blobseer::dht {
 
 class MetaDht final : public meta::MetaStore {
   public:
-    /// \param self       node id of the calling client (traffic source).
-    /// \param providers  map node-id -> service object for every DHT
-    ///                   member (not owned).
+    /// \param svc        RPC stubs carrying this client's identity.
+    /// \param ring       DHT membership (not owned; must outlive this).
     /// \param replication copies per node key (>= 1).
-    MetaDht(net::SimNetwork& net, NodeId self, const Ring& ring,
-            std::unordered_map<NodeId, MetadataProvider*> providers,
+    MetaDht(rpc::ServiceClient& svc, const Ring& ring,
             std::uint32_t replication)
-        : net_(net),
-          self_(self),
+        : svc_(svc),
           ring_(ring),
-          providers_(std::move(providers)),
           replication_(replication == 0 ? 1 : replication) {}
 
     void put(const meta::MetaKey& key, const meta::MetaNode& node) override {
         const auto owners = ring_.owners(key.hash(), replication_);
-        const std::uint64_t req =
-            meta::kMetaKeyWireSize + node.serialized_size();
         std::size_t ok = 0;
         for (const NodeId owner : owners) {
             try {
-                net_.call(self_, owner, req, 8,
-                          [&] { provider_of(owner)->put(key, node); });
+                svc_.meta_put(owner, key, node);
                 ++ok;
             } catch (const RpcError& e) {
                 // A dead replica target is tolerable as long as one copy
@@ -73,8 +65,7 @@ class MetaDht final : public meta::MetaStore {
         std::string last_error = "no owners";
         for (const NodeId owner : owners) {
             try {
-                return net_.call(self_, owner, meta::kMetaKeyWireSize, 48,
-                                 [&] { return provider_of(owner)->get(key); });
+                return svc_.meta_get(owner, key);
             } catch (const RpcError& e) {
                 last_error = e.what();
             } catch (const NotFoundError& e) {
@@ -90,10 +81,7 @@ class MetaDht final : public meta::MetaStore {
         const auto owners = ring_.owners(key.hash(), replication_);
         for (const NodeId owner : owners) {
             try {
-                auto r = net_.call(self_, owner, meta::kMetaKeyWireSize, 48,
-                                   [&] {
-                                       return provider_of(owner)->try_get(key);
-                                   });
+                auto r = svc_.meta_try_get(owner, key);
                 if (r) {
                     return r;
                 }
@@ -108,8 +96,7 @@ class MetaDht final : public meta::MetaStore {
         const auto owners = ring_.owners(key.hash(), replication_);
         for (const NodeId owner : owners) {
             try {
-                net_.call(self_, owner, meta::kMetaKeyWireSize, 8,
-                          [&] { provider_of(owner)->erase(key); });
+                svc_.meta_erase(owner, key);
             } catch (const RpcError&) {
                 // best effort
             }
@@ -120,19 +107,8 @@ class MetaDht final : public meta::MetaStore {
     [[nodiscard]] std::uint64_t gets() const { return gets_.get(); }
 
   private:
-    [[nodiscard]] MetadataProvider* provider_of(NodeId node) const {
-        const auto it = providers_.find(node);
-        if (it == providers_.end()) {
-            throw ConsistencyError("ring returned unknown provider " +
-                                   std::to_string(node));
-        }
-        return it->second;
-    }
-
-    net::SimNetwork& net_;
-    const NodeId self_;
+    rpc::ServiceClient& svc_;
     const Ring& ring_;
-    const std::unordered_map<NodeId, MetadataProvider*> providers_;
     const std::uint32_t replication_;
 
     Counter puts_;

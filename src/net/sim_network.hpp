@@ -170,6 +170,34 @@ class SimNetwork {
         }
     }
 
+    /// Frame-sized RPC: like call(), but the response cost is the *actual*
+    /// size of the handler's returned byte buffer instead of a caller-side
+    /// estimate. This is the entry point the RPC subsystem uses — request
+    /// and response are encoded frames, so both directions charge exactly
+    /// the bytes a real wire would carry (see rpc::SimTransport).
+    template <typename F>
+    auto call_sized(NodeId src, NodeId dst, std::uint64_t req_bytes,
+                    F&& handler) -> std::invoke_result_t<F> {
+        NodeState* s = node_ptr(src);
+        NodeState* d = node_ptr(dst);
+
+        check_reachable(src, dst, *s, *d);
+
+        sleep_latency(*s, *d);
+        s->tx.transmit(scaled(req_bytes, *s));
+        d->rx.transmit(scaled(req_bytes, *d));
+        s->msgs_out.add();
+        s->bytes_out.add(req_bytes);
+        d->msgs_in.add();
+        d->bytes_in.add(req_bytes);
+
+        check_reachable(src, dst, *s, *d);
+
+        auto result = handler();
+        respond(src, dst, *s, *d, result.size());
+        return result;
+    }
+
     /// One-way message (no response path) — used for heartbeats.
     template <typename F>
     void send(NodeId src, NodeId dst, std::uint64_t bytes, F&& handler) {

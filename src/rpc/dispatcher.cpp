@@ -1,0 +1,328 @@
+#include "rpc/dispatcher.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "dht/metadata_provider.hpp"
+#include "provider/data_provider.hpp"
+#include "provider/provider_manager.hpp"
+#include "version/version_manager.hpp"
+
+namespace blobseer::rpc {
+
+namespace {
+
+[[nodiscard]] std::optional<std::uint64_t> get_opt_u64(WireReader& r) {
+    if (r.u8() == 0) {
+        return std::nullopt;
+    }
+    return r.u64();
+}
+
+}  // namespace
+
+Buffer Dispatcher::dispatch(ConstBytes frame) noexcept {
+    MsgType type = MsgType::kTopology;
+    try {
+        const FrameView f = parse_frame(frame);
+        type = f.type;
+        if (f.response) {
+            throw RpcError("dispatch of a response frame");
+        }
+        return handle(f);
+    } catch (const RpcError& e) {
+        return seal_error(type, Status::kRpcError, e.what());
+    } catch (const TimeoutError& e) {
+        return seal_error(type, Status::kTimeout, e.what());
+    } catch (const NotFoundError& e) {
+        return seal_error(type, Status::kNotFound, e.what());
+    } catch (const ConsistencyError& e) {
+        return seal_error(type, Status::kConsistency, e.what());
+    } catch (const InvalidArgument& e) {
+        return seal_error(type, Status::kInvalidArgument, e.what());
+    } catch (const VersionAborted& e) {
+        return seal_error(type, Status::kVersionAborted, e.what());
+    } catch (const VersionRetired& e) {
+        return seal_error(type, Status::kVersionRetired, e.what());
+    } catch (const std::exception& e) {
+        return seal_error(type, Status::kError, e.what());
+    }
+}
+
+Buffer Dispatcher::handle(const FrameView& f) {
+    switch (f.type) {
+        case MsgType::kChunkPut:
+        case MsgType::kChunkGet:
+        case MsgType::kChunkErase:
+            return handle_data_provider(f);
+
+        case MsgType::kBlobCreate:
+        case MsgType::kBlobClone:
+        case MsgType::kBlobInfo:
+        case MsgType::kAssign:
+        case MsgType::kCommit:
+        case MsgType::kGetVersion:
+        case MsgType::kWaitPublished:
+        case MsgType::kHistory:
+        case MsgType::kPin:
+        case MsgType::kUnpin:
+        case MsgType::kRetire:
+        case MsgType::kDescriptorOf:
+            return handle_version_manager(f);
+
+        case MsgType::kMetaPut:
+        case MsgType::kMetaGet:
+        case MsgType::kMetaTryGet:
+        case MsgType::kMetaErase:
+            return handle_meta_provider(f);
+
+        case MsgType::kPlace:
+        case MsgType::kMarkDead:
+            return handle_provider_manager(f);
+
+        case MsgType::kTopology: {
+            Topology t = topology_;
+            t.client_id = next_client_id_.fetch_add(1);
+            WireWriter w;
+            put_topology(w, t);
+            return seal_response(f.type, std::move(w));
+        }
+    }
+    throw RpcError("unknown message type " +
+                   std::to_string(static_cast<unsigned>(f.type)));
+}
+
+Buffer Dispatcher::handle_data_provider(const FrameView& f) {
+    const auto it = data_providers_.find(f.dst());
+    if (it == data_providers_.end()) {
+        throw RpcError("no data-provider service on node " +
+                       std::to_string(f.dst()));
+    }
+    provider::DataProvider& dp = *it->second;
+    WireReader r(f.payload);
+
+    switch (f.type) {
+        case MsgType::kChunkPut: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            const ConstBytes payload = r.blob();
+            r.expect_end();
+            dp.put_chunk(key, std::make_shared<const Buffer>(
+                                  payload.begin(), payload.end()));
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kChunkGet: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            const std::uint64_t offset = r.u64();
+            const std::uint64_t size = r.u64();  // 0 = whole chunk
+            r.expect_end();
+            const chunk::ChunkData data = dp.get_chunk(key);
+            const std::uint64_t total = data->size();
+            const std::uint64_t begin = std::min(offset, total);
+            const std::uint64_t n = size == 0
+                                        ? total - begin
+                                        : std::min(size, total - begin);
+            WireWriter w(n + 32);
+            w.u64(total);
+            w.blob(ConstBytes(data->data() + begin, n));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kChunkErase: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            r.expect_end();
+            dp.erase_chunk(key);
+            return seal_response(f.type, WireWriter());
+        }
+        default:
+            throw RpcError("bad data-provider message");
+    }
+}
+
+Buffer Dispatcher::handle_version_manager(const FrameView& f) {
+    if (vm_ == nullptr || f.dst() != vm_node_) {
+        throw RpcError("no version-manager service on node " +
+                       std::to_string(f.dst()));
+    }
+    version::VersionManager& vm = *vm_;
+    WireReader r(f.payload);
+
+    switch (f.type) {
+        case MsgType::kBlobCreate: {
+            const std::uint64_t chunk_size = r.u64();
+            const std::uint32_t replication = r.u32();
+            r.expect_end();
+            WireWriter w;
+            put_blob_info(w, vm.create_blob(chunk_size, replication));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kBlobClone: {
+            const BlobId src = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_blob_info(w, vm.clone_blob(src, v));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kBlobInfo: {
+            const BlobId blob = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_blob_info(w, vm.blob_info(blob));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kAssign: {
+            const BlobId blob = r.u64();
+            const auto offset = get_opt_u64(r);
+            const std::uint64_t size = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_assign_result(w, vm.assign(blob, offset, size));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kCommit: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            vm.commit(blob, v);
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kGetVersion: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_version_info(w, vm.get_version(blob, v));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kWaitPublished: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            const std::uint64_t timeout_ms = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_version_info(
+                w, vm.wait_published(blob, v, milliseconds(timeout_ms)));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kHistory: {
+            const BlobId blob = r.u64();
+            const Version from = r.u64();
+            const Version to = r.u64();
+            r.expect_end();
+            const auto summaries = vm.history(blob, from, to);
+            WireWriter w;
+            w.varint(summaries.size());
+            for (const auto& s : summaries) {
+                put_version_summary(w, s);
+            }
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kPin:
+        case MsgType::kUnpin: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            if (f.type == MsgType::kPin) {
+                vm.pin(blob, v);
+            } else {
+                vm.unpin(blob, v);
+            }
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kRetire: {
+            const BlobId blob = r.u64();
+            const Version keep_from = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_retire_info(w, vm.retire(blob, keep_from));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kDescriptorOf: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_write_descriptor(w, vm.descriptor_of(blob, v));
+            return seal_response(f.type, std::move(w));
+        }
+        default:
+            throw RpcError("bad version-manager message");
+    }
+}
+
+Buffer Dispatcher::handle_meta_provider(const FrameView& f) {
+    const auto it = meta_providers_.find(f.dst());
+    if (it == meta_providers_.end()) {
+        throw RpcError("no metadata-provider service on node " +
+                       std::to_string(f.dst()));
+    }
+    dht::MetadataProvider& mp = *it->second;
+    WireReader r(f.payload);
+
+    switch (f.type) {
+        case MsgType::kMetaPut: {
+            const meta::MetaKey key = get_meta_key(r);
+            const meta::MetaNode node = get_meta_node(r);
+            r.expect_end();
+            mp.put(key, node);
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kMetaGet: {
+            const meta::MetaKey key = get_meta_key(r);
+            r.expect_end();
+            WireWriter w;
+            put_meta_node(w, mp.get(key));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kMetaTryGet: {
+            const meta::MetaKey key = get_meta_key(r);
+            r.expect_end();
+            const auto node = mp.try_get(key);
+            WireWriter w;
+            w.u8(node.has_value() ? 1 : 0);
+            if (node) {
+                put_meta_node(w, *node);
+            }
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kMetaErase: {
+            const meta::MetaKey key = get_meta_key(r);
+            r.expect_end();
+            mp.erase(key);
+            return seal_response(f.type, WireWriter());
+        }
+        default:
+            throw RpcError("bad metadata-provider message");
+    }
+}
+
+Buffer Dispatcher::handle_provider_manager(const FrameView& f) {
+    if (pm_ == nullptr || f.dst() != pm_node_) {
+        throw RpcError("no provider-manager service on node " +
+                       std::to_string(f.dst()));
+    }
+    provider::ProviderManager& pm = *pm_;
+    WireReader r(f.payload);
+
+    switch (f.type) {
+        case MsgType::kPlace: {
+            const std::uint64_t n_chunks = r.u64();
+            const std::uint32_t replication = r.u32();
+            const std::uint64_t chunk_bytes = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_placement_plan(w, pm.place(n_chunks, replication,
+                                           chunk_bytes));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kMarkDead: {
+            const NodeId node = r.u32();
+            r.expect_end();
+            pm.mark_dead(node);
+            return seal_response(f.type, WireWriter());
+        }
+        default:
+            throw RpcError("bad provider-manager message");
+    }
+}
+
+}  // namespace blobseer::rpc

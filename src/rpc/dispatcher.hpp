@@ -1,0 +1,98 @@
+/// \file dispatcher.hpp
+/// \brief Server-side RPC skeleton: decodes request frames and invokes
+///        the real service objects.
+///
+/// One Dispatcher fronts a whole deployment: it maps logical node ids to
+/// the service objects living there (version manager, provider manager,
+/// data providers, metadata providers) and routes each request frame by
+/// its message-type tag plus destination node. Service exceptions are
+/// caught and encoded as error responses (protocol.hpp Status), so a
+/// server-side throw resurfaces client-side as the same exception type —
+/// the dispatcher itself never lets an exception escape.
+///
+/// Both transports share this object: SimTransport invokes it inline on
+/// the calling thread (after charging the simulated wire), and the TCP
+/// server invokes it from its connection threads. Service objects are
+/// thread-safe, so no additional locking happens here.
+
+#pragma once
+
+#include <atomic>
+#include <unordered_map>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "rpc/messages.hpp"
+#include "rpc/protocol.hpp"
+
+namespace blobseer::provider {
+class DataProvider;
+class ProviderManager;
+}  // namespace blobseer::provider
+
+namespace blobseer::dht {
+class MetadataProvider;
+}
+
+namespace blobseer::version {
+class VersionManager;
+}
+
+namespace blobseer::rpc {
+
+class Dispatcher {
+  public:
+    Dispatcher() = default;
+
+    Dispatcher(const Dispatcher&) = delete;
+    Dispatcher& operator=(const Dispatcher&) = delete;
+
+    // ---- registration (cluster bootstrap; not thread-safe) --------------
+
+    void set_version_manager(NodeId node, version::VersionManager* vm) {
+        vm_node_ = node;
+        vm_ = vm;
+    }
+    void set_provider_manager(NodeId node, provider::ProviderManager* pm) {
+        pm_node_ = node;
+        pm_ = pm;
+    }
+    void add_data_provider(NodeId node, provider::DataProvider* dp) {
+        data_providers_[node] = dp;
+    }
+    void add_metadata_provider(NodeId node, dht::MetadataProvider* mp) {
+        meta_providers_[node] = mp;
+    }
+
+    /// Install the topology advertised to remote clients. client_id in
+    /// the template is ignored; each kTopology request gets a fresh one.
+    void set_topology(Topology t, NodeId first_client_id) {
+        topology_ = std::move(t);
+        next_client_id_.store(first_client_id);
+    }
+
+    /// Decode one request frame, invoke the addressed service, return the
+    /// sealed response frame. Never throws: every failure becomes an
+    /// error response.
+    [[nodiscard]] Buffer dispatch(ConstBytes frame) noexcept;
+
+  private:
+    [[nodiscard]] Buffer handle(const FrameView& f);
+
+    [[nodiscard]] Buffer handle_data_provider(const FrameView& f);
+    [[nodiscard]] Buffer handle_version_manager(const FrameView& f);
+    [[nodiscard]] Buffer handle_meta_provider(const FrameView& f);
+    [[nodiscard]] Buffer handle_provider_manager(const FrameView& f);
+
+    NodeId vm_node_ = kInvalidNode;
+    NodeId pm_node_ = kInvalidNode;
+    version::VersionManager* vm_ = nullptr;
+    provider::ProviderManager* pm_ = nullptr;
+    std::unordered_map<NodeId, provider::DataProvider*> data_providers_;
+    std::unordered_map<NodeId, dht::MetadataProvider*> meta_providers_;
+
+    Topology topology_;
+    std::atomic<NodeId> next_client_id_{1u << 20};
+};
+
+}  // namespace blobseer::rpc

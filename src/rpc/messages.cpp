@@ -1,0 +1,295 @@
+#include "rpc/messages.hpp"
+
+#include "common/error.hpp"
+
+namespace blobseer::rpc {
+
+// ---- scalar wrappers -------------------------------------------------------
+
+void put_chunk_key(WireWriter& w, const chunk::ChunkKey& k) {
+    w.u64(k.blob);
+    w.u64(k.uid);
+}
+
+chunk::ChunkKey get_chunk_key(WireReader& r) {
+    chunk::ChunkKey k;
+    k.blob = r.u64();
+    k.uid = r.u64();
+    return k;
+}
+
+void put_meta_key(WireWriter& w, const meta::MetaKey& k) {
+    w.u64(k.blob);
+    w.u64(k.version);
+    w.u64(k.range.first);
+    w.u64(k.range.count);
+}
+
+meta::MetaKey get_meta_key(WireReader& r) {
+    meta::MetaKey k;
+    k.blob = r.u64();
+    k.version = r.u64();
+    k.range.first = r.u64();
+    k.range.count = r.u64();
+    return k;
+}
+
+void put_meta_node(WireWriter& w, const meta::MetaNode& n) {
+    w.u8(static_cast<std::uint8_t>(n.kind));
+    if (n.is_leaf()) {
+        put_node_ids(w, n.replicas);
+        w.u64(n.chunk_uid);
+        w.u32(n.chunk_bytes);
+    } else {
+        w.u64(n.left.blob);
+        w.u64(n.left.version);
+        w.u64(n.right.blob);
+        w.u64(n.right.version);
+    }
+}
+
+meta::MetaNode get_meta_node(WireReader& r) {
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(meta::MetaNode::Kind::kLeaf)) {
+        throw RpcError("frame decode: bad meta-node kind " +
+                       std::to_string(kind));
+    }
+    meta::MetaNode n;
+    n.kind = static_cast<meta::MetaNode::Kind>(kind);
+    if (n.is_leaf()) {
+        n.replicas = get_node_ids(r);
+        n.chunk_uid = r.u64();
+        n.chunk_bytes = r.u32();
+    } else {
+        n.left.blob = r.u64();
+        n.left.version = r.u64();
+        n.right.blob = r.u64();
+        n.right.version = r.u64();
+    }
+    return n;
+}
+
+void put_tree_ref(WireWriter& w, const meta::TreeRef& t) {
+    w.u64(t.blob);
+    w.u64(t.version);
+    w.u64(t.size);
+}
+
+meta::TreeRef get_tree_ref(WireReader& r) {
+    meta::TreeRef t;
+    t.blob = r.u64();
+    t.version = r.u64();
+    t.size = r.u64();
+    return t;
+}
+
+void put_write_descriptor(WireWriter& w, const meta::WriteDescriptor& d) {
+    w.u64(d.version);
+    w.u64(d.offset);
+    w.u64(d.size);
+    w.u64(d.size_before);
+    w.u64(d.size_after);
+}
+
+meta::WriteDescriptor get_write_descriptor(WireReader& r) {
+    meta::WriteDescriptor d;
+    d.version = r.u64();
+    d.offset = r.u64();
+    d.size = r.u64();
+    d.size_before = r.u64();
+    d.size_after = r.u64();
+    return d;
+}
+
+void put_blob_info(WireWriter& w, const version::BlobInfo& b) {
+    w.u64(b.id);
+    w.u64(b.chunk_size);
+    w.u32(b.replication);
+}
+
+version::BlobInfo get_blob_info(WireReader& r) {
+    version::BlobInfo b;
+    b.id = r.u64();
+    b.chunk_size = r.u64();
+    b.replication = r.u32();
+    return b;
+}
+
+void put_version_status(WireWriter& w, version::VersionStatus s) {
+    w.u8(static_cast<std::uint8_t>(s));
+}
+
+version::VersionStatus get_version_status(WireReader& r) {
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(version::VersionStatus::kRetired)) {
+        throw RpcError("frame decode: bad version status " +
+                       std::to_string(s));
+    }
+    return static_cast<version::VersionStatus>(s);
+}
+
+void put_version_info(WireWriter& w, const version::VersionInfo& v) {
+    w.u64(v.version);
+    w.u64(v.size);
+    put_version_status(w, v.status);
+    put_tree_ref(w, v.tree);
+}
+
+version::VersionInfo get_version_info(WireReader& r) {
+    version::VersionInfo v;
+    v.version = r.u64();
+    v.size = r.u64();
+    v.status = get_version_status(r);
+    v.tree = get_tree_ref(r);
+    return v;
+}
+
+void put_assign_result(WireWriter& w, const version::AssignResult& a) {
+    w.u64(a.version);
+    w.u64(a.offset);
+    w.u64(a.size_before);
+    w.u64(a.size_after);
+    put_tree_ref(w, a.base);
+    w.varint(a.concurrent.size());
+    for (const auto& d : a.concurrent) {
+        put_write_descriptor(w, d);
+    }
+    w.u64(a.chunk_size);
+    w.u32(a.replication);
+}
+
+version::AssignResult get_assign_result(WireReader& r) {
+    version::AssignResult a;
+    a.version = r.u64();
+    a.offset = r.u64();
+    a.size_before = r.u64();
+    a.size_after = r.u64();
+    a.base = get_tree_ref(r);
+    const std::uint64_t n = r.varint_count(40);  // encoded WriteDescriptor
+    a.concurrent.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        a.concurrent.push_back(get_write_descriptor(r));
+    }
+    a.chunk_size = r.u64();
+    a.replication = r.u32();
+    return a;
+}
+
+void put_version_summary(WireWriter& w,
+                         const version::VersionManager::VersionSummary& s) {
+    w.u64(s.version);
+    put_version_status(w, s.status);
+    w.u64(s.offset);
+    w.u64(s.size);
+    w.u64(s.size_after);
+}
+
+version::VersionManager::VersionSummary get_version_summary(WireReader& r) {
+    version::VersionManager::VersionSummary s;
+    s.version = r.u64();
+    s.status = get_version_status(r);
+    s.offset = r.u64();
+    s.size = r.u64();
+    s.size_after = r.u64();
+    return s;
+}
+
+void put_retire_info(WireWriter& w,
+                     const version::VersionManager::RetireInfo& i) {
+    w.varint(i.retired.size());
+    for (const Version v : i.retired) {
+        w.u64(v);
+    }
+    w.varint(i.descriptors.size());
+    for (const auto& d : i.descriptors) {
+        put_write_descriptor(w, d);
+    }
+    w.varint(i.pinned.size());
+    for (const Version v : i.pinned) {
+        w.u64(v);
+    }
+    w.u64(i.keep_from);
+}
+
+version::VersionManager::RetireInfo get_retire_info(WireReader& r) {
+    version::VersionManager::RetireInfo i;
+    const std::uint64_t n_retired = r.varint_count(8);
+    i.retired.reserve(n_retired);
+    for (std::uint64_t k = 0; k < n_retired; ++k) {
+        i.retired.push_back(r.u64());
+    }
+    const std::uint64_t n_desc = r.varint_count(40);
+    i.descriptors.reserve(n_desc);
+    for (std::uint64_t k = 0; k < n_desc; ++k) {
+        i.descriptors.push_back(get_write_descriptor(r));
+    }
+    const std::uint64_t n_pinned = r.varint_count(8);
+    i.pinned.reserve(n_pinned);
+    for (std::uint64_t k = 0; k < n_pinned; ++k) {
+        i.pinned.push_back(r.u64());
+    }
+    i.keep_from = r.u64();
+    return i;
+}
+
+void put_placement_plan(WireWriter& w, const provider::PlacementPlan& p) {
+    w.varint(p.size());
+    for (const auto& targets : p) {
+        put_node_ids(w, targets);
+    }
+}
+
+provider::PlacementPlan get_placement_plan(WireReader& r) {
+    const std::uint64_t n = r.varint_count(1);  // empty row = 1 byte
+    provider::PlacementPlan p;
+    p.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        p.push_back(get_node_ids(r));
+    }
+    return p;
+}
+
+void put_node_ids(WireWriter& w, const std::vector<NodeId>& v) {
+    w.varint(v.size());
+    for (const NodeId n : v) {
+        w.u32(n);
+    }
+}
+
+std::vector<NodeId> get_node_ids(WireReader& r) {
+    const std::uint64_t n = r.varint_count(4);
+    std::vector<NodeId> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        v.push_back(r.u32());
+    }
+    return v;
+}
+
+// ---- control plane ---------------------------------------------------------
+
+void put_topology(WireWriter& w, const Topology& t) {
+    w.u32(t.vm_node);
+    w.u32(t.pm_node);
+    put_node_ids(w, t.data_nodes);
+    put_node_ids(w, t.meta_nodes);
+    w.u32(t.meta_replication);
+    w.u32(t.default_replication);
+    w.u64(t.publish_timeout_ms);
+    w.u32(t.client_id);
+}
+
+Topology get_topology(WireReader& r) {
+    Topology t;
+    t.vm_node = r.u32();
+    t.pm_node = r.u32();
+    t.data_nodes = get_node_ids(r);
+    t.meta_nodes = get_node_ids(r);
+    t.meta_replication = r.u32();
+    t.default_replication = r.u32();
+    t.publish_timeout_ms = r.u64();
+    t.client_id = r.u32();
+    return t;
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,247 @@
+/// \file protocol.hpp
+/// \brief Frame layout, message-type tags and the error status mapping of
+///        the BlobSeer wire protocol.
+///
+/// Frame layout (DESIGN.md §7.1), fixed 16-byte header + payload:
+///
+///   offset  size  field
+///   0       4     magic 0x42535250 ("BSRP" little-endian)
+///   4       1     wire version (kWireVersion)
+///   5       1     kind: 0 = request, 1 = response
+///   6       2     message type tag (MsgType)
+///   8       4     request: destination node id / response: status code
+///   12      4     payload length in bytes
+///   16      ...   payload (message codec, see messages.hpp)
+///
+/// The destination node id travels *in the frame* so that a single
+/// listening endpoint (the all-in-one blobseer_serverd daemon) can host
+/// many logical nodes and route internally; transports that connect
+/// per-node simply ignore it. Responses replace the node field with a
+/// Status: non-OK responses carry a UTF-8 error string as payload, which
+/// the client maps back onto the exception hierarchy of common/error.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "rpc/wire.hpp"
+
+namespace blobseer::rpc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+
+/// Upper bound on a frame payload; anything larger is a corrupt or
+/// hostile frame and is rejected before its length is trusted for an
+/// allocation. The largest legitimate payload is one chunk plus a few
+/// dozen header bytes; 256 MiB leaves generous headroom over any chunk
+/// size the experiments use while bounding what a hostile header can
+/// make a receiver allocate.
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+/// Destination pseudo-node for control-plane requests (kTopology). Not a
+/// real cluster node: transports route it to the deployment's dispatcher
+/// without charging any per-node wire cost.
+inline constexpr NodeId kControlNode = 0xfffffffeu;
+
+/// Every request/response type in the protocol. Values are wire ABI: new
+/// types must be appended within their service block, never renumbered.
+enum class MsgType : std::uint16_t {
+    // data provider service
+    kChunkPut = 1,
+    kChunkGet = 2,
+    kChunkErase = 3,
+
+    // version manager service
+    kBlobCreate = 16,
+    kBlobClone = 17,
+    kBlobInfo = 18,
+    kAssign = 19,
+    kCommit = 20,
+    kGetVersion = 21,
+    kWaitPublished = 22,
+    kHistory = 23,
+    kPin = 24,
+    kUnpin = 25,
+    kRetire = 26,
+    kDescriptorOf = 27,
+
+    // metadata DHT member service
+    kMetaPut = 48,
+    kMetaGet = 49,
+    kMetaTryGet = 50,
+    kMetaErase = 51,
+
+    // provider manager service
+    kPlace = 64,
+    kMarkDead = 65,
+
+    // control plane
+    kTopology = 80,
+};
+
+[[nodiscard]] inline const char* to_string(MsgType t) noexcept {
+    switch (t) {
+        case MsgType::kChunkPut: return "chunk-put";
+        case MsgType::kChunkGet: return "chunk-get";
+        case MsgType::kChunkErase: return "chunk-erase";
+        case MsgType::kBlobCreate: return "blob-create";
+        case MsgType::kBlobClone: return "blob-clone";
+        case MsgType::kBlobInfo: return "blob-info";
+        case MsgType::kAssign: return "assign";
+        case MsgType::kCommit: return "commit";
+        case MsgType::kGetVersion: return "get-version";
+        case MsgType::kWaitPublished: return "wait-published";
+        case MsgType::kHistory: return "history";
+        case MsgType::kPin: return "pin";
+        case MsgType::kUnpin: return "unpin";
+        case MsgType::kRetire: return "retire";
+        case MsgType::kDescriptorOf: return "descriptor-of";
+        case MsgType::kMetaPut: return "meta-put";
+        case MsgType::kMetaGet: return "meta-get";
+        case MsgType::kMetaTryGet: return "meta-try-get";
+        case MsgType::kMetaErase: return "meta-erase";
+        case MsgType::kPlace: return "place";
+        case MsgType::kMarkDead: return "mark-dead";
+        case MsgType::kTopology: return "topology";
+    }
+    return "?";
+}
+
+/// Wire status of a response. Mirrors the exception hierarchy in
+/// common/error.hpp so a server-side throw resurfaces client-side as the
+/// same type.
+enum class Status : std::uint32_t {
+    kOk = 0,
+    kRpcError = 1,
+    kTimeout = 2,
+    kNotFound = 3,
+    kConsistency = 4,
+    kInvalidArgument = 5,
+    kVersionAborted = 6,
+    kVersionRetired = 7,
+    kError = 8,  ///< any other server-side failure
+};
+
+/// Re-throw a non-OK response status as the matching exception.
+[[noreturn]] inline void throw_status(Status s, const std::string& what) {
+    switch (s) {
+        case Status::kOk: break;  // not an error; fall through to throw
+        case Status::kRpcError: throw RpcError(what);
+        case Status::kTimeout: throw TimeoutError(what);
+        case Status::kNotFound: throw NotFoundError(what);
+        case Status::kConsistency: throw ConsistencyError(what);
+        case Status::kInvalidArgument: throw InvalidArgument(what);
+        case Status::kVersionAborted: throw VersionAborted(what);
+        case Status::kVersionRetired: throw VersionRetired(what);
+        case Status::kError: throw Error(what);
+    }
+    throw RpcError("protocol: throw_status on OK response");
+}
+
+/// Parsed view of one frame; payload borrows the frame buffer.
+struct FrameView {
+    MsgType type = MsgType::kTopology;
+    bool response = false;
+    /// Request: destination node id. Response: Status.
+    std::uint32_t dst_or_status = 0;
+    ConstBytes payload;
+
+    [[nodiscard]] NodeId dst() const noexcept { return dst_or_status; }
+    [[nodiscard]] Status status() const noexcept {
+        return static_cast<Status>(dst_or_status);
+    }
+};
+
+/// Validate and parse a whole frame (header + payload in one buffer).
+[[nodiscard]] inline FrameView parse_frame(ConstBytes frame) {
+    WireReader r(frame);
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("frame decode: short frame (" +
+                       std::to_string(frame.size()) + " bytes)");
+    }
+    if (r.u32() != kFrameMagic) {
+        throw RpcError("frame decode: bad magic");
+    }
+    if (const std::uint8_t v = r.u8(); v != kWireVersion) {
+        throw RpcError("frame decode: unsupported wire version " +
+                       std::to_string(v));
+    }
+    const std::uint8_t kind = r.u8();
+    if (kind > 1) {
+        throw RpcError("frame decode: bad frame kind");
+    }
+    FrameView out;
+    out.response = kind == 1;
+    out.type = static_cast<MsgType>(r.u16());
+    out.dst_or_status = r.u32();
+    const std::uint32_t len = r.u32();
+    if (len > kMaxPayload) {
+        throw RpcError("frame decode: payload length " + std::to_string(len) +
+                       " exceeds limit");
+    }
+    if (len != r.remaining()) {
+        throw RpcError("frame decode: payload length mismatch (header says " +
+                       std::to_string(len) + ", frame carries " +
+                       std::to_string(r.remaining()) + ")");
+    }
+    out.payload = frame.subspan(kFrameHeaderSize, len);
+    return out;
+}
+
+namespace detail {
+
+[[nodiscard]] inline Buffer seal(MsgType type, bool response,
+                                 std::uint32_t dst_or_status,
+                                 WireWriter&& payload) {
+    Buffer body = payload.take();
+    if (body.size() > kMaxPayload) {
+        // Fail at the sender with a clear error — a receiver would just
+        // drop the connection, and a >4 GiB body would silently
+        // truncate in the header's 32-bit length field.
+        throw InvalidArgument(
+            std::string("rpc payload of ") + std::to_string(body.size()) +
+            " bytes exceeds the frame limit (" + to_string(type) + ")");
+    }
+    WireWriter w(kFrameHeaderSize + body.size());
+    w.u32(kFrameMagic);
+    w.u8(kWireVersion);
+    w.u8(response ? 1 : 0);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u32(dst_or_status);
+    w.u32(static_cast<std::uint32_t>(body.size()));
+    w.raw(body);
+    return w.take();
+}
+
+}  // namespace detail
+
+/// Seal a request frame addressed to logical node \p dst.
+[[nodiscard]] inline Buffer seal_request(MsgType type, NodeId dst,
+                                         WireWriter&& payload) {
+    return detail::seal(type, false, dst, std::move(payload));
+}
+
+/// Seal a successful response frame.
+[[nodiscard]] inline Buffer seal_response(MsgType type,
+                                          WireWriter&& payload) {
+    return detail::seal(type, true, static_cast<std::uint32_t>(Status::kOk),
+                        std::move(payload));
+}
+
+/// Seal an error response; the payload is the error string.
+[[nodiscard]] inline Buffer seal_error(MsgType type, Status status,
+                                       std::string_view what) {
+    WireWriter w(what.size() + 8);
+    w.str(what);
+    return detail::seal(type, true, static_cast<std::uint32_t>(status),
+                        std::move(w));
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,294 @@
+#include "rpc/service_client.hpp"
+
+#include "rpc/protocol.hpp"
+
+namespace blobseer::rpc {
+
+namespace {
+
+/// Parse a response frame; throw the mapped exception on error status;
+/// return a reader positioned at the payload.
+[[nodiscard]] WireReader open_reply(const Buffer& frame, MsgType expect) {
+    const FrameView f = parse_frame(frame);
+    if (!f.response) {
+        throw RpcError("request frame where a response was expected");
+    }
+    if (f.status() != Status::kOk) {
+        WireReader r(f.payload);
+        throw_status(f.status(), r.str());
+    }
+    if (f.type != expect) {
+        throw RpcError(std::string("response type mismatch: expected ") +
+                       to_string(expect) + ", got " + to_string(f.type));
+    }
+    return WireReader(f.payload);
+}
+
+}  // namespace
+
+Buffer ServiceClient::invoke(MsgType type, NodeId dst, WireWriter&& body,
+                             NodeId via) {
+    const Buffer frame = seal_request(type, dst, std::move(body));
+    if (via != kInvalidNode) {
+        return transport_.roundtrip_via(via, dst, frame);
+    }
+    return transport_.roundtrip(dst, frame);
+}
+
+// ---- version manager -------------------------------------------------------
+
+version::BlobInfo ServiceClient::create_blob(std::uint64_t chunk_size,
+                                             std::uint32_t replication) {
+    WireWriter w;
+    w.u64(chunk_size);
+    w.u32(replication);
+    const Buffer resp = invoke(MsgType::kBlobCreate, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kBlobCreate);
+    auto out = get_blob_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::BlobInfo ServiceClient::clone_blob(BlobId src, Version version) {
+    WireWriter w;
+    w.u64(src);
+    w.u64(version);
+    const Buffer resp = invoke(MsgType::kBlobClone, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kBlobClone);
+    auto out = get_blob_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::BlobInfo ServiceClient::blob_info(BlobId blob) {
+    WireWriter w;
+    w.u64(blob);
+    const Buffer resp = invoke(MsgType::kBlobInfo, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kBlobInfo);
+    auto out = get_blob_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::AssignResult ServiceClient::assign(
+    BlobId blob, std::optional<std::uint64_t> offset, std::uint64_t size) {
+    WireWriter w;
+    w.u64(blob);
+    w.u8(offset.has_value() ? 1 : 0);
+    if (offset) {
+        w.u64(*offset);
+    }
+    w.u64(size);
+    const Buffer resp = invoke(MsgType::kAssign, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kAssign);
+    auto out = get_assign_result(r);
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::commit(BlobId blob, Version v) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    const Buffer resp = invoke(MsgType::kCommit, vm_node_, std::move(w));
+    open_reply(resp, MsgType::kCommit).expect_end();
+}
+
+version::VersionInfo ServiceClient::get_version(BlobId blob, Version v) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    const Buffer resp = invoke(MsgType::kGetVersion, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kGetVersion);
+    auto out = get_version_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::VersionInfo ServiceClient::wait_published(BlobId blob, Version v,
+                                                   Duration timeout) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    w.u64(static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(timeout).count()));
+    const Buffer resp =
+        invoke(MsgType::kWaitPublished, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kWaitPublished);
+    auto out = get_version_info(r);
+    r.expect_end();
+    return out;
+}
+
+std::vector<version::VersionManager::VersionSummary> ServiceClient::history(
+    BlobId blob, Version from, Version to) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(from);
+    w.u64(to);
+    const Buffer resp = invoke(MsgType::kHistory, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kHistory);
+    const std::uint64_t n = r.varint_count(33);  // encoded VersionSummary
+    std::vector<version::VersionManager::VersionSummary> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        out.push_back(get_version_summary(r));
+    }
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::pin(BlobId blob, Version v) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    const Buffer resp = invoke(MsgType::kPin, vm_node_, std::move(w));
+    open_reply(resp, MsgType::kPin).expect_end();
+}
+
+void ServiceClient::unpin(BlobId blob, Version v) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    const Buffer resp = invoke(MsgType::kUnpin, vm_node_, std::move(w));
+    open_reply(resp, MsgType::kUnpin).expect_end();
+}
+
+version::VersionManager::RetireInfo ServiceClient::retire(BlobId blob,
+                                                          Version keep_from) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(keep_from);
+    const Buffer resp = invoke(MsgType::kRetire, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kRetire);
+    auto out = get_retire_info(r);
+    r.expect_end();
+    return out;
+}
+
+meta::WriteDescriptor ServiceClient::descriptor_of(BlobId blob, Version v) {
+    WireWriter w;
+    w.u64(blob);
+    w.u64(v);
+    const Buffer resp =
+        invoke(MsgType::kDescriptorOf, vm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kDescriptorOf);
+    auto out = get_write_descriptor(r);
+    r.expect_end();
+    return out;
+}
+
+// ---- provider manager ------------------------------------------------------
+
+provider::PlacementPlan ServiceClient::place(std::uint64_t n_chunks,
+                                             std::uint32_t replication,
+                                             std::uint64_t chunk_bytes) {
+    WireWriter w;
+    w.u64(n_chunks);
+    w.u32(replication);
+    w.u64(chunk_bytes);
+    const Buffer resp = invoke(MsgType::kPlace, pm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kPlace);
+    auto out = get_placement_plan(r);
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::mark_dead(NodeId node) {
+    WireWriter w;
+    w.u32(node);
+    const Buffer resp = invoke(MsgType::kMarkDead, pm_node_, std::move(w));
+    open_reply(resp, MsgType::kMarkDead).expect_end();
+}
+
+// ---- data providers --------------------------------------------------------
+
+void ServiceClient::put_chunk(NodeId dp, const chunk::ChunkKey& key,
+                              ConstBytes payload, NodeId via) {
+    WireWriter w(payload.size() + 32);
+    put_chunk_key(w, key);
+    w.blob(payload);
+    const Buffer resp = invoke(MsgType::kChunkPut, dp, std::move(w), via);
+    open_reply(resp, MsgType::kChunkPut).expect_end();
+}
+
+ServiceClient::ChunkSlice ServiceClient::get_chunk(NodeId dp,
+                                                   const chunk::ChunkKey& key,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t size) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    w.u64(offset);
+    w.u64(size);
+    const Buffer resp = invoke(MsgType::kChunkGet, dp, std::move(w));
+    auto r = open_reply(resp, MsgType::kChunkGet);
+    ChunkSlice out;
+    out.chunk_size = r.u64();
+    const ConstBytes bytes = r.blob();
+    out.bytes.assign(bytes.begin(), bytes.end());
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::erase_chunk(NodeId dp, const chunk::ChunkKey& key) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    const Buffer resp = invoke(MsgType::kChunkErase, dp, std::move(w));
+    open_reply(resp, MsgType::kChunkErase).expect_end();
+}
+
+// ---- metadata providers ----------------------------------------------------
+
+void ServiceClient::meta_put(NodeId mp, const meta::MetaKey& key,
+                             const meta::MetaNode& node) {
+    WireWriter w;
+    put_meta_key(w, key);
+    put_meta_node(w, node);
+    const Buffer resp = invoke(MsgType::kMetaPut, mp, std::move(w));
+    open_reply(resp, MsgType::kMetaPut).expect_end();
+}
+
+meta::MetaNode ServiceClient::meta_get(NodeId mp, const meta::MetaKey& key) {
+    WireWriter w;
+    put_meta_key(w, key);
+    const Buffer resp = invoke(MsgType::kMetaGet, mp, std::move(w));
+    auto r = open_reply(resp, MsgType::kMetaGet);
+    auto out = get_meta_node(r);
+    r.expect_end();
+    return out;
+}
+
+std::optional<meta::MetaNode> ServiceClient::meta_try_get(
+    NodeId mp, const meta::MetaKey& key) {
+    WireWriter w;
+    put_meta_key(w, key);
+    const Buffer resp = invoke(MsgType::kMetaTryGet, mp, std::move(w));
+    auto r = open_reply(resp, MsgType::kMetaTryGet);
+    std::optional<meta::MetaNode> out;
+    if (r.u8() != 0) {
+        out = get_meta_node(r);
+    }
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::meta_erase(NodeId mp, const meta::MetaKey& key) {
+    WireWriter w;
+    put_meta_key(w, key);
+    const Buffer resp = invoke(MsgType::kMetaErase, mp, std::move(w));
+    open_reply(resp, MsgType::kMetaErase).expect_end();
+}
+
+// ---- control plane ---------------------------------------------------------
+
+Topology fetch_topology(Transport& transport) {
+    const Buffer frame =
+        seal_request(MsgType::kTopology, kControlNode, WireWriter());
+    const Buffer resp = transport.roundtrip(kControlNode, frame);
+    auto r = open_reply(resp, MsgType::kTopology);
+    auto out = get_topology(r);
+    r.expect_end();
+    return out;
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,113 @@
+/// \file service_client.hpp
+/// \brief Typed client stubs: one method per RPC, encode → transport →
+///        decode.
+///
+/// This is the only place where request bodies are encoded and response
+/// bodies decoded on the client side; BlobSeerClient and MetaDht call
+/// these methods and never touch frames themselves. Error responses are
+/// re-thrown as the original exception type (protocol.hpp Status
+/// mapping), so callers keep the exact failure-handling semantics they
+/// had with direct in-process calls: RpcError means "the node or wire
+/// failed, fail over", NotFoundError means "the replica lacks the data",
+/// and so on.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chunk/chunk_key.hpp"
+#include "common/buffer.hpp"
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "meta/meta_node.hpp"
+#include "meta/write_descriptor.hpp"
+#include "provider/provider_manager.hpp"
+#include "rpc/messages.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/transport.hpp"
+#include "version/version_manager.hpp"
+
+namespace blobseer::rpc {
+
+class ServiceClient {
+  public:
+    /// \param vm_node / pm_node logical nodes hosting the managers.
+    ServiceClient(Transport& transport, NodeId vm_node, NodeId pm_node)
+        : transport_(transport), vm_node_(vm_node), pm_node_(pm_node) {}
+
+    [[nodiscard]] Transport& transport() noexcept { return transport_; }
+
+    // ---- version manager -------------------------------------------------
+
+    [[nodiscard]] version::BlobInfo create_blob(std::uint64_t chunk_size,
+                                                std::uint32_t replication);
+    [[nodiscard]] version::BlobInfo clone_blob(BlobId src, Version version);
+    [[nodiscard]] version::BlobInfo blob_info(BlobId blob);
+    [[nodiscard]] version::AssignResult assign(
+        BlobId blob, std::optional<std::uint64_t> offset, std::uint64_t size);
+    void commit(BlobId blob, Version v);
+    [[nodiscard]] version::VersionInfo get_version(BlobId blob, Version v);
+    [[nodiscard]] version::VersionInfo wait_published(BlobId blob, Version v,
+                                                      Duration timeout);
+    [[nodiscard]] std::vector<version::VersionManager::VersionSummary>
+    history(BlobId blob, Version from, Version to);
+    void pin(BlobId blob, Version v);
+    void unpin(BlobId blob, Version v);
+    [[nodiscard]] version::VersionManager::RetireInfo retire(
+        BlobId blob, Version keep_from);
+    [[nodiscard]] meta::WriteDescriptor descriptor_of(BlobId blob, Version v);
+
+    // ---- provider manager ------------------------------------------------
+
+    [[nodiscard]] provider::PlacementPlan place(std::uint64_t n_chunks,
+                                                std::uint32_t replication,
+                                                std::uint64_t chunk_bytes);
+    void mark_dead(NodeId node);
+
+    // ---- data providers --------------------------------------------------
+
+    /// Upload one chunk replica to \p dp. \p via != kInvalidNode charges
+    /// the transfer to that node (pipelined replication).
+    void put_chunk(NodeId dp, const chunk::ChunkKey& key, ConstBytes payload,
+                   NodeId via = kInvalidNode);
+
+    struct ChunkSlice {
+        Buffer bytes;               ///< the requested slice
+        std::uint64_t chunk_size;   ///< total stored payload of the chunk
+    };
+
+    /// Fetch \p size bytes at \p offset of a chunk (size 0 = the whole
+    /// chunk). The reply is clamped to the stored payload; chunk_size
+    /// lets the caller detect truncated replicas.
+    [[nodiscard]] ChunkSlice get_chunk(NodeId dp, const chunk::ChunkKey& key,
+                                       std::uint64_t offset,
+                                       std::uint64_t size);
+    void erase_chunk(NodeId dp, const chunk::ChunkKey& key);
+
+    // ---- metadata providers ----------------------------------------------
+
+    void meta_put(NodeId mp, const meta::MetaKey& key,
+                  const meta::MetaNode& node);
+    [[nodiscard]] meta::MetaNode meta_get(NodeId mp, const meta::MetaKey& key);
+    [[nodiscard]] std::optional<meta::MetaNode> meta_try_get(
+        NodeId mp, const meta::MetaKey& key);
+    void meta_erase(NodeId mp, const meta::MetaKey& key);
+
+  private:
+    /// Round-trip one request; returns the whole response frame after
+    /// checking its status (error statuses throw).
+    [[nodiscard]] Buffer invoke(MsgType type, NodeId dst, WireWriter&& body,
+                                NodeId via = kInvalidNode);
+
+    Transport& transport_;
+    const NodeId vm_node_;
+    const NodeId pm_node_;
+};
+
+/// Fetch the cluster topology over a transport (the bootstrap RPC of a
+/// remote client; addressed to rpc::kControlNode, not to a real node).
+[[nodiscard]] Topology fetch_topology(Transport& transport);
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,354 @@
+#include "rpc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/protocol.hpp"
+
+namespace blobseer::rpc {
+
+namespace {
+
+[[nodiscard]] std::string errno_string() {
+    return std::string(std::strerror(errno));
+}
+
+/// Write the whole buffer or throw. MSG_NOSIGNAL: a peer reset must be
+/// an RpcError, not a SIGPIPE process kill.
+void write_all(int fd, ConstBytes data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw RpcError("tcp send: " + errno_string());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/// Read exactly n bytes. Returns false on clean EOF at offset 0 (peer
+/// closed between frames); throws on mid-frame EOF or socket error.
+bool read_exact(int fd, MutableBytes out) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n = ::recv(fd, out.data() + off, out.size() - off, 0);
+        if (n == 0) {
+            if (off == 0) {
+                return false;
+            }
+            throw RpcError("tcp recv: connection closed mid-frame");
+        }
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw RpcError("tcp recv: " + errno_string());
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Read one whole frame (header + payload). Returns empty buffer on
+/// clean EOF before a header.
+[[nodiscard]] Buffer read_frame(int fd) {
+    Buffer frame(kFrameHeaderSize);
+    if (!read_exact(fd, frame)) {
+        return {};
+    }
+    // Validate the header before trusting its length field.
+    std::uint32_t magic = 0;
+    std::uint32_t len = 0;
+    std::memcpy(&magic, frame.data(), 4);
+    std::memcpy(&len, frame.data() + 12, 4);
+    if (magic != kFrameMagic) {
+        throw RpcError("tcp recv: bad frame magic");
+    }
+    if (len > kMaxPayload) {
+        throw RpcError("tcp recv: oversized frame (" + std::to_string(len) +
+                       " bytes)");
+    }
+    frame.resize(kFrameHeaderSize + len);
+    if (len != 0 &&
+        !read_exact(fd, MutableBytes(frame.data() + kFrameHeaderSize, len))) {
+        throw RpcError("tcp recv: connection closed mid-frame");
+    }
+    return frame;
+}
+
+[[nodiscard]] int connect_to(const Endpoint& ep) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (const int rc = ::getaddrinfo(ep.host.c_str(), port.c_str(), &hints,
+                                     &res);
+        rc != 0) {
+        throw RpcError("tcp resolve " + ep.host + ": " +
+                       ::gai_strerror(rc));
+    }
+    int fd = -1;
+    std::string last_error = "no addresses";
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = errno_string();
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            break;
+        }
+        last_error = errno_string();
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        throw RpcError("tcp connect " + ep.host + ":" + port + ": " +
+                       last_error);
+    }
+    // Small request/response frames must not wait for Nagle coalescing.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+}  // namespace
+
+// ---- TcpTransport ----------------------------------------------------------
+
+TcpTransport::TcpTransport(std::string host, std::uint16_t port)
+    : default_endpoint_{std::move(host), port} {}
+
+TcpTransport::TcpTransport(std::unordered_map<NodeId, Endpoint> peers)
+    : peers_(std::move(peers)) {}
+
+TcpTransport::~TcpTransport() {
+    const std::scoped_lock lock(mu_);
+    for (auto& [node, fds] : pool_) {
+        for (const int fd : fds) {
+            ::close(fd);
+        }
+    }
+}
+
+const Endpoint& TcpTransport::endpoint_of(NodeId dst) const {
+    if (!peers_.empty()) {
+        const auto it = peers_.find(dst);
+        if (it == peers_.end()) {
+            throw RpcError("no endpoint for node " + std::to_string(dst));
+        }
+        return it->second;
+    }
+    return default_endpoint_;
+}
+
+TcpTransport::Conn TcpTransport::acquire(NodeId dst) {
+    for (;;) {
+        int fd = -1;
+        {
+            const std::scoped_lock lock(mu_);
+            const auto it = pool_.find(dst);
+            if (it != pool_.end() && !it->second.empty()) {
+                fd = it->second.back();
+                it->second.pop_back();
+            }
+        }
+        if (fd < 0) {
+            break;
+        }
+        // A pooled connection may have died while idle (daemon restart,
+        // server-side close). Detect it here instead of retrying the
+        // request after a failed round trip: a dead or desynced socket
+        // is readable (EOF or stray bytes) before we have sent anything.
+        char probe = 0;
+        const ssize_t n =
+            ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        // Healthy idle connection: nothing to read yet (EAGAIN). EOF,
+        // stray bytes, or a socket error all mean stale/desynced.
+        if (n >= 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+            ::close(fd);
+            continue;  // try the next pooled one
+        }
+        return {fd, true};
+    }
+    return {connect_to(endpoint_of(dst)), false};
+}
+
+void TcpTransport::release(NodeId dst, int fd) {
+    const std::scoped_lock lock(mu_);
+    pool_[dst].push_back(fd);
+}
+
+Buffer TcpTransport::roundtrip(NodeId dst, ConstBytes frame) {
+    for (int attempt = 0;; ++attempt) {
+        const Conn conn = acquire(dst);
+        Phase phase = Phase::kSend;
+        try {
+            write_all(conn.fd, frame);
+            phase = Phase::kReceive;
+            Buffer resp = read_frame(conn.fd);
+            if (resp.empty()) {
+                throw RpcError("tcp recv: connection closed by peer");
+            }
+            release(dst, conn.fd);
+            return resp;
+        } catch (const RpcError&) {
+            ::close(conn.fd);
+            // A pooled connection may have gone stale (server idle
+            // timeout, daemon restart): retry once on a fresh socket —
+            // but only when the *send* failed. Once the request was
+            // written the server may have executed it, and replaying a
+            // non-idempotent RPC (assign, commit) is worse than
+            // surfacing the error.
+            if (conn.reused && attempt == 0 && phase == Phase::kSend) {
+                continue;
+            }
+            throw;
+        }
+    }
+}
+
+// ---- TcpRpcServer ----------------------------------------------------------
+
+TcpRpcServer::TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port,
+                           const std::string& bind_addr)
+    : dispatcher_(dispatcher) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw RpcError("tcp socket: " + errno_string());
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        throw RpcError("tcp bind: bad address " + bind_addr);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const std::string err = errno_string();
+        ::close(listen_fd_);
+        throw RpcError("tcp bind " + bind_addr + ":" + std::to_string(port) +
+                       ": " + err);
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        const std::string err = errno_string();
+        ::close(listen_fd_);
+        throw RpcError("tcp listen: " + err);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpRpcServer::~TcpRpcServer() { stop(); }
+
+void TcpRpcServer::stop() {
+    {
+        const std::scoped_lock lock(mu_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+        // Unblock the accept loop and every connection read.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        for (const int fd : conn_fds_) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    if (accept_thread_.joinable()) {
+        accept_thread_.join();
+    }
+    {
+        std::unique_lock lock(mu_);
+        conn_done_.wait(lock, [this] { return active_conns_ == 0; });
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void TcpRpcServer::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return;  // listener shut down
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        const std::scoped_lock lock(mu_);
+        if (stopping_) {
+            ::close(fd);
+            return;
+        }
+        conn_fds_.insert(fd);
+        ++active_conns_;
+        // Detached: a finished connection leaves nothing behind; stop()
+        // synchronizes on active_conns_ instead of thread handles.
+        std::thread([this, fd] { serve(fd); }).detach();
+    }
+}
+
+void TcpRpcServer::serve(int fd) {
+    try {
+        for (;;) {
+            const Buffer request = read_frame(fd);
+            if (request.empty()) {
+                break;  // peer closed cleanly
+            }
+            const Buffer response = dispatcher_.dispatch(request);
+            write_all(fd, response);
+        }
+    } catch (const RpcError& e) {
+        // Malformed frame or connection reset: drop the connection. The
+        // client's pool reconnects transparently.
+        log_debug("rpc-server", e.what());
+    } catch (const std::exception& e) {
+        // Anything else (e.g. bad_alloc on a hostile frame length) must
+        // not escape the thread — that would terminate the daemon.
+        log_debug("rpc-server",
+                  std::string("connection dropped: ") + e.what());
+    }
+    {
+        // Untrack before closing: once this fd is closed the kernel may
+        // hand the same number to a concurrent accept, and erasing it
+        // afterwards would untrack the NEW connection (stop() would then
+        // never shut it down and hang waiting for it).
+        const std::scoped_lock lock(mu_);
+        conn_fds_.erase(fd);
+    }
+    ::close(fd);
+    {
+        const std::scoped_lock lock(mu_);
+        --active_conns_;
+        // Notify under the lock: stop() may destroy this object the
+        // moment it observes active_conns_ == 0, so the cv must not be
+        // touched after the lock is released.
+        conn_done_.notify_all();
+    }
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,117 @@
+/// \file tcp_transport.hpp
+/// \brief POSIX-socket Transport with a per-peer connection pool, plus
+///        the accept/dispatch server that answers it.
+///
+/// Framing on the socket is the frame itself — the 16-byte header carries
+/// the payload length, so a receiver reads the header, validates it, then
+/// reads exactly the payload. One connection carries one request at a
+/// time (no multiplexing); concurrency comes from the pool opening one
+/// connection per in-flight call, which matches the thread-per-request
+/// model of the client's I/O pool.
+///
+/// The server is thread-per-connection: the accept loop hands each
+/// accepted socket to a detachable worker that reads frames, runs them
+/// through the shared Dispatcher and writes the responses back. stop()
+/// (or destruction) shuts down the listener and every live connection
+/// and joins all threads.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "rpc/transport.hpp"
+
+namespace blobseer::rpc {
+
+class Dispatcher;
+
+/// TCP address of one logical node (or of a whole daemon).
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+class TcpTransport final : public Transport {
+  public:
+    /// Every logical node reachable at one address — the all-in-one
+    /// blobseer_serverd deployment.
+    TcpTransport(std::string host, std::uint16_t port);
+
+    /// Per-node address map for multi-process deployments.
+    explicit TcpTransport(std::unordered_map<NodeId, Endpoint> peers);
+
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport&) = delete;
+    TcpTransport& operator=(const TcpTransport&) = delete;
+
+    [[nodiscard]] Buffer roundtrip(NodeId dst, ConstBytes frame) override;
+
+  private:
+    struct Conn {
+        int fd = -1;
+        bool reused = false;  ///< came from the pool (may be stale)
+    };
+
+    /// Where a round trip failed — only a failure of the *initial send*
+    /// on a pooled connection is safely retryable (the server cannot
+    /// have accepted the request yet); once bytes were written, a retry
+    /// could execute a non-idempotent RPC twice.
+    enum class Phase { kSend, kReceive };
+
+    [[nodiscard]] const Endpoint& endpoint_of(NodeId dst) const;
+    [[nodiscard]] Conn acquire(NodeId dst);
+    void release(NodeId dst, int fd);
+
+    Endpoint default_endpoint_;
+    std::unordered_map<NodeId, Endpoint> peers_;
+
+    std::mutex mu_;  // guards pool_
+    std::unordered_map<NodeId, std::vector<int>> pool_;
+};
+
+class TcpRpcServer {
+  public:
+    /// Bind and listen on \p bind_addr:\p port (port 0 = ephemeral; read
+    /// the chosen one back with port()) and start the accept loop.
+    explicit TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port = 0,
+                          const std::string& bind_addr = "0.0.0.0");
+    ~TcpRpcServer();
+
+    TcpRpcServer(const TcpRpcServer&) = delete;
+    TcpRpcServer& operator=(const TcpRpcServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Shut down listener and connections, join every thread. Idempotent.
+    void stop();
+
+  private:
+    void accept_loop();
+    void serve(int fd);
+
+    Dispatcher& dispatcher_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+
+    std::mutex mu_;  // guards conn_fds_, active_conns_, stopping_
+    std::condition_variable conn_done_;
+    bool stopping_ = false;
+    /// Connection threads are detached so finished ones cost nothing;
+    /// stop() waits on this count instead of joining handles.
+    std::size_t active_conns_ = 0;
+    std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,46 @@
+/// \file transport.hpp
+/// \brief The transport abstraction every encoded frame travels through.
+///
+/// A Transport delivers one sealed request frame (protocol.hpp) to a
+/// logical node and returns the sealed response frame. Implementations:
+///
+///  * SimTransport  — routes frames through the in-process SimNetwork,
+///                    preserving its bandwidth gates, latency model and
+///                    fault injection while charging the *actual* encoded
+///                    byte counts (sim_transport.hpp).
+///  * TcpTransport  — POSIX sockets with a per-peer connection pool
+///                    against a blobseer_serverd daemon or an in-process
+///                    TcpRpcServer (tcp_transport.hpp).
+///
+/// Contract: roundtrip() either returns a complete response frame (which
+/// may itself encode a service error — see Status) or throws RpcError for
+/// delivery failures (dead node, partition, connection reset). It never
+/// returns a partial frame.
+
+#pragma once
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::rpc {
+
+class Transport {
+  public:
+    virtual ~Transport() = default;
+
+    /// Deliver \p frame to logical node \p dst; block until the response
+    /// frame arrives and return it.
+    [[nodiscard]] virtual Buffer roundtrip(NodeId dst, ConstBytes frame) = 0;
+
+    /// Same, but account the transfer to \p via instead of this
+    /// transport's own identity — pipelined replication hands the upload
+    /// cost to the previous chain member (GFS-style). Transports without
+    /// a cost model just forward.
+    [[nodiscard]] virtual Buffer roundtrip_via(NodeId via, NodeId dst,
+                                               ConstBytes frame) {
+        (void)via;
+        return roundtrip(dst, frame);
+    }
+};
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the TCP deployment path: boot blobseer_serverd
+# on an ephemeral loopback port, drive a create/write/append/read/history
+# flow through `blobseer_cli --connect`, and assert on the output.
+#
+# Usage: e2e_tcp.sh <path-to-blobseer_serverd> <path-to-blobseer_cli>
+set -u
+
+SERVERD=$1
+CLI=$2
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+"$SERVERD" --port 0 --bind 127.0.0.1 --data-providers 4 \
+    --meta-providers 2 --replication 2 >"$WORK/serverd.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the daemon to report its chosen port.
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$WORK/serverd.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "FAIL: serverd died during startup"
+        cat "$WORK/serverd.log"
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "FAIL: serverd never reported a port"
+    cat "$WORK/serverd.log"
+    exit 1
+fi
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli.log" 2>&1 <<'EOF'
+create 65536
+write 1 0 200000 7
+append 1 131072 8
+read 1 1 0 200000 7
+stat 1
+history 1
+quit
+EOF
+CLI_RC=$?
+
+echo "--- cli output ---"
+cat "$WORK/cli.log"
+
+fail() {
+    echo "FAIL: $1"
+    exit 1
+}
+
+[ "$CLI_RC" -eq 0 ] || fail "cli exited with $CLI_RC"
+grep -q "connected to 127.0.0.1:$PORT" "$WORK/cli.log" ||
+    fail "no connection banner"
+grep -q "blob 1 created" "$WORK/cli.log" || fail "create failed"
+grep -q -- "-> version 1" "$WORK/cli.log" || fail "write failed"
+grep -q -- "-> version 2" "$WORK/cli.log" || fail "append failed"
+grep -q "tag matches" "$WORK/cli.log" || fail "readback mismatch"
+grep -q "v2: size 331072, status published" "$WORK/cli.log" ||
+    fail "stat mismatch"
+grep -c "published" "$WORK/cli.log" >/dev/null || fail "history missing"
+grep -q "TAG MISMATCH" "$WORK/cli.log" && fail "corrupted readback"
+grep -q "error:" "$WORK/cli.log" && fail "command error in output"
+
+echo "PASS"
+exit 0

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "dht/meta_dht.hpp"
+#include "dht/metadata_provider.hpp"
 #include "net/sim_network.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/sim_transport.hpp"
 
 namespace blobseer::dht {
 namespace {
@@ -26,12 +29,18 @@ class MetaDhtFixture : public ::testing::Test {
             providers_.push_back(
                 std::make_unique<MetadataProvider>(node, 0));
             by_node_[node] = providers_.back().get();
+            dispatcher_.add_metadata_provider(node,
+                                              providers_.back().get());
             ring_.add_node(node);
         }
+        transport_ = std::make_unique<rpc::SimTransport>(net_, client_node_,
+                                                         dispatcher_);
+        svc_ = std::make_unique<rpc::ServiceClient>(
+            *transport_, kInvalidNode, kInvalidNode);
     }
 
     [[nodiscard]] MetaDht make_client(std::uint32_t replication) {
-        return MetaDht(net_, client_node_, ring_, by_node_, replication);
+        return MetaDht(*svc_, ring_, replication);
     }
 
     [[nodiscard]] std::size_t total_stored() const {
@@ -47,6 +56,9 @@ class MetaDhtFixture : public ::testing::Test {
     std::vector<std::unique_ptr<MetadataProvider>> providers_;
     std::unordered_map<NodeId, MetadataProvider*> by_node_;
     Ring ring_;
+    rpc::Dispatcher dispatcher_;
+    std::unique_ptr<rpc::SimTransport> transport_;
+    std::unique_ptr<rpc::ServiceClient> svc_;
 };
 
 TEST_F(MetaDhtFixture, PutStoresReplicationCopies) {

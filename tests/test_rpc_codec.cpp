@@ -1,0 +1,334 @@
+/// \file test_rpc_codec.cpp
+/// \brief Wire-codec property tests: random messages round-trip
+///        identically; truncated and corrupted frames raise RpcError and
+///        never invoke UB.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "rpc/messages.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/wire.hpp"
+
+namespace blobseer::rpc {
+namespace {
+
+// ---- primitives -------------------------------------------------------------
+
+TEST(Wire, FixedWidthRoundTrip) {
+    WireWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefULL);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    r.expect_end();
+}
+
+TEST(Wire, VarintRoundTripBoundaries) {
+    const std::uint64_t cases[] = {0,
+                                   1,
+                                   127,
+                                   128,
+                                   16383,
+                                   16384,
+                                   (1ULL << 32) - 1,
+                                   1ULL << 32,
+                                   ~0ULL};
+    for (const std::uint64_t v : cases) {
+        WireWriter w;
+        w.varint(v);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        EXPECT_EQ(r.varint(), v) << v;
+        r.expect_end();
+    }
+}
+
+TEST(Wire, VarintRandomRoundTrip) {
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        // Bias towards small values but cover the whole range.
+        const std::uint64_t v = rng() >> (rng() % 64);
+        WireWriter w;
+        w.varint(v);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        EXPECT_EQ(r.varint(), v);
+    }
+}
+
+TEST(Wire, TruncatedReadsThrow) {
+    WireWriter w;
+    w.u64(42);
+    Buffer buf = w.take();
+    buf.resize(5);
+    WireReader r{ConstBytes(buf)};
+    EXPECT_THROW((void)r.u64(), RpcError);
+}
+
+TEST(Wire, OversizedBlobLengthThrows) {
+    WireWriter w;
+    w.varint(1ULL << 40);  // claims a terabyte of payload
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_THROW((void)r.blob(), RpcError);
+}
+
+TEST(Wire, OverlongVarintThrows) {
+    const Buffer buf(11, 0xff);  // 11 continuation bytes
+    WireReader r{ConstBytes(buf)};
+    EXPECT_THROW((void)r.varint(), RpcError);
+}
+
+TEST(Wire, TrailingBytesDetected) {
+    WireWriter w;
+    w.u32(1);
+    w.u8(9);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    (void)r.u32();
+    EXPECT_THROW(r.expect_end(), RpcError);
+}
+
+// ---- random message generators ----------------------------------------------
+
+meta::MetaNode random_node(Rng& rng) {
+    if (rng() % 2 == 0) {
+        std::vector<NodeId> replicas;
+        const std::size_t n = rng() % 5;
+        for (std::size_t i = 0; i < n; ++i) {
+            replicas.push_back(static_cast<NodeId>(rng()));
+        }
+        return meta::MetaNode::leaf(std::move(replicas), rng(),
+                                    static_cast<std::uint32_t>(rng()));
+    }
+    meta::ChildRef l{rng(), rng()};
+    meta::ChildRef r{rng(), rng()};
+    return meta::MetaNode::inner(l, r);
+}
+
+meta::WriteDescriptor random_descriptor(Rng& rng) {
+    meta::WriteDescriptor d;
+    d.version = rng();
+    d.offset = rng();
+    d.size = rng();
+    d.size_before = rng();
+    d.size_after = rng();
+    return d;
+}
+
+version::AssignResult random_assign(Rng& rng) {
+    version::AssignResult a;
+    a.version = rng();
+    a.offset = rng();
+    a.size_before = rng();
+    a.size_after = rng();
+    a.base = meta::TreeRef{rng(), rng(), rng()};
+    const std::size_t n = rng() % 6;
+    for (std::size_t i = 0; i < n; ++i) {
+        a.concurrent.push_back(random_descriptor(rng));
+    }
+    a.chunk_size = rng();
+    a.replication = static_cast<std::uint32_t>(rng());
+    return a;
+}
+
+bool equal(const meta::MetaNode& a, const meta::MetaNode& b) {
+    return a.kind == b.kind && a.left == b.left && a.right == b.right &&
+           a.replicas == b.replicas && a.chunk_uid == b.chunk_uid &&
+           a.chunk_bytes == b.chunk_bytes;
+}
+
+// ---- composite round trips ---------------------------------------------------
+
+TEST(Codec, MetaNodeRandomRoundTrip) {
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const meta::MetaNode n = random_node(rng);
+        WireWriter w;
+        put_meta_node(w, n);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        const meta::MetaNode back = get_meta_node(r);
+        r.expect_end();
+        EXPECT_TRUE(equal(n, back));
+    }
+}
+
+TEST(Codec, AssignResultRandomRoundTrip) {
+    Rng rng(13);
+    for (int i = 0; i < 300; ++i) {
+        const version::AssignResult a = random_assign(rng);
+        WireWriter w;
+        put_assign_result(w, a);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        const version::AssignResult back = get_assign_result(r);
+        r.expect_end();
+        EXPECT_EQ(back.version, a.version);
+        EXPECT_EQ(back.offset, a.offset);
+        EXPECT_EQ(back.size_before, a.size_before);
+        EXPECT_EQ(back.size_after, a.size_after);
+        EXPECT_EQ(back.base.blob, a.base.blob);
+        EXPECT_EQ(back.base.version, a.base.version);
+        EXPECT_EQ(back.base.size, a.base.size);
+        EXPECT_EQ(back.chunk_size, a.chunk_size);
+        EXPECT_EQ(back.replication, a.replication);
+        ASSERT_EQ(back.concurrent.size(), a.concurrent.size());
+        for (std::size_t k = 0; k < a.concurrent.size(); ++k) {
+            EXPECT_EQ(back.concurrent[k].version, a.concurrent[k].version);
+            EXPECT_EQ(back.concurrent[k].offset, a.concurrent[k].offset);
+            EXPECT_EQ(back.concurrent[k].size, a.concurrent[k].size);
+        }
+    }
+}
+
+TEST(Codec, RetireInfoRoundTrip) {
+    Rng rng(17);
+    version::VersionManager::RetireInfo info;
+    for (int i = 0; i < 7; ++i) {
+        info.retired.push_back(rng());
+        info.descriptors.push_back(random_descriptor(rng));
+        info.pinned.push_back(rng());
+    }
+    info.keep_from = rng();
+    WireWriter w;
+    put_retire_info(w, info);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    const auto back = get_retire_info(r);
+    r.expect_end();
+    EXPECT_EQ(back.retired, info.retired);
+    EXPECT_EQ(back.pinned, info.pinned);
+    EXPECT_EQ(back.keep_from, info.keep_from);
+    ASSERT_EQ(back.descriptors.size(), info.descriptors.size());
+}
+
+TEST(Codec, PlacementPlanRoundTrip) {
+    Rng rng(19);
+    provider::PlacementPlan plan;
+    for (int i = 0; i < 9; ++i) {
+        std::vector<NodeId> targets;
+        const std::size_t n = rng() % 4;
+        for (std::size_t k = 0; k < n; ++k) {
+            targets.push_back(static_cast<NodeId>(rng()));
+        }
+        plan.push_back(std::move(targets));
+    }
+    WireWriter w;
+    put_placement_plan(w, plan);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_EQ(get_placement_plan(r), plan);
+    r.expect_end();
+}
+
+TEST(Codec, TopologyRoundTrip) {
+    Topology t;
+    t.vm_node = 0;
+    t.pm_node = 1;
+    t.data_nodes = {2, 3, 4};
+    t.meta_nodes = {5, 6};
+    t.meta_replication = 2;
+    t.default_replication = 3;
+    t.publish_timeout_ms = 12345;
+    t.client_id = 1u << 20;
+    WireWriter w;
+    put_topology(w, t);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_EQ(get_topology(r), t);
+    r.expect_end();
+}
+
+TEST(Codec, VersionStatusRejectsUnknownValue) {
+    Buffer buf{0x17};
+    WireReader r{ConstBytes(buf)};
+    EXPECT_THROW((void)get_version_status(r), RpcError);
+}
+
+// ---- frames ------------------------------------------------------------------
+
+TEST(Frame, RequestRoundTrip) {
+    WireWriter body;
+    body.u64(77);
+    const Buffer frame = seal_request(MsgType::kGetVersion, 9,
+                                      std::move(body));
+    const FrameView f = parse_frame(frame);
+    EXPECT_FALSE(f.response);
+    EXPECT_EQ(f.type, MsgType::kGetVersion);
+    EXPECT_EQ(f.dst(), 9u);
+    WireReader r(f.payload);
+    EXPECT_EQ(r.u64(), 77u);
+    r.expect_end();
+}
+
+TEST(Frame, ErrorResponseCarriesStatusAndMessage) {
+    const Buffer frame =
+        seal_error(MsgType::kChunkGet, Status::kNotFound, "gone");
+    const FrameView f = parse_frame(frame);
+    EXPECT_TRUE(f.response);
+    EXPECT_EQ(f.status(), Status::kNotFound);
+    WireReader r(f.payload);
+    EXPECT_THROW(throw_status(f.status(), r.str()), NotFoundError);
+}
+
+TEST(Frame, EveryTruncationThrows) {
+    WireWriter body;
+    body.u64(1);
+    body.str("hello");
+    const Buffer frame = seal_request(MsgType::kAssign, 3, std::move(body));
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+        EXPECT_THROW((void)parse_frame(ConstBytes(frame.data(), n)),
+                     RpcError)
+            << "prefix length " << n;
+    }
+}
+
+TEST(Frame, RandomCorruptionNeverUB) {
+    // Flip bytes all over valid frames; parse + payload decode must
+    // either succeed or throw RpcError — anything else (crash, UB,
+    // foreign exception) fails the test.
+    Rng rng(23);
+    WireWriter body;
+    body.u64(4);
+    body.u64(2);
+    const Buffer pristine =
+        seal_request(MsgType::kGetVersion, 1, std::move(body));
+    for (int i = 0; i < 4000; ++i) {
+        Buffer frame = pristine;
+        const std::size_t flips = 1 + rng() % 4;
+        for (std::size_t k = 0; k < flips; ++k) {
+            frame[rng() % frame.size()] ^=
+                static_cast<std::uint8_t>(1 + rng() % 255);
+        }
+        try {
+            const FrameView f = parse_frame(frame);
+            WireReader r(f.payload);
+            (void)r.u64();
+            (void)r.u64();
+            r.expect_end();
+        } catch (const RpcError&) {
+            // expected failure mode
+        }
+    }
+}
+
+TEST(Frame, PayloadLengthMismatchThrows) {
+    WireWriter body;
+    body.u64(1);
+    Buffer frame = seal_request(MsgType::kCommit, 0, std::move(body));
+    frame.push_back(0x00);  // extra byte the header does not announce
+    EXPECT_THROW((void)parse_frame(frame), RpcError);
+}
+
+}  // namespace
+}  // namespace blobseer::rpc

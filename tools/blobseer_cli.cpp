@@ -1,13 +1,20 @@
 /// \file blobseer_cli.cpp
 /// \brief Interactive / scriptable shell over a BlobSeer cluster.
 ///
-/// Boots an in-process cluster and exposes the whole public API as shell
-/// commands — handy for demos, exploration and reproducing bug reports.
+/// Two modes:
+///  * default — boots an in-process cluster (simulated network) and
+///    exposes the whole public API as shell commands;
+///  * `--connect host:port` — attaches to a running blobseer_serverd
+///    daemon over TCP; the same commands travel the real wire protocol
+///    (fault-injection commands need the in-process cluster and are
+///    unavailable remotely).
+///
 /// Reads commands from stdin, one per line; `help` lists them. Payloads
 /// are deterministic patterns tagged by a user-chosen integer so reads
 /// can verify which write produced the bytes.
 ///
 ///   $ printf 'create 65536\nappend 1 131072 7\nstat 1\nquit\n' | ./tools/blobseer_cli
+///   $ ./tools/blobseer_cli --connect 127.0.0.1:4400
 
 #include <cstdio>
 #include <iostream>
@@ -17,6 +24,7 @@
 
 #include "core/client.hpp"
 #include "core/cluster.hpp"
+#include "core/remote.hpp"
 
 using namespace blobseer;
 
@@ -37,6 +45,14 @@ class Shell {
                     "metadata providers). Type 'help'.\n",
                     cluster_->data_provider_count(),
                     cluster_->metadata_provider_count());
+    }
+
+    Shell(const std::string& host, std::uint16_t port) {
+        client_ = std::make_unique<core::BlobSeerClient>(
+            core::connect_tcp(host, port));
+        std::printf("blobseer-cli: connected to %s:%u (client id %u). "
+                    "Type 'help'.\n",
+                    host.c_str(), port, client_->node());
     }
 
     int run() {
@@ -185,42 +201,16 @@ class Shell {
                                 (unsigned long long)loc.range.end(),
                                 loc.hole ? "(hole)" : nodes.c_str());
                 }
-            } else if (cmd == "providers") {
-                for (std::size_t i = 0;
-                     i < cluster_->data_provider_count(); ++i) {
-                    auto& dp = cluster_->data_provider(i);
-                    std::printf("  dp-%zu node=%u alive=%s bytes=%llu "
-                                "chunks=%zu\n",
-                                i, dp.node(),
-                                cluster_->network().is_alive(dp.node())
-                                    ? "yes"
-                                    : "no",
-                                (unsigned long long)dp.stored_bytes(),
-                                dp.store().count());
+            } else if (cmd == "providers" || cmd == "kill" ||
+                       cmd == "recover" || cmd == "degrade" ||
+                       cmd == "restore") {
+                if (cluster_ == nullptr) {
+                    std::printf("'%s' needs the in-process cluster (not "
+                                "available over --connect)\n",
+                                cmd.c_str());
+                    return true;
                 }
-            } else if (cmd == "kill") {
-                std::size_t i = 0;
-                int lose = 0;
-                in >> i >> lose;
-                cluster_->kill_data_provider(i, lose != 0);
-                std::printf("dp-%zu killed%s\n", i,
-                            lose ? " (volatile state lost)" : "");
-            } else if (cmd == "recover") {
-                std::size_t i = 0;
-                in >> i;
-                cluster_->recover_data_provider(i);
-                std::printf("dp-%zu recovered\n", i);
-            } else if (cmd == "degrade") {
-                std::size_t i = 0;
-                double factor = 1.0;
-                in >> i >> factor;
-                cluster_->degrade_data_provider(i, factor);
-                std::printf("dp-%zu degraded %.1fx\n", i, factor);
-            } else if (cmd == "restore") {
-                std::size_t i = 0;
-                in >> i;
-                cluster_->restore_data_provider(i);
-                std::printf("dp-%zu restored\n", i);
+                dispatch_cluster(cmd, in);
             } else {
                 std::printf("unknown command '%s' (try 'help')\n",
                             cmd.c_str());
@@ -231,6 +221,46 @@ class Shell {
             std::printf("bad arguments: %s\n", e.what());
         }
         return true;
+    }
+
+    void dispatch_cluster(const std::string& cmd, std::istringstream& in) {
+        if (cmd == "providers") {
+            for (std::size_t i = 0;
+                 i < cluster_->data_provider_count(); ++i) {
+                auto& dp = cluster_->data_provider(i);
+                std::printf("  dp-%zu node=%u alive=%s bytes=%llu "
+                            "chunks=%zu\n",
+                            i, dp.node(),
+                            cluster_->network().is_alive(dp.node())
+                                ? "yes"
+                                : "no",
+                            (unsigned long long)dp.stored_bytes(),
+                            dp.store().count());
+            }
+        } else if (cmd == "kill") {
+            std::size_t i = 0;
+            int lose = 0;
+            in >> i >> lose;
+            cluster_->kill_data_provider(i, lose != 0);
+            std::printf("dp-%zu killed%s\n", i,
+                        lose ? " (volatile state lost)" : "");
+        } else if (cmd == "recover") {
+            std::size_t i = 0;
+            in >> i;
+            cluster_->recover_data_provider(i);
+            std::printf("dp-%zu recovered\n", i);
+        } else if (cmd == "degrade") {
+            std::size_t i = 0;
+            double factor = 1.0;
+            in >> i >> factor;
+            cluster_->degrade_data_provider(i, factor);
+            std::printf("dp-%zu degraded %.1fx\n", i, factor);
+        } else if (cmd == "restore") {
+            std::size_t i = 0;
+            in >> i;
+            cluster_->restore_data_provider(i);
+            std::printf("dp-%zu restored\n", i);
+        }
     }
 
     static void help() {
@@ -258,7 +288,44 @@ class Shell {
 
 }  // namespace
 
-int main() {
-    Shell shell;
-    return shell.run();
+int main(int argc, char** argv) {
+    std::string connect;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--connect" && i + 1 < argc) {
+            connect = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--connect host:port]\n", argv[0]);
+            return 2;
+        }
+    }
+    try {
+        if (!connect.empty()) {
+            const auto colon = connect.rfind(':');
+            unsigned long port = 0;
+            try {
+                port = colon == std::string::npos
+                           ? 0
+                           : std::stoul(connect.substr(colon + 1));
+            } catch (const std::exception&) {
+                port = 0;
+            }
+            if (colon == std::string::npos || colon == 0 || port == 0 ||
+                port > 65535) {
+                std::fprintf(stderr,
+                             "--connect needs host:port (got '%s')\n",
+                             connect.c_str());
+                return 2;
+            }
+            Shell shell(connect.substr(0, colon),
+                        static_cast<std::uint16_t>(port));
+            return shell.run();
+        }
+        Shell shell;
+        return shell.run();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "blobseer-cli: %s\n", e.what());
+        return 1;
+    }
 }

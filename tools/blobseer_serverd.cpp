@@ -1,0 +1,142 @@
+/// \file blobseer_serverd.cpp
+/// \brief All-in-one BlobSeer provider daemon.
+///
+/// Boots a full deployment (version manager, provider manager, data and
+/// metadata providers) in one process and serves its RPC dispatcher over
+/// TCP. Remote clients bootstrap with the kTopology handshake
+/// (core::connect_tcp) and then speak the ordinary wire protocol —
+/// `blobseer_cli --connect host:port` gives an interactive shell against
+/// a running daemon.
+///
+///   $ ./tools/blobseer_serverd --port 4400 --data-providers 8
+///   blobseer-serverd: listening on 0.0.0.0:4400
+///
+/// The intra-daemon simulated network is configured with zero cost: the
+/// real socket is the wire now. Use --sim-latency-us to re-enable
+/// simulated per-hop service latency (e.g. to emulate a WAN deployment
+/// behind one endpoint).
+///
+/// Stops on SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "rpc/tcp_transport.hpp"
+
+using namespace blobseer;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::printf(
+        "usage: %s [options]\n"
+        "  --port <n>            listen port (default 4400; 0 = ephemeral)\n"
+        "  --bind <addr>         bind address (default 0.0.0.0)\n"
+        "  --data-providers <n>  data provider count (default 8)\n"
+        "  --meta-providers <n>  metadata provider count (default 4)\n"
+        "  --replication <n>     default chunk replication (default 2)\n"
+        "  --meta-replication <n> metadata replication (default 1)\n"
+        "  --store <ram|disk|two-tier>  chunk store backend (default ram)\n"
+        "  --disk-root <path>    root for disk-backed stores\n"
+        "  --sim-latency-us <n>  simulated intra-daemon latency (default 0)\n"
+        "  --help\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    core::ClusterConfig cfg;
+    cfg.data_providers = 8;
+    cfg.metadata_providers = 4;
+    cfg.default_replication = 2;
+    // The socket is the wire; by default the simulator charges nothing.
+    cfg.network.latency = Duration::zero();
+    cfg.network.node_bandwidth_bps = 0;
+
+    std::uint16_t port = 4400;
+    std::string bind_addr = "0.0.0.0";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (arg == "--bind") {
+            bind_addr = next();
+        } else if (arg == "--data-providers") {
+            cfg.data_providers = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--meta-providers") {
+            cfg.metadata_providers =
+                static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--replication") {
+            cfg.default_replication =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--meta-replication") {
+            cfg.meta_replication =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--store") {
+            const std::string s = next();
+            if (s == "ram") {
+                cfg.store = core::StoreBackend::kRam;
+            } else if (s == "disk") {
+                cfg.store = core::StoreBackend::kDisk;
+            } else if (s == "two-tier") {
+                cfg.store = core::StoreBackend::kTwoTier;
+            } else {
+                std::fprintf(stderr, "unknown store backend '%s'\n",
+                             s.c_str());
+                return 2;
+            }
+        } else if (arg == "--disk-root") {
+            cfg.disk_root = next();
+        } else if (arg == "--sim-latency-us") {
+            cfg.network.latency = microseconds(std::atoll(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    // Block the shutdown signals before any thread spawns so the accept
+    // and connection threads inherit the mask and sigwait gets them.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    try {
+        core::Cluster cluster(cfg);
+        rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr);
+        std::printf("blobseer-serverd: listening on %s:%u (%zu data "
+                    "providers, %zu metadata providers)\n",
+                    bind_addr.c_str(), server.port(), cfg.data_providers,
+                    cfg.metadata_providers);
+        std::fflush(stdout);
+
+        int sig = 0;
+        sigwait(&set, &sig);
+        std::printf("blobseer-serverd: %s, shutting down\n",
+                    strsignal(sig));
+        server.stop();
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "blobseer-serverd: %s\n", e.what());
+        return 1;
+    }
+}
