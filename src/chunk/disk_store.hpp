@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
@@ -31,8 +32,16 @@ class DiskStore final : public ChunkStore {
             if (!entry.is_regular_file()) {
                 continue;
             }
+            const std::string name = entry.path().filename().string();
+            if (name.find(".tmp") != std::string::npos) {
+                // Orphan from a crash between write_file and rename:
+                // never visible through the index, reclaim it.
+                std::error_code ec;
+                std::filesystem::remove(entry.path(), ec);
+                continue;
+            }
             ChunkKey key{};
-            if (parse_name(entry.path().filename().string(), key)) {
+            if (parse_name(name, key)) {
                 const std::scoped_lock lock(mu_);
                 index_[key] = entry.file_size();
                 bytes_ += entry.file_size();
@@ -48,9 +57,11 @@ class DiskStore final : public ChunkStore {
             }
         }
         const auto final_path = path_of(key);
+        // Process-wide counter keeps concurrent writers' tmp names unique
+        // (a stack address can be reused by another thread mid-put).
         const auto tmp_path =
-            final_path.string() + ".tmp" + std::to_string(
-                reinterpret_cast<std::uintptr_t>(&key));
+            final_path.string() + ".tmp" +
+            std::to_string(tmp_counter_.fetch_add(1));
         write_file(tmp_path, *data);
         std::filesystem::rename(tmp_path, final_path);
         const std::scoped_lock lock(mu_);
@@ -163,6 +174,7 @@ class DiskStore final : public ChunkStore {
     std::mutex mu_;  // guards index_ and bytes_
     std::unordered_map<ChunkKey, std::uint64_t, ChunkKeyHash> index_;
     std::uint64_t bytes_ = 0;
+    static inline std::atomic<std::uint64_t> tmp_counter_{0};
 };
 
 }  // namespace blobseer::chunk

@@ -88,6 +88,9 @@ class TwoTierStore final : public ChunkStore {
 
     [[nodiscard]] std::uint64_t cache_hits() const { return hits_.get(); }
     [[nodiscard]] std::uint64_t cache_misses() const { return misses_.get(); }
+    [[nodiscard]] std::uint64_t cache_evictions() const {
+        return evictions_.get();
+    }
 
     /// Drop the RAM tier (crash of the caching layer; durable data stays).
     void drop_cache() {

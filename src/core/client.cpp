@@ -25,6 +25,15 @@ BlobSeerClient::BlobSeerClient(ClientEnv env)
                               std::to_string(env_.self) +
                               " exceeds the 24-bit uid namespace");
     }
+    // Counter layout: [epoch:12][allocation:28] (see next_uid). A
+    // restarted deployment re-mints the same client ids, so the boot
+    // epoch must separate their uid spaces.
+    if (env_.uid_epoch >= (1u << 12)) {
+        throw InvalidArgument("uid epoch " +
+                              std::to_string(env_.uid_epoch) +
+                              " exceeds the 12-bit epoch namespace");
+    }
+    uid_counter_.store(env_.uid_epoch << 28);
 }
 
 // ---- blob lifecycle ------------------------------------------------------
@@ -86,13 +95,25 @@ version::BlobInfo BlobSeerClient::blob_info(BlobId blob) {
 }
 
 std::uint64_t BlobSeerClient::next_uid() {
-    // Pack (client, allocation#) into 64 bits — 24 high bits of client
-    // identity (bounded in the constructor), 40 low bits of allocation
-    // counter (2^40 chunks per client before any reuse; a 32-bit
-    // counter wrapped three orders of magnitude earlier). mix64 is a
-    // bijection, so uids stay collision-free while the packed input is
-    // unique.
+    // Pack (client, boot epoch, allocation#) into 64 bits — 24 high
+    // bits of client identity (bounded in the constructor), then a
+    // 40-bit counter pre-seeded with the deployment boot epoch in its
+    // top 12 bits ([epoch:12][alloc:28]): durable deployments re-mint
+    // the same client ids after a restart, and the epoch keeps their
+    // uid spaces disjoint (2^28 chunks per client per boot, 4095
+    // boots). mix64 is a bijection, so uids stay collision-free while
+    // the packed input is unique.
     const std::uint64_t n = uid_counter_.fetch_add(1);
+    // Durable deployments (epoch >= 1): crossing into the next epoch's
+    // block would silently re-mint uids a future boot will also mint —
+    // fail loudly instead. Volatile deployments never mint an epoch and
+    // keep the full 2^40 counter space.
+    if (env_.uid_epoch != 0 && (n >> 28) != env_.uid_epoch) {
+        throw Error("client " + std::to_string(env_.self) +
+                    " exhausted its 2^28 chunk-uid allocations for boot "
+                    "epoch " +
+                    std::to_string(env_.uid_epoch));
+    }
     return mix64((static_cast<std::uint64_t>(env_.self) << 40) |
                  (n & ((1ULL << 40) - 1)));
 }

@@ -78,6 +78,9 @@ struct ClientEnv {
     std::size_t meta_cache_nodes = 4096;
     std::size_t io_threads = 4;
     Duration publish_timeout = seconds(30);
+    /// Deployment boot epoch for chunk-uid allocation (see next_uid():
+    /// client ids repeat across daemon restarts, the epoch must not).
+    std::uint64_t uid_epoch = 0;
 };
 
 /// Client-side operation counters surfaced to experiments.

@@ -1,10 +1,21 @@
 #include "core/cluster.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
 #include "chunk/disk_store.hpp"
+#include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
 #include "chunk/two_tier_store.hpp"
 #include "core/client.hpp"
+#include "engine/log_engine.hpp"
+#include "engine/segment_file.hpp"
 #include "meta/disk_meta_store.hpp"
+#include "meta/log_meta_store.hpp"
 #include "rpc/sim_transport.hpp"
 
 namespace blobseer::core {
@@ -24,8 +35,99 @@ std::unique_ptr<chunk::ChunkStore> make_store(const ClusterConfig& cfg,
                 std::make_unique<chunk::DiskStore>(
                     cfg.disk_root / ("dp-" + std::to_string(index))),
                 cfg.ram_cache_budget);
+        case StoreBackend::kLog:
+            return std::make_unique<chunk::LogStore>(
+                cfg.disk_root / ("dp-" + std::to_string(index)));
+        case StoreBackend::kTwoTierLog:
+            return std::make_unique<chunk::TwoTierStore>(
+                std::make_unique<chunk::LogStore>(
+                    cfg.disk_root / ("dp-" + std::to_string(index))),
+                cfg.ram_cache_budget);
     }
     throw InvalidArgument("unknown store backend");
+}
+
+/// Read-bump-rewrite the boot counter at \p path (plain decimal file,
+/// written tmp+fsync+rename: a torn or failed write must never roll the
+/// epoch back, or a later boot would re-enter an already-used uid
+/// space). First boot returns 1; see BlobSeerClient::next_uid for why a
+/// durable deployment needs a fresh uid epoch per boot.
+std::uint64_t bump_uid_epoch(const std::filesystem::path& path) {
+    std::uint64_t epoch = 0;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        // Only "no file yet" may mean first boot: treating a transient
+        // open failure as epoch 0 would re-enter used uid spaces.
+        if (errno != ENOENT) {
+            throw Error("cannot read " + path.string() + ": " +
+                        std::strerror(errno));
+        }
+    } else {
+        unsigned long long v = 0;
+        const int got = std::fscanf(f, "%llu", &v);
+        std::fclose(f);
+        if (got != 1) {
+            throw Error("corrupt uid-epoch file " + path.string() +
+                        "; refusing to reset the chunk-uid namespace");
+        }
+        epoch = v;
+    }
+    ++epoch;
+    if (epoch >= (1u << 12)) {
+        throw Error("uid epoch exhausted after 4095 boots of " +
+                    path.string() + "; migrate to a fresh disk root");
+    }
+    const auto tmp = std::filesystem::path(path.string() + ".tmp");
+    {
+        // SegmentFile throws on short writes and fsync failures — a
+        // disk-full boot aborts instead of renaming a truncated epoch.
+        auto file = engine::SegmentFile::open(tmp, true);
+        file->truncate(0);
+        const std::string text = std::to_string(epoch) + "\n";
+        file->append(ConstBytes(
+            reinterpret_cast<const std::uint8_t*>(text.data()),
+            text.size()));
+        file->sync();
+    }
+    std::filesystem::rename(tmp, path);
+    // Make the rename itself durable: without a directory fsync a power
+    // failure could resurface the old epoch after clients already
+    // minted uids under the new one.
+    const int dir_fd =
+        ::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0 || ::fsync(dir_fd) != 0) {
+        const int err = errno;
+        if (dir_fd >= 0) {
+            ::close(dir_fd);
+        }
+        throw Error("cannot fsync " + path.parent_path().string() + ": " +
+                    std::strerror(err));
+    }
+    ::close(dir_fd);
+    return epoch;
+}
+
+/// True when any configured backend persists state under disk_root —
+/// exactly the deployments whose next boot must not re-mint chunk uids.
+bool needs_uid_epoch(const ClusterConfig& cfg) {
+    return cfg.store != StoreBackend::kRam ||
+           cfg.meta_store != ClusterConfig::MetaBackend::kRam ||
+           cfg.durable_version_manager;
+}
+
+std::unique_ptr<meta::LocalMetaStore> make_meta_store(
+    const ClusterConfig& cfg, std::size_t index) {
+    switch (cfg.meta_store) {
+        case ClusterConfig::MetaBackend::kRam:
+            return std::make_unique<meta::InMemoryMetaStore>();
+        case ClusterConfig::MetaBackend::kDisk:
+            return std::make_unique<meta::DiskMetaStore>(
+                cfg.disk_root / ("mp-" + std::to_string(index)));
+        case ClusterConfig::MetaBackend::kLog:
+            return std::make_unique<meta::LogMetaStore>(
+                cfg.disk_root / ("mp-" + std::to_string(index)));
+    }
+    throw InvalidArgument("unknown metadata backend");
 }
 
 }  // namespace
@@ -34,6 +136,26 @@ Cluster::Cluster(ClusterConfig config)
     : config_(config),
       net_(config.network),
       pm_(config.placement, config.seed) {
+    if (needs_uid_epoch(config_)) {
+        // Any durable backend means a later boot on this disk_root will
+        // re-mint client ids; chunk idempotence then needs disjoint uid
+        // spaces per boot (DiskStore and LogStore both keep the FIRST
+        // bytes put under a key).
+        std::filesystem::create_directories(config_.disk_root);
+        uid_epoch_ = bump_uid_epoch(config_.disk_root / "uid-epoch");
+    }
+
+    if (config_.durable_version_manager) {
+        engine::EngineConfig jc;
+        jc.dir = config_.disk_root / "vm";
+        // Replay depends on append order, so the compactor (which
+        // relocates records) stays off; the journal is tiny anyway.
+        jc.background_compaction = false;
+        jc.checkpoint_interval_records = 0;
+        vm_journal_ = std::make_shared<engine::LogEngine>(jc);
+        vm_.attach_journal(vm_journal_);
+    }
+
     vm_node_ = net_.add_node("version-manager");
     pm_node_ = net_.add_node("provider-manager");
 
@@ -49,15 +171,8 @@ Cluster::Cluster(ClusterConfig config)
     meta_providers_.reserve(config_.metadata_providers);
     for (std::size_t i = 0; i < config_.metadata_providers; ++i) {
         const NodeId node = net_.add_node("mp-" + std::to_string(i));
-        std::unique_ptr<meta::LocalMetaStore> store;
-        if (config_.meta_store == ClusterConfig::MetaBackend::kDisk) {
-            store = std::make_unique<meta::DiskMetaStore>(
-                config_.disk_root / ("mp-" + std::to_string(i)));
-        } else {
-            store = std::make_unique<meta::InMemoryMetaStore>();
-        }
         meta_providers_.push_back(std::make_unique<dht::MetadataProvider>(
-            node, config_.meta_ops_per_second, std::move(store)));
+            node, config_.meta_ops_per_second, make_meta_store(config_, i)));
         mp_by_node_[node] = meta_providers_.back().get();
         ring_.add_node(node);
     }
@@ -93,6 +208,7 @@ rpc::Topology Cluster::topology() const {
     t.default_replication = config_.default_replication;
     t.publish_timeout_ms = static_cast<std::uint64_t>(
         duration_cast<milliseconds>(config_.publish_timeout).count());
+    t.uid_epoch = uid_epoch_;
     return t;
 }
 
@@ -113,6 +229,7 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
     env.meta_cache_nodes = config_.client_meta_cache_nodes;
     env.io_threads = config_.client_io_threads;
     env.publish_timeout = config_.publish_timeout;
+    env.uid_epoch = uid_epoch_;
     return std::make_unique<BlobSeerClient>(std::move(env));
 }
 

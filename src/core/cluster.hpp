@@ -28,6 +28,10 @@
 #include "rpc/dispatcher.hpp"
 #include "version/version_manager.hpp"
 
+namespace blobseer::engine {
+class LogEngine;
+}  // namespace blobseer::engine
+
 namespace blobseer::core {
 
 class BlobSeerClient;
@@ -121,6 +125,13 @@ class Cluster {
     ClusterConfig config_;
     net::SimNetwork net_;
 
+    /// Operation journal backing vm_ when durable_version_manager is set
+    /// (vm_ shares ownership; see VersionManager::attach_journal).
+    std::shared_ptr<engine::LogEngine> vm_journal_;
+    /// Boot counter of this disk root (0 = volatile deployment): keeps
+    /// chunk uids minted by restarted deployments disjoint from every
+    /// earlier boot's (see BlobSeerClient::next_uid).
+    std::uint64_t uid_epoch_ = 0;
     version::VersionManager vm_;
     NodeId vm_node_ = kInvalidNode;
 

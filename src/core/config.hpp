@@ -20,9 +20,11 @@ namespace blobseer::core {
 
 /// Which chunk-store backend data providers run.
 enum class StoreBackend : std::uint8_t {
-    kRam,      ///< the paper's initial RAM-only prototype (§IV-A)
-    kDisk,     ///< persistent file-per-chunk storage (§IV-B)
-    kTwoTier,  ///< disk with a RAM cache on top (§IV-B)
+    kRam,         ///< the paper's initial RAM-only prototype (§IV-A)
+    kDisk,        ///< persistent file-per-chunk storage (§IV-B)
+    kTwoTier,     ///< disk with a RAM cache on top (§IV-B)
+    kLog,         ///< log-structured engine (DESIGN.md §8)
+    kTwoTierLog,  ///< log engine with a RAM cache on top
 };
 
 struct ClusterConfig {
@@ -53,11 +55,19 @@ struct ClusterConfig {
     /// RAM budget of the two-tier cache per provider (bytes).
     std::uint64_t ram_cache_budget = 64ULL << 20;
 
-    /// Metadata durability: RAM-only (the paper's initial prototype) or
-    /// file-backed with a RAM cache (§IV-B's persistent metadata).
-    /// Disk-backed metadata lives under disk_root / "mp-<i>".
-    enum class MetaBackend : std::uint8_t { kRam, kDisk };
+    /// Metadata durability: RAM-only (the paper's initial prototype),
+    /// file-per-node with a RAM cache (§IV-B's persistent metadata), or
+    /// the log-structured engine (DESIGN.md §8). Durable metadata lives
+    /// under disk_root / "mp-<i>".
+    enum class MetaBackend : std::uint8_t { kRam, kDisk, kLog };
     MetaBackend meta_store = MetaBackend::kRam;
+
+    /// Persist version-manager state by journaling its operations through
+    /// a log engine at disk_root / "vm", replayed when the cluster is
+    /// constructed. Combined with a durable store and metadata backend
+    /// this makes a full daemon restart on the same disk_root recover
+    /// every published blob end-to-end.
+    bool durable_version_manager = false;
 
     /// Replica transfer topology. Direct: the client sends every copy
     /// itself (simple, costs r x client uplink). Pipelined: the client

@@ -1,0 +1,143 @@
+/// \file format.hpp
+/// \brief On-disk layout of the log-structured storage engine.
+///
+/// Three file kinds live in an engine directory (DESIGN.md §8.1):
+///
+///   seg-<id>.log   bounded append-only segments. 24-byte header
+///                  [magic 8B | format u32 | reserved u32 | id u64]
+///                  followed by records:
+///                  [crc32c u32 | klen u32 | vlen u32 | type u8 | key | value]
+///                  The CRC covers every byte after itself (klen..value),
+///                  so a torn or corrupted record can never be mistaken
+///                  for a committed one.
+///
+///   ckpt-<seq>.idx index checkpoints: the key->location map of live
+///                  records and current tombstones (entry layout
+///                  [klen u32 | vlen u32 | segment u64 | offset u64 |
+///                  kind u8 | key]) plus a (segment, offset) watermark;
+///                  reopen loads the newest valid checkpoint and replays
+///                  only the log suffix past the watermark. Whole file
+///                  is CRC-trailed.
+///
+/// All integers are little-endian with explicit byte shuffling (the same
+/// convention as the RPC wire format, DESIGN.md §7.1), so files are
+/// portable across hosts.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/buffer.hpp"
+
+namespace blobseer::engine {
+
+inline constexpr std::array<std::uint8_t, 8> kSegmentMagic = {
+    'B', 'S', 'L', 'G', 'S', 'E', 'G', '1'};
+inline constexpr std::array<std::uint8_t, 8> kCheckpointMagic = {
+    'B', 'S', 'L', 'G', 'C', 'K', 'P', '1'};
+
+/// On-disk format version, bumped on incompatible layout changes.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+inline constexpr std::size_t kSegmentHeaderSize = 24;
+inline constexpr std::size_t kRecordHeaderSize = 13;  // crc + klen + vlen + type
+inline constexpr std::size_t kCheckpointHeaderSize = 40;
+
+/// Sanity bounds applied while scanning: a length field beyond these is
+/// treated as a torn/corrupt record rather than an allocation request.
+inline constexpr std::uint32_t kMaxKeyLen = 1u << 20;         // 1 MiB
+inline constexpr std::uint32_t kMaxValueLen = 1u << 30;       // 1 GiB
+
+enum class RecordType : std::uint8_t {
+    kPut = 1,        ///< key/value insertion (or overwrite)
+    kTombstone = 2,  ///< deletion marker; value is empty
+};
+
+[[nodiscard]] constexpr bool valid_record_type(std::uint8_t t) noexcept {
+    return t == static_cast<std::uint8_t>(RecordType::kPut) ||
+           t == static_cast<std::uint8_t>(RecordType::kTombstone);
+}
+
+// ---- little-endian primitives ----------------------------------------------
+
+inline void put_u32(Buffer& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+}
+
+inline void put_u64(Buffer& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+}
+
+/// Caller guarantees pos + 4 <= in.size().
+[[nodiscard]] inline std::uint32_t get_u32(ConstBytes in,
+                                           std::size_t pos) noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(in[pos + static_cast<std::size_t>(i)])
+             << (i * 8);
+    }
+    return v;
+}
+
+/// Caller guarantees pos + 8 <= in.size().
+[[nodiscard]] inline std::uint64_t get_u64(ConstBytes in,
+                                           std::size_t pos) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+             << (i * 8);
+    }
+    return v;
+}
+
+/// Overwrite 4 bytes at \p pos (used to patch a CRC placeholder).
+inline void poke_u32(Buffer& out, std::size_t pos, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out[pos + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (i * 8));
+    }
+}
+
+// ---- framing helpers --------------------------------------------------------
+
+[[nodiscard]] inline std::uint64_t record_size(std::uint32_t klen,
+                                               std::uint32_t vlen) noexcept {
+    return kRecordHeaderSize + klen + vlen;
+}
+
+/// 24-byte segment header for segment \p id.
+[[nodiscard]] inline Buffer encode_segment_header(std::uint64_t id) {
+    Buffer out;
+    out.reserve(kSegmentHeaderSize);
+    out.insert(out.end(), kSegmentMagic.begin(), kSegmentMagic.end());
+    put_u32(out, kFormatVersion);
+    put_u32(out, 0);  // reserved
+    put_u64(out, id);
+    return out;
+}
+
+/// Parse a segment header; returns the segment id or nullopt if the
+/// bytes are not a well-formed header of a supported format version.
+[[nodiscard]] inline std::optional<std::uint64_t> decode_segment_header(
+    ConstBytes in) {
+    if (in.size() < kSegmentHeaderSize) {
+        return std::nullopt;
+    }
+    for (std::size_t i = 0; i < kSegmentMagic.size(); ++i) {
+        if (in[i] != kSegmentMagic[i]) {
+            return std::nullopt;
+        }
+    }
+    if (get_u32(in, 8) != kFormatVersion) {
+        return std::nullopt;
+    }
+    return get_u64(in, 16);
+}
+
+}  // namespace blobseer::engine

@@ -1,0 +1,137 @@
+/// \file segment_file.hpp
+/// \brief POSIX file wrapper for one log segment.
+///
+/// Appends go through positional writes at a tracked tail offset (the
+/// engine mutex serializes appenders); reads use pread and are safe from
+/// any number of threads concurrently with appends. The compactor unlinks
+/// a segment while readers may still hold a shared_ptr to it — POSIX
+/// keeps the inode alive until the last descriptor closes, so in-flight
+/// reads finish against the unlinked file. See DESIGN.md §8.
+
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+
+namespace blobseer::engine {
+
+class SegmentFile {
+  public:
+    /// Open \p path read-write, creating it if \p create. Throws Error on
+    /// failure.
+    static std::shared_ptr<SegmentFile> open(std::filesystem::path path,
+                                             bool create) {
+        const int flags = O_RDWR | (create ? O_CREAT : 0);
+        const int fd = ::open(path.c_str(), flags, 0644);
+        if (fd < 0) {
+            throw Error("cannot open segment " + path.string() + ": " +
+                        std::strerror(errno));
+        }
+        struct stat st {};
+        if (::fstat(fd, &st) != 0) {
+            const int err = errno;
+            ::close(fd);
+            throw Error("cannot stat segment " + path.string() + ": " +
+                        std::strerror(err));
+        }
+        return std::shared_ptr<SegmentFile>(new SegmentFile(
+            std::move(path), fd, static_cast<std::uint64_t>(st.st_size)));
+    }
+
+    SegmentFile(const SegmentFile&) = delete;
+    SegmentFile& operator=(const SegmentFile&) = delete;
+
+    ~SegmentFile() {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+    }
+
+    /// Append \p data at the current tail. Callers serialize appends (the
+    /// engine mutex). Returns the offset the data was written at.
+    std::uint64_t append(ConstBytes data) {
+        const std::uint64_t at = size_;
+        std::size_t done = 0;
+        while (done < data.size()) {
+            const ssize_t n = ::pwrite(
+                fd_, data.data() + done, data.size() - done,
+                static_cast<off_t>(at + done));
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                throw Error("segment write failed on " + path_.string() +
+                            ": " + std::strerror(errno));
+            }
+            done += static_cast<std::size_t>(n);
+        }
+        size_ += data.size();
+        return at;
+    }
+
+    /// Fill \p out from \p offset. Returns false on a short read (the
+    /// caller decides whether that is a torn tail or corruption).
+    [[nodiscard]] bool read_exact(std::uint64_t offset,
+                                  MutableBytes out) const {
+        std::size_t done = 0;
+        while (done < out.size()) {
+            const ssize_t n =
+                ::pread(fd_, out.data() + done, out.size() - done,
+                        static_cast<off_t>(offset + done));
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                throw Error("segment read failed on " + path_.string() +
+                            ": " + std::strerror(errno));
+            }
+            if (n == 0) {
+                return false;  // EOF
+            }
+            done += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Discard everything past \p new_size (torn-tail recovery).
+    void truncate(std::uint64_t new_size) {
+        if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+            throw Error("segment truncate failed on " + path_.string() +
+                        ": " + std::strerror(errno));
+        }
+        size_ = new_size;
+    }
+
+    /// Flush file data to stable storage (durability knob; the engine
+    /// only calls this when EngineConfig::fsync_appends is set).
+    void sync() {
+        if (::fsync(fd_) != 0) {
+            throw Error("segment fsync failed on " + path_.string() + ": " +
+                        std::strerror(errno));
+        }
+    }
+
+    [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept {
+        return path_;
+    }
+
+  private:
+    SegmentFile(std::filesystem::path path, int fd, std::uint64_t size)
+        : path_(std::move(path)), fd_(fd), size_(size) {}
+
+    const std::filesystem::path path_;
+    const int fd_;
+    std::uint64_t size_;  // tail offset; guarded by the engine mutex
+};
+
+}  // namespace blobseer::engine

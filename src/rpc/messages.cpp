@@ -277,6 +277,7 @@ void put_topology(WireWriter& w, const Topology& t) {
     w.u32(t.default_replication);
     w.u64(t.publish_timeout_ms);
     w.u32(t.client_id);
+    w.u64(t.uid_epoch);
 }
 
 Topology get_topology(WireReader& r) {
@@ -289,6 +290,7 @@ Topology get_topology(WireReader& r) {
     t.default_replication = r.u32();
     t.publish_timeout_ms = r.u64();
     t.client_id = r.u32();
+    t.uid_epoch = r.u64();
     return t;
 }
 

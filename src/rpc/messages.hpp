@@ -84,6 +84,11 @@ struct Topology {
     std::uint64_t publish_timeout_ms = 30000;
     /// Client node id allocated by the server for the requesting client.
     NodeId client_id = kInvalidNode;
+    /// Chunk-uid allocation epoch of this deployment boot. Client ids
+    /// restart from the same base after a daemon restart, so without an
+    /// epoch a restarted deployment would re-mint pre-restart chunk
+    /// uids and idempotent puts would silently keep the old bytes.
+    std::uint64_t uid_epoch = 0;
 
     friend bool operator==(const Topology&, const Topology&) = default;
 };

@@ -34,7 +34,10 @@
 namespace blobseer::rpc {
 
 inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: Topology gained a trailing uid_epoch u64 (incompatible payload
+/// change — cross-version peers get a clean version-mismatch error
+/// instead of a mid-field decode failure).
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 16;
 
 /// Upper bound on a frame payload; anything larger is a corrupt or

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "engine/log_engine.hpp"
+
 namespace blobseer::version {
+
+namespace {
+
+/// Journal operation codes. Append-only: never renumber, only add.
+enum JournalOp : std::uint8_t {
+    kOpCreate = 1,  ///< chunk_size, replication
+    kOpClone = 2,   ///< src blob, resolved src version
+    kOpAssign = 3,  ///< blob, has_offset, offset, size
+    kOpCommit = 4,  ///< blob, version
+    kOpAbort = 5,   ///< blob, version
+    kOpPin = 6,     ///< blob, version
+    kOpUnpin = 7,   ///< blob, version
+    kOpRetire = 8,  ///< blob, keep_from
+};
+
+}  // namespace
 
 BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,
                                      std::uint32_t replication) {
@@ -17,6 +35,7 @@ BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,
     b.info = BlobInfo{next_blob_++, chunk_size, replication};
     const BlobInfo info = b.info;
     blobs_.emplace(info.id, std::move(b));
+    journal_append(kOpCreate, {chunk_size, replication});
     return info;
 }
 
@@ -60,6 +79,7 @@ BlobInfo VersionManager::clone_blob(BlobId src, Version src_version) {
     ++next_blob_;
     const BlobInfo info = b.info;
     blobs_.emplace(info.id, std::move(b));
+    journal_append(kOpClone, {src, v});  // v resolved: replay-stable
     return info;
 }
 
@@ -124,6 +144,10 @@ AssignResult VersionManager::assign(BlobId blob,
     b.records.push_back(rec);
     b.size = r.size_after;
     assigns_.add();
+    // Appends journal has_offset=0 so replay recomputes the offset from
+    // the rebuilt blob size (appends are exempt from alignment checks).
+    journal_append(kOpAssign, {blob, offset_opt.has_value() ? 1u : 0u,
+                               offset_opt.value_or(0), size});
     return r;
 }
 
@@ -155,6 +179,7 @@ void VersionManager::commit(BlobId blob, Version v) {
         }
         advance_publication(b);
         commits_.add();
+        journal_append_waking(kOpCommit, {blob, v});
     }
     publish_cv_.notify_all();
 }
@@ -173,6 +198,7 @@ void VersionManager::abort(BlobId blob, Version v) {
         }
         abort_tail(b, v);
         advance_publication(b);
+        journal_append_waking(kOpAbort, {blob, v});
     }
     publish_cv_.notify_all();
 }
@@ -189,6 +215,7 @@ std::size_t VersionManager::abort_stalled(BlobId blob, Duration max_age) {
                 rec.assigned_at < cutoff) {
                 aborted = abort_tail(b, v);
                 advance_publication(b);
+                journal_append_waking(kOpAbort, {blob, v});
                 break;
             }
             if (rec.status == VersionStatus::kPending) {
@@ -293,11 +320,13 @@ void VersionManager::pin(BlobId blob, Version v) {
         throw InvalidArgument("only published versions can be pinned");
     }
     b.pinned.insert(v);
+    journal_append(kOpPin, {blob, v});
 }
 
 void VersionManager::unpin(BlobId blob, Version v) {
     const std::scoped_lock lock(mu_);
     state_of(blob).pinned.erase(v);
+    journal_append(kOpUnpin, {blob, v});
 }
 
 std::vector<Version> VersionManager::pinned(BlobId blob) const {
@@ -337,6 +366,7 @@ VersionManager::RetireInfo VersionManager::retire(BlobId blob,
             info.pinned.push_back(p);
         }
     }
+    journal_append(kOpRetire, {blob, keep_from});
     return info;
 }
 
@@ -404,6 +434,134 @@ meta::TreeRef VersionManager::published_base(const BlobState& b) const {
 std::uint64_t VersionManager::size_of_version(const BlobState& b,
                                               Version v) const {
     return v == 0 ? b.v0_size : b.records[v - 1].desc.size_after;
+}
+
+// ---- durability (operation journal) ------------------------------------------
+
+void VersionManager::attach_journal(
+    std::shared_ptr<engine::LogEngine> journal) {
+    // Replay before any concurrent use: the public methods rebuild the
+    // exact state because every one of them is deterministic given the
+    // operation sequence (assign allocates versions and resolves append
+    // offsets from rebuilt state).
+    replaying_ = true;
+    std::uint64_t records = 0;
+    try {
+        journal->scan([&](std::string_view, ConstBytes value) {
+            ++records;
+            apply_journal_op(value);
+        });
+    } catch (...) {
+        replaying_ = false;
+        throw;
+    }
+    replaying_ = false;
+    const std::scoped_lock lock(mu_);
+    journal_ = std::move(journal);
+    journal_seq_ = records;
+}
+
+void VersionManager::journal_append_waking(
+    std::uint8_t op, std::initializer_list<std::uint64_t> args) {
+    try {
+        journal_append(op, args);
+    } catch (...) {
+        // Publication already advanced in memory; blocked readers in
+        // wait_published must still wake even when the journal write
+        // fails (the caller's trailing notify is skipped by the throw).
+        publish_cv_.notify_all();
+        throw;
+    }
+}
+
+void VersionManager::journal_append(
+    std::uint8_t op, std::initializer_list<std::uint64_t> args) {
+    if (journal_ == nullptr || replaying_) {
+        return;
+    }
+    if (journal_failed_) {
+        // A previous append failed: later ops must not keep journaling
+        // past the gap (replay would rebuild a divergent state). Fail
+        // mutations loudly until the operator restarts; a restart
+        // recovers the journaled prefix consistently.
+        throw Error(
+            "version-manager journal is failed; restart to recover");
+    }
+    Buffer value;
+    value.reserve(1 + 8 * args.size());
+    value.push_back(op);
+    for (const std::uint64_t a : args) {
+        engine::put_u64(value, a);
+    }
+    Buffer key;
+    key.reserve(8);
+    engine::put_u64(key, journal_seq_++);
+    try {
+        journal_->put(
+            std::string_view(reinterpret_cast<const char*>(key.data()),
+                             key.size()),
+            value);
+    } catch (...) {
+        journal_failed_ = true;
+        throw;
+    }
+}
+
+void VersionManager::apply_journal_op(ConstBytes value) {
+    if (value.empty() || (value.size() - 1) % 8 != 0) {
+        throw ConsistencyError("malformed version-manager journal record");
+    }
+    const std::size_t argc = (value.size() - 1) / 8;
+    std::uint64_t a[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < argc && i < 4; ++i) {
+        a[i] = engine::get_u64(value, 1 + i * 8);
+    }
+    const auto need = [&](std::size_t n) {
+        if (argc != n) {
+            throw ConsistencyError(
+                "version-manager journal record has wrong arity");
+        }
+    };
+    switch (value[0]) {
+        case kOpCreate:
+            need(2);
+            (void)create_blob(a[0], static_cast<std::uint32_t>(a[1]));
+            break;
+        case kOpClone:
+            need(2);
+            (void)clone_blob(a[0], a[1]);
+            break;
+        case kOpAssign:
+            need(4);
+            (void)assign(a[0],
+                         a[1] != 0 ? std::optional<std::uint64_t>(a[2])
+                                   : std::nullopt,
+                         a[3]);
+            break;
+        case kOpCommit:
+            need(2);
+            commit(a[0], a[1]);
+            break;
+        case kOpAbort:
+            need(2);
+            abort(a[0], a[1]);
+            break;
+        case kOpPin:
+            need(2);
+            pin(a[0], a[1]);
+            break;
+        case kOpUnpin:
+            need(2);
+            unpin(a[0], a[1]);
+            break;
+        case kOpRetire:
+            need(2);
+            (void)retire(a[0], a[1]);
+            break;
+        default:
+            throw ConsistencyError("unknown version-manager journal op " +
+                                   std::to_string(value[0]));
+    }
 }
 
 }  // namespace blobseer::version

@@ -25,6 +25,8 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -32,12 +34,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "meta/tree_builder.hpp"
 #include "meta/write_descriptor.hpp"
+
+namespace blobseer::engine {
+class LogEngine;
+}  // namespace blobseer::engine
 
 namespace blobseer::version {
 
@@ -201,6 +208,17 @@ class VersionManager {
     /// deletion pass (core::BlobSeerClient::reclaim_retired).
     RetireInfo retire(BlobId blob, Version keep_from);
 
+    // ---- durability ------------------------------------------------------
+
+    /// Make this version manager durable: replay the operation journal
+    /// stored in \p journal (every prior session's state), then record
+    /// every subsequent state-changing operation into it. The journal
+    /// engine must have background compaction disabled (replay depends on
+    /// append order) — core::Cluster configures this when
+    /// ClusterConfig::durable_version_manager is set. Call before any
+    /// concurrent use; throws ConsistencyError on a corrupt journal.
+    void attach_journal(std::shared_ptr<engine::LogEngine> journal);
+
     // ---- stats ---------------------------------------------------------------
 
     [[nodiscard]] std::uint64_t assigns() const { return assigns_.get(); }
@@ -246,10 +264,33 @@ class VersionManager {
     [[nodiscard]] std::uint64_t size_of_version(const BlobState& b,
                                                 Version v) const;
 
+    /// Append one operation record to the journal (no-op when detached or
+    /// replaying). Caller holds mu_ — journal order must match the order
+    /// operations were applied in.
+    void journal_append(std::uint8_t op,
+                        std::initializer_list<std::uint64_t> args);
+
+    /// journal_append for publication-advancing ops (commit/abort): on
+    /// failure, wakes wait_published() blockers before rethrowing.
+    void journal_append_waking(std::uint8_t op,
+                               std::initializer_list<std::uint64_t> args);
+
+    /// Re-execute one journaled operation during attach_journal replay.
+    void apply_journal_op(ConstBytes value);
+
     mutable std::mutex mu_;  // guards blobs_ and every BlobState
     mutable std::condition_variable publish_cv_;
     std::unordered_map<BlobId, BlobState> blobs_;
     BlobId next_blob_ = 1;
+
+    std::shared_ptr<engine::LogEngine> journal_;  // null = volatile VM
+    std::uint64_t journal_seq_ = 0;
+    bool replaying_ = false;
+    /// Latched on the first journal write failure: the op that failed is
+    /// applied in memory but not journaled, so allowing later ops to
+    /// journal would leave a gap replay cannot bridge. All further
+    /// mutations throw instead; a restart recovers the journaled prefix.
+    bool journal_failed_ = false;
 
     Counter assigns_;
     Counter commits_;

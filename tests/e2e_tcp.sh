@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the TCP deployment path: boot blobseer_serverd
 # on an ephemeral loopback port, drive a create/write/append/read/history
-# flow through `blobseer_cli --connect`, and assert on the output.
+# flow through `blobseer_cli --connect`, and assert on the output. A
+# second phase starts a log-store daemon, writes a blob, kills and
+# restarts the daemon on the same --disk-root, and verifies the blob
+# reads back byte-identical (the log engine's restart recovery path).
 #
 # Usage: e2e_tcp.sh <path-to-blobseer_serverd> <path-to-blobseer_cli>
 set -u
@@ -9,30 +12,50 @@ set -u
 SERVERD=$1
 CLI=$2
 WORK=$(mktemp -d)
+SERVER_PID=""
 trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
-"$SERVERD" --port 0 --bind 127.0.0.1 --data-providers 4 \
-    --meta-providers 2 --replication 2 >"$WORK/serverd.log" 2>&1 &
-SERVER_PID=$!
-
-# Wait for the daemon to report its chosen port.
-PORT=""
-for _ in $(seq 1 50); do
-    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
-        "$WORK/serverd.log")
-    [ -n "$PORT" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || {
-        echo "FAIL: serverd died during startup"
-        cat "$WORK/serverd.log"
-        exit 1
-    }
-    sleep 0.1
-done
-if [ -z "$PORT" ]; then
-    echo "FAIL: serverd never reported a port"
-    cat "$WORK/serverd.log"
+fail() {
+    echo "FAIL: $1"
     exit 1
-fi
+}
+
+# Start serverd with the given extra args; sets SERVER_PID and PORT.
+start_serverd() {
+    local log=$1
+    shift
+    "$SERVERD" --port 0 --bind 127.0.0.1 "$@" >"$log" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+        PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$log")
+        [ -n "$PORT" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || {
+            echo "FAIL: serverd died during startup"
+            cat "$log"
+            exit 1
+        }
+        sleep 0.1
+    done
+    if [ -z "$PORT" ]; then
+        echo "FAIL: serverd never reported a port"
+        cat "$log"
+        exit 1
+    fi
+}
+
+stop_serverd() {
+    kill -TERM "$SERVER_PID" 2>/dev/null
+    for _ in $(seq 1 100); do
+        kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; return 0; }
+        sleep 0.1
+    done
+    fail "serverd did not shut down"
+}
+
+start_serverd "$WORK/serverd.log" --data-providers 4 --meta-providers 2 \
+    --replication 2
 
 "$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli.log" 2>&1 <<'EOF'
 create 65536
@@ -48,11 +71,6 @@ CLI_RC=$?
 echo "--- cli output ---"
 cat "$WORK/cli.log"
 
-fail() {
-    echo "FAIL: $1"
-    exit 1
-}
-
 [ "$CLI_RC" -eq 0 ] || fail "cli exited with $CLI_RC"
 grep -q "connected to 127.0.0.1:$PORT" "$WORK/cli.log" ||
     fail "no connection banner"
@@ -65,6 +83,62 @@ grep -q "v2: size 331072, status published" "$WORK/cli.log" ||
 grep -c "published" "$WORK/cli.log" >/dev/null || fail "history missing"
 grep -q "TAG MISMATCH" "$WORK/cli.log" && fail "corrupted readback"
 grep -q "error:" "$WORK/cli.log" && fail "command error in output"
+
+stop_serverd
+
+# --- phase 2: log-store persistence across a daemon restart ------------------
+
+STORE_ROOT="$WORK/log-root"
+
+start_serverd "$WORK/serverd2.log" --data-providers 4 --meta-providers 2 \
+    --replication 2 --store log --disk-root "$STORE_ROOT"
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli2.log" 2>&1 <<'EOF'
+create 65536
+write 1 0 200000 7
+read 1 1 0 200000 7
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli2.log"; fail "pre-restart cli failed"; }
+grep -q "tag matches" "$WORK/cli2.log" || {
+    cat "$WORK/cli2.log"
+    fail "pre-restart readback mismatch"
+}
+FNV_BEFORE=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli2.log")
+[ -n "$FNV_BEFORE" ] || fail "no pre-restart fnv recorded"
+
+# Kill the daemon and restart it on the same root: chunks, metadata and
+# the version-manager journal must all come back from the log engines.
+stop_serverd
+start_serverd "$WORK/serverd3.log" --data-providers 4 --meta-providers 2 \
+    --replication 2 --store log --disk-root "$STORE_ROOT"
+
+# Also write after the restart: the new daemon re-mints the same client
+# ids, so this exercises the per-boot uid epoch (without it the write's
+# chunks would collide with pre-restart uids and read back stale bytes).
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli3.log" 2>&1 <<'EOF'
+read 1 1 0 200000 7
+stat 1
+write 1 0 200000 9
+read 1 2 0 200000 9
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli3.log"; fail "post-restart cli failed"; }
+
+echo "--- post-restart cli output ---"
+cat "$WORK/cli3.log"
+
+[ "$(grep -c "tag matches" "$WORK/cli3.log")" -eq 2 ] ||
+    fail "post-restart readbacks not byte-identical to their patterns"
+FNV_AFTER=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli3.log" | head -1)
+[ "$FNV_BEFORE" = "$FNV_AFTER" ] ||
+    fail "post-restart bytes differ (fnv $FNV_BEFORE != $FNV_AFTER)"
+grep -q "v1: size 200000, status published" "$WORK/cli3.log" ||
+    fail "post-restart stat mismatch"
+grep -q -- "-> version 2" "$WORK/cli3.log" ||
+    fail "post-restart write failed"
+grep -q "TAG MISMATCH" "$WORK/cli3.log" && fail "corrupted readback"
+grep -q "error:" "$WORK/cli3.log" && fail "command error after restart"
 
 echo "PASS"
 exit 0

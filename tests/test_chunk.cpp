@@ -1,13 +1,17 @@
 /// \file test_chunk.cpp
 /// \brief Tests of the chunk storage backends: RAM, disk (with restart
-///        recovery) and the two-tier RAM-over-disk cache.
+///        recovery), the log-structured store and the two-tier RAM cache
+///        over either durable backend.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "chunk/disk_store.hpp"
+#include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
 #include "chunk/two_tier_store.hpp"
 #include "common/buffer.hpp"
@@ -147,6 +151,95 @@ TEST(DiskStore, EmptyChunkAllowed) {
     EXPECT_TRUE((*got)->empty());
 }
 
+TEST(DiskStore, SweepsOrphanTmpFilesOnReopen) {
+    TempDir dir;
+    {
+        DiskStore store(dir.path());
+        store.put({3, 3}, payload(3, 3, 20));
+    }
+    // Simulate a crash between write_file and rename: a stranded tmp.
+    const auto orphan = dir.path() / "9_9.chunk.tmp42";
+    std::ofstream(orphan) << "torn half-written chunk";
+    ASSERT_TRUE(std::filesystem::exists(orphan));
+
+    DiskStore reopened(dir.path());
+    EXPECT_FALSE(std::filesystem::exists(orphan));  // swept
+    EXPECT_EQ(reopened.count(), 1u);                // real chunk survives
+    EXPECT_FALSE(reopened.contains({9, 9}));        // orphan never indexed
+}
+
+// ---- LogStore ---------------------------------------------------------------
+
+TEST(LogStore, PutGetRoundTrip) {
+    TempDir dir;
+    LogStore store(dir.path());
+    store.put({1, 100}, payload(1, 100, 64));
+    const auto got = store.get({1, 100});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(verify_pattern(1, 100, 0, **got), -1);
+    EXPECT_TRUE(store.contains({1, 100}));
+    EXPECT_EQ(store.count(), 1u);
+    EXPECT_EQ(store.bytes(), 64u);
+}
+
+TEST(LogStore, PersistsAcrossReopen) {
+    TempDir dir;
+    {
+        LogStore store(dir.path());
+        store.put({7, 42}, payload(7, 42, 100));
+        store.put({7, 43}, payload(7, 43, 50));
+        store.erase({7, 43});
+    }
+    LogStore reopened(dir.path());
+    EXPECT_EQ(reopened.count(), 1u);
+    EXPECT_EQ(reopened.bytes(), 100u);
+    const auto got = reopened.get({7, 42});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(verify_pattern(7, 42, 0, **got), -1);
+    EXPECT_FALSE(reopened.contains({7, 43}));
+}
+
+TEST(LogStore, PutIsIdempotent) {
+    TempDir dir;
+    LogStore store(dir.path());
+    store.put({1, 5}, payload(1, 5, 32));
+    store.put({1, 5}, payload(1, 5, 32));
+    EXPECT_EQ(store.count(), 1u);
+    EXPECT_EQ(store.bytes(), 32u);
+    EXPECT_EQ(store.engine().stats().appends, 1u);  // second put skipped
+}
+
+TEST(LogStore, MissingKeyAndEmptyChunk) {
+    TempDir dir;
+    LogStore store(dir.path());
+    EXPECT_FALSE(store.get({9, 9}).has_value());
+    store.put({1, 1}, std::make_shared<Buffer>());
+    const auto got = store.get({1, 1});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE((*got)->empty());
+}
+
+TEST(LogStore, ConcurrentPutsAndGets) {
+    TempDir dir;
+    LogStore store(dir.path());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&store, t] {
+            for (std::uint64_t i = 0; i < 100; ++i) {
+                const ChunkKey key{static_cast<BlobId>(t), i};
+                store.put(key, payload(t, i, 48));
+                const auto got = store.get(key);
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(verify_pattern(t, i, 0, **got), -1);
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(store.count(), 400u);
+}
+
 // ---- TwoTierStore -----------------------------------------------------------
 
 TEST(TwoTierStore, WriteThroughAndCacheHit) {
@@ -210,6 +303,76 @@ TEST(TwoTierStore, EraseDropsBothTiers) {
     EXPECT_FALSE(store.get({1, 1}).has_value());
     EXPECT_EQ(store.ram_bytes(), 0u);
     EXPECT_EQ(store.count(), 0u);
+}
+
+TEST(TwoTierStore, EvictionCounterAndByteBudget) {
+    TempDir dir;
+    TwoTierStore store(std::make_unique<DiskStore>(dir.path()), 256);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        store.put({1, i}, payload(1, i, 64));
+    }
+    // 8 x 64 B through a 256 B budget: at least 4 evictions happened and
+    // the budget held at every step.
+    EXPECT_GE(store.cache_evictions(), 4u);
+    EXPECT_LE(store.ram_bytes(), 256u);
+    EXPECT_EQ(store.count(), 8u);  // backend keeps everything
+}
+
+TEST(TwoTierStore, RepopulatesFromBackendAfterEviction) {
+    TempDir dir;
+    TwoTierStore store(std::make_unique<DiskStore>(dir.path()), 128);
+    store.put({1, 0}, payload(1, 0, 64));
+    store.put({1, 1}, payload(1, 1, 64));
+    store.put({1, 2}, payload(1, 2, 64));  // evicts {1,0}
+    const auto misses_before = store.cache_misses();
+    const auto got = store.get({1, 0});  // miss -> backend -> repopulate
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(verify_pattern(1, 0, 0, **got), -1);
+    EXPECT_EQ(store.cache_misses(), misses_before + 1);
+    const auto hits_before = store.cache_hits();
+    (void)store.get({1, 0});  // now cached again
+    EXPECT_EQ(store.cache_hits(), hits_before + 1);
+}
+
+TEST(TwoTierStore, StatsConsistentUnderConcurrentGetPut) {
+    TempDir dir;
+    TwoTierStore store(std::make_unique<DiskStore>(dir.path()), 4096);
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kOps = 200;
+    std::atomic<std::uint64_t> gets{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kOps; ++i) {
+                const ChunkKey key{static_cast<BlobId>(t % 2), i % 32};
+                store.put(key, payload(t % 2, i % 32, 64));
+                const auto got = store.get(key);
+                gets.fetch_add(1);
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(verify_pattern(t % 2, i % 32, 0, **got), -1);
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    // Every get was either a hit or a miss — no lost counts under
+    // concurrency — and the budget survived the storm.
+    EXPECT_EQ(store.cache_hits() + store.cache_misses(), gets.load());
+    EXPECT_LE(store.ram_bytes(), 4096u);
+    EXPECT_EQ(store.count(), 64u);
+}
+
+TEST(TwoTierStore, WorksOverLogStoreBackend) {
+    TempDir dir;
+    TwoTierStore store(std::make_unique<LogStore>(dir.path()), 1 << 20);
+    store.put({5, 1}, payload(5, 1, 100));
+    store.drop_cache();  // volatile-loss crash: durable tier serves
+    const auto got = store.get({5, 1});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(verify_pattern(5, 1, 0, **got), -1);
+    EXPECT_EQ(store.cache_misses(), 1u);
+    EXPECT_EQ(store.count(), 1u);
 }
 
 }  // namespace

@@ -40,7 +40,10 @@ void usage(const char* argv0) {
         "  --meta-providers <n>  metadata provider count (default 4)\n"
         "  --replication <n>     default chunk replication (default 2)\n"
         "  --meta-replication <n> metadata replication (default 1)\n"
-        "  --store <ram|disk|two-tier>  chunk store backend (default ram)\n"
+        "  --store <ram|disk|two-tier|log|two-tier-log>\n"
+        "                        chunk store backend (default ram)\n"
+        "  --meta-store <ram|disk|log>  metadata backend (default ram;\n"
+        "                        log when --store is log-family)\n"
         "  --disk-root <path>    root for disk-backed stores\n"
         "  --sim-latency-us <n>  simulated intra-daemon latency (default 0)\n"
         "  --help\n",
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
 
     std::uint16_t port = 4400;
     std::string bind_addr = "0.0.0.0";
+    bool meta_store_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -93,11 +97,29 @@ int main(int argc, char** argv) {
                 cfg.store = core::StoreBackend::kDisk;
             } else if (s == "two-tier") {
                 cfg.store = core::StoreBackend::kTwoTier;
+            } else if (s == "log") {
+                cfg.store = core::StoreBackend::kLog;
+            } else if (s == "two-tier-log") {
+                cfg.store = core::StoreBackend::kTwoTierLog;
             } else {
                 std::fprintf(stderr, "unknown store backend '%s'\n",
                              s.c_str());
                 return 2;
             }
+        } else if (arg == "--meta-store") {
+            const std::string s = next();
+            if (s == "ram") {
+                cfg.meta_store = core::ClusterConfig::MetaBackend::kRam;
+            } else if (s == "disk") {
+                cfg.meta_store = core::ClusterConfig::MetaBackend::kDisk;
+            } else if (s == "log") {
+                cfg.meta_store = core::ClusterConfig::MetaBackend::kLog;
+            } else {
+                std::fprintf(stderr, "unknown metadata backend '%s'\n",
+                             s.c_str());
+                return 2;
+            }
+            meta_store_set = true;
         } else if (arg == "--disk-root") {
             cfg.disk_root = next();
         } else if (arg == "--sim-latency-us") {
@@ -110,6 +132,17 @@ int main(int argc, char** argv) {
             usage(argv[0]);
             return 2;
         }
+    }
+
+    // A log-family chunk store makes the whole daemon restartable: default
+    // metadata onto the same engine and journal the version manager so a
+    // restart on the same --disk-root serves every published blob again.
+    if (cfg.store == core::StoreBackend::kLog ||
+        cfg.store == core::StoreBackend::kTwoTierLog) {
+        if (!meta_store_set) {
+            cfg.meta_store = core::ClusterConfig::MetaBackend::kLog;
+        }
+        cfg.durable_version_manager = true;
     }
 
     // Block the shutdown signals before any thread spawns so the accept
