@@ -12,14 +12,18 @@
 ///  * tcp    — the same frames over real loopback sockets against an
 ///    in-process TcpRpcServer (adds syscalls and TCP).
 ///
-/// Two workloads: a small control RPC (get-version, ~60-byte frames) and
-/// a 64 KiB chunk put+get pair. Reported: throughput, mean and p99
-/// latency.
+/// Three workloads: a small control RPC (get-version, ~60-byte frames),
+/// a 64 KiB chunk put+get pair, and an in-flight window sweep — 1/8/64
+/// outstanding get_chunk requests over ONE multiplexed TCP connection
+/// (window 1 is exactly the old serial one-request-per-connection
+/// behavior, so the sweep quantifies what protocol v3 multiplexing
+/// buys). Reported: throughput, mean and p99 latency, speedup.
 ///
 ///   $ BLOBSEER_BENCH_SCALE=0.25 ./bench_rpc   # quick smoke run
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -138,6 +142,84 @@ int main() {
     });
     chunks.print("64 KiB chunk put+get (" + std::to_string(n_chunk) +
                  " pairs)");
+
+    // -- in-flight window sweep over one multiplexed TCP connection ----------
+    //
+    // One stored chunk is fetched n times with a bounded number of
+    // get_chunk requests outstanding, all on the single connection the
+    // transport multiplexes to the server. window=1 reproduces the old
+    // serial wire (each request waits for its response); deeper windows
+    // overlap requests, server dispatch and responses. Two chunk sizes
+    // bracket the regimes: 4 KiB is round-trip-latency-bound (where
+    // multiplexing is the win), 64 KiB is loopback-bandwidth-bound —
+    // the serial wire already streams near line rate there, and a deep
+    // window only adds buffer churn (use modest windows for bulk
+    // transfers on few-core hosts). The sweep server gets 2 dispatch
+    // workers: enough to overlap request parse with response write,
+    // without preemption noise on small machines.
+    rpc::TcpRpcServer sweep_server(cluster.dispatcher(), 0, "127.0.0.1",
+                                   2);
+    rpc::TcpTransport sweep_tcp("127.0.0.1", sweep_server.port());
+    rpc::ServiceClient sweep_svc(sweep_tcp, cluster.version_manager_node(),
+                                 cluster.provider_manager_node());
+    struct SweepCase {
+        const char* label;
+        std::size_t stored_bytes;  ///< chunk stored on the provider
+        std::size_t slice_bytes;   ///< bytes fetched per get (0 = all)
+        std::size_t n;
+    };
+    const SweepCase cases[] = {
+        // Fine-grained slice reads (the paper's fine-grain access
+        // pattern): latency-bound, where multiplexing pays most.
+        {"512 B slices of a 64 KiB chunk", 64 << 10, 512,
+         bench::scaled(20000)},
+        {"4 KiB whole-chunk gets", 4 << 10, 0, bench::scaled(20000)},
+        {"64 KiB whole-chunk gets", 64 << 10, 0, bench::scaled(4000)},
+    };
+    for (const SweepCase& c : cases) {
+        const chunk::ChunkKey sweep_key{id, uid++};
+        const Buffer sweep_payload = make_pattern(id, 9, 0, c.stored_bytes);
+        sweep_svc.put_chunk(dp_node, sweep_key, sweep_payload);
+        const std::size_t expect =
+            c.slice_bytes == 0 ? c.stored_bytes : c.slice_bytes;
+
+        bench::Table sweep({"window", "ops/s", "MB/s", "speedup"});
+        double serial_ops = 0;
+        for (const std::size_t window : {std::size_t{1}, std::size_t{8},
+                                         std::size_t{64}}) {
+            const Stopwatch sw;
+            std::deque<Future<rpc::ServiceClient::ChunkSlice>> inflight;
+            for (std::size_t i = 0; i < c.n; ++i) {
+                if (inflight.size() == window) {
+                    if (inflight.front().get().bytes.size() != expect) {
+                        std::fprintf(stderr,
+                                     "sweep: short chunk readback\n");
+                        return 1;
+                    }
+                    inflight.pop_front();
+                }
+                inflight.push_back(sweep_svc.get_chunk_async(
+                    dp_node, sweep_key, 0, c.slice_bytes));
+            }
+            while (!inflight.empty()) {
+                (void)inflight.front().get();
+                inflight.pop_front();
+            }
+            const double secs = sw.elapsed_seconds();
+            const double ops = static_cast<double>(c.n) / secs;
+            if (window == 1) {
+                serial_ops = ops;
+            }
+            sweep.row(std::to_string(window).c_str(), ops,
+                      static_cast<double>(c.n) *
+                          static_cast<double>(expect) / secs / (1 << 20),
+                      ops / serial_ops);
+        }
+        sweep.print(std::string(c.label) +
+                    ", in-flight window over one TCP connection (" +
+                    std::to_string(c.n) +
+                    " ops; window 1 = old serial wire)");
+    }
 
     return 0;
 }

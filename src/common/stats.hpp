@@ -39,6 +39,39 @@ class Counter {
     std::atomic<std::uint64_t> value_{0};
 };
 
+/// Up/down gauge with a monotonic high-water mark — tracks "how many
+/// right now" quantities (in-flight RPCs of a bounded window) where a
+/// Counter's monotonic total is the wrong shape.
+class Gauge {
+  public:
+    void add(std::uint64_t n = 1) noexcept {
+        const std::uint64_t now =
+            value_.fetch_add(n, std::memory_order_relaxed) + n;
+        std::uint64_t hw = high_.load(std::memory_order_relaxed);
+        while (now > hw &&
+               !high_.compare_exchange_weak(hw, now,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    void sub(std::uint64_t n = 1) noexcept {
+        value_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t get() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /// Highest value the gauge ever reached.
+    [[nodiscard]] std::uint64_t high_water() const noexcept {
+        return high_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+    std::atomic<std::uint64_t> high_{0};
+};
+
 /// Log-bucketed histogram of microsecond latencies (or any positive
 /// values). 128 buckets cover [1, ~1.8e13] with ~25% resolution.
 class Histogram {

@@ -52,6 +52,20 @@ class ThreadPool {
     /// Number of worker threads.
     [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+    /// Fire-and-forget submission: no future, no packaged_task wrapper —
+    /// the per-task cost is one queue node. The task must not throw
+    /// (worker threads have nowhere to put the exception).
+    void post(std::function<void()> fn) {
+        {
+            const std::scoped_lock lock(mu_);
+            if (stopping_) {
+                throw std::runtime_error("post on stopped ThreadPool");
+            }
+            queue_.push_back(std::move(fn));
+        }
+        cv_.notify_one();
+    }
+
     /// Submit a task; the returned future carries its result or exception.
     template <typename F>
     auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <thread>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
@@ -135,60 +137,185 @@ Version BlobSeerClient::append(BlobId blob, ConstBytes data) {
     return v;
 }
 
-BlobSeerClient::UploadedChunk BlobSeerClient::upload_chunk(
-    BlobId blob, ConstBytes payload, std::vector<NodeId> targets) {
-    UploadedChunk result;
-    result.uid = next_uid();
-    result.bytes = static_cast<std::uint32_t>(payload.size());
-    const chunk::ChunkKey key{blob, result.uid};
-
+std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all(
+    BlobId blob, const std::vector<ConstBytes>& parts,
+    const provider::PlacementPlan& plan) {
     const bool pipelined = env_.pipelined_replication;
-    std::size_t replacement_budget = 3;
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-        const NodeId target = targets[t];
+    const std::size_t window_cap =
+        std::max<std::size_t>(1, env_.max_inflight_chunks);
+
+    // Per-chunk upload state machine, driven entirely by this thread:
+    // puts are *issued* asynchronously (up to window_cap in flight at
+    // once over the multiplexed transport) and *collected* oldest-first,
+    // so failover — mark the provider dead, ask for a replacement
+    // target, re-issue — runs on the collecting thread while the rest
+    // of the window keeps streaming.
+    struct State {
+        ConstBytes payload;
+        chunk::ChunkKey key{};
+        std::vector<NodeId> targets;
+        std::size_t next_target = 0;
+        std::size_t in_flight = 0;
+        std::size_t replacement_budget = 3;
+        bool runnable_queued = false;
+        UploadedChunk result;
+    };
+    std::vector<State> states(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        State& st = states[i];
+        st.payload = parts[i];
+        st.targets = plan[i];
+        st.result.uid = next_uid();
+        st.result.bytes = static_cast<std::uint32_t>(parts[i].size());
+        st.key = chunk::ChunkKey{blob, st.result.uid};
+    }
+
+    struct PendingPut {
+        Future<void> fut;
+        std::size_t chunk = 0;
+        NodeId target = kInvalidNode;
+    };
+    std::deque<PendingPut> window;
+    std::deque<std::size_t> runnable;
+
+    auto can_issue = [&](const State& st) {
+        if (st.next_target >= st.targets.size()) {
+            return false;
+        }
+        // Pipelined replication chains copies provider-to-provider, so
+        // a chunk's next copy needs the previous one acknowledged; a
+        // fan-out put has no such dependency.
+        return !pipelined || st.in_flight == 0;
+    };
+
+    auto enqueue = [&](std::size_t idx) {
+        if (!states[idx].runnable_queued && can_issue(states[idx])) {
+            states[idx].runnable_queued = true;
+            runnable.push_back(idx);
+        }
+    };
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        enqueue(i);
+    }
+
+    auto handle_failure = [&](State& st, NodeId target,
+                              const std::string& what) {
+        stats_.chunk_retries.add();
+        log_debug("client", "chunk put failed: " + what);
+        // Heartbeat substitute: tell the provider manager, then ask it
+        // for a replacement target (bounded).
+        try {
+            svc_.mark_dead(target);
+        } catch (const RpcError&) {
+            // Provider manager unreachable; keep going with what we
+            // have.
+        }
+        if (st.replacement_budget > 0) {
+            --st.replacement_budget;
+            try {
+                auto fresh_plan = svc_.place(1, 1, st.payload.size());
+                const NodeId fresh = fresh_plan.at(0).at(0);
+                if (std::find(st.targets.begin(), st.targets.end(),
+                              fresh) == st.targets.end() &&
+                    std::find(st.result.replicas.begin(),
+                              st.result.replicas.end(),
+                              fresh) == st.result.replicas.end()) {
+                    st.targets.push_back(fresh);
+                }
+            } catch (const Error&) {
+                // No replacement available; degrade replication.
+            }
+        }
+    };
+
+    auto issue_one = [&](std::size_t idx) {
+        State& st = states[idx];
+        const NodeId target = st.targets[st.next_target++];
         // Pipelined replication: the first copy leaves the client; each
         // further copy is forwarded provider-to-provider (the previous
         // chain member's NIC pays, not the client's — GFS-style).
-        const NodeId via = pipelined && !result.replicas.empty()
-                               ? result.replicas.back()
+        const NodeId via = pipelined && !st.result.replicas.empty()
+                               ? st.result.replicas.back()
                                : kInvalidNode;
+        Future<void> fut;
         try {
-            svc_.put_chunk(target, key, payload, via);
-            result.replicas.push_back(target);
-            stats_.chunk_put_rpcs.add();
+            fut = svc_.put_chunk_async(target, st.key, st.payload, via);
         } catch (const RpcError& e) {
-            stats_.chunk_retries.add();
-            log_debug("client", std::string("chunk put failed: ") + e.what());
-            // Heartbeat substitute: tell the provider manager, then ask it
-            // for a replacement target (bounded).
-            try {
-                svc_.mark_dead(target);
-            } catch (const RpcError&) {
-                // Provider manager unreachable; keep going with what we
-                // have.
+            // call_async can fail synchronously (connection refused,
+            // resolve failure): same failover as an async failure.
+            handle_failure(st, target, e.what());
+            return;
+        }
+        stats_.inflight_chunk_rpcs.add();
+        window.push_back(PendingPut{std::move(fut), idx, target});
+        ++st.in_flight;
+    };
+
+    auto pump = [&] {
+        while (window.size() < window_cap && !runnable.empty()) {
+            const std::size_t idx = runnable.front();
+            if (!can_issue(states[idx])) {
+                states[idx].runnable_queued = false;
+                runnable.pop_front();
+                continue;
             }
-            if (replacement_budget > 0) {
-                --replacement_budget;
-                try {
-                    auto plan = svc_.place(1, 1, payload.size());
-                    const NodeId fresh = plan.at(0).at(0);
-                    if (std::find(targets.begin(), targets.end(), fresh) ==
-                            targets.end() &&
-                        std::find(result.replicas.begin(),
-                                  result.replicas.end(),
-                                  fresh) == result.replicas.end()) {
-                        targets.push_back(fresh);
-                    }
-                } catch (const Error&) {
-                    // No replacement available; degrade replication.
-                }
+            issue_one(idx);
+            if (!can_issue(states[idx])) {
+                states[idx].runnable_queued = false;
+                runnable.pop_front();
             }
         }
+    };
+
+    auto collect_one = [&] {
+        PendingPut put = std::move(window.front());
+        window.pop_front();
+        State& st = states[put.chunk];
+        --st.in_flight;
+        stats_.inflight_chunk_rpcs.sub();
+        try {
+            put.fut.get();
+            st.result.replicas.push_back(put.target);
+            stats_.chunk_put_rpcs.add();
+        } catch (const RpcError& e) {
+            handle_failure(st, put.target, e.what());
+        }
+        enqueue(put.chunk);
+    };
+
+    try {
+        for (;;) {
+            pump();
+            if (window.empty()) {
+                break;
+            }
+            collect_one();
+        }
+    } catch (...) {
+        // A non-RpcError escaped (decode bug, consistency violation):
+        // drain the window before unwinding — the futures reference the
+        // caller's payload spans and the in-flight gauge must balance.
+        while (!window.empty()) {
+            stats_.inflight_chunk_rpcs.sub();
+            try {
+                window.front().fut.get();
+            } catch (...) {
+                // Already propagating the first failure.
+            }
+            window.pop_front();
+        }
+        throw;
     }
-    if (result.replicas.empty()) {
-        throw RpcError("no replica stored for " + key.to_string());
+
+    std::vector<UploadedChunk> out;
+    out.reserve(states.size());
+    for (State& st : states) {
+        if (st.result.replicas.empty()) {
+            throw RpcError("no replica stored for " + st.key.to_string());
+        }
+        out.push_back(std::move(st.result));
     }
-    return result;
+    return out;
 }
 
 Version BlobSeerClient::write_impl(BlobId blob,
@@ -220,20 +347,16 @@ Version BlobSeerClient::write_impl(BlobId blob,
         }
     };
 
-    auto upload_all = [&](const std::vector<ConstBytes>& parts)
+    auto upload_parts = [&](const std::vector<ConstBytes>& parts)
         -> std::vector<UploadedChunk> {
         const auto plan = svc_.place(parts.size(), info.replication, c);
-        std::vector<UploadedChunk> out(parts.size());
-        io_pool_.parallel_for(parts.size(), [&](std::size_t i) {
-            out[i] = upload_chunk(blob, parts[i], plan[i]);
-        });
-        return out;
+        return upload_all(blob, parts, plan);
     };
 
     version::AssignResult ar;
     if (offset_opt) {
         split_into(data, payloads);
-        uploaded = upload_all(payloads);
+        uploaded = upload_parts(payloads);
         try {
             ar = svc_.assign(blob, offset_opt, data.size());
         } catch (const Error&) {
@@ -277,7 +400,7 @@ Version BlobSeerClient::write_impl(BlobId blob,
         } else {
             split_into(data, payloads);
         }
-        uploaded = upload_all(payloads);
+        uploaded = upload_parts(payloads);
     }
 
     // Assemble leaves in slot order and build the metadata tree.
@@ -351,21 +474,39 @@ std::size_t BlobSeerClient::read(BlobId blob, Version version,
         meta::plan_read(cache_, vi.tree.blob, vi.tree.version,
                         info.chunk_size, vi.size, {offset, out.size()});
 
-    io_pool_.parallel_for(plan.segments.size(), [&](std::size_t i) {
-        const meta::ReadSegment& seg = plan.segments[i];
-        MutableBytes slice = out.subspan(seg.blob_range.offset - offset,
-                                         seg.blob_range.size);
-        if (seg.hole) {
-            std::memset(slice.data(), 0, slice.size());
-        } else {
-            fetch_segment(seg, slice);
-        }
-    });
+    fetch_all(plan.segments, offset, out);
 
     stats_.reads.add();
     stats_.bytes_read.add(out.size());
     stats_.read_latency_us.record(sw.elapsed_us());
     return out.size();
+}
+
+// ---- asynchronous data path ------------------------------------------------
+//
+// A whole operation becomes one I/O-pool task that drives its own
+// bounded in-flight window — overlap *within* an operation comes from
+// the window, overlap *across* operations from the pool. The caller
+// owns the data/out buffers until the future completes.
+
+Future<Version> BlobSeerClient::write_async(BlobId blob,
+                                            std::uint64_t offset,
+                                            ConstBytes data) {
+    return submit_async<Version>(
+        [this, blob, offset, data] { return write(blob, offset, data); });
+}
+
+Future<Version> BlobSeerClient::append_async(BlobId blob, ConstBytes data) {
+    return submit_async<Version>(
+        [this, blob, data] { return append(blob, data); });
+}
+
+Future<std::size_t> BlobSeerClient::read_async(BlobId blob, Version version,
+                                               std::uint64_t offset,
+                                               MutableBytes out) {
+    return submit_async<std::size_t>([this, blob, version, offset, out] {
+        return read(blob, version, offset, out);
+    });
 }
 
 std::size_t BlobSeerClient::read_available(BlobId blob, Version version,
@@ -392,8 +533,8 @@ bool BlobSeerClient::is_healthy(NodeId node) const {
     return it == health_view_.end() || it->second >= 0.5;
 }
 
-void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
-                                   MutableBytes out) {
+std::vector<NodeId> BlobSeerClient::replica_order(
+    const meta::ReadSegment& seg) const {
     const std::size_t n = seg.replicas.size();
     if (n == 0) {
         throw ConsistencyError("leaf with no replicas reached fetch");
@@ -417,26 +558,180 @@ void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
             order.push_back(r);
         }
     }
-    std::string last_error;
-    for (std::size_t k = 0; k < n; ++k) {
-        const NodeId target = order[k];
-        try {
-            const auto slice = svc_.get_chunk(target, seg.chunk,
-                                              seg.chunk_offset, out.size());
-            if (seg.chunk_offset + out.size() > slice.chunk_size ||
-                slice.bytes.size() < out.size()) {
-                throw ConsistencyError("chunk shorter than metadata claims: " +
-                                       seg.chunk.to_string());
-            }
-            std::memcpy(out.data(), slice.bytes.data(), out.size());
-            stats_.chunk_get_rpcs.add();
-            return;
-        } catch (const RpcError& e) {
-            last_error = e.what();
-        } catch (const NotFoundError& e) {
-            last_error = e.what();
+    return order;
+}
+
+void BlobSeerClient::fetch_all(
+    const std::vector<meta::ReadSegment>& segments, std::uint64_t offset,
+    MutableBytes out) {
+    const std::size_t window_cap =
+        std::max<std::size_t>(1, env_.max_inflight_chunks);
+
+    // The scatter-gather twin of upload_all: up to window_cap get_chunk
+    // RPCs stream through the multiplexed transport at once, collected
+    // oldest-first; a failed replica re-issues against the next one in
+    // the segment's preference order while the window keeps moving.
+    struct State {
+        const meta::ReadSegment* seg = nullptr;
+        MutableBytes slice;
+        std::vector<NodeId> order;
+        std::size_t next = 0;
+        std::size_t passes = 0;
+        bool done = false;
+        std::string last_error;
+    };
+    std::vector<State> states;
+    states.reserve(segments.size());
+    for (const meta::ReadSegment& seg : segments) {
+        MutableBytes slice = out.subspan(seg.blob_range.offset - offset,
+                                         seg.blob_range.size);
+        if (seg.hole) {
+            std::memset(slice.data(), 0, slice.size());
+            continue;
         }
-        stats_.chunk_retries.add();
+        states.push_back(State{&seg, slice, replica_order(seg), 0, 0,
+                               false, {}});
+    }
+
+    struct PendingGet {
+        Future<rpc::ServiceClient::ChunkSlice> fut;
+        std::size_t segment = 0;
+    };
+    std::deque<PendingGet> window;
+
+    std::size_t next_start = 0;  // first segment not yet started
+    auto issue = [&](std::size_t idx) {
+        State& st = states[idx];
+        for (;;) {
+            while (st.next < st.order.size()) {
+                const NodeId target = st.order[st.next++];
+                Future<rpc::ServiceClient::ChunkSlice> fut;
+                try {
+                    fut = svc_.get_chunk_async(target, st.seg->chunk,
+                                               st.seg->chunk_offset,
+                                               st.slice.size());
+                } catch (const RpcError& e) {
+                    // call_async can fail synchronously (connection
+                    // refused): walk on to the next replica like any
+                    // other delivery failure.
+                    st.last_error = e.what();
+                    stats_.chunk_retries.add();
+                    continue;
+                }
+                stats_.inflight_chunk_rpcs.add();
+                window.push_back(PendingGet{std::move(fut), idx});
+                return;
+            }
+            if (st.passes > 0) {
+                // Both passes exhausted: st.done stays false and the
+                // post-drain check reports the NotFoundError.
+                return;
+            }
+            // Every replica failed in one walk — under provider churn
+            // that is usually a node mid-bounce, not data loss. One
+            // brief second pass separates the two.
+            st.passes = 1;
+            st.next = 0;
+            std::this_thread::sleep_for(milliseconds(2));
+        }
+    };
+
+    auto collect_one = [&] {
+        PendingGet get = std::move(window.front());
+        window.pop_front();
+        State& st = states[get.segment];
+        stats_.inflight_chunk_rpcs.sub();
+        try {
+            const auto slice = get.fut.get();
+            if (st.seg->chunk_offset + st.slice.size() > slice.chunk_size ||
+                slice.bytes.size() < st.slice.size()) {
+                throw ConsistencyError(
+                    "chunk shorter than metadata claims: " +
+                    st.seg->chunk.to_string());
+            }
+            std::memcpy(st.slice.data(), slice.bytes.data(),
+                        st.slice.size());
+            stats_.chunk_get_rpcs.add();
+            st.done = true;
+        } catch (const RpcError& e) {
+            st.last_error = e.what();
+            stats_.chunk_retries.add();
+            issue(get.segment);  // next replica (or brief second pass)
+        } catch (const NotFoundError& e) {
+            st.last_error = e.what();
+            stats_.chunk_retries.add();
+            issue(get.segment);
+        }
+    };
+
+    try {
+        for (;;) {
+            while (window.size() < window_cap &&
+                   next_start < states.size()) {
+                issue(next_start++);
+            }
+            if (window.empty()) {
+                break;
+            }
+            collect_one();
+        }
+    } catch (...) {
+        // ConsistencyError (or another fatal type) is propagating:
+        // drain the window first — in-flight futures still target the
+        // caller's out buffer via their states, and the gauge must
+        // balance.
+        while (!window.empty()) {
+            stats_.inflight_chunk_rpcs.sub();
+            try {
+                (void)window.front().fut.get();
+            } catch (...) {
+                // Already propagating the first failure.
+            }
+            window.pop_front();
+        }
+        throw;
+    }
+
+    for (const State& st : states) {
+        if (!st.done) {
+            throw NotFoundError("all replicas failed for " +
+                                st.seg->chunk.to_string() + " (" +
+                                st.last_error + ")");
+        }
+    }
+}
+
+void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
+                                   MutableBytes out) {
+    const std::vector<NodeId> order = replica_order(seg);
+    std::string last_error;
+    // Two walks over the preference order: a whole failed pass under
+    // provider churn is usually a node mid-bounce, not data loss (same
+    // policy as fetch_all).
+    for (int pass = 0; pass < 2; ++pass) {
+        if (pass == 1) {
+            std::this_thread::sleep_for(milliseconds(2));
+        }
+        for (const NodeId target : order) {
+            try {
+                const auto slice = svc_.get_chunk(
+                    target, seg.chunk, seg.chunk_offset, out.size());
+                if (seg.chunk_offset + out.size() > slice.chunk_size ||
+                    slice.bytes.size() < out.size()) {
+                    throw ConsistencyError(
+                        "chunk shorter than metadata claims: " +
+                        seg.chunk.to_string());
+                }
+                std::memcpy(out.data(), slice.bytes.data(), out.size());
+                stats_.chunk_get_rpcs.add();
+                return;
+            } catch (const RpcError& e) {
+                last_error = e.what();
+            } catch (const NotFoundError& e) {
+                last_error = e.what();
+            }
+            stats_.chunk_retries.add();
+        }
     }
     throw NotFoundError("all replicas failed for " + seg.chunk.to_string() +
                         " (" + last_error + ")");

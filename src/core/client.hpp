@@ -17,11 +17,18 @@
 ///  * All operations are linearizable: writes at their version-manager
 ///    assign, reads at their version-resolution query.
 ///
-/// Every cross-node operation is an encoded RPC round trip over a
-/// pluggable rpc::Transport: in-process deployments inject SimTransport
-/// (simulated wire costs, fault injection), remote clients inject
-/// TcpTransport against a blobseer_serverd daemon. The client itself is
+/// Every cross-node operation is an encoded RPC over a pluggable
+/// rpc::Transport: in-process deployments inject SimTransport (simulated
+/// wire costs, fault injection), remote clients inject TcpTransport
+/// against a blobseer_serverd daemon. The client itself is
 /// transport-agnostic — it only sees ClientEnv.
+///
+/// The data path is asynchronous under the hood (DESIGN.md §9): writes
+/// and reads stripe their chunk RPCs through a bounded in-flight window
+/// (ClientEnv::max_inflight_chunks) on one multiplexed connection per
+/// peer, instead of blocking one I/O thread per chunk. write_async/
+/// append_async/read_async expose the same overlap across *operations*;
+/// the sync calls are their blocking equivalents.
 ///
 /// Alignment contract (see DESIGN.md §4.1): write offsets are
 /// chunk-aligned; a write may end unaligned only at (or past) the blob's
@@ -47,6 +54,7 @@
 
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
+#include "common/future.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -76,7 +84,13 @@ struct ClientEnv {
     std::uint32_t default_replication = 1;
     bool pipelined_replication = false;
     std::size_t meta_cache_nodes = 4096;
+    /// Threads driving whole client-level async operations
+    /// (write_async/read_async) — NOT per-chunk transfer parallelism,
+    /// which comes from max_inflight_chunks.
     std::size_t io_threads = 4;
+    /// Bound on chunk RPCs (puts or gets) a single write/read keeps in
+    /// flight at once through the multiplexed transport.
+    std::size_t max_inflight_chunks = 64;
     Duration publish_timeout = seconds(30);
     /// Deployment boot epoch for chunk-uid allocation (see next_uid():
     /// client ids repeat across daemon restarts, the epoch must not).
@@ -93,6 +107,9 @@ struct ClientStats {
     Counter chunk_put_rpcs;
     Counter chunk_get_rpcs;
     Counter chunk_retries;  ///< replica failovers (reads + writes)
+    /// Chunk RPCs currently in flight across all of this client's
+    /// operations; high_water() reports the deepest window ever reached.
+    Gauge inflight_chunk_rpcs;
     Histogram write_latency_us;
     Histogram read_latency_us;
 };
@@ -145,6 +162,27 @@ class BlobSeerClient {
     /// Clipped read: reads min(out.size(), snapshot_size - offset) bytes.
     std::size_t read_available(BlobId blob, Version version,
                                std::uint64_t offset, MutableBytes out);
+
+    // ---- asynchronous data path -------------------------------------------
+    //
+    // Each returns immediately; the operation runs on the client's I/O
+    // pool and streams its chunks through the bounded in-flight window.
+    // The caller must keep the data/out buffer alive and untouched until
+    // the future completes; exceptions surface from Future::get() with
+    // the same types the sync calls throw.
+
+    /// Start a write; completes with the new snapshot's version.
+    [[nodiscard]] Future<Version> write_async(BlobId blob,
+                                              std::uint64_t offset,
+                                              ConstBytes data);
+
+    /// Start an append; completes with the new snapshot's version.
+    [[nodiscard]] Future<Version> append_async(BlobId blob, ConstBytes data);
+
+    /// Start a read; completes with the bytes read (== out.size()).
+    [[nodiscard]] Future<std::size_t> read_async(BlobId blob, Version version,
+                                                 std::uint64_t offset,
+                                                 MutableBytes out);
 
     /// Snapshot metadata (resolves kLatestVersion).
     [[nodiscard]] version::VersionInfo stat(BlobId blob,
@@ -217,13 +255,41 @@ class BlobSeerClient {
     Version write_impl(BlobId blob, std::optional<std::uint64_t> offset,
                        ConstBytes data);
 
-    /// Upload one chunk to its planned replicas, with failover
-    /// re-placement on provider death. Returns achieved replica set.
-    UploadedChunk upload_chunk(BlobId blob, ConstBytes payload,
-                               std::vector<NodeId> targets);
+    /// Upload every chunk payload to its planned replicas through the
+    /// bounded in-flight window, with failover re-placement on provider
+    /// death. Returns the achieved replica sets in \p parts order.
+    std::vector<UploadedChunk> upload_all(
+        BlobId blob, const std::vector<ConstBytes>& parts,
+        const provider::PlacementPlan& plan);
 
-    /// Fetch the chunk slice a read segment needs into \p out.
+    /// Fetch every non-hole segment of a read plan into its slice of
+    /// \p out, windowed, with per-segment replica failover.
+    void fetch_all(const std::vector<meta::ReadSegment>& segments,
+                   std::uint64_t offset, MutableBytes out);
+
+    /// Replica preference order for one segment: load-spread start
+    /// rotation, healthy providers first.
+    [[nodiscard]] std::vector<NodeId> replica_order(
+        const meta::ReadSegment& seg) const;
+
+    /// Fetch the chunk slice a read segment needs into \p out
+    /// (sequential; the tail-merge path uses it).
     void fetch_segment(const meta::ReadSegment& seg, MutableBytes out);
+
+    /// Run \p fn on the I/O pool, surfacing its result as a Future.
+    template <typename T, typename F>
+    [[nodiscard]] Future<T> submit_async(F fn) {
+        auto promise = std::make_shared<Promise<T>>();
+        Future<T> fut = promise->future();
+        io_pool_.post([promise, fn = std::move(fn)]() mutable {
+            try {
+                promise->set_value(fn());
+            } catch (...) {
+                promise->set_exception(std::current_exception());
+            }
+        });
+        return fut;
+    }
 
     /// Read the published predecessor's bytes [slot_start,
     /// slot_start+out.size()) for the unaligned-append merge.
@@ -246,7 +312,6 @@ class BlobSeerClient {
     rpc::ServiceClient svc_;
     dht::MetaDht dht_;
     meta::MetaCache cache_;
-    ThreadPool io_pool_;
     /// 64-bit allocation counter (a 32-bit one silently wraps after 2^32
     /// chunks and recycles uids — see next_uid()).
     std::atomic<std::uint64_t> uid_counter_{0};
@@ -259,6 +324,12 @@ class BlobSeerClient {
 
     mutable std::mutex health_mu_;  // guards health_view_
     std::unordered_map<NodeId, double> health_view_;
+
+    /// Declared LAST: its destructor drains queued write_async/
+    /// read_async tasks, which touch stats_, the caches and their
+    /// mutexes — all of which must still be alive (members are
+    /// destroyed in reverse declaration order).
+    ThreadPool io_pool_;
 
     [[nodiscard]] bool is_healthy(NodeId node) const;
 };
@@ -286,6 +357,19 @@ class Blob {
     std::size_t read(Version version, std::uint64_t offset,
                      MutableBytes out) {
         return client_->read(info_.id, version, offset, out);
+    }
+    /// Async variants; buffer-lifetime rules of BlobSeerClient apply.
+    [[nodiscard]] Future<Version> write_async(std::uint64_t offset,
+                                              ConstBytes data) {
+        return client_->write_async(info_.id, offset, data);
+    }
+    [[nodiscard]] Future<Version> append_async(ConstBytes data) {
+        return client_->append_async(info_.id, data);
+    }
+    [[nodiscard]] Future<std::size_t> read_async(Version version,
+                                                 std::uint64_t offset,
+                                                 MutableBytes out) {
+        return client_->read_async(info_.id, version, offset, out);
     }
     [[nodiscard]] version::VersionInfo stat(
         Version version = kLatestVersion) {

@@ -228,6 +228,7 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
     env.pipelined_replication = config_.pipelined_replication;
     env.meta_cache_nodes = config_.client_meta_cache_nodes;
     env.io_threads = config_.client_io_threads;
+    env.max_inflight_chunks = config_.client_max_inflight_chunks;
     env.publish_timeout = config_.publish_timeout;
     env.uid_epoch = uid_epoch_;
     return std::make_unique<BlobSeerClient>(std::move(env));

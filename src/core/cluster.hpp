@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -145,7 +146,8 @@ class Cluster {
 
     dht::Ring ring_;
     rpc::Dispatcher dispatcher_;
-    std::size_t next_client_ = 0;
+    /// Atomic: experiments mint clients from many threads at once.
+    std::atomic<std::size_t> next_client_{0};
 };
 
 }  // namespace blobseer::core

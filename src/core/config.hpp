@@ -79,8 +79,11 @@ struct ClusterConfig {
     /// Client-side metadata cache capacity in nodes; 0 disables (the
     /// ablation of §IV-A / experiment E2).
     std::size_t client_meta_cache_nodes = 4096;
-    /// Parallelism of one client's chunk transfers.
+    /// Threads driving whole client-level async operations.
     std::size_t client_io_threads = 4;
+    /// Bound on chunk RPCs one client write/read keeps in flight at
+    /// once (the async window; see ClientEnv::max_inflight_chunks).
+    std::size_t client_max_inflight_chunks = 64;
 
     /// How long a reader waits for a pending version to publish before
     /// giving up, and how long the unaligned-append path waits for its

@@ -25,6 +25,7 @@ ClientEnv connect_tcp(const std::string& host, std::uint16_t port,
     env.pipelined_replication = false;
     env.meta_cache_nodes = options.meta_cache_nodes;
     env.io_threads = options.io_threads;
+    env.max_inflight_chunks = options.max_inflight_chunks;
     env.publish_timeout = milliseconds(topo.publish_timeout_ms);
     env.uid_epoch = topo.uid_epoch;
     return env;

@@ -22,6 +22,9 @@ namespace blobseer::core {
 struct RemoteOptions {
     std::size_t meta_cache_nodes = 4096;
     std::size_t io_threads = 4;
+    /// Chunk RPCs one write/read keeps in flight on the multiplexed
+    /// connection (ClientEnv::max_inflight_chunks).
+    std::size_t max_inflight_chunks = 64;
 };
 
 /// Connect to a daemon at \p host:\p port and build a client environment

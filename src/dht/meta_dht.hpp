@@ -40,10 +40,25 @@ class MetaDht final : public meta::MetaStore {
 
     void put(const meta::MetaKey& key, const meta::MetaNode& node) override {
         const auto owners = ring_.owners(key.hash(), replication_);
+        // All replica copies travel concurrently — a replicated put
+        // costs one round trip, not replication_ of them.
+        std::vector<Future<void>> puts;
+        puts.reserve(owners.size());
         std::size_t ok = 0;
         for (const NodeId owner : owners) {
             try {
-                svc_.meta_put(owner, key, node);
+                puts.push_back(svc_.meta_put_async(owner, key, node));
+            } catch (const RpcError& e) {
+                // call_async can fail synchronously (connection
+                // refused): same per-replica tolerance as an async
+                // failure.
+                log_debug("meta-dht", std::string("put replica failed: ") +
+                                          e.what());
+            }
+        }
+        for (auto& fut : puts) {
+            try {
+                fut.get();
                 ++ok;
             } catch (const RpcError& e) {
                 // A dead replica target is tolerable as long as one copy

@@ -23,30 +23,39 @@ namespace {
 
 Buffer Dispatcher::dispatch(ConstBytes frame) noexcept {
     MsgType type = MsgType::kTopology;
+    // The request's correlation id is echoed into whatever response —
+    // success or error — leaves here, so a multiplexing transport can
+    // match it. A frame too corrupt to parse keeps corr 0; its sender's
+    // stream is beyond saving anyway.
+    std::uint64_t corr = 0;
+    Buffer response;
     try {
         const FrameView f = parse_frame(frame);
         type = f.type;
+        corr = f.corr;
         if (f.response) {
             throw RpcError("dispatch of a response frame");
         }
-        return handle(f);
+        response = handle(f);
     } catch (const RpcError& e) {
-        return seal_error(type, Status::kRpcError, e.what());
+        response = seal_error(type, Status::kRpcError, e.what());
     } catch (const TimeoutError& e) {
-        return seal_error(type, Status::kTimeout, e.what());
+        response = seal_error(type, Status::kTimeout, e.what());
     } catch (const NotFoundError& e) {
-        return seal_error(type, Status::kNotFound, e.what());
+        response = seal_error(type, Status::kNotFound, e.what());
     } catch (const ConsistencyError& e) {
-        return seal_error(type, Status::kConsistency, e.what());
+        response = seal_error(type, Status::kConsistency, e.what());
     } catch (const InvalidArgument& e) {
-        return seal_error(type, Status::kInvalidArgument, e.what());
+        response = seal_error(type, Status::kInvalidArgument, e.what());
     } catch (const VersionAborted& e) {
-        return seal_error(type, Status::kVersionAborted, e.what());
+        response = seal_error(type, Status::kVersionAborted, e.what());
     } catch (const VersionRetired& e) {
-        return seal_error(type, Status::kVersionRetired, e.what());
+        response = seal_error(type, Status::kVersionRetired, e.what());
     } catch (const std::exception& e) {
-        return seal_error(type, Status::kError, e.what());
+        response = seal_error(type, Status::kError, e.what());
     }
+    set_frame_corr(response, corr);
+    return response;
 }
 
 Buffer Dispatcher::handle(const FrameView& f) {
@@ -121,7 +130,9 @@ Buffer Dispatcher::handle_data_provider(const FrameView& f) {
             const std::uint64_t n = size == 0
                                         ? total - begin
                                         : std::min(size, total - begin);
-            WireWriter w(n + 32);
+            // Over-reserve so seal's in-place header prepend never
+            // reallocates.
+            WireWriter w(n + 64);
             w.u64(total);
             w.blob(ConstBytes(data->data() + begin, n));
             return seal_response(f.type, std::move(w));

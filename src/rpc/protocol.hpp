@@ -2,7 +2,7 @@
 /// \brief Frame layout, message-type tags and the error status mapping of
 ///        the BlobSeer wire protocol.
 ///
-/// Frame layout (DESIGN.md §7.1), fixed 16-byte header + payload:
+/// Frame layout (DESIGN.md §7.1), fixed 24-byte header + payload:
 ///
 ///   offset  size  field
 ///   0       4     magic 0x42535250 ("BSRP" little-endian)
@@ -11,7 +11,15 @@
 ///   6       2     message type tag (MsgType)
 ///   8       4     request: destination node id / response: status code
 ///   12      4     payload length in bytes
-///   16      ...   payload (message codec, see messages.hpp)
+///   16      8     correlation id (response echoes its request's)
+///   24      ...   payload (message codec, see messages.hpp)
+///
+/// The correlation id is what lets one connection carry many in-flight
+/// requests with out-of-order responses (protocol v3): a multiplexing
+/// transport stamps each outgoing request with a per-connection unique
+/// id, the dispatcher echoes it into the response, and the transport's
+/// reader matches responses back to their futures by id. Transports
+/// that dispatch inline (SimTransport) may leave it 0 everywhere.
 ///
 /// The destination node id travels *in the frame* so that a single
 /// listening endpoint (the all-in-one blobseer_serverd daemon) can host
@@ -23,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -37,8 +46,12 @@ inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
 /// v2: Topology gained a trailing uid_epoch u64 (incompatible payload
 /// change — cross-version peers get a clean version-mismatch error
 /// instead of a mid-field decode failure).
-inline constexpr std::uint8_t kWireVersion = 2;
-inline constexpr std::size_t kFrameHeaderSize = 16;
+/// v3: the header grew an 8-byte request-correlation id (multiplexed
+/// transports match out-of-order responses by it).
+inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::size_t kFrameHeaderSize = 24;
+/// Byte offset of the correlation id within the header.
+inline constexpr std::size_t kFrameCorrOffset = 16;
 
 /// Upper bound on a frame payload; anything larger is a corrupt or
 /// hostile frame and is rejected before its length is trusted for an
@@ -154,6 +167,8 @@ struct FrameView {
     bool response = false;
     /// Request: destination node id. Response: Status.
     std::uint32_t dst_or_status = 0;
+    /// Request-correlation id (0 on non-multiplexed paths).
+    std::uint64_t corr = 0;
     ConstBytes payload;
 
     [[nodiscard]] NodeId dst() const noexcept { return dst_or_status; }
@@ -185,6 +200,7 @@ struct FrameView {
     out.type = static_cast<MsgType>(r.u16());
     out.dst_or_status = r.u32();
     const std::uint32_t len = r.u32();
+    out.corr = r.u64();
     if (len > kMaxPayload) {
         throw RpcError("frame decode: payload length " + std::to_string(len) +
                        " exceeds limit");
@@ -212,18 +228,46 @@ namespace detail {
             std::string("rpc payload of ") + std::to_string(body.size()) +
             " bytes exceeds the frame limit (" + to_string(type) + ")");
     }
-    WireWriter w(kFrameHeaderSize + body.size());
-    w.u32(kFrameMagic);
-    w.u8(kWireVersion);
-    w.u8(response ? 1 : 0);
-    w.u16(static_cast<std::uint16_t>(type));
-    w.u32(dst_or_status);
-    w.u32(static_cast<std::uint32_t>(body.size()));
-    w.raw(body);
-    return w.take();
+    const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+    // Prepend the header in place — one memmove into the writer's spare
+    // capacity instead of allocating and copying a second buffer (this
+    // sits on the per-RPC hot path of both client and server).
+    body.insert(body.begin(), kFrameHeaderSize, 0);
+    std::uint8_t* h = body.data();
+    std::memcpy(h, &kFrameMagic, 4);  // LE store, as WireWriter's fixed()
+    h[4] = kWireVersion;
+    h[5] = response ? 1 : 0;
+    const std::uint16_t tag = static_cast<std::uint16_t>(type);
+    std::memcpy(h + 6, &tag, 2);
+    std::memcpy(h + 8, &dst_or_status, 4);
+    std::memcpy(h + 12, &len, 4);
+    // Bytes 16..24 stay zero: the correlation id is stamped later by
+    // set_frame_corr.
+    return body;
 }
 
 }  // namespace detail
+
+/// Read the correlation id straight out of a sealed frame.
+[[nodiscard]] inline std::uint64_t frame_corr(ConstBytes frame) {
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("frame decode: short frame (" +
+                       std::to_string(frame.size()) + " bytes)");
+    }
+    std::uint64_t corr = 0;
+    std::memcpy(&corr, frame.data() + kFrameCorrOffset, sizeof corr);
+    return corr;
+}
+
+/// Stamp \p corr into a sealed frame (request at send time, response at
+/// dispatch time).
+inline void set_frame_corr(MutableBytes frame, std::uint64_t corr) {
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("frame encode: short frame (" +
+                       std::to_string(frame.size()) + " bytes)");
+    }
+    std::memcpy(frame.data() + kFrameCorrOffset, &corr, sizeof corr);
+}
 
 /// Seal a request frame addressed to logical node \p dst.
 [[nodiscard]] inline Buffer seal_request(MsgType type, NodeId dst,

@@ -35,6 +35,15 @@ Buffer ServiceClient::invoke(MsgType type, NodeId dst, WireWriter&& body,
     return transport_.roundtrip(dst, frame);
 }
 
+Future<Buffer> ServiceClient::invoke_async(MsgType type, NodeId dst,
+                                           WireWriter&& body, NodeId via) {
+    const Buffer frame = seal_request(type, dst, std::move(body));
+    if (via != kInvalidNode) {
+        return transport_.call_async_via(via, dst, frame);
+    }
+    return transport_.call_async(dst, frame);
+}
+
 // ---- version manager -------------------------------------------------------
 
 version::BlobInfo ServiceClient::create_blob(std::uint64_t chunk_size,
@@ -205,29 +214,53 @@ void ServiceClient::mark_dead(NodeId node) {
 
 void ServiceClient::put_chunk(NodeId dp, const chunk::ChunkKey& key,
                               ConstBytes payload, NodeId via) {
-    WireWriter w(payload.size() + 32);
+    put_chunk_async(dp, key, payload, via).get();
+}
+
+Future<void> ServiceClient::put_chunk_async(NodeId dp,
+                                            const chunk::ChunkKey& key,
+                                            ConstBytes payload, NodeId via) {
+    WireWriter w(payload.size() + 64);
     put_chunk_key(w, key);
     w.blob(payload);
-    const Buffer resp = invoke(MsgType::kChunkPut, dp, std::move(w), via);
-    open_reply(resp, MsgType::kChunkPut).expect_end();
+    return map_future<void>(
+        invoke_async(MsgType::kChunkPut, dp, std::move(w), via),
+        [](Buffer&& resp) {
+            open_reply(resp, MsgType::kChunkPut).expect_end();
+        });
 }
 
 ServiceClient::ChunkSlice ServiceClient::get_chunk(NodeId dp,
                                                    const chunk::ChunkKey& key,
                                                    std::uint64_t offset,
                                                    std::uint64_t size) {
+    return get_chunk_async(dp, key, offset, size).get();
+}
+
+Future<ServiceClient::ChunkSlice> ServiceClient::get_chunk_async(
+    NodeId dp, const chunk::ChunkKey& key, std::uint64_t offset,
+    std::uint64_t size) {
     WireWriter w;
     put_chunk_key(w, key);
     w.u64(offset);
     w.u64(size);
-    const Buffer resp = invoke(MsgType::kChunkGet, dp, std::move(w));
-    auto r = open_reply(resp, MsgType::kChunkGet);
-    ChunkSlice out;
-    out.chunk_size = r.u64();
-    const ConstBytes bytes = r.blob();
-    out.bytes.assign(bytes.begin(), bytes.end());
-    r.expect_end();
-    return out;
+    return map_future<ChunkSlice>(
+        invoke_async(MsgType::kChunkGet, dp, std::move(w)),
+        [](Buffer&& resp) {
+            auto r = open_reply(resp, MsgType::kChunkGet);
+            ChunkSlice out;
+            out.chunk_size = r.u64();
+            const ConstBytes bytes = r.blob();
+            r.expect_end();
+            // Steal the response frame instead of allocating a second
+            // buffer: slide the payload to the front and shrink.
+            const std::size_t off =
+                static_cast<std::size_t>(bytes.data() - resp.data());
+            std::memmove(resp.data(), resp.data() + off, bytes.size());
+            resp.resize(bytes.size());
+            out.bytes = std::move(resp);
+            return out;
+        });
 }
 
 void ServiceClient::erase_chunk(NodeId dp, const chunk::ChunkKey& key) {
@@ -241,21 +274,38 @@ void ServiceClient::erase_chunk(NodeId dp, const chunk::ChunkKey& key) {
 
 void ServiceClient::meta_put(NodeId mp, const meta::MetaKey& key,
                              const meta::MetaNode& node) {
+    meta_put_async(mp, key, node).get();
+}
+
+Future<void> ServiceClient::meta_put_async(NodeId mp,
+                                           const meta::MetaKey& key,
+                                           const meta::MetaNode& node) {
     WireWriter w;
     put_meta_key(w, key);
     put_meta_node(w, node);
-    const Buffer resp = invoke(MsgType::kMetaPut, mp, std::move(w));
-    open_reply(resp, MsgType::kMetaPut).expect_end();
+    return map_future<void>(
+        invoke_async(MsgType::kMetaPut, mp, std::move(w)),
+        [](Buffer&& resp) {
+            open_reply(resp, MsgType::kMetaPut).expect_end();
+        });
 }
 
 meta::MetaNode ServiceClient::meta_get(NodeId mp, const meta::MetaKey& key) {
+    return meta_get_async(mp, key).get();
+}
+
+Future<meta::MetaNode> ServiceClient::meta_get_async(
+    NodeId mp, const meta::MetaKey& key) {
     WireWriter w;
     put_meta_key(w, key);
-    const Buffer resp = invoke(MsgType::kMetaGet, mp, std::move(w));
-    auto r = open_reply(resp, MsgType::kMetaGet);
-    auto out = get_meta_node(r);
-    r.expect_end();
-    return out;
+    return map_future<meta::MetaNode>(
+        invoke_async(MsgType::kMetaGet, mp, std::move(w)),
+        [](Buffer&& resp) {
+            auto r = open_reply(resp, MsgType::kMetaGet);
+            auto out = get_meta_node(r);
+            r.expect_end();
+            return out;
+        });
 }
 
 std::optional<meta::MetaNode> ServiceClient::meta_try_get(

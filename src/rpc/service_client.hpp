@@ -10,6 +10,14 @@
 /// had with direct in-process calls: RpcError means "the node or wire
 /// failed, fail over", NotFoundError means "the replica lacks the data",
 /// and so on.
+///
+/// The hot data-path RPCs (put_chunk, get_chunk, meta_put, meta_get)
+/// additionally come as *_async variants returning futures: many may be
+/// in flight on one multiplexed connection, and a failed delivery
+/// surfaces as the same exception — from the future's get() instead of
+/// the call itself. The sync methods are plain .get() wrappers over
+/// them. Arguments are fully encoded before an async call returns, so
+/// callers may release payload buffers immediately.
 
 #pragma once
 
@@ -20,6 +28,7 @@
 #include "chunk/chunk_key.hpp"
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
+#include "common/future.hpp"
 #include "common/types.hpp"
 #include "meta/meta_node.hpp"
 #include "meta/write_descriptor.hpp"
@@ -69,9 +78,17 @@ class ServiceClient {
     // ---- data providers --------------------------------------------------
 
     /// Upload one chunk replica to \p dp. \p via != kInvalidNode charges
-    /// the transfer to that node (pipelined replication).
+    /// the transfer to that node (pipelined replication). Sync form of
+    /// put_chunk_async.
     void put_chunk(NodeId dp, const chunk::ChunkKey& key, ConstBytes payload,
                    NodeId via = kInvalidNode);
+
+    /// Start uploading one chunk replica; the future completes when the
+    /// provider acknowledged (or failed) the store.
+    [[nodiscard]] Future<void> put_chunk_async(NodeId dp,
+                                               const chunk::ChunkKey& key,
+                                               ConstBytes payload,
+                                               NodeId via = kInvalidNode);
 
     struct ChunkSlice {
         Buffer bytes;               ///< the requested slice
@@ -80,17 +97,29 @@ class ServiceClient {
 
     /// Fetch \p size bytes at \p offset of a chunk (size 0 = the whole
     /// chunk). The reply is clamped to the stored payload; chunk_size
-    /// lets the caller detect truncated replicas.
+    /// lets the caller detect truncated replicas. Sync form of
+    /// get_chunk_async.
     [[nodiscard]] ChunkSlice get_chunk(NodeId dp, const chunk::ChunkKey& key,
                                        std::uint64_t offset,
                                        std::uint64_t size);
+
+    /// Start fetching a chunk slice.
+    [[nodiscard]] Future<ChunkSlice> get_chunk_async(
+        NodeId dp, const chunk::ChunkKey& key, std::uint64_t offset,
+        std::uint64_t size);
+
     void erase_chunk(NodeId dp, const chunk::ChunkKey& key);
 
     // ---- metadata providers ----------------------------------------------
 
     void meta_put(NodeId mp, const meta::MetaKey& key,
                   const meta::MetaNode& node);
+    [[nodiscard]] Future<void> meta_put_async(NodeId mp,
+                                              const meta::MetaKey& key,
+                                              const meta::MetaNode& node);
     [[nodiscard]] meta::MetaNode meta_get(NodeId mp, const meta::MetaKey& key);
+    [[nodiscard]] Future<meta::MetaNode> meta_get_async(
+        NodeId mp, const meta::MetaKey& key);
     [[nodiscard]] std::optional<meta::MetaNode> meta_try_get(
         NodeId mp, const meta::MetaKey& key);
     void meta_erase(NodeId mp, const meta::MetaKey& key);
@@ -100,6 +129,12 @@ class ServiceClient {
     /// checking its status (error statuses throw).
     [[nodiscard]] Buffer invoke(MsgType type, NodeId dst, WireWriter&& body,
                                 NodeId via = kInvalidNode);
+
+    /// Start one request; the future completes with the raw response
+    /// frame (status still unchecked — the decode adapter does that).
+    [[nodiscard]] Future<Buffer> invoke_async(MsgType type, NodeId dst,
+                                              WireWriter&& body,
+                                              NodeId via = kInvalidNode);
 
     Transport& transport_;
     const NodeId vm_node_;

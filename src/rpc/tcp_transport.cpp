@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -24,8 +26,10 @@ namespace {
 }
 
 /// Write the whole buffer or throw. MSG_NOSIGNAL: a peer reset must be
-/// an RpcError, not a SIGPIPE process kill.
-void write_all(int fd, ConstBytes data) {
+/// an RpcError, not a SIGPIPE process kill. \p any_written (optional)
+/// reports whether at least one byte entered the socket before a
+/// failure — the caller's retry decision hinges on it.
+void write_all(int fd, ConstBytes data, bool* any_written = nullptr) {
     std::size_t off = 0;
     while (off < data.size()) {
         const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
@@ -37,37 +41,88 @@ void write_all(int fd, ConstBytes data) {
             throw RpcError("tcp send: " + errno_string());
         }
         off += static_cast<std::size_t>(n);
+        if (any_written != nullptr && n > 0) {
+            *any_written = true;
+        }
     }
 }
 
-/// Read exactly n bytes. Returns false on clean EOF at offset 0 (peer
-/// closed between frames); throws on mid-frame EOF or socket error.
-bool read_exact(int fd, MutableBytes out) {
-    std::size_t off = 0;
-    while (off < out.size()) {
-        const ssize_t n = ::recv(fd, out.data() + off, out.size() - off, 0);
-        if (n == 0) {
-            if (off == 0) {
-                return false;
+/// Buffered frame reader: one recv() pulls as many queued frames as the
+/// kernel has ready, so a deep in-flight window of small frames costs a
+/// fraction of a syscall per frame instead of two. Reads that dwarf the
+/// bounce buffer go straight into the caller's storage. One reader per
+/// socket (the mux reader thread / the server connection thread), so no
+/// locking.
+class BufferedReader {
+  public:
+    explicit BufferedReader(int fd) : fd_(fd), buf_(64 << 10) {}
+
+    /// Read exactly out.size() bytes. Returns false on clean EOF before
+    /// the first byte; throws on mid-read EOF or socket error.
+    bool read_exact(MutableBytes out) {
+        std::size_t off = 0;
+        while (off < out.size()) {
+            if (pos_ == end_) {
+                const std::size_t want = out.size() - off;
+                if (want >= buf_.size()) {
+                    // Large remainder (chunk payloads): skip the bounce
+                    // buffer, recv straight into the target.
+                    const ssize_t n = ::recv(fd_, out.data() + off, want, 0);
+                    if (n == 0) {
+                        return eof(off);
+                    }
+                    if (n < 0) {
+                        check_recv_errno();
+                        continue;
+                    }
+                    off += static_cast<std::size_t>(n);
+                    continue;
+                }
+                const ssize_t n = ::recv(fd_, buf_.data(), buf_.size(), 0);
+                if (n == 0) {
+                    return eof(off);
+                }
+                if (n < 0) {
+                    check_recv_errno();
+                    continue;
+                }
+                pos_ = 0;
+                end_ = static_cast<std::size_t>(n);
             }
-            throw RpcError("tcp recv: connection closed mid-frame");
+            const std::size_t take =
+                std::min(out.size() - off, end_ - pos_);
+            std::memcpy(out.data() + off, buf_.data() + pos_, take);
+            pos_ += take;
+            off += take;
         }
-        if (n < 0) {
-            if (errno == EINTR) {
-                continue;
-            }
+        return true;
+    }
+
+  private:
+    static bool eof(std::size_t off) {
+        if (off == 0) {
+            return false;
+        }
+        throw RpcError("tcp recv: connection closed mid-frame");
+    }
+
+    static void check_recv_errno() {
+        if (errno != EINTR) {
             throw RpcError("tcp recv: " + errno_string());
         }
-        off += static_cast<std::size_t>(n);
     }
-    return true;
-}
+
+    int fd_;
+    Buffer buf_;
+    std::size_t pos_ = 0;
+    std::size_t end_ = 0;
+};
 
 /// Read one whole frame (header + payload). Returns empty buffer on
 /// clean EOF before a header.
-[[nodiscard]] Buffer read_frame(int fd) {
+[[nodiscard]] Buffer read_frame(BufferedReader& in) {
     Buffer frame(kFrameHeaderSize);
-    if (!read_exact(fd, frame)) {
+    if (!in.read_exact(frame)) {
         return {};
     }
     // Validate the header before trusting its length field.
@@ -84,7 +139,7 @@ bool read_exact(int fd, MutableBytes out) {
     }
     frame.resize(kFrameHeaderSize + len);
     if (len != 0 &&
-        !read_exact(fd, MutableBytes(frame.data() + kFrameHeaderSize, len))) {
+        !in.read_exact(MutableBytes(frame.data() + kFrameHeaderSize, len))) {
         throw RpcError("tcp recv: connection closed mid-frame");
     }
     return frame;
@@ -132,6 +187,81 @@ bool read_exact(int fd, MutableBytes out) {
 
 // ---- TcpTransport ----------------------------------------------------------
 
+struct TcpTransport::MuxConn {
+    int fd = -1;
+    std::string peer;  ///< "host:port", for error messages
+
+    /// Set (under pending_mu) the moment the connection is doomed; a
+    /// dead connection accepts no new requests and is replaced by the
+    /// next get_conn().
+    std::atomic<bool> dead{false};
+
+    std::atomic<std::uint64_t> next_corr{1};
+
+    std::mutex send_mu;  ///< serializes request frame writes
+
+    std::mutex pending_mu;  // guards pending
+    std::unordered_map<std::uint64_t, Promise<Buffer>> pending;
+
+    std::thread reader;
+
+    /// Fail every request still awaiting a response. Idempotent: the
+    /// table is swapped out under the lock, so concurrent callers (the
+    /// reader exiting, a failed sender) each fail a disjoint set.
+    void fail_all(const std::string& reason) {
+        std::unordered_map<std::uint64_t, Promise<Buffer>> doomed;
+        {
+            const std::scoped_lock lock(pending_mu);
+            doomed.swap(pending);
+        }
+        for (auto& [corr, promise] : doomed) {
+            promise.set_exception(std::make_exception_ptr(
+                RpcError("tcp " + peer + ": " + reason)));
+        }
+    }
+};
+
+void TcpTransport::reader_loop(const std::shared_ptr<MuxConn>& conn) {
+    std::string reason = "connection closed by peer";
+    try {
+        BufferedReader in(conn->fd);
+        for (;;) {
+            Buffer frame = read_frame(in);
+            if (frame.empty()) {
+                break;  // clean EOF
+            }
+            const std::uint64_t corr = frame_corr(frame);
+            Promise<Buffer> promise;
+            {
+                const std::scoped_lock lock(conn->pending_mu);
+                const auto it = conn->pending.find(corr);
+                if (it == conn->pending.end()) {
+                    // A response nothing asked for: the stream is
+                    // desynced beyond recovery.
+                    throw RpcError(
+                        "tcp recv: response with unknown correlation id " +
+                        std::to_string(corr));
+                }
+                promise = std::move(it->second);
+                conn->pending.erase(it);
+            }
+            // Completing the promise runs decode hooks (map_future);
+            // they are lightweight by contract.
+            promise.set_value(std::move(frame));
+        }
+    } catch (const std::exception& e) {
+        reason = e.what();
+    }
+    {
+        // dead is flipped under pending_mu so no new request can
+        // register against a connection that will never answer it.
+        const std::scoped_lock lock(conn->pending_mu);
+        conn->dead.store(true);
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->fail_all(reason);
+}
+
 TcpTransport::TcpTransport(std::string host, std::uint16_t port)
     : default_endpoint_{std::move(host), port} {}
 
@@ -139,11 +269,31 @@ TcpTransport::TcpTransport(std::unordered_map<NodeId, Endpoint> peers)
     : peers_(std::move(peers)) {}
 
 TcpTransport::~TcpTransport() {
-    const std::scoped_lock lock(mu_);
-    for (auto& [node, fds] : pool_) {
-        for (const int fd : fds) {
-            ::close(fd);
+    std::unordered_map<std::string, std::shared_ptr<MuxConn>> conns;
+    std::vector<std::shared_ptr<MuxConn>> graveyard;
+    {
+        const std::scoped_lock lock(mu_);
+        conns.swap(conns_);
+        graveyard.swap(graveyard_);
+    }
+    for (auto& [key, conn] : conns) {
+        {
+            const std::scoped_lock lock(conn->pending_mu);
+            conn->dead.store(true);
         }
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (auto& [key, conn] : conns) {
+        if (conn->reader.joinable()) {
+            conn->reader.join();  // reader fails all in-flight futures
+        }
+        ::close(conn->fd);
+    }
+    for (auto& conn : graveyard) {
+        if (conn->reader.joinable()) {
+            conn->reader.join();
+        }
+        ::close(conn->fd);
     }
 }
 
@@ -158,65 +308,163 @@ const Endpoint& TcpTransport::endpoint_of(NodeId dst) const {
     return default_endpoint_;
 }
 
-TcpTransport::Conn TcpTransport::acquire(NodeId dst) {
-    for (;;) {
-        int fd = -1;
-        {
-            const std::scoped_lock lock(mu_);
-            const auto it = pool_.find(dst);
-            if (it != pool_.end() && !it->second.empty()) {
-                fd = it->second.back();
-                it->second.pop_back();
-            }
-        }
-        if (fd < 0) {
-            break;
-        }
-        // A pooled connection may have died while idle (daemon restart,
-        // server-side close). Detect it here instead of retrying the
-        // request after a failed round trip: a dead or desynced socket
-        // is readable (EOF or stray bytes) before we have sent anything.
-        char probe = 0;
-        const ssize_t n =
-            ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-        // Healthy idle connection: nothing to read yet (EAGAIN). EOF,
-        // stray bytes, or a socket error all mean stale/desynced.
-        if (n >= 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
-            ::close(fd);
-            continue;  // try the next pooled one
-        }
-        return {fd, true};
+void TcpTransport::retire_locked(std::shared_ptr<MuxConn> conn) {
+    // The socket is already shut down (by whoever declared it dead);
+    // the reader exits promptly and reap_graveyard()/~TcpTransport
+    // joins it.
+    graveyard_.push_back(std::move(conn));
+}
+
+void TcpTransport::reap_graveyard() {
+    std::vector<std::shared_ptr<MuxConn>> doomed;
+    {
+        const std::scoped_lock lock(mu_);
+        doomed.swap(graveyard_);
     }
-    return {connect_to(endpoint_of(dst)), false};
+    for (auto& conn : doomed) {
+        if (conn->reader.joinable()) {
+            conn->reader.join();
+        }
+        ::close(conn->fd);
+    }
 }
 
-void TcpTransport::release(NodeId dst, int fd) {
-    const std::scoped_lock lock(mu_);
-    pool_[dst].push_back(fd);
-}
-
-Buffer TcpTransport::roundtrip(NodeId dst, ConstBytes frame) {
-    for (int attempt = 0;; ++attempt) {
-        const Conn conn = acquire(dst);
-        Phase phase = Phase::kSend;
-        try {
-            write_all(conn.fd, frame);
-            phase = Phase::kReceive;
-            Buffer resp = read_frame(conn.fd);
-            if (resp.empty()) {
-                throw RpcError("tcp recv: connection closed by peer");
+std::shared_ptr<TcpTransport::MuxConn> TcpTransport::get_conn(NodeId dst) {
+    reap_graveyard();
+    const Endpoint& ep = endpoint_of(dst);
+    const std::string key = ep.host + ":" + std::to_string(ep.port);
+    {
+        const std::scoped_lock lock(mu_);
+        const auto it = conns_.find(key);
+        if (it != conns_.end()) {
+            const std::shared_ptr<MuxConn>& conn = it->second;
+            bool healthy = !conn->dead.load();
+            if (healthy) {
+                // An idle connection may have died silently (daemon
+                // restart) without the reader having run yet. Peek for
+                // EOF/stray bytes — but only declare it dead while the
+                // pending table is verifiably empty, so a request that
+                // registers concurrently is never swept up.
+                bool idle;
+                {
+                    const std::scoped_lock plock(conn->pending_mu);
+                    idle = conn->pending.empty();
+                }
+                if (idle) {
+                    char probe = 0;
+                    const ssize_t n = ::recv(conn->fd, &probe, 1,
+                                             MSG_PEEK | MSG_DONTWAIT);
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                        // Healthy idle connection: nothing to read yet.
+                    } else {
+                        const std::scoped_lock plock(conn->pending_mu);
+                        if (conn->pending.empty()) {
+                            // Still idle and readable/EOF: stale.
+                            conn->dead.store(true);
+                            healthy = false;
+                        }
+                    }
+                }
             }
-            release(dst, conn.fd);
-            return resp;
+            if (healthy) {
+                return conn;
+            }
+            ::shutdown(conn->fd, SHUT_RDWR);
+            retire_locked(std::move(it->second));
+            conns_.erase(it);
+        }
+    }
+    // Connect outside the lock — name resolution and the TCP handshake
+    // must not stall unrelated peers.
+    auto fresh = std::make_shared<MuxConn>();
+    fresh->fd = connect_to(ep);
+    fresh->peer = key;
+    fresh->reader = std::thread([fresh] { reader_loop(fresh); });
+    {
+        const std::scoped_lock lock(mu_);
+        const auto [it, inserted] = conns_.emplace(key, fresh);
+        if (!inserted) {
+            if (!it->second->dead.load()) {
+                // Lost a connect race: use the winner, discard ours.
+                std::shared_ptr<MuxConn> winner = it->second;
+                {
+                    const std::scoped_lock plock(fresh->pending_mu);
+                    fresh->dead.store(true);
+                }
+                ::shutdown(fresh->fd, SHUT_RDWR);
+                retire_locked(std::move(fresh));
+                return winner;
+            }
+            ::shutdown(it->second->fd, SHUT_RDWR);
+            retire_locked(std::move(it->second));
+            it->second = fresh;
+        }
+    }
+    return fresh;
+}
+
+Future<Buffer> TcpTransport::call_async(NodeId dst, ConstBytes frame) {
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("tcp send: short frame");
+    }
+    for (int attempt = 0;; ++attempt) {
+        const std::shared_ptr<MuxConn> conn = get_conn(dst);
+        const std::uint64_t corr = conn->next_corr.fetch_add(1);
+        Promise<Buffer> promise;
+        Future<Buffer> fut = promise.future();
+        {
+            const std::scoped_lock lock(conn->pending_mu);
+            if (conn->dead.load()) {
+                if (attempt == 0) {
+                    continue;  // died under us; reconnect once
+                }
+                throw RpcError("tcp " + conn->peer +
+                               ": connection dead before send");
+            }
+            conn->pending.emplace(corr, std::move(promise));
+        }
+        bool any_written = false;
+        try {
+            // The caller's sealed frame is immutable, so the correlation
+            // id is stamped into a copy: small frames are coalesced into
+            // one buffer (one send() instead of two — most requests are
+            // tiny), large ones send a patched header then the payload
+            // straight from the caller's buffer.
+            constexpr std::size_t kCoalesceLimit = 16 << 10;
+            if (frame.size() <= kCoalesceLimit) {
+                Buffer stamped(frame.begin(), frame.end());
+                std::memcpy(stamped.data() + kFrameCorrOffset, &corr,
+                            sizeof corr);
+                const std::scoped_lock lock(conn->send_mu);
+                write_all(conn->fd, stamped, &any_written);
+            } else {
+                std::uint8_t header[kFrameHeaderSize];
+                std::memcpy(header, frame.data(), kFrameHeaderSize);
+                std::memcpy(header + kFrameCorrOffset, &corr, sizeof corr);
+                const std::scoped_lock lock(conn->send_mu);
+                write_all(conn->fd, ConstBytes(header, kFrameHeaderSize),
+                          &any_written);
+                write_all(conn->fd, frame.subspan(kFrameHeaderSize),
+                          &any_written);
+            }
+            return fut;
         } catch (const RpcError&) {
-            ::close(conn.fd);
-            // A pooled connection may have gone stale (server idle
-            // timeout, daemon restart): retry once on a fresh socket —
-            // but only when the *send* failed. Once the request was
-            // written the server may have executed it, and replaying a
+            // The stream is unusable (and, after a partial write,
+            // desynced): doom the connection and fail everything on it.
+            {
+                const std::scoped_lock lock(conn->pending_mu);
+                conn->dead.store(true);
+                conn->pending.erase(corr);  // ours; we throw/retry instead
+            }
+            ::shutdown(conn->fd, SHUT_RDWR);
+            conn->fail_all("send failed on this connection");
+            // Retry once on a fresh socket — but only when *nothing* of
+            // this request reached the wire. Once bytes were written the
+            // server may execute the call, and replaying a
             // non-idempotent RPC (assign, commit) is worse than
             // surfacing the error.
-            if (conn.reused && attempt == 0 && phase == Phase::kSend) {
+            if (!any_written && attempt == 0) {
                 continue;
             }
             throw;
@@ -226,9 +474,20 @@ Buffer TcpTransport::roundtrip(NodeId dst, ConstBytes frame) {
 
 // ---- TcpRpcServer ----------------------------------------------------------
 
+TcpRpcServer::ServerConn::~ServerConn() { ::close(fd); }
+
 TcpRpcServer::TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port,
-                           const std::string& bind_addr)
+                           const std::string& bind_addr, std::size_t workers)
     : dispatcher_(dispatcher) {
+    if (workers == 0) {
+        // Enough to keep slow handlers (blocking wait_published, large
+        // chunk reads) from starving the quick ones, without flooding
+        // few-core hosts with preempting workers.
+        workers = std::max<std::size_t>(
+            4, std::thread::hardware_concurrency());
+    }
+    workers_ = std::make_unique<ThreadPool>(workers);
+
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
         throw RpcError("tcp socket: " + errno_string());
@@ -271,9 +530,11 @@ void TcpRpcServer::stop() {
             return;
         }
         stopping_ = true;
-        // Unblock the accept loop and every connection read.
+        // Unblock the accept loop and every connection read; doomed
+        // connections make queued dispatch tasks skip their writes.
         ::shutdown(listen_fd_, SHUT_RDWR);
-        for (const int fd : conn_fds_) {
+        for (auto& [fd, conn] : conns_) {
+            conn->ok.store(false);
             ::shutdown(fd, SHUT_RDWR);
         }
     }
@@ -283,6 +544,15 @@ void TcpRpcServer::stop() {
     {
         std::unique_lock lock(mu_);
         conn_done_.wait(lock, [this] { return active_conns_ == 0; });
+    }
+    // Every reader has exited, so no new work arrives; draining the
+    // pool and the dedicated blocking-op threads bounds on the slowest
+    // in-flight handler (their response writes fail fast on the
+    // shut-down sockets, and wait_published has a client-set timeout).
+    workers_.reset();
+    {
+        std::unique_lock lock(mu_);
+        conn_done_.wait(lock, [this] { return blocking_ops_ == 0; });
     }
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -304,27 +574,71 @@ void TcpRpcServer::accept_loop() {
             ::close(fd);
             return;
         }
-        conn_fds_.insert(fd);
+        auto conn = std::make_shared<ServerConn>(fd);
+        conns_.emplace(fd, conn);
         ++active_conns_;
         // Detached: a finished connection leaves nothing behind; stop()
         // synchronizes on active_conns_ instead of thread handles.
-        std::thread([this, fd] { serve(fd); }).detach();
+        std::thread([this, conn] { serve(conn); }).detach();
     }
 }
 
-void TcpRpcServer::serve(int fd) {
+void TcpRpcServer::answer(const std::shared_ptr<ServerConn>& conn,
+                          const Buffer& request) {
+    const Buffer response = dispatcher_.dispatch(request);
+    if (!conn->ok.load()) {
+        return;  // connection doomed; spare the write
+    }
     try {
+        const std::scoped_lock lock(conn->send_mu);
+        write_all(conn->fd, response);
+    } catch (const RpcError&) {
+        // Peer gone mid-response: doom the connection so sibling
+        // responses stop writing into the void.
+        conn->ok.store(false);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+}
+
+void TcpRpcServer::serve(const std::shared_ptr<ServerConn>& conn) {
+    try {
+        BufferedReader in(conn->fd);
         for (;;) {
-            const Buffer request = read_frame(fd);
+            Buffer request = read_frame(in);
             if (request.empty()) {
                 break;  // peer closed cleanly
             }
-            const Buffer response = dispatcher_.dispatch(request);
-            write_all(fd, response);
+            // Requests that block by design must not occupy a pool
+            // worker: enough parked wait_published calls would exhaust
+            // the pool and stall the very commit frame that wakes them.
+            std::uint16_t tag = 0;
+            std::memcpy(&tag, request.data() + 6, sizeof tag);
+            if (static_cast<MsgType>(tag) == MsgType::kWaitPublished) {
+                {
+                    const std::scoped_lock lock(mu_);
+                    ++blocking_ops_;
+                }
+                std::thread([this, conn,
+                             req = std::move(request)]() mutable {
+                    answer(conn, req);
+                    const std::scoped_lock lock(mu_);
+                    --blocking_ops_;
+                    conn_done_.notify_all();
+                }).detach();
+                continue;
+            }
+            // Everything else goes to the pool: a slow handler must not
+            // block the requests queued behind it on this connection.
+            // The task shares ownership of the connection so the
+            // response write races neither close() nor fd-number reuse.
+            workers_->post([this, conn,
+                            req = std::move(request)]() mutable {
+                answer(conn, req);
+            });
         }
     } catch (const RpcError& e) {
         // Malformed frame or connection reset: drop the connection. The
-        // client's pool reconnects transparently.
+        // client's transport reconnects transparently.
         log_debug("rpc-server", e.what());
     } catch (const std::exception& e) {
         // Anything else (e.g. bad_alloc on a hostile frame length) must
@@ -332,17 +646,14 @@ void TcpRpcServer::serve(int fd) {
         log_debug("rpc-server",
                   std::string("connection dropped: ") + e.what());
     }
-    {
-        // Untrack before closing: once this fd is closed the kernel may
-        // hand the same number to a concurrent accept, and erasing it
-        // afterwards would untrack the NEW connection (stop() would then
-        // never shut it down and hang waiting for it).
-        const std::scoped_lock lock(mu_);
-        conn_fds_.erase(fd);
-    }
-    ::close(fd);
+    // No more requests will arrive; responses still in flight hold
+    // their own reference. Shut the socket down so they fail fast if
+    // the peer is truly gone.
+    conn->ok.store(false);
+    ::shutdown(conn->fd, SHUT_RDWR);
     {
         const std::scoped_lock lock(mu_);
+        conns_.erase(conn->fd);
         --active_conns_;
         // Notify under the lock: stop() may destroy this object the
         // moment it observes active_conns_ == 0, so the cv must not be

@@ -1,22 +1,30 @@
 /// \file tcp_transport.hpp
-/// \brief POSIX-socket Transport with a per-peer connection pool, plus
-///        the accept/dispatch server that answers it.
+/// \brief POSIX-socket Transport multiplexing many in-flight requests
+///        over one connection per peer, plus the accept/dispatch server
+///        that answers it.
 ///
-/// Framing on the socket is the frame itself — the 16-byte header carries
-/// the payload length, so a receiver reads the header, validates it, then
-/// reads exactly the payload. One connection carries one request at a
-/// time (no multiplexing); concurrency comes from the pool opening one
-/// connection per in-flight call, which matches the thread-per-request
-/// model of the client's I/O pool.
+/// Framing on the socket is the frame itself — the 24-byte header
+/// carries the payload length, so a receiver reads the header, validates
+/// it, then reads exactly the payload. One connection per peer endpoint
+/// carries any number of in-flight requests (protocol v3): the sender
+/// stamps each request with a per-connection unique correlation id, a
+/// dedicated reader thread matches responses — which arrive in whatever
+/// order the server finishes them — back to their futures by that id.
+/// A connection that dies (reset, EOF, desync) fails *every* future
+/// still in flight on it with RpcError; the next call opens a fresh
+/// connection.
 ///
-/// The server is thread-per-connection: the accept loop hands each
-/// accepted socket to a detachable worker that reads frames, runs them
-/// through the shared Dispatcher and writes the responses back. stop()
-/// (or destruction) shuts down the listener and every live connection
-/// and joins all threads.
+/// The server keeps one reader thread per connection but hands each
+/// decoded frame to a shared worker pool, so a slow request (a large
+/// get_chunk, a blocking wait_published) no longer blocks the requests
+/// queued behind it on the same connection. Responses are written back
+/// under a per-connection send lock in completion order. stop() (or
+/// destruction) shuts down the listener and every live connection,
+/// drains the worker pool and joins all threads.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -24,10 +32,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "rpc/transport.hpp"
 
@@ -55,37 +63,50 @@ class TcpTransport final : public Transport {
     TcpTransport(const TcpTransport&) = delete;
     TcpTransport& operator=(const TcpTransport&) = delete;
 
-    [[nodiscard]] Buffer roundtrip(NodeId dst, ConstBytes frame) override;
+    [[nodiscard]] Future<Buffer> call_async(NodeId dst,
+                                            ConstBytes frame) override;
 
   private:
-    struct Conn {
-        int fd = -1;
-        bool reused = false;  ///< came from the pool (may be stale)
-    };
-
-    /// Where a round trip failed — only a failure of the *initial send*
-    /// on a pooled connection is safely retryable (the server cannot
-    /// have accepted the request yet); once bytes were written, a retry
-    /// could execute a non-idempotent RPC twice.
-    enum class Phase { kSend, kReceive };
+    /// One multiplexed connection: socket, reader thread, and the
+    /// correlation-id -> promise table of requests awaiting responses.
+    struct MuxConn;
 
     [[nodiscard]] const Endpoint& endpoint_of(NodeId dst) const;
-    [[nodiscard]] Conn acquire(NodeId dst);
-    void release(NodeId dst, int fd);
+
+    /// Healthy connection to \p dst's endpoint — reuses the live one,
+    /// probes an idle one for staleness, reconnects when needed.
+    [[nodiscard]] std::shared_ptr<MuxConn> get_conn(NodeId dst);
+
+    /// Move a dead connection out of the active map; its reader is
+    /// joined (and fd closed) by reap_graveyard()/the destructor.
+    void retire_locked(std::shared_ptr<MuxConn> conn);
+
+    /// Join and close connections retired earlier. Cheap: retired
+    /// readers exit as soon as their socket is shut down.
+    void reap_graveyard();
+
+    static void reader_loop(const std::shared_ptr<MuxConn>& conn);
 
     Endpoint default_endpoint_;
     std::unordered_map<NodeId, Endpoint> peers_;
 
-    std::mutex mu_;  // guards pool_
-    std::unordered_map<NodeId, std::vector<int>> pool_;
+    std::mutex mu_;  // guards conns_ and graveyard_
+    /// Key: "host:port" — one connection per peer *endpoint*, so an
+    /// all-in-one daemon gets exactly one multiplexed connection no
+    /// matter how many logical nodes it hosts.
+    std::unordered_map<std::string, std::shared_ptr<MuxConn>> conns_;
+    std::vector<std::shared_ptr<MuxConn>> graveyard_;
 };
 
 class TcpRpcServer {
   public:
     /// Bind and listen on \p bind_addr:\p port (port 0 = ephemeral; read
     /// the chosen one back with port()) and start the accept loop.
+    /// \p workers sizes the shared dispatch pool (0 = a hardware-sized
+    /// default).
     explicit TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port = 0,
-                          const std::string& bind_addr = "0.0.0.0");
+                          const std::string& bind_addr = "0.0.0.0",
+                          std::size_t workers = 0);
     ~TcpRpcServer();
 
     TcpRpcServer(const TcpRpcServer&) = delete;
@@ -93,25 +114,55 @@ class TcpRpcServer {
 
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-    /// Shut down listener and connections, join every thread. Idempotent.
+    /// Shut down listener and connections, drain the worker pool, join
+    /// every thread. Idempotent.
     void stop();
 
   private:
+    /// Shared state of one accepted connection. Dispatch tasks hold a
+    /// reference while they run, so the fd stays open (and the number
+    /// is not recycled by a concurrent accept) until the last response
+    /// writer is done.
+    struct ServerConn {
+        explicit ServerConn(int fd_) : fd(fd_) {}
+        ~ServerConn();  // closes fd
+
+        ServerConn(const ServerConn&) = delete;
+        ServerConn& operator=(const ServerConn&) = delete;
+
+        int fd;
+        std::mutex send_mu;           ///< serializes response writes
+        std::atomic<bool> ok{true};   ///< false once the conn is doomed
+    };
+
     void accept_loop();
-    void serve(int fd);
+    void serve(const std::shared_ptr<ServerConn>& conn);
+
+    /// Dispatch one request and write its response back (worker-pool
+    /// task body, also run by dedicated blocking-op threads).
+    void answer(const std::shared_ptr<ServerConn>& conn,
+                const Buffer& request);
 
     Dispatcher& dispatcher_;
+    /// Dispatch pool shared by all connections; reset (drained + joined)
+    /// by stop() after every reader thread has exited.
+    std::unique_ptr<ThreadPool> workers_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::thread accept_thread_;
 
-    std::mutex mu_;  // guards conn_fds_, active_conns_, stopping_
+    std::mutex mu_;  // guards conns_, active_conns_, stopping_
     std::condition_variable conn_done_;
     bool stopping_ = false;
-    /// Connection threads are detached so finished ones cost nothing;
-    /// stop() waits on this count instead of joining handles.
+    /// Connection reader threads are detached so finished ones cost
+    /// nothing; stop() waits on this count instead of joining handles.
     std::size_t active_conns_ = 0;
-    std::unordered_set<int> conn_fds_;
+    /// Requests that block by design (wait_published) run on dedicated
+    /// detached threads, NOT pool workers: N of them parked in a
+    /// condition wait must never exhaust the pool and stall the very
+    /// commit that would wake them. stop() drains this count too.
+    std::size_t blocking_ops_ = 0;
+    std::unordered_map<int, std::shared_ptr<ServerConn>> conns_;
 };
 
 }  // namespace blobseer::rpc

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rpc/sim_transport.hpp"
 #include "testing_util.hpp"
 
 namespace blobseer::core {
@@ -245,6 +246,141 @@ TEST_F(ClientFixture, EmptyReadIsNoop) {
     Blob blob = client_->create(kChunk);
     Buffer out;
     EXPECT_EQ(client_->read(blob.id(), kLatestVersion, 0, out), 0u);
+}
+
+TEST_F(ClientFixture, AsyncWriteAppendReadRoundTrip) {
+    Blob blob = client_->create(kChunk);
+    const Buffer first = make_pattern(blob.id(), 1, 0, 3 * kChunk);
+    const Version v1 = blob.write_async(0, first).get();
+    EXPECT_EQ(v1, 1u);
+
+    const Buffer second = make_pattern(blob.id(), 2, 0, kChunk + 7);
+    const Version v2 = blob.append_async(second).get();
+    EXPECT_EQ(v2, 2u);
+
+    Buffer head(3 * kChunk);
+    Buffer tail(kChunk + 7);
+    auto read_head = blob.read_async(v2, 0, head);
+    auto read_tail = blob.read_async(v2, 3 * kChunk, tail);
+    EXPECT_EQ(read_head.get(), head.size());
+    EXPECT_EQ(read_tail.get(), tail.size());
+    EXPECT_EQ(head, first);
+    EXPECT_EQ(tail, second);
+}
+
+TEST_F(ClientFixture, AsyncOperationsOverlapAndFailLikeSync) {
+    Blob a = client_->create(kChunk);
+    Blob b = client_->create(kChunk);
+    // Concurrent writes to independent blobs through one client.
+    const Buffer da = make_pattern(a.id(), 1, 0, 5 * kChunk);
+    const Buffer db = make_pattern(b.id(), 1, 0, 5 * kChunk);
+    auto wa = a.write_async(0, da);
+    auto wb = b.write_async(0, db);
+    EXPECT_EQ(wa.get(), 1u);
+    EXPECT_EQ(wb.get(), 1u);
+
+    // Errors carry the sync types, just via the future.
+    Buffer out(kChunk);
+    EXPECT_THROW(
+        (void)a.read_async(1, 100 * kChunk, out).get(), InvalidArgument);
+    EXPECT_THROW(
+        (void)client_->write_async(a.id(), kChunk / 2,
+                                   ConstBytes(da.data(), kChunk))
+            .get(),
+        InvalidArgument);
+}
+
+/// Transport wrapper whose call_async throws RpcError *synchronously*
+/// for one node — the shape of a TCP connect() refusal, which never
+/// yields a future at all. The windowed data paths must treat it
+/// exactly like an asynchronous delivery failure.
+class SyncThrowTransport final : public rpc::Transport {
+  public:
+    SyncThrowTransport(std::shared_ptr<rpc::Transport> inner, NodeId bad)
+        : inner_(std::move(inner)), bad_(bad) {}
+
+    [[nodiscard]] Future<Buffer> call_async(NodeId dst,
+                                            ConstBytes frame) override {
+        refuse(dst);
+        return inner_->call_async(dst, frame);
+    }
+    [[nodiscard]] Future<Buffer> call_async_via(NodeId via, NodeId dst,
+                                                ConstBytes frame) override {
+        refuse(dst);
+        return inner_->call_async_via(via, dst, frame);
+    }
+    [[nodiscard]] Buffer roundtrip(NodeId dst, ConstBytes frame) override {
+        refuse(dst);
+        return inner_->roundtrip(dst, frame);
+    }
+    [[nodiscard]] Buffer roundtrip_via(NodeId via, NodeId dst,
+                                       ConstBytes frame) override {
+        refuse(dst);
+        return inner_->roundtrip_via(via, dst, frame);
+    }
+
+  private:
+    void refuse(NodeId dst) const {
+        if (dst == bad_) {
+            throw RpcError("connect to node " + std::to_string(dst) +
+                           ": connection refused (simulated)");
+        }
+    }
+
+    std::shared_ptr<rpc::Transport> inner_;
+    const NodeId bad_;
+};
+
+TEST_F(ClientFixture, SynchronousTransportFailureFailsOverInWindow) {
+    // A client whose transport refuses one data provider outright.
+    const NodeId bad = cluster_.data_provider(0).node();
+    const NodeId self = cluster_.network().add_node("refused-client");
+    ClientEnv env;
+    env.transport = std::make_shared<SyncThrowTransport>(
+        std::make_shared<rpc::SimTransport>(cluster_.network(), self,
+                                            cluster_.dispatcher()),
+        bad);
+    env.self = self;
+    env.vm_node = cluster_.version_manager_node();
+    env.pm_node = cluster_.provider_manager_node();
+    env.meta_ring = cluster_.meta_ring();
+    env.meta_replication = cluster_.config().meta_replication;
+    env.default_replication = cluster_.config().default_replication;
+    BlobSeerClient refused(std::move(env));
+
+    // Read path first (the write path's mark_dead would steer later
+    // placements away from the refused provider): a blob written by a
+    // healthy client WITH replicas on the refused provider must still
+    // read back through the other replica.
+    Blob source = client_->create(kChunk, 2);
+    const Buffer src_data = make_pattern(source.id(), 1, 0, 8 * kChunk);
+    source.write(0, src_data);
+    Buffer out(src_data.size());
+    EXPECT_EQ(refused.read(source.id(), 1, 0, out), out.size());
+    EXPECT_EQ(out, src_data);
+
+    // Write path: placements that include the refused provider must
+    // fail over to a replacement, not abort the write.
+    Blob blob = refused.create(kChunk, 2);
+    const Buffer data = make_pattern(blob.id(), 1, 0, 8 * kChunk);
+    const Version v = blob.write(0, data);
+    EXPECT_EQ(read_back(blob, v, 0, data.size()), data);
+    EXPECT_GT(refused.stats().chunk_retries.get(), 0u);
+
+    // Neither path may leak in-flight accounting on the sync throw.
+    EXPECT_EQ(refused.stats().inflight_chunk_rpcs.get(), 0u);
+}
+
+TEST_F(ClientFixture, InflightWindowGaugeBalances) {
+    Blob blob = client_->create(kChunk);
+    blob.write(0, make_pattern(blob.id(), 1, 0, 16 * kChunk));
+    Buffer out(16 * kChunk);
+    blob.read(1, 0, out);
+    const auto& st = client_->stats();
+    EXPECT_EQ(st.inflight_chunk_rpcs.get(), 0u)
+        << "window leaked in-flight accounting";
+    EXPECT_GE(st.inflight_chunk_rpcs.high_water(), 2u)
+        << "multi-chunk write/read never overlapped chunk RPCs";
 }
 
 }  // namespace

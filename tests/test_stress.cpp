@@ -32,6 +32,8 @@ TEST(Stress, ChaosMixedWorkloadKeepsInvariants) {
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> ops_ok{0};
     std::atomic<std::uint64_t> ops_failed{0};
+    std::mutex fail_mu;
+    std::string fail_log;  // what the failed ops actually threw
 
     // Churn: repeatedly bounce one provider (no data loss: repl handles
     // reads; the churn mainly exercises failover + replacement paths).
@@ -88,8 +90,12 @@ TEST(Stress, ChaosMixedWorkloadKeepsInvariants) {
                                    static_cast<std::uint8_t>(0xA0 + w)));
                     }
                     ops_ok.fetch_add(1);
-                } catch (const Error&) {
+                } catch (const Error& e) {
                     ops_failed.fetch_add(1);
+                    {
+                        const std::scoped_lock lock(fail_mu);
+                        fail_log += std::string(e.what()) + "\n";
+                    }
                 }
             }
         });
@@ -103,7 +109,8 @@ TEST(Stress, ChaosMixedWorkloadKeepsInvariants) {
     // With replication 2 and single-node churn every operation should
     // have found a live replica / placement.
     EXPECT_EQ(ops_failed.load(), 0u)
-        << "ok=" << ops_ok.load() << " failed=" << ops_failed.load();
+        << "ok=" << ops_ok.load() << " failed=" << ops_failed.load()
+        << "\n" << fail_log;
 
     // The final snapshot is fully readable and history is consistent.
     const auto vi = owner->stat(blob.id());

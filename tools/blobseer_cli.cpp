@@ -9,13 +9,20 @@
 ///    (fault-injection commands need the in-process cluster and are
 ///    unavailable remotely).
 ///
+/// `--parallel N` drives the data path through the async client API:
+/// writes/appends stream their chunks through an N-deep in-flight
+/// window, and reads split into N concurrent read_async sub-ranges.
+/// `stats` dumps the client's counters, including the in-flight window
+/// gauge and its high-water mark.
+///
 /// Reads commands from stdin, one per line; `help` lists them. Payloads
 /// are deterministic patterns tagged by a user-chosen integer so reads
 /// can verify which write produced the bytes.
 ///
 ///   $ printf 'create 65536\nappend 1 131072 7\nstat 1\nquit\n' | ./tools/blobseer_cli
-///   $ ./tools/blobseer_cli --connect 127.0.0.1:4400
+///   $ ./tools/blobseer_cli --connect 127.0.0.1:4400 --parallel 32
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -32,13 +39,14 @@ namespace {
 
 class Shell {
   public:
-    Shell() {
+    explicit Shell(std::size_t parallel) : parallel_(parallel) {
         core::ClusterConfig cfg;
         cfg.data_providers = 8;
         cfg.metadata_providers = 4;
         cfg.default_replication = 2;
         cfg.network.latency = microseconds(50);
         cfg.network.node_bandwidth_bps = 400ULL << 20;
+        cfg.client_max_inflight_chunks = std::max<std::size_t>(parallel, 1);
         cluster_ = std::make_unique<core::Cluster>(cfg);
         client_ = cluster_->make_client();
         std::printf("blobseer-cli: cluster up (%zu data providers, %zu "
@@ -47,9 +55,12 @@ class Shell {
                     cluster_->metadata_provider_count());
     }
 
-    Shell(const std::string& host, std::uint16_t port) {
+    Shell(const std::string& host, std::uint16_t port, std::size_t parallel)
+        : parallel_(parallel) {
+        core::RemoteOptions options;
+        options.max_inflight_chunks = std::max<std::size_t>(parallel, 1);
         client_ = std::make_unique<core::BlobSeerClient>(
-            core::connect_tcp(host, port));
+            core::connect_tcp(host, port, options));
         std::printf("blobseer-cli: connected to %s:%u (client id %u). "
                     "Type 'help'.\n",
                     host.c_str(), port, client_->node());
@@ -105,9 +116,18 @@ class Shell {
                 }
                 in >> size >> tag;
                 const Buffer data = make_pattern(id, tag, 0, size);
-                const Version v = cmd == "write"
-                                      ? client_->write(id, offset, data)
-                                      : client_->append(id, data);
+                // The put path always streams through the client's
+                // in-flight window (sized by --parallel); async only
+                // changes which thread drives it.
+                const Version v =
+                    cmd == "write"
+                        ? (parallel_ > 1
+                               ? client_->write_async(id, offset, data)
+                                     .get()
+                               : client_->write(id, offset, data))
+                        : (parallel_ > 1
+                               ? client_->append_async(id, data).get()
+                               : client_->append(id, data));
                 std::printf("-> version %llu\n", (unsigned long long)v);
             } else if (cmd == "read") {
                 BlobId id = 0;
@@ -118,7 +138,28 @@ class Shell {
                 in >> id >> vs >> offset >> size;
                 const bool check = static_cast<bool>(in >> tag);
                 Buffer out(size);
-                client_->read(id, parse_version(vs), offset, out);
+                if (parallel_ > 1 && size > 0) {
+                    // Split the range into --parallel concurrent
+                    // read_async sub-reads of one pinned version.
+                    const Version pinned =
+                        client_->stat(id, parse_version(vs)).version;
+                    const std::uint64_t stripe =
+                        std::max<std::uint64_t>(1, size / parallel_);
+                    std::vector<Future<std::size_t>> parts;
+                    for (std::uint64_t pos = 0; pos < size;
+                         pos += stripe) {
+                        const std::uint64_t n =
+                            std::min<std::uint64_t>(stripe, size - pos);
+                        parts.push_back(client_->read_async(
+                            id, pinned, offset + pos,
+                            MutableBytes(out.data() + pos, n)));
+                    }
+                    for (auto& part : parts) {
+                        (void)part.get();
+                    }
+                } else {
+                    client_->read(id, parse_version(vs), offset, out);
+                }
                 std::printf("read %llu bytes, fnv=%016llx%s\n",
                             (unsigned long long)size,
                             (unsigned long long)fnv1a64(ConstBytes(out)),
@@ -126,6 +167,15 @@ class Shell {
                             : verify_pattern(id, tag, 0, out) == -1
                                 ? " [tag matches]"
                                 : " [TAG MISMATCH]");
+            } else if (cmd == "stats") {
+                print_stats();
+            } else if (cmd == "parallel") {
+                std::size_t n = 1;
+                in >> n;
+                parallel_ = std::max<std::size_t>(n, 1);
+                std::printf("parallel = %zu (read splitting; the write "
+                            "window stays at its startup value)\n",
+                            parallel_);
             } else if (cmd == "stat") {
                 BlobId id = 0;
                 std::string vs = "latest";
@@ -223,6 +273,32 @@ class Shell {
         return true;
     }
 
+    void print_stats() const {
+        const auto& st = client_->stats();
+        std::printf(
+            "client stats:\n"
+            "  ops:        %llu writes, %llu appends, %llu reads\n"
+            "  bytes:      %llu written, %llu read\n"
+            "  chunk rpcs: %llu puts, %llu gets, %llu retries\n"
+            "  in-flight:  %llu now, %llu high-water (window limit)\n"
+            "  latency us: write mean %.0f p99 %llu, read mean %.0f "
+            "p99 %llu\n",
+            (unsigned long long)st.writes.get(),
+            (unsigned long long)st.appends.get(),
+            (unsigned long long)st.reads.get(),
+            (unsigned long long)st.bytes_written.get(),
+            (unsigned long long)st.bytes_read.get(),
+            (unsigned long long)st.chunk_put_rpcs.get(),
+            (unsigned long long)st.chunk_get_rpcs.get(),
+            (unsigned long long)st.chunk_retries.get(),
+            (unsigned long long)st.inflight_chunk_rpcs.get(),
+            (unsigned long long)st.inflight_chunk_rpcs.high_water(),
+            st.write_latency_us.mean(),
+            (unsigned long long)st.write_latency_us.quantile(0.99),
+            st.read_latency_us.mean(),
+            (unsigned long long)st.read_latency_us.quantile(0.99));
+    }
+
     void dispatch_cluster(const std::string& cmd, std::istringstream& in) {
         if (cmd == "providers") {
             for (std::size_t i = 0;
@@ -277,6 +353,8 @@ class Shell {
             "  pin|unpin <blob> <version>\n"
             "  retire <blob> <keep_from_version>\n"
             "  locate <blob> <version|latest> <offset> <size>\n"
+            "  stats                              (client counter dump)\n"
+            "  parallel <n>                       (async read splitting)\n"
             "  providers | kill <i> <lose01> | recover <i>\n"
             "  degrade <i> <factor> | restore <i>\n"
             "  help | quit\n");
@@ -284,19 +362,30 @@ class Shell {
 
     std::unique_ptr<core::Cluster> cluster_;
     std::unique_ptr<core::BlobSeerClient> client_;
+    std::size_t parallel_ = 1;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string connect;
+    std::size_t parallel = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--connect" && i + 1 < argc) {
             connect = argv[++i];
+        } else if (arg == "--parallel" && i + 1 < argc) {
+            try {
+                parallel = std::max<std::size_t>(
+                    1, std::stoul(argv[++i]));
+            } catch (const std::exception&) {
+                std::fprintf(stderr, "--parallel needs a number\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--connect host:port]\n", argv[0]);
+                         "usage: %s [--connect host:port] [--parallel N]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -319,10 +408,10 @@ int main(int argc, char** argv) {
                 return 2;
             }
             Shell shell(connect.substr(0, colon),
-                        static_cast<std::uint16_t>(port));
+                        static_cast<std::uint16_t>(port), parallel);
             return shell.run();
         }
-        Shell shell;
+        Shell shell(parallel);
         return shell.run();
     } catch (const Error& e) {
         std::fprintf(stderr, "blobseer-cli: %s\n", e.what());

@@ -46,6 +46,8 @@ void usage(const char* argv0) {
         "                        log when --store is log-family)\n"
         "  --disk-root <path>    root for disk-backed stores\n"
         "  --sim-latency-us <n>  simulated intra-daemon latency (default 0)\n"
+        "  --workers <n>         RPC dispatch worker threads (default:\n"
+        "                        hardware-sized; min 4)\n"
         "  --help\n",
         argv0);
 }
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
 
     std::uint16_t port = 4400;
     std::string bind_addr = "0.0.0.0";
+    std::size_t workers = 0;  // 0 = TcpRpcServer's hardware-sized default
     bool meta_store_set = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -124,6 +127,8 @@ int main(int argc, char** argv) {
             cfg.disk_root = next();
         } else if (arg == "--sim-latency-us") {
             cfg.network.latency = microseconds(std::atoll(next()));
+        } else if (arg == "--workers") {
+            workers = static_cast<std::size_t>(std::atoll(next()));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -155,7 +160,8 @@ int main(int argc, char** argv) {
 
     try {
         core::Cluster cluster(cfg);
-        rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr);
+        rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr,
+                                 workers);
         std::printf("blobseer-serverd: listening on %s:%u (%zu data "
                     "providers, %zu metadata providers)\n",
                     bind_addr.c_str(), server.port(), cfg.data_providers,
