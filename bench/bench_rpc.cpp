@@ -93,9 +93,9 @@ int main() {
     rpc::TcpRpcServer server(cluster.dispatcher(), 0, "127.0.0.1");
     rpc::TcpTransport tcp("127.0.0.1", server.port());
 
-    rpc::ServiceClient sim_svc(sim, cluster.version_manager_node(),
+    rpc::ServiceClient sim_svc(sim, cluster.version_manager_nodes(),
                                cluster.provider_manager_node());
-    rpc::ServiceClient tcp_svc(tcp, cluster.version_manager_node(),
+    rpc::ServiceClient tcp_svc(tcp, cluster.version_manager_nodes(),
                                cluster.provider_manager_node());
 
     const std::size_t n_small = bench::scaled(20000);
@@ -160,7 +160,8 @@ int main() {
     rpc::TcpRpcServer sweep_server(cluster.dispatcher(), 0, "127.0.0.1",
                                    2);
     rpc::TcpTransport sweep_tcp("127.0.0.1", sweep_server.port());
-    rpc::ServiceClient sweep_svc(sweep_tcp, cluster.version_manager_node(),
+    rpc::ServiceClient sweep_svc(sweep_tcp,
+                                 cluster.version_manager_nodes(),
                                  cluster.provider_manager_node());
     struct SweepCase {
         const char* label;

@@ -35,6 +35,25 @@ using ChunkIndex = std::uint64_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// The version-manager layer is sharded by blob: every blob id carries
+/// its owning shard in the top byte, so any party holding an id can
+/// route to the right shard with no lookup. Shard 0 mints ids equal to
+/// its per-shard sequence (1, 2, ...), which keeps single-shard
+/// deployments bit-identical to the unsharded protocol.
+inline constexpr unsigned kBlobShardBits = 8;
+inline constexpr std::uint32_t kMaxBlobShards = 1u << kBlobShardBits;
+
+/// Shard that minted (and owns) \p id.
+[[nodiscard]] constexpr std::uint32_t blob_shard(BlobId id) noexcept {
+    return static_cast<std::uint32_t>(id >> (64 - kBlobShardBits));
+}
+
+/// Compose a blob id from an owning shard and a per-shard sequence.
+[[nodiscard]] constexpr BlobId make_blob_id(std::uint32_t shard,
+                                            std::uint64_t seq) noexcept {
+    return (static_cast<BlobId>(shard) << (64 - kBlobShardBits)) | seq;
+}
+
 /// Sentinel for "no blob".
 inline constexpr BlobId kInvalidBlob = std::numeric_limits<BlobId>::max();
 

@@ -76,7 +76,9 @@ namespace blobseer::core {
 struct ClientEnv {
     std::shared_ptr<rpc::Transport> transport;
     NodeId self = kInvalidNode;
-    NodeId vm_node = kInvalidNode;
+    /// Version-manager shard nodes, indexed by shard: per-blob calls
+    /// route to vm_nodes[blob_shard(id)].
+    std::vector<NodeId> vm_nodes;
     NodeId pm_node = kInvalidNode;
     /// Metadata DHT membership (static per deployment).
     dht::Ring meta_ring;

@@ -145,18 +145,32 @@ Cluster::Cluster(ClusterConfig config)
         uid_epoch_ = bump_uid_epoch(config_.disk_root / "uid-epoch");
     }
 
-    if (config_.durable_version_manager) {
-        engine::EngineConfig jc;
-        jc.dir = config_.disk_root / "vm";
-        // Replay depends on append order, so the compactor (which
-        // relocates records) stays off; the journal is tiny anyway.
-        jc.background_compaction = false;
-        jc.checkpoint_interval_records = 0;
-        vm_journal_ = std::make_shared<engine::LogEngine>(jc);
-        vm_.attach_journal(vm_journal_);
+    const std::size_t n_vms =
+        std::max<std::size_t>(1, config_.num_version_managers);
+    if (n_vms > kMaxBlobShards) {
+        throw InvalidArgument("num_version_managers " +
+                              std::to_string(n_vms) + " exceeds the " +
+                              std::to_string(kMaxBlobShards) +
+                              "-shard blob-id namespace");
     }
-
-    vm_node_ = net_.add_node("version-manager");
+    vms_.reserve(n_vms);
+    vm_nodes_.reserve(n_vms);
+    for (std::size_t i = 0; i < n_vms; ++i) {
+        vms_.push_back(std::make_unique<version::VersionManager>(
+            static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(n_vms)));
+        if (config_.durable_version_manager) {
+            engine::EngineConfig jc;
+            jc.dir = config_.disk_root / ("vm-" + std::to_string(i));
+            // Replay depends on append order, so the compactor (which
+            // relocates records) stays off; the journals are tiny anyway.
+            jc.background_compaction = false;
+            jc.checkpoint_interval_records = 0;
+            vm_journals_.push_back(std::make_shared<engine::LogEngine>(jc));
+            vms_.back()->attach_journal(vm_journals_.back());
+        }
+        vm_nodes_.push_back(
+            net_.add_node("version-manager-" + std::to_string(i)));
+    }
     pm_node_ = net_.add_node("provider-manager");
 
     data_providers_.reserve(config_.data_providers);
@@ -179,7 +193,9 @@ Cluster::Cluster(ClusterConfig config)
 
     // Wire every service into the RPC skeleton. Remote client ids start
     // far above any simulated node id so the two spaces never collide.
-    dispatcher_.set_version_manager(vm_node_, &vm_);
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+        dispatcher_.add_version_manager(vm_nodes_[i], vms_[i].get());
+    }
     dispatcher_.set_provider_manager(pm_node_, &pm_);
     for (const auto& [node, dp] : dp_by_node_) {
         dispatcher_.add_data_provider(node, dp);
@@ -194,7 +210,7 @@ Cluster::~Cluster() = default;
 
 rpc::Topology Cluster::topology() const {
     rpc::Topology t;
-    t.vm_node = vm_node_;
+    t.vm_nodes = vm_nodes_;
     t.pm_node = pm_node_;
     t.data_nodes.reserve(data_providers_.size());
     for (const auto& dp : data_providers_) {
@@ -220,7 +236,7 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
     env.transport =
         std::make_shared<rpc::SimTransport>(net_, node, dispatcher_);
     env.self = node;
-    env.vm_node = vm_node_;
+    env.vm_nodes = vm_nodes_;
     env.pm_node = pm_node_;
     env.meta_ring = ring_;
     env.meta_replication = config_.meta_replication;

@@ -52,14 +52,26 @@ class Cluster {
     // ---- service access (experiments and tests) -------------------------
 
     [[nodiscard]] net::SimNetwork& network() noexcept { return net_; }
-    [[nodiscard]] version::VersionManager& version_manager() noexcept {
-        return vm_;
+    /// Version-manager shard \p i (shard 0 — the only one in unsharded
+    /// deployments — when omitted). Throws on an out-of-range shard.
+    [[nodiscard]] version::VersionManager& version_manager(
+        std::size_t i = 0) {
+        return *vms_.at(i);
+    }
+    [[nodiscard]] std::size_t version_manager_count() const noexcept {
+        return vms_.size();
     }
     [[nodiscard]] provider::ProviderManager& provider_manager() noexcept {
         return pm_;
     }
+    /// Node of version-manager shard 0 (single-shard callers).
     [[nodiscard]] NodeId version_manager_node() const noexcept {
-        return vm_node_;
+        return vm_nodes_.front();
+    }
+    /// Shard-indexed version-manager nodes.
+    [[nodiscard]] const std::vector<NodeId>& version_manager_nodes()
+        const noexcept {
+        return vm_nodes_;
     }
     [[nodiscard]] NodeId provider_manager_node() const noexcept {
         return pm_node_;
@@ -126,15 +138,18 @@ class Cluster {
     ClusterConfig config_;
     net::SimNetwork net_;
 
-    /// Operation journal backing vm_ when durable_version_manager is set
-    /// (vm_ shares ownership; see VersionManager::attach_journal).
-    std::shared_ptr<engine::LogEngine> vm_journal_;
+    /// Per-shard operation journals backing vms_ when
+    /// durable_version_manager is set (each shard shares ownership of
+    /// its own; see VersionManager::attach_journal).
+    std::vector<std::shared_ptr<engine::LogEngine>> vm_journals_;
     /// Boot counter of this disk root (0 = volatile deployment): keeps
     /// chunk uids minted by restarted deployments disjoint from every
     /// earlier boot's (see BlobSeerClient::next_uid).
     std::uint64_t uid_epoch_ = 0;
-    version::VersionManager vm_;
-    NodeId vm_node_ = kInvalidNode;
+    /// Version-manager shards, indexed by shard (= blob_shard of every
+    /// blob they own).
+    std::vector<std::unique_ptr<version::VersionManager>> vms_;
+    std::vector<NodeId> vm_nodes_;
 
     provider::ProviderManager pm_;
     NodeId pm_node_ = kInvalidNode;

@@ -34,6 +34,13 @@ struct ClusterConfig {
     /// baseline of §IV-C.
     std::size_t metadata_providers = 4;
 
+    /// Number of version-manager shards. Each shard owns the blobs whose
+    /// id it minted (the shard index rides in the top byte of every
+    /// BlobId) and serializes only them; clients route per-blob calls to
+    /// the owning shard. 1 = the paper's single version manager, and is
+    /// bit-compatible with the unsharded blob-id space.
+    std::size_t num_version_managers = 1;
+
     /// Chunk replica copies for new blobs (per-blob override at create()).
     std::uint32_t default_replication = 1;
     /// Copies of each metadata tree node in the DHT.

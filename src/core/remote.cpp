@@ -13,7 +13,7 @@ ClientEnv connect_tcp(const std::string& host, std::uint16_t port,
     ClientEnv env;
     env.transport = std::move(transport);
     env.self = topo.client_id;
-    env.vm_node = topo.vm_node;
+    env.vm_nodes = topo.vm_nodes;
     env.pm_node = topo.pm_node;
     for (const NodeId node : topo.meta_nodes) {
         env.meta_ring.add_node(node);

@@ -870,15 +870,33 @@ EngineStatsSnapshot LogEngine::stats() {
 
 void LogEngine::scan(
     const std::function<void(std::string_view, ConstBytes)>& fn) {
-    const std::scoped_lock lock(mu_);
-    for (const auto& [id, seg] : segments_) {
+    // Snapshot the segment list under the lock, then walk WITHOUT it.
+    // The contract (no concurrent writer; startup replay) makes the
+    // unlocked walk safe, and it is required for deadlock-freedom:
+    // consumer callbacks take their own locks (e.g. the version
+    // manager's stripe/map mutexes), and those same locks are held
+    // around put() at runtime — holding the engine mutex across the
+    // callbacks would order it before every consumer lock, the exact
+    // inversion of the append path.
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<SegmentFile>>>
+        files;
+    {
+        const std::scoped_lock lock(mu_);
+        files.reserve(segments_.size());
+        for (const auto& [id, seg] : segments_) {
+            files.emplace_back(id, seg.file);
+        }
+    }
+    for (const auto& [id, file] : files) {
         const auto outcome = for_each_record(
-            *seg.file, kSegmentHeaderSize,
+            *file, kSegmentHeaderSize,
             [&](std::uint64_t offset, RecordType type, std::string_view key,
                 ConstBytes value) {
                 if (type != RecordType::kPut) {
                     return;
                 }
+                // Unlocked index_ read: no writer is active by the
+                // scan contract, so the index is frozen.
                 const auto it = index_.find(key);
                 if (it != index_.end() && it->second.segment == id &&
                     it->second.offset == offset) {
@@ -891,7 +909,7 @@ void LogEngine::scan(
             // record here must fail the scan loudly, not truncate the
             // consumer's view of the log.
             throw ConsistencyError("corrupt record while scanning " +
-                                   seg.file->path().string() +
+                                   file->path().string() +
                                    " at offset " +
                                    std::to_string(outcome.end_offset));
         }

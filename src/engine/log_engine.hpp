@@ -152,8 +152,10 @@ class LogEngine {
     [[nodiscard]] EngineStatsSnapshot stats();
 
     /// Visit every live record in log (append) order: the replay hook for
-    /// journal consumers. Holds the engine lock for the whole scan — call
-    /// only while no writer is active (e.g. at startup).
+    /// journal consumers. Call only while no writer is active (e.g. at
+    /// startup); the walk itself runs WITHOUT the engine lock so that
+    /// callbacks may take consumer locks that are also held around put()
+    /// at runtime (no lock-order inversion against the append path).
     void scan(const std::function<void(std::string_view key,
                                        ConstBytes value)>& fn);
 

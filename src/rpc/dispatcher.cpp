@@ -77,6 +77,8 @@ Buffer Dispatcher::handle(const FrameView& f) {
         case MsgType::kUnpin:
         case MsgType::kRetire:
         case MsgType::kDescriptorOf:
+        case MsgType::kBlobCloneFrom:
+        case MsgType::kVmStatus:
             return handle_version_manager(f);
 
         case MsgType::kMetaPut:
@@ -149,11 +151,12 @@ Buffer Dispatcher::handle_data_provider(const FrameView& f) {
 }
 
 Buffer Dispatcher::handle_version_manager(const FrameView& f) {
-    if (vm_ == nullptr || f.dst() != vm_node_) {
+    const auto it = version_managers_.find(f.dst());
+    if (it == version_managers_.end()) {
         throw RpcError("no version-manager service on node " +
                        std::to_string(f.dst()));
     }
-    version::VersionManager& vm = *vm_;
+    version::VersionManager& vm = *it->second;
     WireReader r(f.payload);
 
     switch (f.type) {
@@ -227,16 +230,19 @@ Buffer Dispatcher::handle_version_manager(const FrameView& f) {
             }
             return seal_response(f.type, std::move(w));
         }
-        case MsgType::kPin:
+        case MsgType::kPin: {
+            const BlobId blob = r.u64();
+            const Version v = r.u64();
+            r.expect_end();
+            WireWriter w;
+            w.u8(vm.pin(blob, v) ? 1 : 0);
+            return seal_response(f.type, std::move(w));
+        }
         case MsgType::kUnpin: {
             const BlobId blob = r.u64();
             const Version v = r.u64();
             r.expect_end();
-            if (f.type == MsgType::kPin) {
-                vm.pin(blob, v);
-            } else {
-                vm.unpin(blob, v);
-            }
+            vm.unpin(blob, v);
             return seal_response(f.type, WireWriter());
         }
         case MsgType::kRetire: {
@@ -253,6 +259,22 @@ Buffer Dispatcher::handle_version_manager(const FrameView& f) {
             r.expect_end();
             WireWriter w;
             put_write_descriptor(w, vm.descriptor_of(blob, v));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kBlobCloneFrom: {
+            const std::uint64_t chunk_size = r.u64();
+            const std::uint32_t replication = r.u32();
+            const meta::TreeRef origin = get_tree_ref(r);
+            r.expect_end();
+            WireWriter w;
+            put_blob_info(w,
+                          vm.clone_from(chunk_size, replication, origin));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kVmStatus: {
+            r.expect_end();
+            WireWriter w;
+            put_shard_status(w, vm.status());
             return seal_response(f.type, std::move(w));
         }
         default:

@@ -49,9 +49,10 @@ class Dispatcher {
 
     // ---- registration (cluster bootstrap; not thread-safe) --------------
 
-    void set_version_manager(NodeId node, version::VersionManager* vm) {
-        vm_node_ = node;
-        vm_ = vm;
+    /// Register one version-manager shard. A deployment registers N of
+    /// them; requests route by destination node like any other service.
+    void add_version_manager(NodeId node, version::VersionManager* vm) {
+        version_managers_[node] = vm;
     }
     void set_provider_manager(NodeId node, provider::ProviderManager* pm) {
         pm_node_ = node;
@@ -84,10 +85,9 @@ class Dispatcher {
     [[nodiscard]] Buffer handle_meta_provider(const FrameView& f);
     [[nodiscard]] Buffer handle_provider_manager(const FrameView& f);
 
-    NodeId vm_node_ = kInvalidNode;
     NodeId pm_node_ = kInvalidNode;
-    version::VersionManager* vm_ = nullptr;
     provider::ProviderManager* pm_ = nullptr;
+    std::unordered_map<NodeId, version::VersionManager*> version_managers_;
     std::unordered_map<NodeId, provider::DataProvider*> data_providers_;
     std::unordered_map<NodeId, dht::MetadataProvider*> meta_providers_;
 

@@ -232,6 +232,30 @@ version::VersionManager::RetireInfo get_retire_info(WireReader& r) {
     return i;
 }
 
+void put_shard_status(WireWriter& w, const version::ShardStatus& s) {
+    w.u32(s.shard);
+    w.u64(s.blobs);
+    w.u64(s.assigns);
+    w.u64(s.commits);
+    w.u64(s.aborts);
+    w.u64(s.publishes);
+    w.u64(s.backlog);
+    w.u64(s.backlog_high_water);
+}
+
+version::ShardStatus get_shard_status(WireReader& r) {
+    version::ShardStatus s;
+    s.shard = r.u32();
+    s.blobs = r.u64();
+    s.assigns = r.u64();
+    s.commits = r.u64();
+    s.aborts = r.u64();
+    s.publishes = r.u64();
+    s.backlog = r.u64();
+    s.backlog_high_water = r.u64();
+    return s;
+}
+
 void put_placement_plan(WireWriter& w, const provider::PlacementPlan& p) {
     w.varint(p.size());
     for (const auto& targets : p) {
@@ -269,7 +293,7 @@ std::vector<NodeId> get_node_ids(WireReader& r) {
 // ---- control plane ---------------------------------------------------------
 
 void put_topology(WireWriter& w, const Topology& t) {
-    w.u32(t.vm_node);
+    put_node_ids(w, t.vm_nodes);
     w.u32(t.pm_node);
     put_node_ids(w, t.data_nodes);
     put_node_ids(w, t.meta_nodes);
@@ -282,7 +306,12 @@ void put_topology(WireWriter& w, const Topology& t) {
 
 Topology get_topology(WireReader& r) {
     Topology t;
-    t.vm_node = r.u32();
+    t.vm_nodes = get_node_ids(r);
+    if (t.vm_nodes.empty() || t.vm_nodes.size() > kMaxBlobShards) {
+        throw RpcError("frame decode: topology advertises " +
+                       std::to_string(t.vm_nodes.size()) +
+                       " version-manager shards");
+    }
     t.pm_node = r.u32();
     t.data_nodes = get_node_ids(r);
     t.meta_nodes = get_node_ids(r);

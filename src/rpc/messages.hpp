@@ -63,6 +63,9 @@ void put_retire_info(WireWriter& w,
 [[nodiscard]] version::VersionManager::RetireInfo get_retire_info(
     WireReader& r);
 
+void put_shard_status(WireWriter& w, const version::ShardStatus& s);
+[[nodiscard]] version::ShardStatus get_shard_status(WireReader& r);
+
 void put_placement_plan(WireWriter& w, const provider::PlacementPlan& p);
 [[nodiscard]] provider::PlacementPlan get_placement_plan(WireReader& r);
 
@@ -75,7 +78,9 @@ void put_node_ids(WireWriter& w, const std::vector<NodeId>& v);
 /// cannot see: service node ids, DHT membership, replication parameters
 /// and a freshly allocated client identity.
 struct Topology {
-    NodeId vm_node = kInvalidNode;
+    /// Version-manager shard nodes, indexed by shard (blob_shard(id)
+    /// names the owning entry). Single-shard deployments advertise one.
+    std::vector<NodeId> vm_nodes;
     NodeId pm_node = kInvalidNode;
     std::vector<NodeId> data_nodes;
     std::vector<NodeId> meta_nodes;

@@ -48,7 +48,11 @@ inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
 /// instead of a mid-field decode failure).
 /// v3: the header grew an 8-byte request-correlation id (multiplexed
 /// transports match out-of-order responses by it).
-inline constexpr std::uint8_t kWireVersion = 3;
+/// v4: the version-manager layer is sharded — Topology advertises a
+/// vm_nodes list instead of a single vm_node, and the version-manager
+/// block gained kBlobCloneFrom (cross-shard clone) and kVmStatus
+/// (per-shard observability).
+inline constexpr std::uint8_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderSize = 24;
 /// Byte offset of the correlation id within the header.
 inline constexpr std::size_t kFrameCorrOffset = 16;
@@ -87,6 +91,8 @@ enum class MsgType : std::uint16_t {
     kUnpin = 25,
     kRetire = 26,
     kDescriptorOf = 27,
+    kBlobCloneFrom = 28,
+    kVmStatus = 29,
 
     // metadata DHT member service
     kMetaPut = 48,
@@ -119,6 +125,8 @@ enum class MsgType : std::uint16_t {
         case MsgType::kUnpin: return "unpin";
         case MsgType::kRetire: return "retire";
         case MsgType::kDescriptorOf: return "descriptor-of";
+        case MsgType::kBlobCloneFrom: return "blob-clone-from";
+        case MsgType::kVmStatus: return "vm-status";
         case MsgType::kMetaPut: return "meta-put";
         case MsgType::kMetaGet: return "meta-get";
         case MsgType::kMetaTryGet: return "meta-try-get";

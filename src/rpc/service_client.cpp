@@ -26,6 +26,51 @@ namespace {
 
 }  // namespace
 
+ServiceClient::ServiceClient(Transport& transport,
+                             std::vector<NodeId> vm_nodes, NodeId pm_node,
+                             NodeId self)
+    : transport_(transport),
+      vm_nodes_(std::move(vm_nodes)),
+      pm_node_(pm_node),
+      self_(self) {
+    if (vm_nodes_.empty()) {
+        throw InvalidArgument("deployment advertises no version-manager");
+    }
+    if (vm_nodes_.size() > kMaxBlobShards) {
+        throw InvalidArgument("deployment advertises " +
+                              std::to_string(vm_nodes_.size()) +
+                              " version-manager shards (max " +
+                              std::to_string(kMaxBlobShards) + ")");
+    }
+    if (vm_nodes_.size() > 1) {
+        for (const NodeId node : vm_nodes_) {
+            vm_ring_.add_node(node);
+        }
+    }
+}
+
+NodeId ServiceClient::vm_node_of(BlobId blob) const {
+    const std::uint32_t shard = blob_shard(blob);
+    if (shard >= vm_nodes_.size()) {
+        throw InvalidArgument("blob " + std::to_string(blob) +
+                              " names version-manager shard " +
+                              std::to_string(shard) + " of " +
+                              std::to_string(vm_nodes_.size()));
+    }
+    return vm_nodes_[shard];
+}
+
+NodeId ServiceClient::pick_create_node() {
+    if (vm_nodes_.size() == 1) {
+        return vm_nodes_.front();
+    }
+    // (client id, creation#) hashed onto the shard ring: deterministic
+    // per client, uniform across clients — no coordination needed.
+    const std::uint64_t seq = create_seq_.fetch_add(1);
+    return vm_ring_.owner(
+        mix64((static_cast<std::uint64_t>(self_) << 32) ^ seq));
+}
+
 Buffer ServiceClient::invoke(MsgType type, NodeId dst, WireWriter&& body,
                              NodeId via) {
     const Buffer frame = seal_request(type, dst, std::move(body));
@@ -51,7 +96,8 @@ version::BlobInfo ServiceClient::create_blob(std::uint64_t chunk_size,
     WireWriter w;
     w.u64(chunk_size);
     w.u32(replication);
-    const Buffer resp = invoke(MsgType::kBlobCreate, vm_node_, std::move(w));
+    const Buffer resp =
+        invoke(MsgType::kBlobCreate, pick_create_node(), std::move(w));
     auto r = open_reply(resp, MsgType::kBlobCreate);
     auto out = get_blob_info(r);
     r.expect_end();
@@ -62,9 +108,33 @@ version::BlobInfo ServiceClient::clone_blob(BlobId src, Version version) {
     WireWriter w;
     w.u64(src);
     w.u64(version);
-    const Buffer resp = invoke(MsgType::kBlobClone, vm_node_, std::move(w));
+    const Buffer resp =
+        invoke(MsgType::kBlobClone, vm_node_of(src), std::move(w));
     auto r = open_reply(resp, MsgType::kBlobClone);
     auto out = get_blob_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::BlobInfo ServiceClient::clone_from(std::uint64_t chunk_size,
+                                            std::uint32_t replication,
+                                            const meta::TreeRef& origin) {
+    WireWriter w;
+    w.u64(chunk_size);
+    w.u32(replication);
+    put_tree_ref(w, origin);
+    const Buffer resp =
+        invoke(MsgType::kBlobCloneFrom, pick_create_node(), std::move(w));
+    auto r = open_reply(resp, MsgType::kBlobCloneFrom);
+    auto out = get_blob_info(r);
+    r.expect_end();
+    return out;
+}
+
+version::ShardStatus ServiceClient::vm_status(NodeId vm_node) {
+    const Buffer resp = invoke(MsgType::kVmStatus, vm_node, WireWriter());
+    auto r = open_reply(resp, MsgType::kVmStatus);
+    auto out = get_shard_status(r);
     r.expect_end();
     return out;
 }
@@ -72,7 +142,8 @@ version::BlobInfo ServiceClient::clone_blob(BlobId src, Version version) {
 version::BlobInfo ServiceClient::blob_info(BlobId blob) {
     WireWriter w;
     w.u64(blob);
-    const Buffer resp = invoke(MsgType::kBlobInfo, vm_node_, std::move(w));
+    const Buffer resp =
+        invoke(MsgType::kBlobInfo, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kBlobInfo);
     auto out = get_blob_info(r);
     r.expect_end();
@@ -88,7 +159,7 @@ version::AssignResult ServiceClient::assign(
         w.u64(*offset);
     }
     w.u64(size);
-    const Buffer resp = invoke(MsgType::kAssign, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kAssign, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kAssign);
     auto out = get_assign_result(r);
     r.expect_end();
@@ -99,7 +170,7 @@ void ServiceClient::commit(BlobId blob, Version v) {
     WireWriter w;
     w.u64(blob);
     w.u64(v);
-    const Buffer resp = invoke(MsgType::kCommit, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kCommit, vm_node_of(blob), std::move(w));
     open_reply(resp, MsgType::kCommit).expect_end();
 }
 
@@ -107,7 +178,7 @@ version::VersionInfo ServiceClient::get_version(BlobId blob, Version v) {
     WireWriter w;
     w.u64(blob);
     w.u64(v);
-    const Buffer resp = invoke(MsgType::kGetVersion, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kGetVersion, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kGetVersion);
     auto out = get_version_info(r);
     r.expect_end();
@@ -122,7 +193,7 @@ version::VersionInfo ServiceClient::wait_published(BlobId blob, Version v,
     w.u64(static_cast<std::uint64_t>(
         duration_cast<milliseconds>(timeout).count()));
     const Buffer resp =
-        invoke(MsgType::kWaitPublished, vm_node_, std::move(w));
+        invoke(MsgType::kWaitPublished, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kWaitPublished);
     auto out = get_version_info(r);
     r.expect_end();
@@ -135,7 +206,7 @@ std::vector<version::VersionManager::VersionSummary> ServiceClient::history(
     w.u64(blob);
     w.u64(from);
     w.u64(to);
-    const Buffer resp = invoke(MsgType::kHistory, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kHistory, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kHistory);
     const std::uint64_t n = r.varint_count(33);  // encoded VersionSummary
     std::vector<version::VersionManager::VersionSummary> out;
@@ -147,19 +218,22 @@ std::vector<version::VersionManager::VersionSummary> ServiceClient::history(
     return out;
 }
 
-void ServiceClient::pin(BlobId blob, Version v) {
+bool ServiceClient::pin(BlobId blob, Version v) {
     WireWriter w;
     w.u64(blob);
     w.u64(v);
-    const Buffer resp = invoke(MsgType::kPin, vm_node_, std::move(w));
-    open_reply(resp, MsgType::kPin).expect_end();
+    const Buffer resp = invoke(MsgType::kPin, vm_node_of(blob), std::move(w));
+    auto r = open_reply(resp, MsgType::kPin);
+    const bool inserted = r.u8() != 0;
+    r.expect_end();
+    return inserted;
 }
 
 void ServiceClient::unpin(BlobId blob, Version v) {
     WireWriter w;
     w.u64(blob);
     w.u64(v);
-    const Buffer resp = invoke(MsgType::kUnpin, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kUnpin, vm_node_of(blob), std::move(w));
     open_reply(resp, MsgType::kUnpin).expect_end();
 }
 
@@ -168,7 +242,7 @@ version::VersionManager::RetireInfo ServiceClient::retire(BlobId blob,
     WireWriter w;
     w.u64(blob);
     w.u64(keep_from);
-    const Buffer resp = invoke(MsgType::kRetire, vm_node_, std::move(w));
+    const Buffer resp = invoke(MsgType::kRetire, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kRetire);
     auto out = get_retire_info(r);
     r.expect_end();
@@ -180,7 +254,7 @@ meta::WriteDescriptor ServiceClient::descriptor_of(BlobId blob, Version v) {
     w.u64(blob);
     w.u64(v);
     const Buffer resp =
-        invoke(MsgType::kDescriptorOf, vm_node_, std::move(w));
+        invoke(MsgType::kDescriptorOf, vm_node_of(blob), std::move(w));
     auto r = open_reply(resp, MsgType::kDescriptorOf);
     auto out = get_write_descriptor(r);
     r.expect_end();

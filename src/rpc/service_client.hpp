@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "common/clock.hpp"
 #include "common/future.hpp"
 #include "common/types.hpp"
+#include "dht/ring.hpp"
 #include "meta/meta_node.hpp"
 #include "meta/write_descriptor.hpp"
 #include "provider/provider_manager.hpp"
@@ -42,17 +44,40 @@ namespace blobseer::rpc {
 
 class ServiceClient {
   public:
-    /// \param vm_node / pm_node logical nodes hosting the managers.
-    ServiceClient(Transport& transport, NodeId vm_node, NodeId pm_node)
-        : transport_(transport), vm_node_(vm_node), pm_node_(pm_node) {}
+    /// \param vm_nodes version-manager shard nodes, indexed by shard
+    ///        (per-blob calls route by blob_shard(id)); \param pm_node
+    ///        the provider manager. \param self this client's node id —
+    ///        it seeds the shard choice for create_blob so different
+    ///        clients spread their blobs over different shards.
+    ServiceClient(Transport& transport, std::vector<NodeId> vm_nodes,
+                  NodeId pm_node, NodeId self = kInvalidNode);
 
     [[nodiscard]] Transport& transport() noexcept { return transport_; }
+
+    /// The deployment's version-manager shard nodes (shard-indexed).
+    [[nodiscard]] const std::vector<NodeId>& vm_nodes() const noexcept {
+        return vm_nodes_;
+    }
+
+    /// Shard node owning \p blob. Throws InvalidArgument when the id
+    /// names a shard this deployment does not run.
+    [[nodiscard]] NodeId vm_node_of(BlobId blob) const;
 
     // ---- version manager -------------------------------------------------
 
     [[nodiscard]] version::BlobInfo create_blob(std::uint64_t chunk_size,
                                                 std::uint32_t replication);
+    /// Single-shard clone (source and destination on the owning shard of
+    /// \p src). Multi-shard deployments use the client-driven
+    /// get_version + pin + clone_from protocol instead (DESIGN.md §10.3).
     [[nodiscard]] version::BlobInfo clone_blob(BlobId src, Version version);
+    /// Create a blob aliasing the resolved published snapshot \p origin
+    /// on a shard picked by the create-routing policy.
+    [[nodiscard]] version::BlobInfo clone_from(std::uint64_t chunk_size,
+                                               std::uint32_t replication,
+                                               const meta::TreeRef& origin);
+    /// Observability snapshot of the shard living on \p vm_node.
+    [[nodiscard]] version::ShardStatus vm_status(NodeId vm_node);
     [[nodiscard]] version::BlobInfo blob_info(BlobId blob);
     [[nodiscard]] version::AssignResult assign(
         BlobId blob, std::optional<std::uint64_t> offset, std::uint64_t size);
@@ -62,7 +87,9 @@ class ServiceClient {
                                                       Duration timeout);
     [[nodiscard]] std::vector<version::VersionManager::VersionSummary>
     history(BlobId blob, Version from, Version to);
-    void pin(BlobId blob, Version v);
+    /// Returns true when this call created the pin (false = already
+    /// pinned); see VersionManager::pin.
+    bool pin(BlobId blob, Version v);
     void unpin(BlobId blob, Version v);
     [[nodiscard]] version::VersionManager::RetireInfo retire(
         BlobId blob, Version keep_from);
@@ -136,9 +163,18 @@ class ServiceClient {
                                               WireWriter&& body,
                                               NodeId via = kInvalidNode);
 
+    /// Shard node for the next create_blob/clone_from: consistent-hash
+    /// the (client, creation#) pair over the shard ring so creations
+    /// spread without any cross-client coordination.
+    [[nodiscard]] NodeId pick_create_node();
+
     Transport& transport_;
-    const NodeId vm_node_;
+    const std::vector<NodeId> vm_nodes_;
     const NodeId pm_node_;
+    const NodeId self_;
+    /// Ring over vm_nodes_ (empty when there is only one shard).
+    dht::Ring vm_ring_;
+    std::atomic<std::uint64_t> create_seq_{0};
 };
 
 /// Fetch the cluster topology over a transport (the bootstrap RPC of a

@@ -10,17 +10,33 @@ namespace {
 
 /// Journal operation codes. Append-only: never renumber, only add.
 enum JournalOp : std::uint8_t {
-    kOpCreate = 1,  ///< chunk_size, replication
-    kOpClone = 2,   ///< src blob, resolved src version
-    kOpAssign = 3,  ///< blob, has_offset, offset, size
-    kOpCommit = 4,  ///< blob, version
-    kOpAbort = 5,   ///< blob, version
-    kOpPin = 6,     ///< blob, version
-    kOpUnpin = 7,   ///< blob, version
-    kOpRetire = 8,  ///< blob, keep_from
+    kOpCreate = 1,     ///< chunk_size, replication
+    kOpClone = 2,      ///< src blob, resolved src version
+    kOpAssign = 3,     ///< blob, has_offset, offset, size
+    kOpCommit = 4,     ///< blob, version
+    kOpAbort = 5,      ///< blob, version
+    kOpPin = 6,        ///< blob, version
+    kOpUnpin = 7,      ///< blob, version
+    kOpRetire = 8,     ///< blob, keep_from
+    kOpCloneFrom = 9,  ///< chunk_size, replication, origin blob/version/size
 };
 
 }  // namespace
+
+VersionManager::VersionManager(std::uint32_t shard,
+                               std::uint32_t shard_count)
+    : shard_(shard) {
+    if (shard_count == 0 || shard_count > kMaxBlobShards) {
+        throw InvalidArgument("shard count " + std::to_string(shard_count) +
+                              " outside [1, " +
+                              std::to_string(kMaxBlobShards) + "]");
+    }
+    if (shard >= shard_count) {
+        throw InvalidArgument("shard index " + std::to_string(shard) +
+                              " >= shard count " +
+                              std::to_string(shard_count));
+    }
+}
 
 BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,
                                      std::uint32_t replication) {
@@ -30,22 +46,25 @@ BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,
     if (replication == 0) {
         throw InvalidArgument("replication must be >= 1");
     }
-    const std::scoped_lock lock(mu_);
-    BlobState b;
-    b.info = BlobInfo{next_blob_++, chunk_size, replication};
-    const BlobInfo info = b.info;
-    blobs_.emplace(info.id, std::move(b));
+    auto st = std::make_shared<BlobState>();
+    st->info = BlobInfo{kInvalidBlob, chunk_size, replication};
+
+    const std::scoped_lock lock(map_mu_);
+    st->info.id = make_blob_id(shard_, next_seq_++);
+    const BlobInfo info = st->info;
+    blobs_.emplace(info.id, st);
+    by_seq_.push_back(std::move(st));
     journal_append(kOpCreate, {chunk_size, replication});
     return info;
 }
 
 BlobInfo VersionManager::clone_blob(BlobId src, Version src_version) {
-    const std::scoped_lock lock(mu_);
-    const auto it = blobs_.find(src);
-    if (it == blobs_.end()) {
-        throw NotFoundError("blob " + std::to_string(src));
-    }
-    const BlobState& s = it->second;
+    const StatePtr src_st = state_of(src);
+    // Hold the source's stripe across id allocation and the journal
+    // append: replay must see the clone strictly after every source
+    // operation it observed (and strictly before any it did not).
+    const std::scoped_lock src_lock(stripe_mu(src));
+    BlobState& s = *src_st;
     Version v = src_version == kLatestVersion ? s.published : src_version;
     if (v > s.published) {
         throw InvalidArgument("cannot clone unpublished version " +
@@ -56,40 +75,66 @@ BlobInfo VersionManager::clone_blob(BlobId src, Version src_version) {
                              std::to_string(v));
     }
 
-    if (v > 0 && s.records[v - 1].status == VersionStatus::kRetired) {
-        throw VersionAborted("cannot clone retired version " +
-                             std::to_string(v));
-    }
-
-    BlobState b;
-    b.info = BlobInfo{next_blob_, s.info.chunk_size, s.info.replication};
+    auto st = std::make_shared<BlobState>();
+    st->info = BlobInfo{kInvalidBlob, s.info.chunk_size, s.info.replication};
     if (v == 0) {
         // Cloning version 0 of a clone chains to the original tree;
         // cloning version 0 of a fresh blob yields another empty blob.
-        b.origin = s.origin;
-        b.v0_size = s.v0_size;
+        st->origin = s.origin;
+        st->v0_size = s.v0_size;
     } else {
-        b.origin = meta::TreeRef{src, v, size_of_version(s, v)};
-        b.v0_size = b.origin.size;
+        st->origin = meta::TreeRef{src, v, size_of_version(s, v)};
+        st->v0_size = st->origin.size;
         // The clone reads through the origin's tree forever: protect that
-        // snapshot from retirement.
-        it->second.pinned.insert(v);
+        // snapshot from retirement (nested: one count per clone).
+        ++s.pinned[v];
     }
-    b.size = b.v0_size;
-    ++next_blob_;
-    const BlobInfo info = b.info;
-    blobs_.emplace(info.id, std::move(b));
+    st->size = st->v0_size;
+
+    const std::scoped_lock lock(map_mu_);
+    st->info.id = make_blob_id(shard_, next_seq_++);
+    const BlobInfo info = st->info;
+    blobs_.emplace(info.id, st);
+    by_seq_.push_back(std::move(st));
     journal_append(kOpClone, {src, v});  // v resolved: replay-stable
     return info;
 }
 
+BlobInfo VersionManager::clone_from(std::uint64_t chunk_size,
+                                    std::uint32_t replication,
+                                    const meta::TreeRef& origin) {
+    if (chunk_size == 0) {
+        throw InvalidArgument("chunk_size must be > 0");
+    }
+    if (replication == 0) {
+        throw InvalidArgument("replication must be >= 1");
+    }
+    auto st = std::make_shared<BlobState>();
+    st->info = BlobInfo{kInvalidBlob, chunk_size, replication};
+    if (origin.valid()) {
+        st->origin = origin;
+        st->v0_size = origin.size;
+    }
+    st->size = st->v0_size;
+
+    const std::scoped_lock lock(map_mu_);
+    st->info.id = make_blob_id(shard_, next_seq_++);
+    const BlobInfo info = st->info;
+    blobs_.emplace(info.id, st);
+    by_seq_.push_back(std::move(st));
+    journal_append(kOpCloneFrom, {chunk_size, replication, origin.blob,
+                                  origin.version, origin.size});
+    return info;
+}
+
 BlobInfo VersionManager::blob_info(BlobId blob) const {
-    const std::scoped_lock lock(mu_);
-    return state_of(blob).info;
+    // info is immutable after creation; the map lock taken inside
+    // state_of orders this read after the creating insert.
+    return state_of(blob)->info;
 }
 
 std::size_t VersionManager::blob_count() const {
-    const std::scoped_lock lock(mu_);
+    const std::shared_lock lock(map_mu_);
     return blobs_.size();
 }
 
@@ -99,8 +144,9 @@ AssignResult VersionManager::assign(BlobId blob,
     if (size == 0) {
         throw InvalidArgument("zero-sized write");
     }
-    const std::scoped_lock lock(mu_);
-    BlobState& b = state_of(blob);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    BlobState& b = *st;
     const std::uint64_t c = b.info.chunk_size;
     const std::uint64_t offset = offset_opt.value_or(b.size);
 
@@ -144,6 +190,7 @@ AssignResult VersionManager::assign(BlobId blob,
     b.records.push_back(rec);
     b.size = r.size_after;
     assigns_.add();
+    publish_backlog_.add();
     // Appends journal has_offset=0 so replay recomputes the offset from
     // the rebuilt blob size (appends are exempt from alignment checks).
     journal_append(kOpAssign, {blob, offset_opt.has_value() ? 1u : 0u,
@@ -152,9 +199,10 @@ AssignResult VersionManager::assign(BlobId blob,
 }
 
 void VersionManager::commit(BlobId blob, Version v) {
+    const StatePtr st = state_of(blob);
     {
-        const std::scoped_lock lock(mu_);
-        BlobState& b = state_of(blob);
+        const std::scoped_lock lock(stripe_mu(blob));
+        BlobState& b = *st;
         if (v == 0 || v > b.max_assigned) {
             throw InvalidArgument("commit of unassigned version " +
                                   std::to_string(v));
@@ -179,15 +227,16 @@ void VersionManager::commit(BlobId blob, Version v) {
         }
         advance_publication(b);
         commits_.add();
-        journal_append_waking(kOpCommit, {blob, v});
+        journal_append_waking(b, kOpCommit, {blob, v});
     }
-    publish_cv_.notify_all();
+    st->publish_cv.notify_all();
 }
 
 void VersionManager::abort(BlobId blob, Version v) {
+    const StatePtr st = state_of(blob);
     {
-        const std::scoped_lock lock(mu_);
-        BlobState& b = state_of(blob);
+        const std::scoped_lock lock(stripe_mu(blob));
+        BlobState& b = *st;
         if (v == 0 || v > b.max_assigned) {
             throw InvalidArgument("abort of unassigned version " +
                                   std::to_string(v));
@@ -198,42 +247,80 @@ void VersionManager::abort(BlobId blob, Version v) {
         }
         abort_tail(b, v);
         advance_publication(b);
-        journal_append_waking(kOpAbort, {blob, v});
+        journal_append_waking(b, kOpAbort, {blob, v});
     }
-    publish_cv_.notify_all();
+    st->publish_cv.notify_all();
+}
+
+std::size_t VersionManager::abort_stalled_locked(BlobState& b,
+                                                 TimePoint cutoff) {
+    for (Version v = b.pub_cursor + 1; v <= b.max_assigned; ++v) {
+        const VersionRecord& rec = b.records[v - 1];
+        if (rec.status == VersionStatus::kPending &&
+            rec.assigned_at < cutoff) {
+            const std::size_t aborted = abort_tail(b, v);
+            advance_publication(b);
+            journal_append_waking(b, kOpAbort, {b.info.id, v});
+            return aborted;
+        }
+        if (rec.status == VersionStatus::kPending) {
+            // Oldest unpublished pending version is still fresh: the
+            // tail behind it must keep waiting (in-order publication).
+            break;
+        }
+    }
+    return 0;
 }
 
 std::size_t VersionManager::abort_stalled(BlobId blob, Duration max_age) {
+    const StatePtr st = state_of(blob);
     std::size_t aborted = 0;
     {
-        const std::scoped_lock lock(mu_);
-        BlobState& b = state_of(blob);
-        const TimePoint cutoff = Clock::now() - max_age;
-        for (Version v = b.pub_cursor + 1; v <= b.max_assigned; ++v) {
-            const VersionRecord& rec = b.records[v - 1];
-            if (rec.status == VersionStatus::kPending &&
-                rec.assigned_at < cutoff) {
-                aborted = abort_tail(b, v);
-                advance_publication(b);
-                journal_append_waking(kOpAbort, {blob, v});
-                break;
-            }
-            if (rec.status == VersionStatus::kPending) {
-                // Oldest unpublished pending version is still fresh: the
-                // tail behind it must keep waiting (in-order publication).
-                break;
-            }
-        }
+        const std::scoped_lock lock(stripe_mu(blob));
+        aborted = abort_stalled_locked(*st, Clock::now() - max_age);
     }
     if (aborted > 0) {
-        publish_cv_.notify_all();
+        st->publish_cv.notify_all();
+    }
+    return aborted;
+}
+
+std::size_t VersionManager::sweep_stalled(Duration max_age,
+                                          std::size_t max_blobs) {
+    std::vector<StatePtr> batch;
+    {
+        const std::shared_lock lock(map_mu_);
+        const std::size_t n = by_seq_.size();
+        if (n == 0 || max_blobs == 0) {
+            return 0;
+        }
+        const std::size_t take = std::min(max_blobs, n);
+        const std::uint64_t start = sweep_cursor_.fetch_add(take);
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(by_seq_[(start + i) % n]);
+        }
+    }
+    const TimePoint cutoff = Clock::now() - max_age;
+    std::size_t aborted = 0;
+    for (const StatePtr& st : batch) {
+        std::size_t k = 0;
+        {
+            const std::scoped_lock lock(stripe_mu(st->info.id));
+            k = abort_stalled_locked(*st, cutoff);
+        }
+        if (k > 0) {
+            aborted += k;
+            st->publish_cv.notify_all();
+        }
     }
     return aborted;
 }
 
 VersionInfo VersionManager::get_version(BlobId blob, Version v) const {
-    const std::scoped_lock lock(mu_);
-    const BlobState& b = state_of(blob);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    const BlobState& b = *st;
     VersionInfo info;
     info.version = v == kLatestVersion ? b.published : v;
     if (info.version > b.max_assigned) {
@@ -254,19 +341,20 @@ VersionInfo VersionManager::get_version(BlobId blob, Version v) const {
 }
 
 Version VersionManager::latest(BlobId blob) const {
-    const std::scoped_lock lock(mu_);
-    return state_of(blob).published;
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    return st->published;
 }
 
 VersionInfo VersionManager::wait_published(BlobId blob, Version v,
                                            Duration timeout) const {
-    std::unique_lock lock(mu_);
-    const TimePoint deadline = Clock::now() + timeout;
-    const BlobState& b = state_of(blob);
     if (v == 0) {
-        lock.unlock();
         return get_version(blob, 0);
     }
+    const StatePtr st = state_of(blob);
+    std::unique_lock lock(stripe_mu(blob));
+    const BlobState& b = *st;
+    const TimePoint deadline = Clock::now() + timeout;
     const auto done = [&] {
         if (v > b.max_assigned) {
             return false;
@@ -274,7 +362,7 @@ VersionInfo VersionManager::wait_published(BlobId blob, Version v,
         const VersionStatus s = b.records[v - 1].status;
         return s == VersionStatus::kPublished || s == VersionStatus::kAborted;
     };
-    if (!publish_cv_.wait_until(lock, deadline, done)) {
+    if (!b.publish_cv.wait_until(lock, deadline, done)) {
         throw TimeoutError("waiting for publication of version " +
                            std::to_string(v));
     }
@@ -289,8 +377,9 @@ VersionInfo VersionManager::wait_published(BlobId blob, Version v,
 
 meta::WriteDescriptor VersionManager::descriptor_of(BlobId blob,
                                                     Version v) const {
-    const std::scoped_lock lock(mu_);
-    const BlobState& b = state_of(blob);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    const BlobState& b = *st;
     if (v == 0 || v > b.max_assigned) {
         throw NotFoundError("descriptor of version " + std::to_string(v));
     }
@@ -299,8 +388,9 @@ meta::WriteDescriptor VersionManager::descriptor_of(BlobId blob,
 
 std::vector<VersionManager::VersionSummary> VersionManager::history(
     BlobId blob, Version from, Version to) const {
-    const std::scoped_lock lock(mu_);
-    const BlobState& b = state_of(blob);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    const BlobState& b = *st;
     std::vector<VersionSummary> out;
     from = std::max<Version>(from, 1);
     to = std::min<Version>(to, b.max_assigned);
@@ -312,33 +402,45 @@ std::vector<VersionManager::VersionSummary> VersionManager::history(
     return out;
 }
 
-void VersionManager::pin(BlobId blob, Version v) {
-    const std::scoped_lock lock(mu_);
-    BlobState& b = state_of(blob);
+bool VersionManager::pin(BlobId blob, Version v) {
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    BlobState& b = *st;
     if (v == 0 || v > b.max_assigned ||
         b.records[v - 1].status != VersionStatus::kPublished) {
         throw InvalidArgument("only published versions can be pinned");
     }
-    b.pinned.insert(v);
+    const bool first = ++b.pinned[v] == 1;
     journal_append(kOpPin, {blob, v});
+    return first;
 }
 
 void VersionManager::unpin(BlobId blob, Version v) {
-    const std::scoped_lock lock(mu_);
-    state_of(blob).pinned.erase(v);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    const auto it = st->pinned.find(v);
+    if (it != st->pinned.end() && --it->second == 0) {
+        st->pinned.erase(it);
+    }
     journal_append(kOpUnpin, {blob, v});
 }
 
 std::vector<Version> VersionManager::pinned(BlobId blob) const {
-    const std::scoped_lock lock(mu_);
-    const BlobState& b = state_of(blob);
-    return {b.pinned.begin(), b.pinned.end()};
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    std::vector<Version> out;
+    out.reserve(st->pinned.size());
+    for (const auto& [v, count] : st->pinned) {
+        out.push_back(v);
+    }
+    return out;
 }
 
 VersionManager::RetireInfo VersionManager::retire(BlobId blob,
                                                   Version keep_from) {
-    const std::scoped_lock lock(mu_);
-    BlobState& b = state_of(blob);
+    const StatePtr st = state_of(blob);
+    const std::scoped_lock lock(stripe_mu(blob));
+    BlobState& b = *st;
     if (keep_from == 0 || keep_from > b.published) {
         throw InvalidArgument(
             "keep_from must name a published version (got " +
@@ -361,7 +463,7 @@ VersionManager::RetireInfo VersionManager::retire(BlobId blob,
             info.descriptors.push_back(rec.desc);
         }
     }
-    for (const Version p : b.pinned) {
+    for (const auto& [p, count] : b.pinned) {
         if (p <= keep_from) {
             info.pinned.push_back(p);
         }
@@ -370,15 +472,8 @@ VersionManager::RetireInfo VersionManager::retire(BlobId blob,
     return info;
 }
 
-const VersionManager::BlobState& VersionManager::state_of(BlobId blob) const {
-    const auto it = blobs_.find(blob);
-    if (it == blobs_.end()) {
-        throw NotFoundError("blob " + std::to_string(blob));
-    }
-    return it->second;
-}
-
-VersionManager::BlobState& VersionManager::state_of(BlobId blob) {
+VersionManager::StatePtr VersionManager::state_of(BlobId blob) const {
+    const std::shared_lock lock(map_mu_);
     const auto it = blobs_.find(blob);
     if (it == blobs_.end()) {
         throw NotFoundError("blob " + std::to_string(blob));
@@ -393,10 +488,13 @@ void VersionManager::advance_publication(BlobState& b) {
             rec.status = VersionStatus::kPublished;
             ++b.pub_cursor;
             b.published = b.pub_cursor;
+            publishes_.add();
+            publish_backlog_.sub();
         } else if (rec.status == VersionStatus::kAborted) {
             // Version number consumed but unreadable; readers of "latest"
             // stay on the previous published snapshot.
             ++b.pub_cursor;
+            publish_backlog_.sub();
         } else {
             break;
         }
@@ -436,6 +534,19 @@ std::uint64_t VersionManager::size_of_version(const BlobState& b,
     return v == 0 ? b.v0_size : b.records[v - 1].desc.size_after;
 }
 
+ShardStatus VersionManager::status() const {
+    ShardStatus s;
+    s.shard = shard_;
+    s.blobs = blob_count();
+    s.assigns = assigns_.get();
+    s.commits = commits_.get();
+    s.aborts = aborts_.get();
+    s.publishes = publishes_.get();
+    s.backlog = publish_backlog_.get();
+    s.backlog_high_water = publish_backlog_.high_water();
+    return s;
+}
+
 // ---- durability (operation journal) ------------------------------------------
 
 void VersionManager::attach_journal(
@@ -443,7 +554,8 @@ void VersionManager::attach_journal(
     // Replay before any concurrent use: the public methods rebuild the
     // exact state because every one of them is deterministic given the
     // operation sequence (assign allocates versions and resolves append
-    // offsets from rebuilt state).
+    // offsets from rebuilt state). Per-blob order and blob-id allocation
+    // order were preserved at append time, which is all replay needs.
     replaying_ = true;
     std::uint64_t records = 0;
     try {
@@ -456,29 +568,38 @@ void VersionManager::attach_journal(
         throw;
     }
     replaying_ = false;
-    const std::scoped_lock lock(mu_);
+    const std::scoped_lock lock(journal_mu_);
     journal_ = std::move(journal);
     journal_seq_ = records;
 }
 
 void VersionManager::journal_append_waking(
-    std::uint8_t op, std::initializer_list<std::uint64_t> args) {
+    BlobState& b, std::uint8_t op,
+    std::initializer_list<std::uint64_t> args) {
     try {
         journal_append(op, args);
     } catch (...) {
         // Publication already advanced in memory; blocked readers in
         // wait_published must still wake even when the journal write
         // fails (the caller's trailing notify is skipped by the throw).
-        publish_cv_.notify_all();
+        b.publish_cv.notify_all();
         throw;
     }
 }
 
 void VersionManager::journal_append(
     std::uint8_t op, std::initializer_list<std::uint64_t> args) {
+    // Checked BEFORE taking journal_mu_: both fields only change during
+    // single-threaded phases (attach_journal runs before any concurrent
+    // use), and skipping the lock while replaying breaks the
+    // engine-mutex -> journal_mu_ ordering edge the replay path would
+    // otherwise create (LogEngine::scan holds the engine mutex around
+    // its callback, while runtime appends acquire journal_mu_ and then
+    // the engine mutex inside put()).
     if (journal_ == nullptr || replaying_) {
         return;
     }
+    const std::scoped_lock jlock(journal_mu_);
     if (journal_failed_) {
         // A previous append failed: later ops must not keep journaling
         // past the gap (replay would rebuild a divergent state). Fail
@@ -512,8 +633,8 @@ void VersionManager::apply_journal_op(ConstBytes value) {
         throw ConsistencyError("malformed version-manager journal record");
     }
     const std::size_t argc = (value.size() - 1) / 8;
-    std::uint64_t a[4] = {0, 0, 0, 0};
-    for (std::size_t i = 0; i < argc && i < 4; ++i) {
+    std::uint64_t a[5] = {0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < argc && i < 5; ++i) {
         a[i] = engine::get_u64(value, 1 + i * 8);
     }
     const auto need = [&](std::size_t n) {
@@ -530,6 +651,11 @@ void VersionManager::apply_journal_op(ConstBytes value) {
         case kOpClone:
             need(2);
             (void)clone_blob(a[0], a[1]);
+            break;
+        case kOpCloneFrom:
+            need(5);
+            (void)clone_from(a[0], static_cast<std::uint32_t>(a[1]),
+                             meta::TreeRef{a[2], a[3], a[4]});
             break;
         case kOpAssign:
             need(4);

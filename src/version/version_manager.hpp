@@ -14,22 +14,37 @@
 /// linearizable: a write linearizes at its assign, a read at its
 /// version-resolution query.
 ///
+/// Serialization is per blob, twice over (DESIGN.md §10):
+///  * within one VersionManager instance, blob states live behind striped
+///    locks and each blob carries its own publication condition variable,
+///    so writers of unrelated blobs never contend and a publish wakes
+///    only that blob's waiters;
+///  * a deployment runs N VersionManager *shards*, each owning the blobs
+///    whose id it minted (the owning shard index is embedded in the top
+///    byte of every BlobId — see common/types.hpp blob_shard()).
+///
 /// Fault handling: a writer that dies between assign and commit blocks
-/// publication. abort_stalled() implements the documented recovery policy:
-/// the oldest stalled version and every version assigned after it are
-/// aborted (later versions may have woven references into the dead
-/// version's never-written metadata, so the whole tail must go), and the
-/// blob's running size is rolled back.
+/// publication. abort_stalled() implements the documented recovery policy
+/// for one blob: the oldest stalled version and every version assigned
+/// after it are aborted (later versions may have woven references into
+/// the dead version's never-written metadata, so the whole tail must go),
+/// and the blob's running size is rolled back. sweep_stalled() applies
+/// the same policy incrementally across the shard's blobs, a bounded
+/// batch per call, so a background sweeper never holds any lock for
+/// O(total blobs).
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <initializer_list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +52,7 @@
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "meta/tree_builder.hpp"
@@ -104,9 +120,34 @@ struct VersionInfo {
     meta::TreeRef tree;
 };
 
+/// Point-in-time observability snapshot of one shard (kVmStatus RPC,
+/// serverd shutdown dump, `blobseer_cli vm-status`).
+struct ShardStatus {
+    std::uint32_t shard = 0;
+    std::uint64_t blobs = 0;
+    std::uint64_t assigns = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    /// Versions that ever flipped to kPublished (the shard's publication
+    /// cursor summed over its blobs).
+    std::uint64_t publishes = 0;
+    /// Publish backlog right now: assigned-but-unpublished versions
+    /// (sum of max_assigned - pub_cursor over the shard's blobs).
+    std::uint64_t backlog = 0;
+    /// Deepest backlog the shard ever reached.
+    std::uint64_t backlog_high_water = 0;
+
+    friend bool operator==(const ShardStatus&, const ShardStatus&) = default;
+};
+
 class VersionManager {
   public:
-    VersionManager() = default;
+    /// \param shard this instance's shard index; every blob it creates
+    ///        embeds it (see make_blob_id). \param shard_count total
+    ///        shards in the deployment (bounds-checks \p shard only; the
+    ///        instance never talks to its peers).
+    explicit VersionManager(std::uint32_t shard = 0,
+                            std::uint32_t shard_count = 1);
 
     // ---- blob lifecycle --------------------------------------------------
 
@@ -115,13 +156,27 @@ class VersionManager {
 
     /// O(1) snapshot clone (extension feature; see DESIGN.md): the new
     /// blob's version 0 is an alias of (\p src, \p src_version), which
-    /// must be published.
+    /// must be published AND live on this shard. Cross-shard clones go
+    /// through clone_from().
     BlobInfo clone_blob(BlobId src, Version src_version);
+
+    /// Cross-shard half of CLONE (DESIGN.md §10.3): create a blob whose
+    /// version 0 aliases the already-resolved published snapshot
+    /// \p origin (possibly owned by another shard). The caller — the
+    /// client library — is responsible for having resolved \p origin via
+    /// get_version() on the owning shard and for pinning it there so it
+    /// survives retirement. An invalid \p origin creates an empty blob
+    /// (the clone-of-a-fresh-blob case).
+    BlobInfo clone_from(std::uint64_t chunk_size, std::uint32_t replication,
+                        const meta::TreeRef& origin);
 
     [[nodiscard]] BlobInfo blob_info(BlobId blob) const;
 
     /// Number of blobs created so far.
     [[nodiscard]] std::size_t blob_count() const;
+
+    /// Shard index of this instance.
+    [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
 
     // ---- write path -------------------------------------------------------
 
@@ -145,6 +200,13 @@ class VersionManager {
     /// pending version older than \p max_age. Returns the number of
     /// versions aborted.
     std::size_t abort_stalled(BlobId blob, Duration max_age);
+
+    /// Incremental shard-wide form of abort_stalled: apply the timeout
+    /// policy to the next \p max_blobs blobs after an internal rotating
+    /// cursor (wrapping), so repeated calls sweep the whole shard without
+    /// ever doing O(total blobs) work under a lock. Returns the number of
+    /// versions aborted in this batch.
+    std::size_t sweep_stalled(Duration max_age, std::size_t max_blobs = 64);
 
     // ---- read path ----------------------------------------------------------
 
@@ -182,8 +244,13 @@ class VersionManager {
                                                       Version to) const;
 
     /// Pin a published snapshot: it survives retirement (clones pin their
-    /// origin automatically).
-    void pin(BlobId blob, Version v);
+    /// origin automatically). Pins NEST — each pin() adds a count that
+    /// one unpin() removes, so independent pinners never release each
+    /// other's protection (a cross-shard clone that fails after pinning
+    /// compensates with exactly one unpin). Returns true when this call
+    /// created the version's first pin.
+    bool pin(BlobId blob, Version v);
+    /// Drop one pin count of \p v (no-op when unpinned).
     void unpin(BlobId blob, Version v);
     [[nodiscard]] std::vector<Version> pinned(BlobId blob) const;
 
@@ -215,8 +282,12 @@ class VersionManager {
     /// every subsequent state-changing operation into it. The journal
     /// engine must have background compaction disabled (replay depends on
     /// append order) — core::Cluster configures this when
-    /// ClusterConfig::durable_version_manager is set. Call before any
-    /// concurrent use; throws ConsistencyError on a corrupt journal.
+    /// ClusterConfig::durable_version_manager is set. Each shard owns its
+    /// own journal, so replay is deterministic per shard: journal order
+    /// preserves per-blob operation order and blob-id allocation order
+    /// (both appended under the lock that serialized the operation).
+    /// Call before any concurrent use; throws ConsistencyError on a
+    /// corrupt journal.
     void attach_journal(std::shared_ptr<engine::LogEngine> journal);
 
     // ---- stats ---------------------------------------------------------------
@@ -224,6 +295,18 @@ class VersionManager {
     [[nodiscard]] std::uint64_t assigns() const { return assigns_.get(); }
     [[nodiscard]] std::uint64_t commits() const { return commits_.get(); }
     [[nodiscard]] std::uint64_t aborts() const { return aborts_.get(); }
+    [[nodiscard]] std::uint64_t publishes() const {
+        return publishes_.get();
+    }
+
+    /// Assigned-but-unpublished versions across this shard's blobs, with
+    /// high-water mark — the "is the serialized step keeping up" gauge.
+    [[nodiscard]] const Gauge& publish_backlog() const noexcept {
+        return publish_backlog_;
+    }
+
+    /// Everything above in one snapshot.
+    [[nodiscard]] ShardStatus status() const;
 
   private:
     struct VersionRecord {
@@ -244,45 +327,89 @@ class VersionManager {
         /// records[v-1] describes version v.
         std::vector<VersionRecord> records;
         /// Snapshots protected from retirement (explicit pins and clone
-        /// origins).
-        std::set<Version> pinned;
+        /// origins), with a nesting count per version: independent
+        /// pinners — e.g. concurrent cross-shard clones of the same
+        /// snapshot — each hold their own pin, and one party's
+        /// compensating unpin can never strip another's protection.
+        std::map<Version, std::uint64_t> pinned;
+        /// Waiters of wait_published() on THIS blob (used with the
+        /// blob's stripe mutex): a publish elsewhere in the deployment —
+        /// or even elsewhere in this shard — wakes nobody here.
+        mutable std::condition_variable publish_cv;
     };
+    using StatePtr = std::shared_ptr<BlobState>;
 
-    [[nodiscard]] const BlobState& state_of(BlobId blob) const;
-    [[nodiscard]] BlobState& state_of(BlobId blob);
+    /// Lock stripes over blob states. Every mutation/read of a
+    /// BlobState's mutable fields holds the blob's stripe mutex; the
+    /// stripe count only bounds false sharing between blobs, correctness
+    /// needs just "same blob -> same mutex".
+    static constexpr std::size_t kLockStripes = 32;
+    static_assert(is_pow2(kLockStripes));
+
+    [[nodiscard]] static std::size_t stripe_of(BlobId blob) noexcept {
+        return static_cast<std::size_t>(mix64(blob)) & (kLockStripes - 1);
+    }
+    [[nodiscard]] std::mutex& stripe_mu(BlobId blob) const {
+        return stripe_mu_[stripe_of(blob)];
+    }
+
+    /// Look the blob up (throws NotFoundError). Takes and releases the
+    /// map lock; callers then lock the blob's stripe. Lock order is
+    /// always stripe -> map -> journal (any subset, in that order).
+    [[nodiscard]] StatePtr state_of(BlobId blob) const;
+
+    /// Apply the stalled-tail policy to one blob. Caller holds the
+    /// blob's stripe mutex. Returns versions aborted (0 = nothing
+    /// stalled long enough).
+    std::size_t abort_stalled_locked(BlobState& b, TimePoint cutoff);
 
     /// Advance the publication cursor through committed/aborted records.
-    /// Caller holds mu_.
+    /// Caller holds the blob's stripe mutex.
     void advance_publication(BlobState& b);
 
-    /// Abort the tail starting at version \p v. Caller holds mu_.
+    /// Abort the tail starting at version \p v. Caller holds the blob's
+    /// stripe mutex.
     std::size_t abort_tail(BlobState& b, Version v);
 
-    /// Base tree of the latest published snapshot. Caller holds mu_.
+    /// Base tree of the latest published snapshot. Caller holds the
+    /// blob's stripe mutex.
     [[nodiscard]] meta::TreeRef published_base(const BlobState& b) const;
 
     [[nodiscard]] std::uint64_t size_of_version(const BlobState& b,
                                                 Version v) const;
 
     /// Append one operation record to the journal (no-op when detached or
-    /// replaying). Caller holds mu_ — journal order must match the order
-    /// operations were applied in.
+    /// replaying). The caller holds whichever lock serialized the
+    /// operation (the blob's stripe mutex for per-blob ops, the map lock
+    /// for create/clone) — journal order must match the order operations
+    /// were applied in for replay to rebuild the same state.
     void journal_append(std::uint8_t op,
                         std::initializer_list<std::uint64_t> args);
 
     /// journal_append for publication-advancing ops (commit/abort): on
-    /// failure, wakes wait_published() blockers before rethrowing.
-    void journal_append_waking(std::uint8_t op,
+    /// failure, wakes \p b's wait_published() blockers before rethrowing.
+    void journal_append_waking(BlobState& b, std::uint8_t op,
                                std::initializer_list<std::uint64_t> args);
 
     /// Re-execute one journaled operation during attach_journal replay.
     void apply_journal_op(ConstBytes value);
 
-    mutable std::mutex mu_;  // guards blobs_ and every BlobState
-    mutable std::condition_variable publish_cv_;
-    std::unordered_map<BlobId, BlobState> blobs_;
-    BlobId next_blob_ = 1;
+    const std::uint32_t shard_;
 
+    mutable std::array<std::mutex, kLockStripes> stripe_mu_;
+
+    /// Guards blobs_, by_seq_ and next_seq_ (blob-id allocation).
+    mutable std::shared_mutex map_mu_;
+    std::unordered_map<BlobId, StatePtr> blobs_;
+    /// Creation-ordered view for the incremental stalled sweep (blobs
+    /// are never erased).
+    std::vector<StatePtr> by_seq_;
+    std::uint64_t next_seq_ = 1;
+    /// Rotating sweep position (indexes by_seq_ modulo its size).
+    std::atomic<std::uint64_t> sweep_cursor_{0};
+
+    /// Guards the journal engine handle, sequence and fail latch.
+    mutable std::mutex journal_mu_;
     std::shared_ptr<engine::LogEngine> journal_;  // null = volatile VM
     std::uint64_t journal_seq_ = 0;
     bool replaying_ = false;
@@ -295,6 +422,8 @@ class VersionManager {
     Counter assigns_;
     Counter commits_;
     Counter aborts_;
+    Counter publishes_;
+    Gauge publish_backlog_;
 };
 
 }  // namespace blobseer::version

@@ -2,9 +2,11 @@
 # End-to-end smoke test of the TCP deployment path: boot blobseer_serverd
 # on an ephemeral loopback port, drive a create/write/append/read/history
 # flow through `blobseer_cli --connect`, and assert on the output. A
-# second phase starts a log-store daemon, writes a blob, kills and
-# restarts the daemon on the same --disk-root, and verifies the blob
-# reads back byte-identical (the log engine's restart recovery path).
+# second phase starts a log-store daemon with a 2-shard version-manager
+# topology, writes blobs on both shards, clones across them, kills and
+# restarts the daemon on the same --disk-root, and verifies every blob
+# reads back byte-identical (log-engine restart recovery incl. the
+# per-shard version-manager journals).
 #
 # Usage: e2e_tcp.sh <path-to-blobseer_serverd> <path-to-blobseer_cli>
 set -u
@@ -86,41 +88,80 @@ grep -q "error:" "$WORK/cli.log" && fail "command error in output"
 
 stop_serverd
 
-# --- phase 2: log-store persistence across a daemon restart ------------------
+# --- phase 2: 2-shard VM topology + log-store persistence across restart ----
 
 STORE_ROOT="$WORK/log-root"
+SHARDED="--data-providers 4 --meta-providers 2 --replication 2 \
+    --store log --disk-root $STORE_ROOT --vm-shards 2"
 
-start_serverd "$WORK/serverd2.log" --data-providers 4 --meta-providers 2 \
-    --replication 2 --store log --disk-root "$STORE_ROOT"
+# shellcheck disable=SC2086
+start_serverd "$WORK/serverd2.log" $SHARDED
 
-"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli2.log" 2>&1 <<'EOF'
+# Create 6 blobs: the client library spreads creations over both shards
+# by consistent hashing, so (deterministically, given the daemon's
+# minted client id) both shards end up owning blobs; vm-status asserts
+# that below rather than trusting luck.
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli2a.log" 2>&1 <<'EOF'
 create 65536
-write 1 0 200000 7
-read 1 1 0 200000 7
+create 65536
+create 65536
+create 65536
+create 65536
+create 65536
+vm-status
 quit
 EOF
-[ $? -eq 0 ] || { cat "$WORK/cli2.log"; fail "pre-restart cli failed"; }
-grep -q "tag matches" "$WORK/cli2.log" || {
-    cat "$WORK/cli2.log"
+[ $? -eq 0 ] || { cat "$WORK/cli2a.log"; fail "create session failed"; }
+mapfile -t BLOBS < <(sed -n 's/^blob \([0-9]*\) created.*/\1/p' \
+    "$WORK/cli2a.log")
+[ "${#BLOBS[@]}" -eq 6 ] || { cat "$WORK/cli2a.log"; fail "expected 6 blobs"; }
+grep -q "shard 0 .*: blobs [1-9]" "$WORK/cli2a.log" ||
+    { cat "$WORK/cli2a.log"; fail "shard 0 owns no blobs"; }
+grep -q "shard 1 .*: blobs [1-9]" "$WORK/cli2a.log" ||
+    { cat "$WORK/cli2a.log"; fail "shard 1 owns no blobs"; }
+
+# Write distinct tagged patterns to the first two blobs (one expected on
+# each shard), read them back, and clone blob A — the clone lands on a
+# shard picked by the same routing, exercising the cross-shard
+# get_version + pin + clone_from protocol over the wire.
+A=${BLOBS[0]}
+B=${BLOBS[1]}
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli2b.log" 2>&1 <<EOF
+write $A 0 200000 7
+write $B 0 131072 8
+read $A 1 0 200000 7
+read $B 1 0 131072 8
+clone $A latest
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli2b.log"; fail "pre-restart cli failed"; }
+echo "--- pre-restart cli output (2-shard) ---"
+cat "$WORK/cli2b.log"
+[ "$(grep -c "tag matches" "$WORK/cli2b.log")" -eq 2 ] || {
     fail "pre-restart readback mismatch"
 }
-FNV_BEFORE=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli2.log")
+CLONE=$(sed -n 's/^clone -> blob \([0-9]*\).*/\1/p' "$WORK/cli2b.log")
+[ -n "$CLONE" ] || fail "clone did not report a blob id"
+FNV_BEFORE=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli2b.log" | head -1)
 [ -n "$FNV_BEFORE" ] || fail "no pre-restart fnv recorded"
 
 # Kill the daemon and restart it on the same root: chunks, metadata and
-# the version-manager journal must all come back from the log engines.
+# BOTH per-shard version-manager journals must all come back from the
+# log engines — including the clone's cross-shard origin alias.
 stop_serverd
-start_serverd "$WORK/serverd3.log" --data-providers 4 --meta-providers 2 \
-    --replication 2 --store log --disk-root "$STORE_ROOT"
+# shellcheck disable=SC2086
+start_serverd "$WORK/serverd3.log" $SHARDED
 
 # Also write after the restart: the new daemon re-mints the same client
 # ids, so this exercises the per-boot uid epoch (without it the write's
 # chunks would collide with pre-restart uids and read back stale bytes).
-"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli3.log" 2>&1 <<'EOF'
-read 1 1 0 200000 7
-stat 1
-write 1 0 200000 9
-read 1 2 0 200000 9
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli3.log" 2>&1 <<EOF
+read $A 1 0 200000 7
+read $B 1 0 131072 8
+read $CLONE 0 0 200000
+stat $A
+write $A 0 200000 9
+read $A 2 0 200000 9
 quit
 EOF
 [ $? -eq 0 ] || { cat "$WORK/cli3.log"; fail "post-restart cli failed"; }
@@ -128,11 +169,17 @@ EOF
 echo "--- post-restart cli output ---"
 cat "$WORK/cli3.log"
 
-[ "$(grep -c "tag matches" "$WORK/cli3.log")" -eq 2 ] ||
+[ "$(grep -c "tag matches" "$WORK/cli3.log")" -eq 3 ] ||
     fail "post-restart readbacks not byte-identical to their patterns"
 FNV_AFTER=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli3.log" | head -1)
 [ "$FNV_BEFORE" = "$FNV_AFTER" ] ||
     fail "post-restart bytes differ (fnv $FNV_BEFORE != $FNV_AFTER)"
+# The clone's version 0 (an alias into A's v1 tree, restored from the
+# destination shard's journal) must read the exact pre-restart bytes.
+FNV_CLONE=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli3.log" |
+    sed -n 3p)
+[ "$FNV_BEFORE" = "$FNV_CLONE" ] ||
+    fail "clone readback differs from origin (fnv $FNV_BEFORE != $FNV_CLONE)"
 grep -q "v1: size 200000, status published" "$WORK/cli3.log" ||
     fail "post-restart stat mismatch"
 grep -q -- "-> version 2" "$WORK/cli3.log" ||

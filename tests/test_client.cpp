@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "rpc/sim_transport.hpp"
 #include "testing_util.hpp"
 
@@ -341,7 +343,7 @@ TEST_F(ClientFixture, SynchronousTransportFailureFailsOverInWindow) {
                                             cluster_.dispatcher()),
         bad);
     env.self = self;
-    env.vm_node = cluster_.version_manager_node();
+    env.vm_nodes = cluster_.version_manager_nodes();
     env.pm_node = cluster_.provider_manager_node();
     env.meta_ring = cluster_.meta_ring();
     env.meta_replication = cluster_.config().meta_replication;
@@ -381,6 +383,101 @@ TEST_F(ClientFixture, InflightWindowGaugeBalances) {
         << "window leaked in-flight accounting";
     EXPECT_GE(st.inflight_chunk_rpcs.high_water(), 2u)
         << "multi-chunk write/read never overlapped chunk RPCs";
+}
+
+// ---- sharded version managers ---------------------------------------------
+
+TEST(ShardedVm, FullAccessInterfaceAcrossShards) {
+    auto cfg = fast_config();
+    cfg.num_version_managers = 3;
+    Cluster cluster(cfg);
+    auto client = cluster.make_client();
+
+    // Creations spread over the shards by consistent hashing; every
+    // blob id carries its owning shard and all per-blob traffic routes
+    // there transparently.
+    std::vector<Blob> blobs;
+    std::set<std::uint32_t> shards_hit;
+    for (int i = 0; i < 12; ++i) {
+        blobs.push_back(client->create(kChunk));
+        shards_hit.insert(blob_shard(blobs.back().id()));
+    }
+    EXPECT_GT(shards_hit.size(), 1u)
+        << "12 creations all landed on one of 3 shards";
+
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+        Blob& blob = blobs[i];
+        const Buffer data =
+            make_pattern(blob.id(), i + 1, 0, 4 * kChunk);
+        EXPECT_EQ(blob.write(0, data), 1u);
+        EXPECT_EQ(blob.append(make_pattern(blob.id(), 100 + i, 0, kChunk)),
+                  2u);
+        Buffer out(4 * kChunk);
+        EXPECT_EQ(blob.read(1, 0, out), out.size());
+        EXPECT_TRUE(blobseer::testing::matches(blob.id(), i + 1, 0, out));
+        EXPECT_EQ(blob.stat().version, 2u);
+        EXPECT_EQ(blob.size(), 5 * kChunk);
+        EXPECT_EQ(client->history(blob.id()).size(), 2u);
+    }
+
+    // Per-shard status over the wire adds up to the whole deployment.
+    auto& svc = client->services();
+    EXPECT_EQ(svc.vm_nodes().size(), 3u);
+    std::uint64_t blob_total = 0;
+    std::uint64_t assign_total = 0;
+    for (const NodeId node : svc.vm_nodes()) {
+        const auto st = svc.vm_status(node);
+        blob_total += st.blobs;
+        assign_total += st.assigns;
+        EXPECT_EQ(st.backlog, 0u);  // everything published
+    }
+    EXPECT_EQ(blob_total, blobs.size());
+    EXPECT_EQ(assign_total, 2 * blobs.size());
+}
+
+TEST(ShardedVm, CrossShardCloneSharesStorageAndDiverges) {
+    auto cfg = fast_config();
+    cfg.num_version_managers = 2;
+    Cluster cluster(cfg);
+    auto client = cluster.make_client();
+
+    Blob src = client->create(kChunk);
+    const Buffer data = make_pattern(src.id(), 1, 0, 6 * kChunk);
+    src.write(0, data);
+
+    // The clone aliases the published snapshot regardless of which
+    // shard it lands on (the client resolves + pins on the source
+    // shard and hands the TreeRef to the destination shard).
+    Blob copy = client->clone(src.id());
+    Buffer out(6 * kChunk);
+    EXPECT_EQ(copy.read(0, 0, out), out.size());
+    EXPECT_EQ(out, data);
+
+    // The origin version is pinned on its owning shard.
+    auto& src_vm = cluster.version_manager(blob_shard(src.id()));
+    EXPECT_EQ(src_vm.pinned(src.id()), (std::vector<Version>{1}));
+
+    // Writes diverge the clone without touching the origin.
+    EXPECT_EQ(copy.write(0, make_pattern(copy.id(), 2, 0, kChunk)), 1u);
+    Buffer head(kChunk);
+    EXPECT_EQ(copy.read(1, 0, head), kChunk);
+    EXPECT_TRUE(blobseer::testing::matches(copy.id(), 2, 0, head));
+    Buffer src_head(kChunk);
+    EXPECT_EQ(src.read(1, 0, src_head), kChunk);
+    EXPECT_TRUE(blobseer::testing::matches(src.id(), 1, 0, src_head));
+
+    // Clone-of-clone (version 0) chains to the original tree even
+    // through the cross-shard protocol.
+    Blob copy2 = client->clone(copy.id(), 0);
+    Buffer out2(6 * kChunk);
+    EXPECT_EQ(copy2.read(0, 0, out2), out2.size());
+    EXPECT_EQ(out2, data);
+
+    // Cloning an unpublished version fails the same way it does on a
+    // single shard.
+    (void)cluster.version_manager(blob_shard(src.id()))
+        .assign(src.id(), std::nullopt, kChunk);
+    EXPECT_THROW((void)client->clone(src.id(), 2), InvalidArgument);
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ class MetaDhtFixture : public ::testing::Test {
         transport_ = std::make_unique<rpc::SimTransport>(net_, client_node_,
                                                          dispatcher_);
         svc_ = std::make_unique<rpc::ServiceClient>(
-            *transport_, kInvalidNode, kInvalidNode);
+            *transport_, std::vector<NodeId>{kInvalidNode}, kInvalidNode);
     }
 
     [[nodiscard]] MetaDht make_client(std::uint32_t replication) {

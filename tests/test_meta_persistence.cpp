@@ -8,9 +8,11 @@
 
 #include <filesystem>
 
+#include "engine/log_engine.hpp"
 #include "meta/disk_meta_store.hpp"
 #include "meta/log_meta_store.hpp"
 #include "testing_util.hpp"
+#include "version/version_manager.hpp"
 
 namespace blobseer::meta {
 namespace {
@@ -275,6 +277,99 @@ TEST(ClusterLogPersistence, FullRestartRoundTrip) {
     Buffer v1_again(v1_size);
     EXPECT_EQ(client->read(blob_id, 1, 0, v1_again), v1_size);
     EXPECT_TRUE(blobseer::testing::matches(blob_id, 1, 0, v1_again));
+}
+
+/// kOpClone replay: a same-shard clone journaled by one session must be
+/// rebuilt by the next — the origin alias, version-0 size, and the pin
+/// that protects the origin snapshot from retirement.
+TEST(VmJournal, CloneReplaysAcrossRestart) {
+    TempDir dir;
+    engine::EngineConfig jc;
+    jc.dir = dir.path() / "vm-0";
+    jc.background_compaction = false;
+    jc.checkpoint_interval_records = 0;
+
+    BlobId src = kInvalidBlob;
+    BlobId clone = kInvalidBlob;
+    {
+        version::VersionManager vm;
+        vm.attach_journal(std::make_shared<engine::LogEngine>(jc));
+        const auto b = vm.create_blob(8, 2);
+        src = b.id;
+        const auto a = vm.assign(src, 0, 24);
+        vm.commit(src, a.version);
+        clone = vm.clone_blob(src, 1).id;
+    }  // restart: in-memory state gone, journal remains
+
+    version::VersionManager vm;
+    vm.attach_journal(std::make_shared<engine::LogEngine>(jc));
+    EXPECT_EQ(vm.blob_count(), 2u);
+
+    const auto v0 = vm.get_version(clone, 0);
+    EXPECT_EQ(v0.size, 24u);
+    EXPECT_EQ(v0.tree.blob, src);
+    EXPECT_EQ(v0.tree.version, 1u);
+    EXPECT_EQ(vm.pinned(src), (std::vector<Version>{1}));
+
+    // The rebuilt state keeps functioning: an append to the clone bases
+    // on the restored alias.
+    const auto ca = vm.assign(clone, std::nullopt, 8);
+    EXPECT_EQ(ca.offset, 24u);
+    EXPECT_EQ(ca.base.blob, src);
+}
+
+/// kOpCloneFrom replay: with a sharded version-manager deployment every
+/// client clone goes through the resolve + pin + clone_from protocol; a
+/// full cluster restart must replay both shards' journals and restore
+/// the clone's cross-shard origin alias end to end (byte-identical
+/// readback through the origin's tree).
+TEST(VmJournal, ShardedClusterRestartReplaysClientClone) {
+    TempDir dir;
+    auto cfg = blobseer::testing::fast_config();
+    cfg.store = core::StoreBackend::kLog;
+    cfg.meta_store = core::ClusterConfig::MetaBackend::kLog;
+    cfg.durable_version_manager = true;
+    cfg.disk_root = dir.path();
+    cfg.num_version_managers = 2;
+
+    const std::uint64_t chunk = 64;
+    const std::size_t size = chunk * 8;
+    BlobId src = kInvalidBlob;
+    BlobId clone = kInvalidBlob;
+    {
+        core::Cluster cluster(cfg);
+        auto client = cluster.make_client();
+        core::Blob blob = client->create(chunk);
+        src = blob.id();
+        blob.write(0, make_pattern(src, 1, 0, size));
+        clone = client->clone(src).id();
+    }
+
+    core::Cluster restarted(cfg);
+    auto client = restarted.make_client();
+
+    // The clone's version 0 reads the origin's bytes through the
+    // replayed alias.
+    Buffer out(size);
+    EXPECT_EQ(client->read(clone, 0, 0, out), size);
+    EXPECT_TRUE(blobseer::testing::matches(src, 1, 0, out));
+
+    // Writing to the restored clone diverges it without touching the
+    // origin.
+    core::Blob ch = client->open(clone);
+    EXPECT_EQ(ch.write(0, make_pattern(clone, 2, 0, chunk)), 1u);
+    Buffer head(chunk);
+    EXPECT_EQ(client->read(clone, 1, 0, head), chunk);
+    EXPECT_TRUE(blobseer::testing::matches(clone, 2, 0, head));
+    Buffer src_head(chunk);
+    EXPECT_EQ(client->read(src, 1, 0, src_head), chunk);
+    EXPECT_TRUE(blobseer::testing::matches(src, 1, 0, src_head));
+
+    // The origin snapshot came back pinned on its shard, so retiring
+    // the source blob can never pull the tree out from under the clone.
+    auto& src_vm =
+        restarted.version_manager(blob_shard(src));
+    EXPECT_EQ(src_vm.pinned(src), (std::vector<Version>{1}));
 }
 
 }  // namespace

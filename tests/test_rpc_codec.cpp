@@ -233,7 +233,7 @@ TEST(Codec, PlacementPlanRoundTrip) {
 
 TEST(Codec, TopologyRoundTrip) {
     Topology t;
-    t.vm_node = 0;
+    t.vm_nodes = {0, 9};
     t.pm_node = 1;
     t.data_nodes = {2, 3, 4};
     t.meta_nodes = {5, 6};

@@ -40,7 +40,7 @@ class TransportConformance : public ::testing::TestWithParam<Mode> {
                 cluster_->network(), self, cluster_->dispatcher());
         }
         svc_ = std::make_unique<ServiceClient>(
-            *transport_, cluster_->version_manager_node(),
+            *transport_, cluster_->version_manager_nodes(),
             cluster_->provider_manager_node());
     }
 
@@ -138,7 +138,7 @@ TEST_P(TransportConformance, ServerExceptionsMapToClientTypes) {
 
 TEST_P(TransportConformance, TopologyHandshake) {
     const Topology t = fetch_topology(*transport_);
-    EXPECT_EQ(t.vm_node, cluster_->version_manager_node());
+    EXPECT_EQ(t.vm_nodes, cluster_->version_manager_nodes());
     EXPECT_EQ(t.pm_node, cluster_->provider_manager_node());
     EXPECT_EQ(t.data_nodes.size(), cluster_->data_provider_count());
     EXPECT_EQ(t.meta_nodes.size(), cluster_->metadata_provider_count());
@@ -402,7 +402,7 @@ TEST_P(TransportConformance, StopMidFlightFailsEveryOutstandingFuture) {
     // the daemon stops. Every future must fail with RpcError.
     TcpRpcServer doomed(cluster_->dispatcher(), 0, "127.0.0.1", 1);
     TcpTransport transport("127.0.0.1", doomed.port());
-    ServiceClient svc(transport, cluster_->version_manager_node(),
+    ServiceClient svc(transport, cluster_->version_manager_nodes(),
                       cluster_->provider_manager_node());
 
     const auto info = svc.create_blob(4096, 1);

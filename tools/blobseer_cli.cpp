@@ -169,6 +169,8 @@ class Shell {
                                 : " [TAG MISMATCH]");
             } else if (cmd == "stats") {
                 print_stats();
+            } else if (cmd == "vm-status") {
+                print_vm_status();
             } else if (cmd == "parallel") {
                 std::size_t n = 1;
                 in >> n;
@@ -299,6 +301,27 @@ class Shell {
             (unsigned long long)st.read_latency_us.quantile(0.99));
     }
 
+    void print_vm_status() {
+        // Over the wire: one kVmStatus RPC per advertised shard, so the
+        // same command works against a remote daemon and the in-process
+        // cluster alike.
+        auto& svc = client_->services();
+        for (const NodeId node : svc.vm_nodes()) {
+            const auto st = svc.vm_status(node);
+            std::printf(
+                "  shard %u (node %u): blobs %llu, published %llu, "
+                "backlog %llu (high-water %llu), assigns %llu, commits "
+                "%llu, aborts %llu\n",
+                st.shard, node, (unsigned long long)st.blobs,
+                (unsigned long long)st.publishes,
+                (unsigned long long)st.backlog,
+                (unsigned long long)st.backlog_high_water,
+                (unsigned long long)st.assigns,
+                (unsigned long long)st.commits,
+                (unsigned long long)st.aborts);
+        }
+    }
+
     void dispatch_cluster(const std::string& cmd, std::istringstream& in) {
         if (cmd == "providers") {
             for (std::size_t i = 0;
@@ -354,6 +377,7 @@ class Shell {
             "  retire <blob> <keep_from_version>\n"
             "  locate <blob> <version|latest> <offset> <size>\n"
             "  stats                              (client counter dump)\n"
+            "  vm-status                  (per-shard version-manager dump)\n"
             "  parallel <n>                       (async read splitting)\n"
             "  providers | kill <i> <lose01> | recover <i>\n"
             "  degrade <i> <factor> | restore <i>\n"

@@ -18,11 +18,15 @@
 ///
 /// Stops on SIGINT/SIGTERM.
 
+#include <algorithm>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/cluster.hpp"
 #include "rpc/tcp_transport.hpp"
@@ -38,6 +42,9 @@ void usage(const char* argv0) {
         "  --bind <addr>         bind address (default 0.0.0.0)\n"
         "  --data-providers <n>  data provider count (default 8)\n"
         "  --meta-providers <n>  metadata provider count (default 4)\n"
+        "  --vm-shards <n>       version-manager shard count (default 1)\n"
+        "  --abort-stalled-ms <n> abort writers stalled longer than n ms\n"
+        "                        (background sweep; default 0 = off)\n"
         "  --replication <n>     default chunk replication (default 2)\n"
         "  --meta-replication <n> metadata replication (default 1)\n"
         "  --store <ram|disk|two-tier|log|two-tier-log>\n"
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
     std::string bind_addr = "0.0.0.0";
     std::size_t workers = 0;  // 0 = TcpRpcServer's hardware-sized default
     bool meta_store_set = false;
+    long long abort_stalled_ms = 0;  // 0 = no background stalled sweep
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -86,6 +94,11 @@ int main(int argc, char** argv) {
         } else if (arg == "--meta-providers") {
             cfg.metadata_providers =
                 static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--vm-shards") {
+            cfg.num_version_managers =
+                static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--abort-stalled-ms") {
+            abort_stalled_ms = std::atoll(next());
         } else if (arg == "--replication") {
             cfg.default_replication =
                 static_cast<std::uint32_t>(std::atoi(next()));
@@ -163,16 +176,78 @@ int main(int argc, char** argv) {
         rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr,
                                  workers);
         std::printf("blobseer-serverd: listening on %s:%u (%zu data "
-                    "providers, %zu metadata providers)\n",
+                    "providers, %zu metadata providers, %zu vm shards)\n",
                     bind_addr.c_str(), server.port(), cfg.data_providers,
-                    cfg.metadata_providers);
+                    cfg.metadata_providers,
+                    cluster.version_manager_count());
         std::fflush(stdout);
+
+        // Background recovery sweep: each tick applies the stalled-write
+        // timeout policy to a bounded batch of blobs per shard, so a
+        // writer that died between assign and commit cannot block a
+        // blob's publication forever.
+        std::jthread sweeper;
+        if (abort_stalled_ms > 0) {
+            sweeper = std::jthread([&cluster, abort_stalled_ms](
+                                       std::stop_token stop) {
+                const auto max_age = milliseconds(abort_stalled_ms);
+                const auto tick =
+                    milliseconds(std::max(abort_stalled_ms / 4, 10LL));
+                std::mutex mu;
+                std::condition_variable_any cv;
+                std::unique_lock lock(mu);
+                while (!stop.stop_requested()) {
+                    try {
+                        for (std::size_t i = 0;
+                             i < cluster.version_manager_count(); ++i) {
+                            const std::size_t n =
+                                cluster.version_manager(i).sweep_stalled(
+                                    max_age, 64);
+                            if (n > 0) {
+                                std::printf("blobseer-serverd: aborted "
+                                            "%zu stalled version(s) on "
+                                            "shard %zu\n",
+                                            n, i);
+                                std::fflush(stdout);
+                            }
+                        }
+                    } catch (const std::exception& e) {
+                        // A sweep failure (e.g. a failed journal append
+                        // latching the shard) must not std::terminate
+                        // the daemon: stop sweeping, keep serving — the
+                        // shard's own fail latch already guards its
+                        // journal consistency.
+                        std::fprintf(stderr,
+                                     "blobseer-serverd: stalled sweep "
+                                     "failed, sweeper stopped: %s\n",
+                                     e.what());
+                        return;
+                    }
+                    cv.wait_for(lock, stop, tick, [] { return false; });
+                }
+            });
+        }
 
         int sig = 0;
         sigwait(&set, &sig);
         std::printf("blobseer-serverd: %s, shutting down\n",
                     strsignal(sig));
+        sweeper = {};
         server.stop();
+        for (std::size_t i = 0; i < cluster.version_manager_count(); ++i) {
+            const auto st = cluster.version_manager(i).status();
+            std::printf(
+                "blobseer-serverd: vm shard %u: %llu blobs, %llu "
+                "assigns, %llu commits, %llu aborts, %llu publishes, "
+                "backlog %llu (high-water %llu)\n",
+                st.shard, (unsigned long long)st.blobs,
+                (unsigned long long)st.assigns,
+                (unsigned long long)st.commits,
+                (unsigned long long)st.aborts,
+                (unsigned long long)st.publishes,
+                (unsigned long long)st.backlog,
+                (unsigned long long)st.backlog_high_water);
+        }
         return 0;
     } catch (const Error& e) {
         std::fprintf(stderr, "blobseer-serverd: %s\n", e.what());
