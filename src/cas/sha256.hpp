@@ -1,0 +1,203 @@
+/// \file sha256.hpp
+/// \brief Vendored SHA-256 (FIPS 180-4) for content addressing.
+///
+/// The common/hash.hpp FNV-1a is fine for sharding and ring placement
+/// but is trivially collidable, so it must never be used to *address*
+/// data. Content-addressed chunk keys are derived from SHA-256 instead:
+/// a full 256-bit digest computed here, truncated to 128 bits for the
+/// on-wire/on-disk key (see chunk::ChunkKey::content). The
+/// implementation is self-contained (no OpenSSL dependency) and pinned
+/// against the FIPS 180-4 test vectors in tests/test_common.cpp, the
+/// same way the engine's CRC32C is pinned by the RFC 3720 vector.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/buffer.hpp"
+
+namespace blobseer::cas {
+
+/// 256-bit digest as raw bytes, big-endian word order per FIPS 180-4.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256: update() in arbitrary slices, then finish().
+/// A finished hasher can be reused after reset().
+class Sha256 {
+public:
+    Sha256() { reset(); }
+
+    void reset() {
+        state_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                  0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+        total_ = 0;
+        fill_ = 0;
+    }
+
+    void update(const void* data, std::size_t len) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        total_ += len;
+        if (fill_ != 0) {
+            const std::size_t take = std::min(len, kBlock - fill_);
+            std::memcpy(block_.data() + fill_, p, take);
+            fill_ += take;
+            p += take;
+            len -= take;
+            if (fill_ == kBlock) {
+                compress(block_.data());
+                fill_ = 0;
+            }
+        }
+        while (len >= kBlock) {
+            compress(p);
+            p += kBlock;
+            len -= kBlock;
+        }
+        if (len != 0) {
+            std::memcpy(block_.data(), p, len);
+            fill_ = len;
+        }
+    }
+
+    void update(ConstBytes bytes) { update(bytes.data(), bytes.size()); }
+
+    Digest finish() {
+        // Pad: 0x80, zeros, then the 64-bit bit length big-endian.
+        const std::uint64_t bits = total_ * 8;
+        const std::uint8_t pad = 0x80;
+        update(&pad, 1);
+        static constexpr std::uint8_t kZeros[kBlock] = {};
+        while (fill_ != kBlock - 8) {
+            const std::size_t want =
+                fill_ < kBlock - 8 ? (kBlock - 8) - fill_ : kBlock - fill_;
+            update(kZeros, want);
+        }
+        std::uint8_t len_be[8];
+        for (int i = 0; i < 8; ++i) {
+            len_be[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+        }
+        // Bypass update(): the length bytes must not count toward total_.
+        std::memcpy(block_.data() + fill_, len_be, 8);
+        compress(block_.data());
+        fill_ = 0;
+        Digest out;
+        for (int i = 0; i < 8; ++i) {
+            out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+            out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+            out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+            out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+        }
+        return out;
+    }
+
+private:
+    static constexpr std::size_t kBlock = 64;
+
+    static std::uint32_t rotr(std::uint32_t x, int n) {
+        return (x >> n) | (x << (32 - n));
+    }
+
+    void compress(const std::uint8_t* p) {
+        static constexpr std::uint32_t K[64] = {
+            0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+            0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+            0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+            0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+            0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+            0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+            0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+            0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+            0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+            0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+            0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+            0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+            0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+        std::uint32_t w[64];
+        for (int i = 0; i < 16; ++i) {
+            w[i] = (std::uint32_t{p[4 * i]} << 24) |
+                   (std::uint32_t{p[4 * i + 1]} << 16) |
+                   (std::uint32_t{p[4 * i + 2]} << 8) |
+                   std::uint32_t{p[4 * i + 3]};
+        }
+        for (int i = 16; i < 64; ++i) {
+            const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                                     (w[i - 15] >> 3);
+            const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                                     (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        std::uint32_t a = state_[0], b = state_[1], c = state_[2],
+                      d = state_[3], e = state_[4], f = state_[5],
+                      g = state_[6], h = state_[7];
+        for (int i = 0; i < 64; ++i) {
+            const std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            const std::uint32_t ch = (e & f) ^ (~e & g);
+            const std::uint32_t t1 = h + S1 + ch + K[i] + w[i];
+            const std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            const std::uint32_t t2 = S0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        state_[0] += a;
+        state_[1] += b;
+        state_[2] += c;
+        state_[3] += d;
+        state_[4] += e;
+        state_[5] += f;
+        state_[6] += g;
+        state_[7] += h;
+    }
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, kBlock> block_;
+    std::uint64_t total_ = 0;
+    std::size_t fill_ = 0;
+};
+
+/// One-shot digest of a byte span.
+inline Digest sha256(const void* data, std::size_t len) {
+    Sha256 h;
+    h.update(data, len);
+    return h.finish();
+}
+
+inline Digest sha256(ConstBytes bytes) {
+    return sha256(bytes.data(), bytes.size());
+}
+
+/// Truncate a digest to the 128-bit (hi, lo) pair used as a chunk key.
+/// Big-endian interpretation of the first 16 digest bytes, so the hex
+/// prefix of the canonical digest string is recognisable in key dumps.
+inline std::pair<std::uint64_t, std::uint64_t> digest128(const Digest& d) {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    for (int i = 0; i < 8; ++i) {
+        hi = (hi << 8) | d[i];
+        lo = (lo << 8) | d[8 + i];
+    }
+    return {hi, lo};
+}
+
+/// Lowercase hex of a full digest (test vectors, logging).
+inline std::string to_hex(const Digest& d) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (const std::uint8_t b : d) {
+        out.push_back(kHex[b >> 4]);
+        out.push_back(kHex[b & 0xF]);
+    }
+    return out;
+}
+
+}  // namespace blobseer::cas

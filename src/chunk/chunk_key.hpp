@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -21,21 +22,58 @@
 namespace blobseer::chunk {
 
 struct ChunkKey {
+    /// How the (blob, uid) pair below is interpreted.
+    enum class Kind : std::uint8_t {
+        /// Classic uid-addressed chunk: blob owns it, uid minted by the
+        /// writing client. Identity is positional, not content-derived.
+        kUid = 0,
+        /// Content-addressed chunk: (blob, uid) carry the big-endian
+        /// 128-bit truncation of the data's SHA-256 (hi in `blob`, lo in
+        /// `uid`). Identical bytes yield identical keys everywhere, which
+        /// is what makes check-before-push deduplication possible. The
+        /// two keyspaces are kept disjoint by every store (kind-prefixed
+        /// persistent keys), so a re-minted uid can never alias a CAS
+        /// chunk.
+        kContent = 1,
+    };
+
     BlobId blob = kInvalidBlob;
     /// Unique per chunk, allocated by the writing client: mix64 over
     /// (client id << 40 | 64-bit local counter) — collision-free because
     /// mix64 is a bijection and the packed input stays unique for 2^40
-    /// allocations per client (see BlobSeerClient::next_uid).
+    /// allocations per client (see BlobSeerClient::next_uid). For
+    /// kContent keys this is the low half of the truncated digest.
     std::uint64_t uid = 0;
+    Kind kind = Kind::kUid;
+
+    /// Build a content-addressed key from a 128-bit digest truncation.
+    [[nodiscard]] static ChunkKey content(std::uint64_t hi,
+                                          std::uint64_t lo) noexcept {
+        return ChunkKey{hi, lo, Kind::kContent};
+    }
+
+    [[nodiscard]] bool is_content() const noexcept {
+        return kind == Kind::kContent;
+    }
 
     friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
 
-    /// Stable hash used for placement and storage indexing.
+    /// Stable hash used for placement and storage indexing. The kind is
+    /// mixed in so a uid key and a content key with equal words never
+    /// collide in a store's index.
     [[nodiscard]] std::uint64_t hash() const noexcept {
-        return mix64(hash_combine(blob, uid));
+        return mix64(hash_combine(hash_combine(blob, uid),
+                                  static_cast<std::uint64_t>(kind)));
     }
 
     [[nodiscard]] std::string to_string() const {
+        if (is_content()) {
+            char buf[2 + 32 + 1];
+            std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                          static_cast<unsigned long long>(blob),
+                          static_cast<unsigned long long>(uid));
+            return std::string("chunk(sha:") + buf + ")";
+        }
         return "chunk(b" + std::to_string(blob) + ",u" + std::to_string(uid) +
                ")";
     }

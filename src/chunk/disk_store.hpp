@@ -87,6 +87,7 @@ class DiskStore final : public ChunkStore {
     }
 
     void erase(const ChunkKey& key) override {
+        drop_ref(key);
         {
             const std::scoped_lock lock(mu_);
             const auto it = index_.find(key);
@@ -116,6 +117,15 @@ class DiskStore final : public ChunkStore {
 
   private:
     [[nodiscard]] std::filesystem::path path_of(const ChunkKey& key) const {
+        if (key.is_content()) {
+            // 'c' prefix keeps the content keyspace disjoint from the
+            // uid files, which always start with a decimal digit.
+            char buf[1 + 32 + 1];
+            std::snprintf(buf, sizeof buf, "c%016llx%016llx",
+                          static_cast<unsigned long long>(key.blob),
+                          static_cast<unsigned long long>(key.uid));
+            return dir_ / (std::string(buf) + ".chunk");
+        }
         return dir_ / (std::to_string(key.blob) + "_" +
                        std::to_string(key.uid) + ".chunk");
     }
@@ -125,6 +135,16 @@ class DiskStore final : public ChunkStore {
             return false;
         }
         const std::string stem = name.substr(0, name.size() - 6);
+        if (stem.size() == 33 && stem[0] == 'c') {
+            try {
+                out.blob = std::stoull(stem.substr(1, 16), nullptr, 16);
+                out.uid = std::stoull(stem.substr(17, 16), nullptr, 16);
+            } catch (const std::exception&) {
+                return false;
+            }
+            out.kind = ChunkKey::Kind::kContent;
+            return true;
+        }
         const auto p1 = stem.find('_');
         if (p1 == std::string::npos) {
             return false;
@@ -135,6 +155,7 @@ class DiskStore final : public ChunkStore {
         } catch (const std::exception&) {
             return false;
         }
+        out.kind = ChunkKey::Kind::kUid;
         return true;
     }
 

@@ -45,6 +45,7 @@ class RamStore final : public ChunkStore {
     }
 
     void erase(const ChunkKey& key) override {
+        drop_ref(key);
         Shard& s = shard(key);
         const std::scoped_lock lock(s.mu);
         const auto it = s.map.find(key);

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "chunk/chunk_key.hpp"
 #include "common/buffer.hpp"
@@ -46,6 +48,90 @@ class ChunkStore {
 
     /// Total payload bytes retrievable.
     [[nodiscard]] virtual std::uint64_t bytes() = 0;
+
+    // ---- reference counting (content-addressed dedup & GC) ----
+    //
+    // A chunk that is present but has no explicit count record is at
+    // implicit refcount 1 (its writer's reference). incref() records an
+    // additional reference — a check-before-push hit on a deduplicated
+    // content key. decref() releases one reference and erases the chunk
+    // when the last one goes; decref of an implicitly-counted chunk is
+    // therefore exactly erase(), which lets every client deletion path
+    // use decref uniformly for uid and content keys alike.
+    //
+    // Invariants: the count never understates true references (a
+    // retried incref may overstate, which only delays reclaim); a key
+    // is managed EITHER through erase() OR through incref/decref, never
+    // both. erase() nevertheless discards any count record (backends
+    // call drop_ref()) so a later put of the same key restarts at the
+    // implicit count instead of resurrecting a stale one. The default
+    // implementation below keeps counts in memory; LogStore overrides
+    // it to persist counts through the log engine so GC state survives
+    // provider restart.
+
+    /// Add one reference. Returns the new count, or 0 if the chunk is
+    /// not present (nothing to reference).
+    virtual std::uint64_t incref(const ChunkKey& key) {
+        const std::scoped_lock lock(ref_mu_);
+        if (!contains(key)) {
+            return 0;
+        }
+        const auto it = refs_.find(key);
+        const std::uint64_t c = (it == refs_.end() ? 1 : it->second) + 1;
+        refs_[key] = c;
+        return c;
+    }
+
+    /// Drop one reference; erases the chunk when the count reaches zero.
+    /// Returns the remaining count (0 = gone). No-op on absent chunks.
+    virtual std::uint64_t decref(const ChunkKey& key) {
+        {
+            const std::scoped_lock lock(ref_mu_);
+            if (!contains(key)) {
+                refs_.erase(key);
+                return 0;
+            }
+            const auto it = refs_.find(key);
+            const std::uint64_t c = it == refs_.end() ? 1 : it->second;
+            if (c > 1) {
+                if (c - 1 == 1) {
+                    refs_.erase(it);  // back to the implicit count
+                } else {
+                    it->second = c - 1;
+                }
+                return c - 1;
+            }
+            refs_.erase(key);
+        }
+        // Last reference: reclaim outside ref_mu_ — erase() re-enters it
+        // via drop_ref. Callers that must not race a fresh incref against
+        // this window serialize above the store (DataProvider::cas_mu_).
+        erase(key);
+        return 0;
+    }
+
+    /// Current reference count (0 = not present, 1 = implicit).
+    [[nodiscard]] virtual std::uint64_t refcount(const ChunkKey& key) {
+        const std::scoped_lock lock(ref_mu_);
+        if (!contains(key)) {
+            return 0;
+        }
+        const auto it = refs_.find(key);
+        return it == refs_.end() ? 1 : it->second;
+    }
+
+  protected:
+    /// Backends call this from erase(): the count record dies with the
+    /// chunk. Called outside the backend's own locks (refcount paths
+    /// take ref_mu_ before backend locks, never the other way).
+    void drop_ref(const ChunkKey& key) {
+        const std::scoped_lock lock(ref_mu_);
+        refs_.erase(key);
+    }
+
+  private:
+    std::mutex ref_mu_;  // serializes refcount read-modify-write
+    std::unordered_map<ChunkKey, std::uint64_t, ChunkKeyHash> refs_;
 };
 
 }  // namespace blobseer::chunk

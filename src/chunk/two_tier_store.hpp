@@ -80,6 +80,31 @@ class TwoTierStore final : public ChunkStore {
 
     [[nodiscard]] std::uint64_t bytes() override { return backend_->bytes(); }
 
+    // Refcounts live in the durable tier; the cache only needs to drop
+    // its copy when the last reference goes so a reclaimed chunk cannot
+    // be served from RAM.
+    std::uint64_t incref(const ChunkKey& key) override {
+        return backend_->incref(key);
+    }
+
+    std::uint64_t decref(const ChunkKey& key) override {
+        const std::uint64_t remaining = backend_->decref(key);
+        if (remaining == 0) {
+            const std::scoped_lock lock(mu_);
+            const auto it = map_.find(key);
+            if (it != map_.end()) {
+                ram_bytes_ -= it->second->data->size();
+                lru_.erase(it->second);
+                map_.erase(it);
+            }
+        }
+        return remaining;
+    }
+
+    [[nodiscard]] std::uint64_t refcount(const ChunkKey& key) override {
+        return backend_->refcount(key);
+    }
+
     /// Bytes currently held in the RAM tier.
     [[nodiscard]] std::uint64_t ram_bytes() {
         const std::scoped_lock lock(mu_);

@@ -5,12 +5,24 @@
 #include <deque>
 #include <thread>
 
+#include "cas/sha256.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "meta/tree_builder.hpp"
 
 namespace blobseer::core {
+
+namespace {
+
+/// Parts above this size upload through the streaming push RPCs instead
+/// of one whole-frame put — chunk size is then bounded by provider
+/// memory, not by the wire's frame limit.
+constexpr std::size_t kStreamThresholdBytes = 4u << 20;
+/// Slice size of a streaming push (bounded per-frame memory).
+constexpr std::size_t kStreamSliceBytes = 1u << 20;
+
+}  // namespace
 
 BlobSeerClient::BlobSeerClient(ClientEnv env)
     : env_(std::move(env)),
@@ -36,6 +48,9 @@ BlobSeerClient::BlobSeerClient(ClientEnv env)
                               " exceeds the 12-bit epoch namespace");
     }
     uid_counter_.store(env_.uid_epoch << 28);
+    for (const NodeId node : env_.data_nodes) {
+        data_ring_.add_node(node);
+    }
 }
 
 // ---- blob lifecycle ------------------------------------------------------
@@ -219,9 +234,9 @@ std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all(
         State& st = states[i];
         st.payload = parts[i];
         st.targets = plan[i];
-        st.result.uid = next_uid();
+        st.key = chunk::ChunkKey{blob, next_uid()};
+        st.result.key = st.key;
         st.result.bytes = static_cast<std::uint32_t>(parts[i].size());
-        st.key = chunk::ChunkKey{blob, st.result.uid};
     }
 
     struct PendingPut {
@@ -372,6 +387,195 @@ std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all(
     return out;
 }
 
+std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all_cas(
+    const std::vector<ConstBytes>& parts, std::uint32_t replication) {
+    const std::size_t window_cap =
+        std::max<std::size_t>(1, env_.max_inflight_chunks);
+
+    // Content-addressed variant of upload_all. Targets come from the
+    // data ring, not the provider manager: identical content must land
+    // on identical providers or check-before-push never hits. Every
+    // target is first asked whether it already holds the digest
+    // (want_incref — a hit records this write's reference server-side);
+    // only misses transfer bytes. Replication fans out directly (each
+    // target needs its own check), so no pipelined chaining here.
+    struct State {
+        ConstBytes payload;
+        chunk::ChunkKey key{};
+        std::vector<NodeId> targets;
+        std::size_t next_target = 0;
+        UploadedChunk result;
+    };
+    std::vector<State> states(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        State& st = states[i];
+        st.payload = parts[i];
+        const auto [hi, lo] = cas::digest128(cas::sha256(parts[i]));
+        st.key = chunk::ChunkKey::content(hi, lo);
+        st.targets = data_ring_.owners(st.key.hash(), replication);
+        st.result.key = st.key;
+        st.result.bytes = static_cast<std::uint32_t>(parts[i].size());
+        stats_.cas_chunks.add();
+    }
+
+    struct Pending {
+        Future<bool> check;
+        Future<void> put;
+        bool is_check = true;
+        std::size_t chunk = 0;
+        NodeId target = kInvalidNode;
+    };
+    std::deque<Pending> window;
+
+    auto handle_failure = [&](NodeId target, const std::string& what) {
+        stats_.chunk_retries.add();
+        log_debug("client", "cas chunk transfer failed: " + what);
+        try {
+            svc_.mark_dead(target);
+        } catch (const RpcError&) {
+            // Provider manager unreachable; the ring still has the
+            // remaining owners.
+        }
+    };
+
+    // Issue the next target's check for one chunk, if any remain.
+    auto issue_check = [&](std::size_t idx) {
+        State& st = states[idx];
+        while (st.next_target < st.targets.size()) {
+            const NodeId target = st.targets[st.next_target++];
+            Pending p;
+            p.chunk = idx;
+            p.target = target;
+            try {
+                p.check = svc_.check_chunk_async(target, st.key, true,
+                                                 st.payload.size());
+            } catch (const RpcError& e) {
+                handle_failure(target, e.what());
+                continue;
+            }
+            stats_.inflight_chunk_rpcs.add();
+            window.push_back(std::move(p));
+            return;
+        }
+    };
+
+    // The check came back a miss: ship the bytes. Large parts stream
+    // (synchronously — one bounded session at a time from this client),
+    // small ones ride a single async put through the window.
+    auto transfer = [&](std::size_t idx, NodeId target) {
+        State& st = states[idx];
+        if (st.payload.size() > kStreamThresholdBytes) {
+            try {
+                svc_.push_chunk(target, st.key, st.payload,
+                                kStreamSliceBytes);
+            } catch (const RpcError& e) {
+                handle_failure(target, e.what());
+                issue_check(idx);
+                return;
+            }
+            st.result.replicas.push_back(target);
+            stats_.chunk_put_rpcs.add();
+            stats_.cas_stream_pushes.add();
+            stats_.cas_bytes_sent.add(st.payload.size());
+            issue_check(idx);  // next replica target, if any
+            return;
+        }
+        Pending p;
+        p.is_check = false;
+        p.chunk = idx;
+        p.target = target;
+        try {
+            p.put = svc_.put_chunk_async(target, st.key, st.payload);
+        } catch (const RpcError& e) {
+            handle_failure(target, e.what());
+            issue_check(idx);
+            return;
+        }
+        stats_.inflight_chunk_rpcs.add();
+        window.push_back(std::move(p));
+    };
+
+    auto collect_one = [&] {
+        Pending p = std::move(window.front());
+        window.pop_front();
+        State& st = states[p.chunk];
+        stats_.inflight_chunk_rpcs.sub();
+        if (p.is_check) {
+            bool present = false;
+            try {
+                present = p.check.get();
+            } catch (const RpcError& e) {
+                handle_failure(p.target, e.what());
+                issue_check(p.chunk);
+                return;
+            }
+            if (present) {
+                // Reference already recorded provider-side (want_incref).
+                st.result.replicas.push_back(p.target);
+                stats_.cas_dedup_hits.add();
+                stats_.cas_bytes_skipped.add(st.payload.size());
+                issue_check(p.chunk);  // next replica target, if any
+            } else {
+                transfer(p.chunk, p.target);
+            }
+            return;
+        }
+        try {
+            p.put.get();
+            st.result.replicas.push_back(p.target);
+            stats_.chunk_put_rpcs.add();
+            stats_.cas_bytes_sent.add(st.payload.size());
+            issue_check(p.chunk);  // next replica target, if any
+        } catch (const RpcError& e) {
+            handle_failure(p.target, e.what());
+            issue_check(p.chunk);
+        }
+    };
+
+    std::size_t next_start = 0;  // first chunk not yet started
+    try {
+        for (;;) {
+            while (window.size() < window_cap &&
+                   next_start < states.size()) {
+                issue_check(next_start++);
+            }
+            if (window.empty()) {
+                break;
+            }
+            collect_one();
+        }
+    } catch (...) {
+        // A non-RpcError escaped: drain the window before unwinding —
+        // the futures reference the caller's payload spans and the
+        // in-flight gauge must balance.
+        while (!window.empty()) {
+            stats_.inflight_chunk_rpcs.sub();
+            Pending& p = window.front();
+            try {
+                if (p.is_check) {
+                    (void)p.check.get();
+                } else {
+                    p.put.get();
+                }
+            } catch (...) {
+                // Already propagating the first failure.
+            }
+            window.pop_front();
+        }
+        throw;
+    }
+
+    std::vector<UploadedChunk> out;
+    out.reserve(states.size());
+    for (State& st : states) {
+        if (st.result.replicas.empty()) {
+            throw RpcError("no replica stored for " + st.key.to_string());
+        }
+        out.push_back(std::move(st.result));
+    }
+    return out;
+}
+
 Version BlobSeerClient::write_impl(BlobId blob,
                                    std::optional<std::uint64_t> offset_opt,
                                    ConstBytes data) {
@@ -403,6 +607,9 @@ Version BlobSeerClient::write_impl(BlobId blob,
 
     auto upload_parts = [&](const std::vector<ConstBytes>& parts)
         -> std::vector<UploadedChunk> {
+        if (cas_enabled()) {
+            return upload_all_cas(parts, info.replication);
+        }
         const auto plan = svc_.place(parts.size(), info.replication, c);
         return upload_all(blob, parts, plan);
     };
@@ -416,13 +623,15 @@ Version BlobSeerClient::write_impl(BlobId blob,
         } catch (const Error&) {
             // Assignment refused (e.g. unaligned interior tail after a
             // concurrent extension): the uploaded chunks are unreachable;
-            // drop them best-effort before propagating.
+            // release their references best-effort before propagating (a
+            // decref of an unshared chunk erases it; a deduplicated one
+            // just loses this write's reference).
             for (const auto& up : uploaded) {
                 for (const NodeId r : up.replicas) {
                     try {
-                        svc_.erase_chunk(r, {blob, up.uid});
+                        (void)svc_.chunk_decref(r, up.key);
                     } catch (const RpcError&) {
-                        // Leaked chunk; provider-side GC is out of scope.
+                        // Leaked reference; it only delays reclamation.
                     }
                 }
             }
@@ -477,7 +686,10 @@ Version BlobSeerClient::write_impl(BlobId blob,
     in.leaves.reserve(uploaded.size());
     for (const auto& up : uploaded) {
         in.leaves.push_back(
-            meta::MetaNode::leaf(up.replicas, up.uid, up.bytes));
+            up.key.is_content()
+                ? meta::MetaNode::cas_leaf(up.replicas, up.key.blob,
+                                           up.key.uid, up.bytes)
+                : meta::MetaNode::leaf(up.replicas, up.key.uid, up.bytes));
     }
     build_version_tree(cache_, in);
 
@@ -938,10 +1150,10 @@ BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
             const meta::MetaKey key{blob, w, r};
             const auto node = dht_.try_get(key);
             if (node && node->is_leaf() && !node->replicas.empty()) {
-                const chunk::ChunkKey ck{blob, node->chunk_uid};
+                const chunk::ChunkKey ck = node->chunk_key(blob);
                 for (const NodeId target : node->replicas) {
                     try {
-                        svc_.erase_chunk(target, ck);
+                        (void)svc_.chunk_decref(target, ck);
                     } catch (const RpcError&) {
                         // Dead provider holds no reclaimable bytes.
                     }
@@ -960,6 +1172,70 @@ BlobSeerClient::RetireStats BlobSeerClient::retire_versions(
         }
     }
     return stats;
+}
+
+BlobSeerClient::DeleteStats BlobSeerClient::delete_blob(BlobId blob) {
+    DeleteStats out;
+    const auto vi = svc_.get_version(blob, kLatestVersion);
+    if (vi.version > 0 &&
+        vi.status == version::VersionStatus::kPublished) {
+        // Tear down the history first: retire reclaims every node and
+        // chunk reference only older snapshots could reach, so the walk
+        // below only has the latest tree left to release.
+        const auto rs = retire_versions(blob, vi.version);
+        out.versions = rs.versions + 1;
+        out.meta_nodes = rs.meta_nodes;
+        out.chunks = rs.chunks;
+
+        const version::BlobInfo info = blob_info(blob);
+        const meta::TreeGeometry geo(info.chunk_size);
+        const meta::SlotRange root = geo.root_range(vi.size);
+        if (!root.empty()) {
+            delete_walk(blob, meta::ChildRef{vi.tree.blob, vi.tree.version},
+                        root, out);
+        }
+    }
+    const std::scoped_lock lock(info_mu_);
+    info_cache_.erase(blob);
+    for (auto it = version_cache_.lower_bound({blob, 0});
+         it != version_cache_.end() && it->first.first == blob;) {
+        it = version_cache_.erase(it);
+    }
+    return out;
+}
+
+void BlobSeerClient::delete_walk(BlobId blob, const meta::ChildRef& ref,
+                                 const meta::SlotRange& r,
+                                 DeleteStats& out) {
+    if (ref.is_hole() || ref.blob != blob) {
+        // Holes own nothing; a foreign blob id marks a clone boundary —
+        // the origin blob owns that subtree's nodes and its chunk
+        // references, and reclaiming them here would corrupt it.
+        return;
+    }
+    const meta::MetaKey key{ref.blob, ref.version, r};
+    const auto node = dht_.try_get(key);
+    if (!node) {
+        return;  // already reclaimed, or its writer died mid-store
+    }
+    if (r.is_leaf()) {
+        if (node->is_leaf() && !node->replicas.empty()) {
+            const chunk::ChunkKey ck = node->chunk_key(ref.blob);
+            for (const NodeId target : node->replicas) {
+                try {
+                    (void)svc_.chunk_decref(target, ck);
+                } catch (const RpcError&) {
+                    // Dead provider holds no reclaimable bytes.
+                }
+            }
+            ++out.chunks;
+        }
+    } else if (!node->is_leaf()) {
+        delete_walk(blob, node->left, r.left(), out);
+        delete_walk(blob, node->right, r.right(), out);
+    }
+    cache_.erase(key);
+    ++out.meta_nodes;
 }
 
 std::size_t BlobSeerClient::gc_aborted_version(BlobId blob, Version version) {
@@ -981,10 +1257,10 @@ std::size_t BlobSeerClient::gc_aborted_version(BlobId blob, Version version) {
             continue;  // writer died before storing this one
         }
         if (node->is_leaf() && !node->replicas.empty()) {
-            const chunk::ChunkKey ck{blob, node->chunk_uid};
+            const chunk::ChunkKey ck = node->chunk_key(blob);
             for (const NodeId target : node->replicas) {
                 try {
-                    svc_.erase_chunk(target, ck);
+                    (void)svc_.chunk_decref(target, ck);
                 } catch (const RpcError&) {
                     // Dead provider: nothing to reclaim there anyway.
                 }

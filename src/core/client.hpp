@@ -80,6 +80,15 @@ struct ClientEnv {
     /// route to vm_nodes[blob_shard(id)].
     std::vector<NodeId> vm_nodes;
     NodeId pm_node = kInvalidNode;
+    /// Data-provider nodes (static per deployment). Content-addressed
+    /// placement consistent-hashes chunk digests over these so identical
+    /// content lands on identical providers regardless of which client
+    /// writes it — the property provider-side dedup depends on.
+    std::vector<NodeId> data_nodes;
+    /// Address chunks by SHA-256 content digest (wire protocol v5):
+    /// writes hash each chunk, skip transfers the target already holds,
+    /// and every chunk reference is counted for GC. Requires data_nodes.
+    bool content_addressed = false;
     /// Metadata DHT membership (static per deployment).
     dht::Ring meta_ring;
     std::uint32_t meta_replication = 1;
@@ -109,6 +118,11 @@ struct ClientStats {
     Counter chunk_put_rpcs;
     Counter chunk_get_rpcs;
     Counter chunk_retries;  ///< replica failovers (reads + writes)
+    Counter cas_chunks;         ///< content-addressed chunks uploaded
+    Counter cas_dedup_hits;     ///< check-before-push hits (no transfer)
+    Counter cas_bytes_skipped;  ///< payload bytes dedup kept off the wire
+    Counter cas_bytes_sent;     ///< payload bytes actually transferred
+    Counter cas_stream_pushes;  ///< uploads that used the streaming path
     /// Chunk RPCs currently in flight across all of this client's
     /// operations; high_water() reports the deepest window ever reached.
     Gauge inflight_chunk_rpcs;
@@ -230,6 +244,24 @@ class BlobSeerClient {
     /// snapshot references. See VersionManager::retire for semantics.
     RetireStats retire_versions(BlobId blob, Version keep_from);
 
+    struct DeleteStats {
+        std::size_t versions = 0;    ///< snapshots torn down
+        std::size_t meta_nodes = 0;  ///< metadata nodes erased
+        std::size_t chunks = 0;      ///< chunk references released
+    };
+
+    /// Delete a blob's storage: retire its unpinned history, then walk
+    /// the latest snapshot's tree releasing one reference per chunk
+    /// replica and erasing every metadata node this blob owns. Subtrees
+    /// borrowed across a clone boundary (ChildRef.blob differs) are
+    /// skipped — the origin blob still owns those references, which is
+    /// exactly why content-addressed chunks are reference-counted:
+    /// deleting one of two blobs holding identical data reclaims only
+    /// the deleted blob's references, never the survivor's bytes.
+    /// Deleting a blob that other blobs were cloned from while those
+    /// clones are still alive is undefined (pin the cloned version).
+    DeleteStats delete_blob(BlobId blob);
+
     // ---- QoS feedback ----------------------------------------------------------
 
     /// Install a provider-health snapshot (pushed by the QoS feedback
@@ -243,12 +275,20 @@ class BlobSeerClient {
     [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
     [[nodiscard]] meta::MetaCache& meta_cache() noexcept { return cache_; }
     [[nodiscard]] rpc::ServiceClient& services() noexcept { return svc_; }
+    /// The deployment's data-provider nodes (dedup-stats sweeps them).
+    [[nodiscard]] const std::vector<NodeId>& data_nodes() const noexcept {
+        return env_.data_nodes;
+    }
+    /// True when this client writes content-addressed chunks.
+    [[nodiscard]] bool content_addressed() const noexcept {
+        return cas_enabled();
+    }
 
   private:
     friend class Blob;
 
     struct UploadedChunk {
-        std::uint64_t uid = 0;
+        chunk::ChunkKey key{};
         std::vector<NodeId> replicas;
         std::uint32_t bytes = 0;
     };
@@ -263,6 +303,24 @@ class BlobSeerClient {
     std::vector<UploadedChunk> upload_all(
         BlobId blob, const std::vector<ConstBytes>& parts,
         const provider::PlacementPlan& plan);
+
+    /// Content-addressed upload (protocol v5): hash each part, place its
+    /// replicas by consistent-hashing the digest over the data ring, and
+    /// for each target check-before-push — a hit records the reference
+    /// server-side and skips the transfer, a miss pushes the bytes
+    /// (streaming for large parts). Returns replica sets in parts order.
+    std::vector<UploadedChunk> upload_all_cas(
+        const std::vector<ConstBytes>& parts, std::uint32_t replication);
+
+    /// True when this client writes content-addressed chunks.
+    [[nodiscard]] bool cas_enabled() const noexcept {
+        return env_.content_addressed && data_ring_.node_count() > 0;
+    }
+
+    /// delete_blob's tree walk: depth-first over this blob's own nodes,
+    /// releasing leaf chunk references and erasing the nodes behind it.
+    void delete_walk(BlobId blob, const meta::ChildRef& ref,
+                     const meta::SlotRange& r, DeleteStats& out);
 
     /// Fetch every non-hole segment of a read plan into its slice of
     /// \p out, windowed, with per-segment replica failover.
@@ -314,6 +372,9 @@ class BlobSeerClient {
     rpc::ServiceClient svc_;
     dht::MetaDht dht_;
     meta::MetaCache cache_;
+    /// Ring over env_.data_nodes for content-addressed placement (empty
+    /// when the deployment is not content-addressed).
+    dht::Ring data_ring_;
     /// 64-bit allocation counter (a 32-bit one silently wraps after 2^32
     /// chunks and recycles uids — see next_uid()).
     std::atomic<std::uint64_t> uid_counter_{0};

@@ -225,6 +225,7 @@ rpc::Topology Cluster::topology() const {
     t.publish_timeout_ms = static_cast<std::uint64_t>(
         duration_cast<milliseconds>(config_.publish_timeout).count());
     t.uid_epoch = uid_epoch_;
+    t.content_addressed = config_.content_addressed;
     return t;
 }
 
@@ -238,6 +239,11 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
     env.self = node;
     env.vm_nodes = vm_nodes_;
     env.pm_node = pm_node_;
+    env.data_nodes.reserve(data_providers_.size());
+    for (const auto& dp : data_providers_) {
+        env.data_nodes.push_back(dp->node());
+    }
+    env.content_addressed = config_.content_addressed;
     env.meta_ring = ring_;
     env.meta_replication = config_.meta_replication;
     env.default_replication = config_.default_replication;

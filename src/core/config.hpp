@@ -49,6 +49,13 @@ struct ClusterConfig {
     provider::PlacementStrategy placement =
         provider::PlacementStrategy::kRoundRobin;
 
+    /// Content-addressed storage (DESIGN.md §11): clients address chunks
+    /// by SHA-256 digest, place them by consistent-hashing the digest
+    /// over the data providers, skip transfers the target already holds
+    /// (check-before-push) and reference-count every chunk so deletion
+    /// reclaims space without corrupting deduplicated data.
+    bool content_addressed = false;
+
     /// Interconnect model (latency + per-NIC bandwidth).
     net::NetworkConfig network;
 

@@ -15,6 +15,8 @@ ClientEnv connect_tcp(const std::string& host, std::uint16_t port,
     env.self = topo.client_id;
     env.vm_nodes = topo.vm_nodes;
     env.pm_node = topo.pm_node;
+    env.data_nodes = topo.data_nodes;
+    env.content_addressed = topo.content_addressed;
     for (const NodeId node : topo.meta_nodes) {
         env.meta_ring.add_node(node);
     }

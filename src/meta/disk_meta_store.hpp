@@ -38,11 +38,16 @@ namespace blobseer::meta {
         }
     };
     out.push_back(node.is_leaf() ? 1 : 0);
-    out.push_back(0);
+    // Flags byte (was a zero pad before v5, so old records decode as
+    // flags = 0): bit 0 marks a content-addressed leaf.
+    out.push_back(node.cas ? 1 : 0);
     out.push_back(0);
     out.push_back(0);
     if (node.is_leaf()) {
         put64(node.chunk_uid);
+        if (node.cas) {
+            put64(node.chunk_uid_hi);
+        }
         put32(node.chunk_bytes);
         put32(static_cast<std::uint32_t>(node.replicas.size()));
         for (const NodeId r : node.replicas) {
@@ -83,10 +88,12 @@ namespace blobseer::meta {
         throw ConsistencyError("empty metadata node");
     }
     const bool leaf = in[0] == 1;
+    const bool cas = in.size() > 1 && (in[1] & 1) != 0;
     pos = 4;
     MetaNode node;
     if (leaf) {
         const std::uint64_t uid = get64();
+        const std::uint64_t hi = cas ? get64() : 0;
         const std::uint32_t bytes = get32();
         const std::uint32_t n = get32();
         std::vector<NodeId> replicas;
@@ -94,7 +101,8 @@ namespace blobseer::meta {
         for (std::uint32_t i = 0; i < n; ++i) {
             replicas.push_back(get32());
         }
-        node = MetaNode::leaf(std::move(replicas), uid, bytes);
+        node = cas ? MetaNode::cas_leaf(std::move(replicas), hi, uid, bytes)
+                   : MetaNode::leaf(std::move(replicas), uid, bytes);
     } else {
         ChildRef left{get64(), get64()};
         ChildRef right{get64(), get64()};

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "chunk/chunk_key.hpp"
 #include "common/hash.hpp"
 #include "common/types.hpp"
 #include "meta/slot_range.hpp"
@@ -86,18 +87,34 @@ struct MetaNode {
     // Leaf payload: data providers holding replicas of this slot's chunk.
     std::vector<NodeId> replicas;
 
-    /// Unique id of the stored chunk (see chunk::ChunkKey).
+    /// Unique id of the stored chunk (see chunk::ChunkKey). For a
+    /// content-addressed leaf (cas below) this is the low half of the
+    /// chunk digest instead.
     std::uint64_t chunk_uid = 0;
 
     /// Actual payload bytes stored in the chunk (<= chunk_size; smaller
     /// only for the blob's trailing chunk).
     std::uint32_t chunk_bytes = 0;
 
+    /// Content-addressed leaf: the chunk is named by its SHA-256
+    /// truncation (chunk_uid_hi, chunk_uid) rather than by an owning
+    /// (blob, uid) pair, so identical data in different blobs shares one
+    /// stored chunk.
+    bool cas = false;
+    std::uint64_t chunk_uid_hi = 0;
+
     [[nodiscard]] bool is_leaf() const noexcept { return kind == Kind::kLeaf; }
+
+    /// The chunk this leaf points at; \p owner is the blob the leaf was
+    /// reached through (only used for uid-addressed leaves).
+    [[nodiscard]] chunk::ChunkKey chunk_key(BlobId owner) const noexcept {
+        return cas ? chunk::ChunkKey::content(chunk_uid_hi, chunk_uid)
+                   : chunk::ChunkKey{owner, chunk_uid};
+    }
 
     /// Wire size estimate used to charge the simulated network.
     [[nodiscard]] std::uint64_t serialized_size() const noexcept {
-        return is_leaf() ? 24 + 4 * replicas.size() : 40;
+        return is_leaf() ? 24 + 4 * replicas.size() + (cas ? 8 : 0) : 40;
     }
 
     [[nodiscard]] static MetaNode inner(ChildRef l, ChildRef r) {
@@ -116,6 +133,16 @@ struct MetaNode {
         n.replicas = std::move(replicas);
         n.chunk_uid = chunk_uid;
         n.chunk_bytes = chunk_bytes;
+        return n;
+    }
+
+    [[nodiscard]] static MetaNode cas_leaf(std::vector<NodeId> replicas,
+                                           std::uint64_t digest_hi,
+                                           std::uint64_t digest_lo,
+                                           std::uint32_t chunk_bytes) {
+        MetaNode n = leaf(std::move(replicas), digest_lo, chunk_bytes);
+        n.cas = true;
+        n.chunk_uid_hi = digest_hi;
         return n;
     }
 };

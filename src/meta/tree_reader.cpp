@@ -97,7 +97,7 @@ class ReadWalker {
             ReadSegment seg;
             seg.blob_range = {range.offset, data_end - range.offset};
             seg.hole = false;
-            seg.chunk = chunk::ChunkKey{ref.blob, node.chunk_uid};
+            seg.chunk = node.chunk_key(ref.blob);
             seg.replicas = node.replicas;
             seg.chunk_offset = range.offset - slot_start;
             seg.chunk_bytes = node.chunk_bytes;

@@ -12,10 +12,14 @@
 
 #pragma once
 
+#include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
+#include "cas/sha256.hpp"
 #include "chunk/ram_store.hpp"
 #include "chunk/store.hpp"
 #include "chunk/two_tier_store.hpp"
@@ -27,15 +31,37 @@ namespace blobseer::provider {
 
 class DataProvider {
   public:
+    /// Per-boot dedup/GC observability (mirrors ServiceStats semantics:
+    /// counters start at zero each boot, the store snapshots are live).
+    struct DedupStatus {
+        std::uint64_t chunks_stored = 0;  ///< store record count (live)
+        std::uint64_t stored_bytes = 0;   ///< store payload bytes (live)
+        std::uint64_t check_hits = 0;
+        std::uint64_t check_misses = 0;
+        std::uint64_t bytes_skipped = 0;  ///< transfer+store suppressed
+        std::uint64_t dup_puts = 0;       ///< pushes that landed on a dup
+        std::uint64_t decrefs = 0;
+        std::uint64_t reclaimed_chunks = 0;
+        std::uint64_t reclaimed_bytes = 0;
+    };
+
     DataProvider(NodeId node, std::unique_ptr<chunk::ChunkStore> store)
         : node_(node), store_(std::move(store)) {}
 
     [[nodiscard]] NodeId node() const noexcept { return node_; }
 
     /// Store one chunk replica. Idempotent (chunks are immutable).
+    /// Content keys are reference-counted: a put that lands on an
+    /// already-present chunk records the new reference instead of
+    /// storing a second copy (two clients racing the same content both
+    /// hold a real reference).
     void put_chunk(const chunk::ChunkKey& key, chunk::ChunkData data) {
         const std::uint64_t n = data->size();
-        store_->put(key, std::move(data));
+        if (key.is_content()) {
+            store_dedup(key, std::move(data));
+        } else {
+            store_->put(key, std::move(data));
+        }
         stats_.ops.add();
         stats_.bytes_in.add(n);
         write_meter_.record(n);
@@ -63,6 +89,180 @@ class DataProvider {
     /// Garbage-collect one chunk (aborted version cleanup).
     void erase_chunk(const chunk::ChunkKey& key) { store_->erase(key); }
 
+    // ---- content-addressed operations (wire protocol v5) ----
+
+    /// Check-before-push: true iff the chunk is already stored here. On
+    /// a hit with \p want_incref the caller's reference is recorded, so
+    /// the client may skip the transfer entirely; \p size_hint is the
+    /// chunk size the caller would have pushed (dedup accounting).
+    [[nodiscard]] bool check_chunk(const chunk::ChunkKey& key,
+                                   bool want_incref,
+                                   std::uint64_t size_hint) {
+        stats_.ops.add();
+        const std::scoped_lock lock(cas_mu_);
+        if (!store_->contains(key)) {
+            check_misses_.add();
+            return false;
+        }
+        if (want_incref) {
+            (void)store_->incref(key);
+        }
+        check_hits_.add();
+        bytes_skipped_.add(size_hint);
+        return true;
+    }
+
+    /// Open a streaming push of \p total bytes; returns the transfer id
+    /// the kChunkPushSome/End frames name. The chunk only becomes
+    /// visible at end_push, after size (and, for content keys, digest)
+    /// verification.
+    [[nodiscard]] std::uint64_t begin_push(const chunk::ChunkKey& key,
+                                           std::uint64_t total) {
+        stats_.ops.add();
+        const std::scoped_lock lock(push_mu_);
+        if (pushes_.size() >= kMaxPushSessions) {
+            stats_.errors.add();
+            throw Error("provider " + std::to_string(node_) +
+                        ": too many concurrent push sessions");
+        }
+        const std::uint64_t xfer = next_xfer_++;
+        PushState& st = pushes_[xfer];
+        st.key = key;
+        st.expected = total;
+        st.buf = std::make_shared<Buffer>();
+        st.buf->reserve(total);
+        return xfer;
+    }
+
+    /// Append one slice. Slices must arrive in order (the client drives
+    /// one transfer per connection stream); \p offset guards against a
+    /// lost or replayed frame.
+    void push_some(std::uint64_t xfer, std::uint64_t offset,
+                   ConstBytes bytes) {
+        const std::scoped_lock lock(push_mu_);
+        const auto it = pushes_.find(xfer);
+        if (it == pushes_.end()) {
+            stats_.errors.add();
+            throw NotFoundError("push transfer " + std::to_string(xfer) +
+                                " on provider " + std::to_string(node_));
+        }
+        PushState& st = it->second;
+        if (offset != st.buf->size() ||
+            offset + bytes.size() > st.expected) {
+            pushes_.erase(it);
+            stats_.errors.add();
+            throw ConsistencyError("push transfer " + std::to_string(xfer) +
+                                   ": slice at " + std::to_string(offset) +
+                                   " does not continue the stream");
+        }
+        st.buf->insert(st.buf->end(), bytes.begin(), bytes.end());
+        stats_.bytes_in.add(bytes.size());
+        write_meter_.record(bytes.size());
+    }
+
+    /// Complete a push: verify the byte count and, for content keys,
+    /// recompute the SHA-256 end-to-end so a corrupted or mis-keyed
+    /// stream can never be stored under a digest it doesn't have.
+    void end_push(std::uint64_t xfer) {
+        PushState st;
+        {
+            const std::scoped_lock lock(push_mu_);
+            const auto it = pushes_.find(xfer);
+            if (it == pushes_.end()) {
+                stats_.errors.add();
+                throw NotFoundError("push transfer " + std::to_string(xfer) +
+                                    " on provider " + std::to_string(node_));
+            }
+            st = std::move(it->second);
+            pushes_.erase(it);
+        }
+        if (st.buf->size() != st.expected) {
+            stats_.errors.add();
+            throw ConsistencyError(
+                "push transfer " + std::to_string(xfer) + ": got " +
+                std::to_string(st.buf->size()) + " of " +
+                std::to_string(st.expected) + " bytes at end");
+        }
+        if (st.key.is_content()) {
+            const auto [hi, lo] = cas::digest128(cas::sha256(*st.buf));
+            if (hi != st.key.blob || lo != st.key.uid) {
+                stats_.errors.add();
+                throw ConsistencyError("push transfer " +
+                                       std::to_string(xfer) +
+                                       ": content does not match key " +
+                                       st.key.to_string());
+            }
+            store_dedup(st.key, std::move(st.buf));
+        } else {
+            store_->put(st.key, std::move(st.buf));
+        }
+    }
+
+    /// Size of a stored chunk (pull bootstrap); NotFoundError if absent.
+    [[nodiscard]] std::uint64_t chunk_size(const chunk::ChunkKey& key) {
+        stats_.ops.add();
+        const auto data = store_->get(key);
+        if (!data) {
+            stats_.errors.add();
+            throw NotFoundError(key.to_string() + " on provider " +
+                                std::to_string(node_));
+        }
+        return (*data)->size();
+    }
+
+    /// Serve one range of a chunk (resumable pull); meters only the
+    /// bytes actually shipped.
+    [[nodiscard]] std::pair<std::uint64_t, chunk::ChunkData> get_chunk_range(
+        const chunk::ChunkKey& key, std::uint64_t offset,
+        std::uint64_t size) {
+        auto data = store_->get(key);
+        stats_.ops.add();
+        if (!data) {
+            stats_.errors.add();
+            throw NotFoundError(key.to_string() + " on provider " +
+                                std::to_string(node_));
+        }
+        const std::uint64_t total = (*data)->size();
+        const std::uint64_t begin = std::min(offset, total);
+        const std::uint64_t n =
+            size == 0 ? total - begin : std::min(size, total - begin);
+        stats_.bytes_out.add(n);
+        read_meter_.record(n);
+        return {total, std::move(*data)};
+    }
+
+    /// Release one reference; the chunk is reclaimed at zero. Returns
+    /// the remaining count.
+    std::uint64_t decref_chunk(const chunk::ChunkKey& key) {
+        stats_.ops.add();
+        decrefs_.add();
+        const std::scoped_lock lock(cas_mu_);
+        const std::uint64_t before = store_->bytes();
+        const std::uint64_t remaining = store_->decref(key);
+        if (remaining == 0) {
+            const std::uint64_t after = store_->bytes();
+            if (after < before) {
+                reclaimed_chunks_.add();
+                reclaimed_bytes_.add(before - after);
+            }
+        }
+        return remaining;
+    }
+
+    [[nodiscard]] DedupStatus dedup_status() {
+        DedupStatus s;
+        s.chunks_stored = store_->count();
+        s.stored_bytes = store_->bytes();
+        s.check_hits = check_hits_.get();
+        s.check_misses = check_misses_.get();
+        s.bytes_skipped = bytes_skipped_.get();
+        s.dup_puts = dup_puts_.get();
+        s.decrefs = decrefs_.get();
+        s.reclaimed_chunks = reclaimed_chunks_.get();
+        s.reclaimed_bytes = reclaimed_bytes_.get();
+        return s;
+    }
+
     /// Crash simulation: lose whatever is volatile. A RAM-only store
     /// loses everything; a two-tier store only loses its cache.
     void lose_volatile_state() {
@@ -87,11 +287,46 @@ class DataProvider {
     [[nodiscard]] std::uint64_t stored_bytes() { return store_->bytes(); }
 
   private:
+    static constexpr std::size_t kMaxPushSessions = 256;
+
+    struct PushState {
+        chunk::ChunkKey key;
+        std::uint64_t expected = 0;
+        std::shared_ptr<Buffer> buf;
+    };
+
+    /// Store a content-addressed chunk, or record a reference if it is
+    /// already here. cas_mu_ makes present-check + put/incref atomic:
+    /// without it two racing pushes of the same content would both see
+    /// "absent", both put (idempotently), and the count would understate
+    /// the two real references — the one invariant GC must never break.
+    void store_dedup(const chunk::ChunkKey& key, chunk::ChunkData data) {
+        const std::scoped_lock lock(cas_mu_);
+        if (store_->contains(key)) {
+            (void)store_->incref(key);
+            dup_puts_.add();
+            return;
+        }
+        store_->put(key, std::move(data));
+    }
+
     const NodeId node_;
     std::unique_ptr<chunk::ChunkStore> store_;
     ServiceStats stats_;
     Meter read_meter_;
     Meter write_meter_;
+
+    std::mutex cas_mu_;  // atomizes contains+put/incref and decref
+    std::mutex push_mu_;  // guards pushes_ and next_xfer_
+    std::map<std::uint64_t, PushState> pushes_;
+    std::uint64_t next_xfer_ = 1;
+    Counter check_hits_;
+    Counter check_misses_;
+    Counter bytes_skipped_;
+    Counter dup_puts_;
+    Counter decrefs_;
+    Counter reclaimed_chunks_;
+    Counter reclaimed_bytes_;
 };
 
 }  // namespace blobseer::provider

@@ -63,6 +63,14 @@ Buffer Dispatcher::handle(const FrameView& f) {
         case MsgType::kChunkPut:
         case MsgType::kChunkGet:
         case MsgType::kChunkErase:
+        case MsgType::kChunkCheck:
+        case MsgType::kChunkPushStart:
+        case MsgType::kChunkPushSome:
+        case MsgType::kChunkPushEnd:
+        case MsgType::kChunkPullStart:
+        case MsgType::kChunkPullSome:
+        case MsgType::kChunkDecref:
+        case MsgType::kDedupStatus:
             return handle_data_provider(f);
 
         case MsgType::kBlobCreate:
@@ -144,6 +152,80 @@ Buffer Dispatcher::handle_data_provider(const FrameView& f) {
             r.expect_end();
             dp.erase_chunk(key);
             return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kChunkCheck: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            const bool want_incref = r.u8() != 0;
+            const std::uint64_t size_hint = r.u64();
+            r.expect_end();
+            WireWriter w;
+            w.u8(dp.check_chunk(key, want_incref, size_hint) ? 1 : 0);
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kChunkPushStart: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            const std::uint64_t total = r.u64();
+            r.expect_end();
+            WireWriter w;
+            w.u64(dp.begin_push(key, total));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kChunkPushSome: {
+            const std::uint64_t xfer = r.u64();
+            const std::uint64_t offset = r.u64();
+            const ConstBytes bytes = r.blob();
+            r.expect_end();
+            dp.push_some(xfer, offset, bytes);
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kChunkPushEnd: {
+            const std::uint64_t xfer = r.u64();
+            r.expect_end();
+            dp.end_push(xfer);
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kChunkPullStart: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            r.expect_end();
+            WireWriter w;
+            w.u64(dp.chunk_size(key));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kChunkPullSome: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            const std::uint64_t offset = r.u64();
+            const std::uint64_t size = r.u64();  // 0 = rest of the chunk
+            r.expect_end();
+            const auto [total, data] = dp.get_chunk_range(key, offset, size);
+            const std::uint64_t begin = std::min(offset, total);
+            const std::uint64_t n =
+                size == 0 ? total - begin : std::min(size, total - begin);
+            WireWriter w(n + 64);
+            w.u64(total);
+            w.blob(ConstBytes(data->data() + begin, n));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kChunkDecref: {
+            const chunk::ChunkKey key = get_chunk_key(r);
+            r.expect_end();
+            WireWriter w;
+            w.u64(dp.decref_chunk(key));
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kDedupStatus: {
+            r.expect_end();
+            const auto s = dp.dedup_status();
+            WireWriter w;
+            w.u64(s.chunks_stored);
+            w.u64(s.stored_bytes);
+            w.u64(s.check_hits);
+            w.u64(s.check_misses);
+            w.u64(s.bytes_skipped);
+            w.u64(s.dup_puts);
+            w.u64(s.decrefs);
+            w.u64(s.reclaimed_chunks);
+            w.u64(s.reclaimed_bytes);
+            return seal_response(f.type, std::move(w));
         }
         default:
             throw RpcError("bad data-provider message");

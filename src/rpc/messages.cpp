@@ -7,12 +7,19 @@ namespace blobseer::rpc {
 // ---- scalar wrappers -------------------------------------------------------
 
 void put_chunk_key(WireWriter& w, const chunk::ChunkKey& k) {
+    w.u8(static_cast<std::uint8_t>(k.kind));
     w.u64(k.blob);
     w.u64(k.uid);
 }
 
 chunk::ChunkKey get_chunk_key(WireReader& r) {
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(chunk::ChunkKey::Kind::kContent)) {
+        throw RpcError("frame decode: bad chunk-key kind " +
+                       std::to_string(kind));
+    }
     chunk::ChunkKey k;
+    k.kind = static_cast<chunk::ChunkKey::Kind>(kind);
     k.blob = r.u64();
     k.uid = r.u64();
     return k;
@@ -36,9 +43,13 @@ meta::MetaKey get_meta_key(WireReader& r) {
 
 void put_meta_node(WireWriter& w, const meta::MetaNode& n) {
     w.u8(static_cast<std::uint8_t>(n.kind));
+    w.u8(n.cas ? 1 : 0);  // flags (v5): bit 0 = content-addressed leaf
     if (n.is_leaf()) {
         put_node_ids(w, n.replicas);
         w.u64(n.chunk_uid);
+        if (n.cas) {
+            w.u64(n.chunk_uid_hi);
+        }
         w.u32(n.chunk_bytes);
     } else {
         w.u64(n.left.blob);
@@ -54,11 +65,20 @@ meta::MetaNode get_meta_node(WireReader& r) {
         throw RpcError("frame decode: bad meta-node kind " +
                        std::to_string(kind));
     }
+    const std::uint8_t flags = r.u8();
+    if (flags > 1) {
+        throw RpcError("frame decode: bad meta-node flags " +
+                       std::to_string(flags));
+    }
     meta::MetaNode n;
     n.kind = static_cast<meta::MetaNode::Kind>(kind);
+    n.cas = (flags & 1) != 0;
     if (n.is_leaf()) {
         n.replicas = get_node_ids(r);
         n.chunk_uid = r.u64();
+        if (n.cas) {
+            n.chunk_uid_hi = r.u64();
+        }
         n.chunk_bytes = r.u32();
     } else {
         n.left.blob = r.u64();
@@ -302,6 +322,7 @@ void put_topology(WireWriter& w, const Topology& t) {
     w.u64(t.publish_timeout_ms);
     w.u32(t.client_id);
     w.u64(t.uid_epoch);
+    w.u8(t.content_addressed ? 1 : 0);
 }
 
 Topology get_topology(WireReader& r) {
@@ -320,6 +341,7 @@ Topology get_topology(WireReader& r) {
     t.publish_timeout_ms = r.u64();
     t.client_id = r.u32();
     t.uid_epoch = r.u64();
+    t.content_addressed = r.u8() != 0;
     return t;
 }
 

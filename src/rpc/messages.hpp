@@ -94,6 +94,9 @@ struct Topology {
     /// epoch a restarted deployment would re-mint pre-restart chunk
     /// uids and idempotent puts would silently keep the old bytes.
     std::uint64_t uid_epoch = 0;
+    /// v5: deployment stores chunks content-addressed — clients hash
+    /// locally, place by digest and use check-before-push dedup.
+    bool content_addressed = false;
 
     friend bool operator==(const Topology&, const Topology&) = default;
 };

@@ -52,7 +52,13 @@ inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
 /// vm_nodes list instead of a single vm_node, and the version-manager
 /// block gained kBlobCloneFrom (cross-shard clone) and kVmStatus
 /// (per-shard observability).
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v5: content-addressed storage — ChunkKey carries a kind byte (uid vs
+/// SHA-256-derived content key), meta-node leaves a flags byte plus the
+/// digest's high half, Topology a content_addressed flag, and the data
+/// provider block gained kChunkCheck (check-before-push dedup),
+/// streaming kChunkPushStart/Some/End, ranged kChunkPullStart/Some,
+/// kChunkDecref (refcounted GC) and kDedupStatus.
+inline constexpr std::uint8_t kWireVersion = 5;
 inline constexpr std::size_t kFrameHeaderSize = 24;
 /// Byte offset of the correlation id within the header.
 inline constexpr std::size_t kFrameCorrOffset = 16;
@@ -77,6 +83,14 @@ enum class MsgType : std::uint16_t {
     kChunkPut = 1,
     kChunkGet = 2,
     kChunkErase = 3,
+    kChunkCheck = 4,
+    kChunkPushStart = 5,
+    kChunkPushSome = 6,
+    kChunkPushEnd = 7,
+    kChunkPullStart = 8,
+    kChunkPullSome = 9,
+    kChunkDecref = 10,
+    kDedupStatus = 11,
 
     // version manager service
     kBlobCreate = 16,
@@ -113,6 +127,14 @@ enum class MsgType : std::uint16_t {
         case MsgType::kChunkPut: return "chunk-put";
         case MsgType::kChunkGet: return "chunk-get";
         case MsgType::kChunkErase: return "chunk-erase";
+        case MsgType::kChunkCheck: return "chunk-check";
+        case MsgType::kChunkPushStart: return "chunk-push-start";
+        case MsgType::kChunkPushSome: return "chunk-push-some";
+        case MsgType::kChunkPushEnd: return "chunk-push-end";
+        case MsgType::kChunkPullStart: return "chunk-pull-start";
+        case MsgType::kChunkPullSome: return "chunk-pull-some";
+        case MsgType::kChunkDecref: return "chunk-decref";
+        case MsgType::kDedupStatus: return "dedup-status";
         case MsgType::kBlobCreate: return "blob-create";
         case MsgType::kBlobClone: return "blob-clone";
         case MsgType::kBlobInfo: return "blob-info";

@@ -1,5 +1,8 @@
 #include "rpc/service_client.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "rpc/protocol.hpp"
 
 namespace blobseer::rpc {
@@ -342,6 +345,167 @@ void ServiceClient::erase_chunk(NodeId dp, const chunk::ChunkKey& key) {
     put_chunk_key(w, key);
     const Buffer resp = invoke(MsgType::kChunkErase, dp, std::move(w));
     open_reply(resp, MsgType::kChunkErase).expect_end();
+}
+
+// ---- content-addressed data-provider operations ----------------------------
+
+bool ServiceClient::check_chunk(NodeId dp, const chunk::ChunkKey& key,
+                                bool want_incref, std::uint64_t size_hint) {
+    return check_chunk_async(dp, key, want_incref, size_hint).get();
+}
+
+Future<bool> ServiceClient::check_chunk_async(NodeId dp,
+                                              const chunk::ChunkKey& key,
+                                              bool want_incref,
+                                              std::uint64_t size_hint) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    w.u8(want_incref ? 1 : 0);
+    w.u64(size_hint);
+    return map_future<bool>(
+        invoke_async(MsgType::kChunkCheck, dp, std::move(w)),
+        [](Buffer&& resp) {
+            auto r = open_reply(resp, MsgType::kChunkCheck);
+            const bool has = r.u8() != 0;
+            r.expect_end();
+            return has;
+        });
+}
+
+std::uint64_t ServiceClient::push_start(NodeId dp, const chunk::ChunkKey& key,
+                                        std::uint64_t total) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    w.u64(total);
+    const Buffer resp = invoke(MsgType::kChunkPushStart, dp, std::move(w));
+    auto r = open_reply(resp, MsgType::kChunkPushStart);
+    const std::uint64_t xfer = r.u64();
+    r.expect_end();
+    return xfer;
+}
+
+void ServiceClient::push_some(NodeId dp, std::uint64_t xfer,
+                              std::uint64_t offset, ConstBytes bytes,
+                              NodeId via) {
+    WireWriter w(bytes.size() + 64);
+    w.u64(xfer);
+    w.u64(offset);
+    w.blob(bytes);
+    const Buffer resp =
+        invoke(MsgType::kChunkPushSome, dp, std::move(w), via);
+    open_reply(resp, MsgType::kChunkPushSome).expect_end();
+}
+
+void ServiceClient::push_end(NodeId dp, std::uint64_t xfer) {
+    WireWriter w;
+    w.u64(xfer);
+    const Buffer resp = invoke(MsgType::kChunkPushEnd, dp, std::move(w));
+    open_reply(resp, MsgType::kChunkPushEnd).expect_end();
+}
+
+void ServiceClient::push_chunk(NodeId dp, const chunk::ChunkKey& key,
+                               ConstBytes payload, std::size_t slice_bytes,
+                               NodeId via) {
+    if (slice_bytes == 0) {
+        throw InvalidArgument("push_chunk: zero slice size");
+    }
+    const std::uint64_t xfer = push_start(dp, key, payload.size());
+    for (std::size_t off = 0; off < payload.size(); off += slice_bytes) {
+        const std::size_t n = std::min(slice_bytes, payload.size() - off);
+        push_some(dp, xfer, off, payload.subspan(off, n), via);
+    }
+    push_end(dp, xfer);
+}
+
+std::uint64_t ServiceClient::pull_start(NodeId dp,
+                                        const chunk::ChunkKey& key) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    const Buffer resp = invoke(MsgType::kChunkPullStart, dp, std::move(w));
+    auto r = open_reply(resp, MsgType::kChunkPullStart);
+    const std::uint64_t total = r.u64();
+    r.expect_end();
+    return total;
+}
+
+ServiceClient::ChunkSlice ServiceClient::pull_some(NodeId dp,
+                                                   const chunk::ChunkKey& key,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t size) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    w.u64(offset);
+    w.u64(size);
+    Buffer resp = invoke(MsgType::kChunkPullSome, dp, std::move(w));
+    auto r = open_reply(resp, MsgType::kChunkPullSome);
+    ChunkSlice out;
+    out.chunk_size = r.u64();
+    const ConstBytes bytes = r.blob();
+    r.expect_end();
+    const std::size_t off =
+        static_cast<std::size_t>(bytes.data() - resp.data());
+    std::memmove(resp.data(), resp.data() + off, bytes.size());
+    resp.resize(bytes.size());
+    out.bytes = std::move(resp);
+    return out;
+}
+
+Buffer ServiceClient::pull_chunk(NodeId dp, const chunk::ChunkKey& key,
+                                 std::size_t slice_bytes) {
+    if (slice_bytes == 0) {
+        throw InvalidArgument("pull_chunk: zero slice size");
+    }
+    Buffer out;
+    const std::uint64_t total = pull_start(dp, key);
+    out.reserve(total);
+    while (out.size() < total) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(slice_bytes, total - out.size());
+        ChunkSlice slice = pull_some(dp, key, out.size(), n);
+        if (slice.bytes.empty()) {
+            throw ConsistencyError("pull of " + key.to_string() +
+                                   " stalled at offset " +
+                                   std::to_string(out.size()));
+        }
+        out.insert(out.end(), slice.bytes.begin(), slice.bytes.end());
+    }
+    return out;
+}
+
+std::uint64_t ServiceClient::chunk_decref(NodeId dp,
+                                          const chunk::ChunkKey& key) {
+    return chunk_decref_async(dp, key).get();
+}
+
+Future<std::uint64_t> ServiceClient::chunk_decref_async(
+    NodeId dp, const chunk::ChunkKey& key) {
+    WireWriter w;
+    put_chunk_key(w, key);
+    return map_future<std::uint64_t>(
+        invoke_async(MsgType::kChunkDecref, dp, std::move(w)),
+        [](Buffer&& resp) {
+            auto r = open_reply(resp, MsgType::kChunkDecref);
+            const std::uint64_t remaining = r.u64();
+            r.expect_end();
+            return remaining;
+        });
+}
+
+provider::DataProvider::DedupStatus ServiceClient::dedup_status(NodeId dp) {
+    const Buffer resp = invoke(MsgType::kDedupStatus, dp, WireWriter());
+    auto r = open_reply(resp, MsgType::kDedupStatus);
+    provider::DataProvider::DedupStatus s;
+    s.chunks_stored = r.u64();
+    s.stored_bytes = r.u64();
+    s.check_hits = r.u64();
+    s.check_misses = r.u64();
+    s.bytes_skipped = r.u64();
+    s.dup_puts = r.u64();
+    s.decrefs = r.u64();
+    s.reclaimed_chunks = r.u64();
+    s.reclaimed_bytes = r.u64();
+    r.expect_end();
+    return s;
 }
 
 // ---- metadata providers ----------------------------------------------------

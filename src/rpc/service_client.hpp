@@ -34,6 +34,7 @@
 #include "dht/ring.hpp"
 #include "meta/meta_node.hpp"
 #include "meta/write_descriptor.hpp"
+#include "provider/data_provider.hpp"
 #include "provider/provider_manager.hpp"
 #include "rpc/messages.hpp"
 #include "rpc/protocol.hpp"
@@ -136,6 +137,55 @@ class ServiceClient {
         std::uint64_t size);
 
     void erase_chunk(NodeId dp, const chunk::ChunkKey& key);
+
+    // ---- content-addressed data-provider operations (protocol v5) --------
+
+    /// Check-before-push: true iff \p dp already holds the chunk. On a
+    /// hit with \p want_incref the provider records this caller's
+    /// reference, so the caller must NOT push (and later releases the
+    /// reference with chunk_decref). \p size_hint is the payload size
+    /// the caller would have pushed (provider dedup accounting).
+    [[nodiscard]] bool check_chunk(NodeId dp, const chunk::ChunkKey& key,
+                                   bool want_incref,
+                                   std::uint64_t size_hint);
+    [[nodiscard]] Future<bool> check_chunk_async(NodeId dp,
+                                                 const chunk::ChunkKey& key,
+                                                 bool want_incref,
+                                                 std::uint64_t size_hint);
+
+    /// Streaming upload: open a transfer of \p total bytes, append
+    /// in-order slices, then complete (the provider verifies size and,
+    /// for content keys, the SHA-256 before the chunk becomes visible).
+    [[nodiscard]] std::uint64_t push_start(NodeId dp,
+                                           const chunk::ChunkKey& key,
+                                           std::uint64_t total);
+    void push_some(NodeId dp, std::uint64_t xfer, std::uint64_t offset,
+                   ConstBytes bytes, NodeId via = kInvalidNode);
+    void push_end(NodeId dp, std::uint64_t xfer);
+
+    /// Whole streaming upload: push \p payload in \p slice_bytes frames.
+    void push_chunk(NodeId dp, const chunk::ChunkKey& key, ConstBytes payload,
+                    std::size_t slice_bytes, NodeId via = kInvalidNode);
+
+    /// Ranged resumable download: size of the stored chunk, then slices.
+    [[nodiscard]] std::uint64_t pull_start(NodeId dp,
+                                           const chunk::ChunkKey& key);
+    [[nodiscard]] ChunkSlice pull_some(NodeId dp, const chunk::ChunkKey& key,
+                                       std::uint64_t offset,
+                                       std::uint64_t size);
+
+    /// Whole streaming download in \p slice_bytes frames.
+    [[nodiscard]] Buffer pull_chunk(NodeId dp, const chunk::ChunkKey& key,
+                                    std::size_t slice_bytes);
+
+    /// Release one reference to a chunk; returns the remaining count
+    /// (0 = the provider reclaimed it).
+    std::uint64_t chunk_decref(NodeId dp, const chunk::ChunkKey& key);
+    [[nodiscard]] Future<std::uint64_t> chunk_decref_async(
+        NodeId dp, const chunk::ChunkKey& key);
+
+    /// Dedup/GC observability snapshot of one data provider.
+    [[nodiscard]] provider::DataProvider::DedupStatus dedup_status(NodeId dp);
 
     // ---- metadata providers ----------------------------------------------
 

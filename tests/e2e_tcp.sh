@@ -6,7 +6,11 @@
 # topology, writes blobs on both shards, clones across them, kills and
 # restarts the daemon on the same --disk-root, and verifies every blob
 # reads back byte-identical (log-engine restart recovery incl. the
-# per-shard version-manager journals).
+# per-shard version-manager journals). A third phase runs a
+# content-addressed log-store daemon (--cas): identical data written
+# into two blobs stores one physical copy, deleting one blob releases
+# only its references, and after a kill/restart the survivor still
+# reads back byte-identical while a final delete reclaims the store.
 #
 # Usage: e2e_tcp.sh <path-to-blobseer_serverd> <path-to-blobseer_cli>
 set -u
@@ -186,6 +190,98 @@ grep -q -- "-> version 2" "$WORK/cli3.log" ||
     fail "post-restart write failed"
 grep -q "TAG MISMATCH" "$WORK/cli3.log" && fail "corrupted readback"
 grep -q "error:" "$WORK/cli3.log" && fail "command error after restart"
+
+stop_serverd
+
+# --- phase 3: content-addressed dedup + refcounted GC across restart --------
+
+CAS_ROOT="$WORK/cas-root"
+CASARGS="--data-providers 4 --meta-providers 2 --replication 1 \
+    --store log --disk-root $CAS_ROOT --cas"
+
+# shellcheck disable=SC2086
+start_serverd "$WORK/serverd4.log" $CASARGS
+
+# Two blobs, byte-identical payloads: blob D's write keys its pattern
+# off blob C (trailing pattern-blob argument), so the daemon sees the
+# same 4 chunks twice. The second write must check-hit on every chunk
+# and transfer nothing.
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli4.log" 2>&1 <<'EOF'
+create 65536
+create 65536
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli4.log"; fail "cas create session failed"; }
+mapfile -t CASBLOBS < <(sed -n 's/^blob \([0-9]*\) created.*/\1/p' \
+    "$WORK/cli4.log")
+[ "${#CASBLOBS[@]}" -eq 2 ] || { cat "$WORK/cli4.log"; fail "expected 2 cas blobs"; }
+C=${CASBLOBS[0]}
+D=${CASBLOBS[1]}
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli5.log" 2>&1 <<EOF
+write $C 0 262144 5
+write $D 0 262144 5 $C
+read $C 1 0 262144 5
+read $D 1 0 262144
+dedup-stats
+delete $C
+dedup-stats
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli5.log"; fail "cas write session failed"; }
+echo "--- cas dedup cli output ---"
+cat "$WORK/cli5.log"
+
+grep -q "tag matches" "$WORK/cli5.log" || fail "cas readback mismatch"
+FNV_C=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli5.log" | sed -n 1p)
+FNV_D=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli5.log" | sed -n 2p)
+[ -n "$FNV_C" ] && [ "$FNV_C" = "$FNV_D" ] ||
+    fail "the two cas blobs are not byte-identical ($FNV_C != $FNV_D)"
+# One physical copy: 8 logical chunks uploaded, 4 check-hits, exactly
+# one blob's worth of bytes on the wire.
+grep -q "client cas: 8 chunks, 4 dedup hits, 262144 bytes skipped, \
+262144 bytes sent, 0 stream pushes" "$WORK/cli5.log" ||
+    fail "second write was not fully deduplicated"
+grep -q "deleted blob $C: 1 versions, released 4 chunk refs" \
+    "$WORK/cli5.log" || fail "delete did not release blob C's references"
+# After the delete the shared chunks drop to refcount 1 (blob D): the
+# store must hold exactly one copy, nothing reclaimed yet.
+grep -q "stored: *4 chunks, 262144 bytes" "$WORK/cli5.log" ||
+    fail "delete of one sharer changed the physical copy count"
+grep -q "error:" "$WORK/cli5.log" && fail "command error in cas phase"
+
+# Kill and restart on the same root: chunks, refcounts and metadata all
+# come back from the log engines. The survivor must read byte-identical
+# and GC must not have over-collected the shared chunks.
+stop_serverd
+# shellcheck disable=SC2086
+start_serverd "$WORK/serverd5.log" $CASARGS
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli6.log" 2>&1 <<EOF
+read $D 1 0 262144
+dedup-stats
+delete $D
+dedup-stats
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli6.log"; fail "post-restart cas cli failed"; }
+echo "--- post-restart cas output ---"
+cat "$WORK/cli6.log"
+
+FNV_D2=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli6.log" | sed -n 1p)
+[ "$FNV_D" = "$FNV_D2" ] ||
+    fail "cas survivor differs after restart (fnv $FNV_D != $FNV_D2)"
+grep -q "stored: *4 chunks, 262144 bytes" "$WORK/cli6.log" ||
+    fail "restart lost or over-collected the surviving copy"
+# Deleting the survivor drops the last references: the store empties and
+# the reclaim counters account for every byte.
+grep -q "deleted blob $D: 1 versions, released 4 chunk refs" \
+    "$WORK/cli6.log" || fail "delete did not release blob D's references"
+grep -q "stored: *0 chunks, 0 bytes" "$WORK/cli6.log" ||
+    fail "deleting the last reference did not empty the store"
+grep -q "4 chunks / 262144 bytes reclaimed" "$WORK/cli6.log" ||
+    fail "gc reclaim counters did not account for the deleted chunks"
+grep -q "error:" "$WORK/cli6.log" && fail "command error after cas restart"
 
 echo "PASS"
 exit 0

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "cas/sha256.hpp"
 #include "common/bandwidth_gate.hpp"
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
@@ -83,6 +84,52 @@ TEST(Hash, Mix64SpreadsSequentialInputs) {
         top_bytes.insert(mix64(i) >> 56);
     }
     EXPECT_GT(top_bytes.size(), 32u);
+}
+
+TEST(Sha256, MatchesFipsVectors) {
+    // FIPS 180-4 / NIST test vectors pin the compression function, the
+    // padding and the length encoding (like crc32c's RFC 3720 pin):
+    // chunk addressing depends on every implementation producing these
+    // exact digests.
+    EXPECT_EQ(cas::to_hex(cas::sha256("", 0)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    const std::string abc = "abc";
+    EXPECT_EQ(cas::to_hex(cas::sha256(abc.data(), abc.size())),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    // Two-block message: exercises the block boundary.
+    const std::string two =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    EXPECT_EQ(cas::to_hex(cas::sha256(two.data(), two.size())),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    // Streaming pushes hash slice-by-slice; the split point must not
+    // change the digest.
+    Buffer data(100000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>(mix64(i) >> 13);
+    }
+    const cas::Digest whole = cas::sha256(data.data(), data.size());
+    for (const std::size_t split : {1ul, 63ul, 64ul, 65ul, 99999ul}) {
+        cas::Sha256 h;
+        h.update(data.data(), split);
+        h.update(data.data() + split, data.size() - split);
+        EXPECT_EQ(h.finish(), whole) << "split at " << split;
+    }
+}
+
+TEST(Sha256, Digest128IsBigEndianPrefix) {
+    // digest128 packs the first 16 digest bytes big-endian into
+    // (hi, lo) — the printable hex prefix IS the key, which keeps
+    // chunk(sha:...) names greppable against sha256sum output.
+    const std::string abc = "abc";
+    const auto [hi, lo] = cas::digest128(cas::sha256(abc.data(), abc.size()));
+    EXPECT_EQ(hi, 0xba7816bf8f01cfeaULL);
+    EXPECT_EQ(lo, 0x414140de5dae2223ULL);
 }
 
 // ---- rng ----------------------------------------------------------------------

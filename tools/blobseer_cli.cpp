@@ -115,7 +115,14 @@ class Shell {
                     in >> offset;
                 }
                 in >> size >> tag;
-                const Buffer data = make_pattern(id, tag, 0, size);
+                // Optional trailing blob id: key the pattern off another
+                // blob so two blobs can carry byte-identical payloads
+                // (exercises cross-blob dedup under --cas).
+                BlobId pattern_id = id;
+                if (!(in >> pattern_id)) {
+                    pattern_id = id;
+                }
+                const Buffer data = make_pattern(pattern_id, tag, 0, size);
                 // The put path always streams through the client's
                 // in-flight window (sized by --parallel); async only
                 // changes which thread drives it.
@@ -235,6 +242,16 @@ class Shell {
                 std::printf("retired %zu versions, freed %zu chunks, %zu "
                             "metadata nodes\n",
                             st.versions, st.chunks, st.meta_nodes);
+            } else if (cmd == "delete") {
+                BlobId id = 0;
+                in >> id;
+                const auto st = client_->delete_blob(id);
+                std::printf("deleted blob %llu: %zu versions, released "
+                            "%zu chunk refs, erased %zu metadata nodes\n",
+                            (unsigned long long)id, st.versions, st.chunks,
+                            st.meta_nodes);
+            } else if (cmd == "dedup-stats") {
+                print_dedup_stats();
             } else if (cmd == "locate") {
                 BlobId id = 0;
                 std::string vs;
@@ -299,6 +316,61 @@ class Shell {
             (unsigned long long)st.write_latency_us.quantile(0.99),
             st.read_latency_us.mean(),
             (unsigned long long)st.read_latency_us.quantile(0.99));
+    }
+
+    void print_dedup_stats() {
+        // One kDedupStatus RPC per data provider, so the same command
+        // works over --connect and in-process alike (the counters are
+        // per-boot, the store snapshots live — same contract as stats).
+        auto& svc = client_->services();
+        provider::DataProvider::DedupStatus total;
+        for (const NodeId node : client_->data_nodes()) {
+            const auto s = svc.dedup_status(node);
+            std::printf("  dp node %u: %llu chunks / %llu bytes stored, "
+                        "%llu dup refs, %llu bytes skipped, %llu chunks / "
+                        "%llu bytes reclaimed\n",
+                        node, (unsigned long long)s.chunks_stored,
+                        (unsigned long long)s.stored_bytes,
+                        (unsigned long long)(s.check_hits + s.dup_puts),
+                        (unsigned long long)s.bytes_skipped,
+                        (unsigned long long)s.reclaimed_chunks,
+                        (unsigned long long)s.reclaimed_bytes);
+            total.chunks_stored += s.chunks_stored;
+            total.stored_bytes += s.stored_bytes;
+            total.check_hits += s.check_hits;
+            total.check_misses += s.check_misses;
+            total.bytes_skipped += s.bytes_skipped;
+            total.dup_puts += s.dup_puts;
+            total.decrefs += s.decrefs;
+            total.reclaimed_chunks += s.reclaimed_chunks;
+            total.reclaimed_bytes += s.reclaimed_bytes;
+        }
+        const auto& st = client_->stats();
+        std::printf(
+            "dedup totals:\n"
+            "  stored:     %llu chunks, %llu bytes\n"
+            "  referenced: %llu extra refs (check hits %llu, misses "
+            "%llu, dup puts %llu)\n"
+            "  skipped:    %llu bytes kept off the wire\n"
+            "  gc:         %llu decrefs, %llu chunks / %llu bytes "
+            "reclaimed\n"
+            "  client cas: %llu chunks, %llu dedup hits, %llu bytes "
+            "skipped, %llu bytes sent, %llu stream pushes\n",
+            (unsigned long long)total.chunks_stored,
+            (unsigned long long)total.stored_bytes,
+            (unsigned long long)(total.check_hits + total.dup_puts),
+            (unsigned long long)total.check_hits,
+            (unsigned long long)total.check_misses,
+            (unsigned long long)total.dup_puts,
+            (unsigned long long)total.bytes_skipped,
+            (unsigned long long)total.decrefs,
+            (unsigned long long)total.reclaimed_chunks,
+            (unsigned long long)total.reclaimed_bytes,
+            (unsigned long long)st.cas_chunks.get(),
+            (unsigned long long)st.cas_dedup_hits.get(),
+            (unsigned long long)st.cas_bytes_skipped.get(),
+            (unsigned long long)st.cas_bytes_sent.get(),
+            (unsigned long long)st.cas_stream_pushes.get());
     }
 
     void print_vm_status() {
@@ -366,7 +438,9 @@ class Shell {
         std::printf(
             "commands:\n"
             "  create <chunk_bytes> [replication]\n"
-            "  write <blob> <offset> <size> <tag>   (pattern payload)\n"
+            "  write <blob> <offset> <size> <tag> [pattern-blob]\n"
+            "                  (pattern payload; optional pattern-blob\n"
+            "                   keys the bytes off another blob id)\n"
             "  append <blob> <size> <tag>\n"
             "  read <blob> <version|latest> <offset> <size> [tag]\n"
             "  stat <blob> [version|latest]\n"
@@ -375,9 +449,11 @@ class Shell {
             "  clone <blob> [version|latest]\n"
             "  pin|unpin <blob> <version>\n"
             "  retire <blob> <keep_from_version>\n"
+            "  delete <blob>              (decref chunks, erase metadata)\n"
             "  locate <blob> <version|latest> <offset> <size>\n"
             "  stats                              (client counter dump)\n"
             "  vm-status                  (per-shard version-manager dump)\n"
+            "  dedup-stats                (per-provider dedup/GC dump)\n"
             "  parallel <n>                       (async read splitting)\n"
             "  providers | kill <i> <lose01> | recover <i>\n"
             "  degrade <i> <factor> | restore <i>\n"

@@ -49,6 +49,8 @@ void usage(const char* argv0) {
         "  --meta-replication <n> metadata replication (default 1)\n"
         "  --store <ram|disk|two-tier|log|two-tier-log>\n"
         "                        chunk store backend (default ram)\n"
+        "  --cas                 content-addressed chunks: dedup by\n"
+        "                        SHA-256, check-before-push, refcounted GC\n"
         "  --meta-store <ram|disk|log>  metadata backend (default ram;\n"
         "                        log when --store is log-family)\n"
         "  --disk-root <path>    root for disk-backed stores\n"
@@ -136,6 +138,8 @@ int main(int argc, char** argv) {
                 return 2;
             }
             meta_store_set = true;
+        } else if (arg == "--cas") {
+            cfg.content_addressed = true;
         } else if (arg == "--disk-root") {
             cfg.disk_root = next();
         } else if (arg == "--sim-latency-us") {
