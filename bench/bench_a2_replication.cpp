@@ -39,6 +39,36 @@ double run_one(std::uint32_t replication, bool pipelined,
     return mbps(clients * region, sec);
 }
 
+/// Repair throughput: write a replicated blob, kill one provider with
+/// data loss, and time a synchronous drain of the repair queue. The
+/// drain re-replicates every chunk the dead provider held onto the
+/// survivors; copies/s is the recovery-speed figure of merit (DESIGN.md
+/// §12) and scales with the per-copy transfer cost, so higher
+/// replication repairs faster per lost byte (more sources, same copies).
+void run_repair() {
+    Table table({"replication", "copies", "repair s", "copies/s",
+                 "repair MB/s"});
+    for (const std::uint32_t r : {2, 3}) {
+        auto cfg = grid_config(12, 6);
+        core::Cluster cluster(cfg);
+        auto client = cluster.make_client();
+        core::Blob blob = client->create(kChunk, r);
+        const std::uint64_t bytes = scaled(192) * kChunk;  // 12 MB
+        client->write(blob.id(), 0, make_pattern(blob.id(), 1, 0, bytes));
+
+        cluster.kill_data_provider(0, /*lose_volatile=*/true);
+        const Stopwatch sw;
+        const std::uint64_t copies = cluster.drain_repairs();
+        const double sec = sw.elapsed_seconds();
+        table.row(r, copies, sec,
+                  sec > 0.0 ? static_cast<double>(copies) / sec : 0.0,
+                  mbps(copies * kChunk, sec));
+    }
+    table.print(
+        "A2b: re-replication throughput after a provider death with data "
+        "loss (12 providers, 12 MB blob)");
+}
+
 void run() {
     // Two regimes. A lone writer is uplink-bound: pipelining offloads
     // copies onto provider NICs and wins. Many writers saturate provider
@@ -56,6 +86,7 @@ void run() {
                     std::to_string(clients) +
                     " writer(s), 3 MB each (12 providers)");
     }
+    run_repair();
 }
 
 }  // namespace

@@ -271,14 +271,9 @@ std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all(
                               const std::string& what) {
         stats_.chunk_retries.add();
         log_debug("client", "chunk put failed: " + what);
-        // Heartbeat substitute: tell the provider manager, then ask it
-        // for a replacement target (bounded).
-        try {
-            svc_.mark_dead(target);
-        } catch (const RpcError&) {
-            // Provider manager unreachable; keep going with what we
-            // have.
-        }
+        // Tell the provider manager so it can corroborate the death and
+        // start repair, then ask it for a replacement target (bounded).
+        report_provider_failure(target);
         if (st.replacement_budget > 0) {
             --st.replacement_budget;
             try {
@@ -430,12 +425,7 @@ std::vector<BlobSeerClient::UploadedChunk> BlobSeerClient::upload_all_cas(
     auto handle_failure = [&](NodeId target, const std::string& what) {
         stats_.chunk_retries.add();
         log_debug("client", "cas chunk transfer failed: " + what);
-        try {
-            svc_.mark_dead(target);
-        } catch (const RpcError&) {
-            // Provider manager unreachable; the ring still has the
-            // remaining owners.
-        }
+        report_provider_failure(target);
     };
 
     // Issue the next target's check for one chunk, if any remain.
@@ -862,6 +852,7 @@ void BlobSeerClient::fetch_all(
     struct PendingGet {
         Future<rpc::ServiceClient::ChunkSlice> fut;
         std::size_t segment = 0;
+        NodeId target = kInvalidNode;
     };
     std::deque<PendingGet> window;
 
@@ -882,10 +873,11 @@ void BlobSeerClient::fetch_all(
                     // other delivery failure.
                     st.last_error = e.what();
                     stats_.chunk_retries.add();
+                    report_provider_failure(target);
                     continue;
                 }
                 stats_.inflight_chunk_rpcs.add();
-                window.push_back(PendingGet{std::move(fut), idx});
+                window.push_back(PendingGet{std::move(fut), idx, target});
                 return;
             }
             if (st.passes > 0) {
@@ -922,6 +914,9 @@ void BlobSeerClient::fetch_all(
         } catch (const RpcError& e) {
             st.last_error = e.what();
             stats_.chunk_retries.add();
+            // A delivery failure (unlike NotFound, where the provider
+            // answered) is evidence of a death worth repairing.
+            report_provider_failure(get.target);
             issue(get.segment);  // next replica (or brief second pass)
         } catch (const NotFoundError& e) {
             st.last_error = e.what();
@@ -959,7 +954,7 @@ void BlobSeerClient::fetch_all(
     }
 
     for (const State& st : states) {
-        if (!st.done) {
+        if (!st.done && !fetch_from_any_provider(*st.seg, st.slice)) {
             throw NotFoundError("all replicas failed for " +
                                 st.seg->chunk.to_string() + " (" +
                                 st.last_error + ")");
@@ -993,14 +988,62 @@ void BlobSeerClient::fetch_segment(const meta::ReadSegment& seg,
                 return;
             } catch (const RpcError& e) {
                 last_error = e.what();
+                report_provider_failure(target);
             } catch (const NotFoundError& e) {
                 last_error = e.what();
             }
             stats_.chunk_retries.add();
         }
     }
+    if (fetch_from_any_provider(seg, out)) {
+        return;
+    }
     throw NotFoundError("all replicas failed for " + seg.chunk.to_string() +
                         " (" + last_error + ")");
+}
+
+bool BlobSeerClient::fetch_from_any_provider(const meta::ReadSegment& seg,
+                                             MutableBytes out) {
+    for (const NodeId target : env_.data_nodes) {
+        if (std::find(seg.replicas.begin(), seg.replicas.end(), target) !=
+            seg.replicas.end()) {
+            continue;  // the preference-order walks already tried it
+        }
+        try {
+            const auto slice = svc_.get_chunk(
+                target, seg.chunk, seg.chunk_offset, out.size());
+            if (seg.chunk_offset + out.size() > slice.chunk_size ||
+                slice.bytes.size() < out.size()) {
+                continue;  // truncated copy: keep probing
+            }
+            std::memcpy(out.data(), slice.bytes.data(), out.size());
+            stats_.chunk_get_rpcs.add();
+            stats_.chunk_locates.add();
+            return true;
+        } catch (const RpcError&) {
+            stats_.chunk_retries.add();
+        } catch (const NotFoundError&) {
+            stats_.chunk_retries.add();
+        }
+    }
+    return false;
+}
+
+void BlobSeerClient::report_provider_failure(NodeId target) {
+    {
+        const std::scoped_lock lock(reported_mu_);
+        if (!reported_dead_.insert(target).second) {
+            return;  // this client already reported it
+        }
+    }
+    try {
+        (void)svc_.report_failure(target);
+    } catch (const RpcError&) {
+        // Provider manager unreachable: forget the dedup entry so a
+        // later failure gets to retry the report.
+        const std::scoped_lock lock(reported_mu_);
+        reported_dead_.erase(target);
+    }
 }
 
 void BlobSeerClient::read_tail_for_merge(BlobId blob,

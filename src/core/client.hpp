@@ -50,6 +50,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/buffer.hpp"
@@ -118,6 +119,9 @@ struct ClientStats {
     Counter chunk_put_rpcs;
     Counter chunk_get_rpcs;
     Counter chunk_retries;  ///< replica failovers (reads + writes)
+    /// Reads salvaged by probing providers outside the metadata leaf's
+    /// replica list (a repair moved the chunk after the leaf was sealed).
+    Counter chunk_locates;
     Counter cas_chunks;         ///< content-addressed chunks uploaded
     Counter cas_dedup_hits;     ///< check-before-push hits (no transfer)
     Counter cas_bytes_skipped;  ///< payload bytes dedup kept off the wire
@@ -336,6 +340,20 @@ class BlobSeerClient {
     /// (sequential; the tail-merge path uses it).
     void fetch_segment(const meta::ReadSegment& seg, MutableBytes out);
 
+    /// Last-resort chunk locate: probe every data node NOT on the leaf's
+    /// replica list. Metadata leaves are sealed at write time, so when
+    /// repair re-replicated a chunk after its holders died the live
+    /// copies sit on nodes the leaf does not name. Returns true when a
+    /// probe produced the bytes.
+    bool fetch_from_any_provider(const meta::ReadSegment& seg,
+                                 MutableBytes out);
+
+    /// Best-effort failure report to the provider manager (protocol v6):
+    /// the manager corroborates against heartbeats and triggers repair
+    /// if the death is real. Deduplicated per client so a wide read over
+    /// a dead provider costs one RPC, not one per chunk.
+    void report_provider_failure(NodeId target);
+
     /// Run \p fn on the I/O pool, surfacing its result as a Future.
     template <typename T, typename F>
     [[nodiscard]] Future<T> submit_async(F fn) {
@@ -387,6 +405,13 @@ class BlobSeerClient {
 
     mutable std::mutex health_mu_;  // guards health_view_
     std::unordered_map<NodeId, double> health_view_;
+
+    std::mutex reported_mu_;  // guards reported_dead_
+    /// Providers this client already reported as failed (cleared when a
+    /// later call to them succeeds is unnecessary: the manager's own
+    /// membership decides revival, a stale local entry only suppresses
+    /// duplicate reports).
+    std::unordered_set<NodeId> reported_dead_;
 
     /// Declared LAST: its destructor drains queued write_async/
     /// read_async tasks, which touch stats_, the caches and their

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +18,7 @@
 #include "meta/disk_meta_store.hpp"
 #include "meta/log_meta_store.hpp"
 #include "rpc/sim_transport.hpp"
+#include "rpc/tcp_transport.hpp"
 
 namespace blobseer::core {
 
@@ -204,6 +206,74 @@ Cluster::Cluster(ClusterConfig config)
         dispatcher_.add_metadata_provider(node, mp);
     }
     dispatcher_.set_topology(topology(), 1u << 20);
+    // Requests to a killed node must fail identically whether they come
+    // through SimTransport (the network refuses) or a real TCP socket
+    // (the dispatcher refuses). Ids outside the simulated space (remote
+    // clients, external providers) are always reachable.
+    dispatcher_.set_fault_check([this](NodeId node) {
+        return node >= net_.node_count() || net_.is_alive(node);
+    });
+
+    // ---- membership & repair (protocol v6) ------------------------------
+    pm_.set_repair_floor(config_.default_replication);
+    if (needs_uid_epoch(config_)) {
+        // Durable deployments also persist the pending-repair set, so a
+        // manager restart mid-outage resumes instead of forgetting.
+        pm_.open_repair_journal(
+            (config_.disk_root / "pm-repair.journal").string());
+    }
+    for (auto& dp : data_providers_) {
+        const NodeId node = dp->node();
+        // In-process providers feed the location index synchronously —
+        // the moral equivalent of a heartbeat with a zero-length delay.
+        dp->set_inventory_observer([this, node](const chunk::ChunkKey& key,
+                                                std::uint64_t bytes,
+                                                bool stored) {
+            if (stored) {
+                pm_.note_chunk_stored(node, key, bytes);
+            } else {
+                pm_.note_chunk_removed(node, key);
+            }
+        });
+    }
+    repair_node_ = net_.add_node("repair-worker");
+    repair_sim_ = std::make_unique<rpc::SimTransport>(net_, repair_node_,
+                                                      dispatcher_);
+    repair_transport_ = std::make_unique<rpc::RoutedTransport>(*repair_sim_);
+    provider::RepairWorker::Options repair_options;
+    repair_options.content_addressed = config_.content_addressed;
+    repair_worker_ = std::make_unique<provider::RepairWorker>(
+        pm_, *repair_transport_, vm_nodes_, pm_node_, repair_node_,
+        repair_options);
+    pm_.set_announce_hook([this](NodeId node, const std::string& host,
+                                 std::uint32_t port) {
+        // An external daemon announced: give the repair worker a wire to
+        // it and advertise it to future remote clients.
+        repair_transport_->add_route(
+            node, std::make_shared<rpc::TcpTransport>(
+                      host, static_cast<std::uint16_t>(port)));
+        dispatcher_.refresh_topology(topology());
+    });
+    if (config_.heartbeat_timeout > Duration::zero()) {
+        pm_.set_heartbeat_timeout_ms(static_cast<std::uint64_t>(
+            duration_cast<milliseconds>(config_.heartbeat_timeout)
+                .count()));
+        heartbeat_thread_ = std::jthread([this](std::stop_token stop) {
+            const Duration tick =
+                std::max<Duration>(config_.heartbeat_timeout / 4,
+                                   milliseconds(10));
+            std::mutex mu;
+            std::unique_lock lock(mu);
+            while (!stop.stop_requested()) {
+                (void)pm_.check_heartbeats();
+                (void)heartbeat_cv_.wait_for(lock, stop, tick,
+                                             [] { return false; });
+            }
+        });
+    }
+    if (config_.repair_interval > Duration::zero()) {
+        repair_worker_->start(config_.repair_interval);
+    }
 }
 
 Cluster::~Cluster() = default;
@@ -226,6 +296,12 @@ rpc::Topology Cluster::topology() const {
         duration_cast<milliseconds>(config_.publish_timeout).count());
     t.uid_epoch = uid_epoch_;
     t.content_addressed = config_.content_addressed;
+    // Announced external providers are part of the data plane: clients
+    // place onto them and dial them directly at the carried endpoint.
+    for (const auto& ep : pm_.external_endpoints()) {
+        t.data_nodes.push_back(ep.node);
+        t.provider_endpoints.push_back({ep.node, ep.host, ep.port});
+    }
     return t;
 }
 
@@ -259,11 +335,17 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
 void Cluster::kill_data_provider(std::size_t i, bool lose_volatile) {
     provider::DataProvider& dp = data_provider(i);
     net_.kill(dp.node());
+    // Heartbeat loss: the provider manager stops placing data there and
+    // queues every chunk the death left under-replicated. Enqueue while
+    // the index still lists the victim as holder (before any wipe) so
+    // the death scan sees its keys.
+    pm_.mark_dead(dp.node());
     if (lose_volatile) {
         dp.lose_volatile_state();
+        // The copies are gone for good, not just unreachable: repair
+        // must not count them again after a rejoin.
+        pm_.drop_holdings(dp.node());
     }
-    // Heartbeat loss: the provider manager stops placing data there.
-    pm_.mark_dead(dp.node());
 }
 
 void Cluster::recover_data_provider(std::size_t i) {

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -26,7 +28,10 @@
 #include "net/sim_network.hpp"
 #include "provider/data_provider.hpp"
 #include "provider/provider_manager.hpp"
+#include "provider/repair_worker.hpp"
 #include "rpc/dispatcher.hpp"
+#include "rpc/routed_transport.hpp"
+#include "rpc/sim_transport.hpp"
 #include "version/version_manager.hpp"
 
 namespace blobseer::engine {
@@ -134,6 +139,17 @@ class Cluster {
                                Duration extra_latency = {});
     void restore_data_provider(std::size_t i);
 
+    // ---- membership & repair (protocol v6) -------------------------------
+
+    /// Synchronously drain the repair queue; returns the replica copies
+    /// created. Tests call this instead of waiting on the background
+    /// worker (which only runs when config.repair_interval > 0).
+    std::uint64_t drain_repairs() { return repair_worker_->drain_once(); }
+
+    [[nodiscard]] provider::RepairWorker& repair_worker() noexcept {
+        return *repair_worker_;
+    }
+
   private:
     ClusterConfig config_;
     net::SimNetwork net_;
@@ -163,6 +179,17 @@ class Cluster {
     rpc::Dispatcher dispatcher_;
     /// Atomic: experiments mint clients from many threads at once.
     std::atomic<std::size_t> next_client_{0};
+
+    // Membership & repair. Declared last: the worker and the heartbeat
+    // sweeper reference every service above, so they must die first.
+    NodeId repair_node_ = kInvalidNode;
+    std::unique_ptr<rpc::SimTransport> repair_sim_;
+    /// The worker's transport: simulated wire to in-process providers,
+    /// per-node TCP routes to external daemons (added on announce).
+    std::unique_ptr<rpc::RoutedTransport> repair_transport_;
+    std::unique_ptr<provider::RepairWorker> repair_worker_;
+    std::condition_variable_any heartbeat_cv_;
+    std::jthread heartbeat_thread_;
 };
 
 }  // namespace blobseer::core

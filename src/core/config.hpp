@@ -104,6 +104,15 @@ struct ClusterConfig {
     /// predecessor.
     Duration publish_timeout = seconds(30);
 
+    /// Membership (DESIGN.md §12). A provider missing heartbeats for
+    /// this long is declared dead and its chunks enter the repair queue;
+    /// 0 disables the sweep (tests drive check_heartbeats with virtual
+    /// time, and in-process providers never beat).
+    Duration heartbeat_timeout = Duration::zero();
+    /// Background repair-worker drain period; 0 = no background worker
+    /// (tests call Cluster::drain_repairs() synchronously).
+    Duration repair_interval = Duration::zero();
+
     /// Seed for every deterministic random decision in the cluster.
     std::uint64_t seed = 42;
 };

@@ -10,6 +10,14 @@ ClientEnv connect_tcp(const std::string& host, std::uint16_t port,
     auto transport = std::make_shared<rpc::TcpTransport>(host, port);
     const rpc::Topology topo = rpc::fetch_topology(*transport);
 
+    // External data providers live in their own daemons, not behind the
+    // manager's address; the topology carries their endpoints (v6).
+    for (const auto& ep : topo.provider_endpoints) {
+        transport->add_peer(
+            ep.node,
+            rpc::Endpoint{ep.host, static_cast<std::uint16_t>(ep.port)});
+    }
+
     ClientEnv env;
     env.transport = std::move(transport);
     env.self = topo.client_id;

@@ -13,11 +13,14 @@
 #pragma once
 
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "cas/sha256.hpp"
 #include "chunk/ram_store.hpp"
@@ -26,6 +29,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "provider/location_index.hpp"
 
 namespace blobseer::provider {
 
@@ -60,7 +64,11 @@ class DataProvider {
         if (key.is_content()) {
             store_dedup(key, std::move(data));
         } else {
+            const bool fresh = !store_->contains(key);
             store_->put(key, std::move(data));
+            if (fresh) {
+                note_stored(key, n);
+            }
         }
         stats_.ops.add();
         stats_.bytes_in.add(n);
@@ -87,7 +95,13 @@ class DataProvider {
     }
 
     /// Garbage-collect one chunk (aborted version cleanup).
-    void erase_chunk(const chunk::ChunkKey& key) { store_->erase(key); }
+    void erase_chunk(const chunk::ChunkKey& key) {
+        const bool present = store_->contains(key);
+        store_->erase(key);
+        if (present) {
+            note_removed(key);
+        }
+    }
 
     // ---- content-addressed operations (wire protocol v5) ----
 
@@ -194,7 +208,12 @@ class DataProvider {
             }
             store_dedup(st.key, std::move(st.buf));
         } else {
+            const bool fresh = !store_->contains(st.key);
+            const std::uint64_t n = st.buf->size();
             store_->put(st.key, std::move(st.buf));
+            if (fresh) {
+                note_stored(st.key, n);
+            }
         }
     }
 
@@ -244,6 +263,7 @@ class DataProvider {
             if (after < before) {
                 reclaimed_chunks_.add();
                 reclaimed_bytes_.add(before - after);
+                note_removed(key);
             }
         }
         return remaining;
@@ -268,10 +288,57 @@ class DataProvider {
     void lose_volatile_state() {
         if (auto* ram = dynamic_cast<chunk::RamStore*>(store_.get())) {
             ram->clear();
+            const std::scoped_lock lock(inv_mu_);
+            inventory_.clear();
+            delta_added_.clear();
+            delta_removed_.clear();
         } else if (auto* two =
                        dynamic_cast<chunk::TwoTierStore*>(store_.get())) {
             two->drop_cache();
         }
+    }
+
+    // ---- inventory tracking (membership & repair, protocol v6) ----
+
+    /// Observe every absent→present / present→absent transition of this
+    /// provider's store. In-process deployments wire this straight into
+    /// the provider manager's location index; daemons leave it unset and
+    /// ship the delta log on their heartbeats instead. Install at boot,
+    /// before traffic.
+    void set_inventory_observer(
+        std::function<void(const chunk::ChunkKey&, std::uint64_t, bool)>
+            observer) {
+        observer_ = std::move(observer);
+    }
+
+    /// Full inventory snapshot (kProviderAnnounce payload; also seeds
+    /// the index after a durable-store restart).
+    [[nodiscard]] std::vector<ChunkHolding> inventory() const {
+        const std::scoped_lock lock(inv_mu_);
+        std::vector<ChunkHolding> out;
+        out.reserve(inventory_.size());
+        for (const auto& [key, bytes] : inventory_) {
+            out.push_back({key, bytes});
+        }
+        return out;
+    }
+
+    struct InventoryDelta {
+        std::vector<ChunkHolding> added;
+        std::vector<chunk::ChunkKey> removed;
+    };
+
+    /// Take the transitions accumulated since the previous drain (the
+    /// kProviderBeat payload). The caller only drains after the previous
+    /// beat was acknowledged, so no delta is ever lost to a failed RPC.
+    [[nodiscard]] InventoryDelta drain_inventory_delta() {
+        const std::scoped_lock lock(inv_mu_);
+        InventoryDelta d;
+        d.added = std::move(delta_added_);
+        d.removed = std::move(delta_removed_);
+        delta_added_.clear();
+        delta_removed_.clear();
+        return d;
     }
 
     [[nodiscard]] chunk::ChunkStore& store() noexcept { return *store_; }
@@ -301,13 +368,51 @@ class DataProvider {
     /// "absent", both put (idempotently), and the count would understate
     /// the two real references — the one invariant GC must never break.
     void store_dedup(const chunk::ChunkKey& key, chunk::ChunkData data) {
-        const std::scoped_lock lock(cas_mu_);
-        if (store_->contains(key)) {
-            (void)store_->incref(key);
-            dup_puts_.add();
-            return;
+        const std::uint64_t n = data->size();
+        {
+            const std::scoped_lock lock(cas_mu_);
+            if (store_->contains(key)) {
+                (void)store_->incref(key);
+                dup_puts_.add();
+                return;
+            }
+            store_->put(key, std::move(data));
         }
-        store_->put(key, std::move(data));
+        note_stored(key, n);
+    }
+
+    /// Inventory bookkeeping: record a transition, fold it into the
+    /// heartbeat delta log, and notify a synchronous observer. A key
+    /// that flips within one beat interval collapses to its net effect
+    /// so the delta's apply order cannot matter.
+    void note_stored(const chunk::ChunkKey& key, std::uint64_t bytes) {
+        {
+            const std::scoped_lock lock(inv_mu_);
+            if (!inventory_.emplace(key, bytes).second) {
+                return;
+            }
+            std::erase(delta_removed_, key);
+            delta_added_.push_back({key, bytes});
+        }
+        if (observer_) {
+            observer_(key, bytes, true);
+        }
+    }
+
+    void note_removed(const chunk::ChunkKey& key) {
+        {
+            const std::scoped_lock lock(inv_mu_);
+            if (inventory_.erase(key) == 0) {
+                return;
+            }
+            std::erase_if(delta_added_, [&key](const ChunkHolding& h) {
+                return h.key == key;
+            });
+            delta_removed_.push_back(key);
+        }
+        if (observer_) {
+            observer_(key, 0, false);
+        }
     }
 
     const NodeId node_;
@@ -318,6 +423,13 @@ class DataProvider {
 
     std::mutex cas_mu_;  // atomizes contains+put/incref and decref
     std::mutex push_mu_;  // guards pushes_ and next_xfer_
+    mutable std::mutex inv_mu_;  // guards inventory_ and the delta log
+    std::unordered_map<chunk::ChunkKey, std::uint64_t, chunk::ChunkKeyHash>
+        inventory_;
+    std::vector<ChunkHolding> delta_added_;
+    std::vector<chunk::ChunkKey> delta_removed_;
+    std::function<void(const chunk::ChunkKey&, std::uint64_t, bool)>
+        observer_;
     std::map<std::uint64_t, PushState> pushes_;
     std::uint64_t next_xfer_ = 1;
     Counter check_hits_;

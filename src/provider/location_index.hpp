@@ -1,0 +1,227 @@
+/// \file location_index.hpp
+/// \brief Chunk-to-provider location index kept by the provider manager.
+///
+/// The paper's provider manager only places chunks; repair (DESIGN.md
+/// §12) additionally needs to answer "which chunks lived on the provider
+/// that just died, and who else holds them?". This index is that reverse
+/// map: providers report their holdings (full inventory at announce,
+/// incremental deltas on every heartbeat; in-process clusters feed it
+/// synchronously through a DataProvider observer), and the manager
+/// consults it when a death or join changes the replica count of a key.
+///
+/// Per key it tracks the holder set, the payload size (so repair can
+/// account bytes) and a *target* replica count: the high-water mark of
+/// holders ever observed, floored by the deployment's default
+/// replication. The high-water rule makes the target self-calibrating —
+/// a chunk written with replication 3 wants 3 live copies even though
+/// the index never saw the write's placement plan — while the floor
+/// lets chunks written during an outage (which never reached full fanout)
+/// still be repaired up to policy once capacity returns.
+///
+/// Not thread-safe by itself: the owning ProviderManager serializes all
+/// access under its membership mutex.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chunk/chunk_key.hpp"
+#include "common/types.hpp"
+
+namespace blobseer::provider {
+
+/// One inventory entry as reported by a provider: a key it holds and the
+/// payload size. Travels on the wire in kProviderAnnounce/kProviderBeat.
+struct ChunkHolding {
+    chunk::ChunkKey key{};
+    std::uint64_t bytes = 0;
+
+    friend bool operator==(const ChunkHolding&,
+                           const ChunkHolding&) = default;
+};
+
+class LocationIndex {
+  public:
+    /// Record that \p node holds \p key (\p bytes payload). Raises the
+    /// key's target to the current holder count when that sets a new
+    /// high-water mark AND every holder passes \p alive — a copy that
+    /// merely compensates for a dead holder (a repair landing, observed
+    /// through a provider's inventory) is not new fanout, and counting
+    /// it would ratchet the target up on every repair.
+    template <typename AliveFn>
+    void note_stored(const chunk::ChunkKey& key, NodeId node,
+                     std::uint64_t bytes, AliveFn&& alive) {
+        Entry& e = entries_[key];
+        if (bytes != 0) {
+            e.bytes = bytes;
+        }
+        if (e.holders.insert(node).second) {
+            by_node_[node].insert(key);
+            if (e.holders.size() > e.target &&
+                std::all_of(e.holders.begin(), e.holders.end(), alive)) {
+                e.target = e.holders.size();
+            }
+        }
+    }
+
+    void note_stored(const chunk::ChunkKey& key, NodeId node,
+                     std::uint64_t bytes) {
+        note_stored(key, node, bytes, [](NodeId) { return true; });
+    }
+
+    /// Record a repair copy landing on \p node. Unlike note_stored this
+    /// never raises the key's target: a dead holder still counts in the
+    /// holder set, so a repair that restores the live count would
+    /// otherwise bump the high-water mark and leave the key permanently
+    /// "under-replicated" (a moving goalpost).
+    void note_repaired(const chunk::ChunkKey& key, NodeId node,
+                       std::uint64_t bytes) {
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            return;  // key vanished (GC'd) while the repair was in flight
+        }
+        if (bytes != 0) {
+            it->second.bytes = bytes;
+        }
+        if (it->second.holders.insert(node).second) {
+            by_node_[node].insert(key);
+        }
+    }
+
+    /// Record that \p node no longer holds \p key (GC, erase, data
+    /// loss). Deliberate removals also lower the target — a chunk whose
+    /// last references were dropped must not be resurrected by repair.
+    void note_removed(const chunk::ChunkKey& key, NodeId node) {
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            return;
+        }
+        if (it->second.holders.erase(node) != 0) {
+            if (const auto bn = by_node_.find(node); bn != by_node_.end()) {
+                bn->second.erase(key);
+            }
+            if (it->second.target > it->second.holders.size()) {
+                --it->second.target;
+            }
+        }
+        if (it->second.holders.empty()) {
+            entries_.erase(it);
+        }
+    }
+
+    /// Forget every holding of \p node without touching targets — the
+    /// node lost its data (crash with volatile store); the gap is what
+    /// repair closes.
+    void drop_node(NodeId node) {
+        const auto bn = by_node_.find(node);
+        if (bn == by_node_.end()) {
+            return;
+        }
+        for (const chunk::ChunkKey& key : bn->second) {
+            const auto it = entries_.find(key);
+            if (it == entries_.end()) {
+                continue;
+            }
+            it->second.holders.erase(node);
+            if (it->second.holders.empty()) {
+                entries_.erase(it);
+            }
+        }
+        by_node_.erase(bn);
+    }
+
+    /// Keys currently attributed to \p node (copied: callers iterate
+    /// while mutating the index).
+    [[nodiscard]] std::vector<chunk::ChunkKey> keys_of(NodeId node) const {
+        const auto bn = by_node_.find(node);
+        if (bn == by_node_.end()) {
+            return {};
+        }
+        return {bn->second.begin(), bn->second.end()};
+    }
+
+    /// All holders of \p key (alive or not — liveness is the manager's
+    /// call).
+    [[nodiscard]] std::vector<NodeId> holders(
+        const chunk::ChunkKey& key) const {
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            return {};
+        }
+        return {it->second.holders.begin(), it->second.holders.end()};
+    }
+
+    [[nodiscard]] std::uint64_t bytes_of(const chunk::ChunkKey& key) const {
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? 0 : it->second.bytes;
+    }
+
+    /// Desired live replica count for \p key: max(high-water holders,
+    /// floor). Zero for unknown keys.
+    [[nodiscard]] std::size_t target(const chunk::ChunkKey& key,
+                                     std::size_t floor) const {
+        const auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            return 0;
+        }
+        return std::max<std::size_t>(it->second.target, floor);
+    }
+
+    [[nodiscard]] std::size_t chunk_count() const {
+        return entries_.size();
+    }
+
+    [[nodiscard]] std::size_t holdings_of(NodeId node) const {
+        const auto bn = by_node_.find(node);
+        return bn == by_node_.end() ? 0 : bn->second.size();
+    }
+
+    [[nodiscard]] std::uint64_t bytes_held_by(NodeId node) const {
+        std::uint64_t total = 0;
+        if (const auto bn = by_node_.find(node); bn != by_node_.end()) {
+            for (const chunk::ChunkKey& key : bn->second) {
+                total += bytes_of(key);
+            }
+        }
+        return total;
+    }
+
+    /// Visit every key whose live-holder count (as judged by \p alive)
+    /// is below its target. Used for the full scans on provider join
+    /// and for the under-replicated gauge.
+    template <typename AliveFn, typename Visit>
+    void scan_under_replicated(std::size_t floor, AliveFn&& alive,
+                               Visit&& visit) const {
+        for (const auto& [key, e] : entries_) {
+            std::size_t live = 0;
+            for (const NodeId n : e.holders) {
+                live += alive(n) ? 1 : 0;
+            }
+            const std::size_t want =
+                std::max<std::size_t>(e.target, floor);
+            if (live < want) {
+                visit(key, live, want);
+            }
+        }
+    }
+
+  private:
+    struct Entry {
+        std::unordered_set<NodeId> holders;
+        std::uint64_t bytes = 0;
+        std::size_t target = 0;  // high-water holder count
+    };
+
+    std::unordered_map<chunk::ChunkKey, Entry, chunk::ChunkKeyHash>
+        entries_;
+    std::unordered_map<NodeId,
+                       std::unordered_set<chunk::ChunkKey,
+                                          chunk::ChunkKeyHash>>
+        by_node_;
+};
+
+}  // namespace blobseer::provider

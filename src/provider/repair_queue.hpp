@@ -1,0 +1,222 @@
+/// \file repair_queue.hpp
+/// \brief Persistent FIFO of chunks awaiting re-replication.
+///
+/// The provider manager enqueues a key whenever a membership event drops
+/// its live replica count below target; the repair worker drains the
+/// queue. Three properties matter (DESIGN.md §12.3):
+///
+///  * dedup — a key is never queued twice concurrently. A provider flap
+///    (dead, repaired, dead again before the beat timeout) re-enqueues
+///    at most one repair, and the worker's converged-check makes the
+///    extra pass a no-op.
+///  * deferral — when repair is impossible right now (no live holder,
+///    or no live non-holder to copy to) the key parks in a deferred set
+///    instead of spinning through the FIFO; the next provider join
+///    re-arms every deferred key.
+///  * persistence — with a journal attached, the pending+deferred set
+///    survives a manager restart: enqueues append a P record, completed
+///    or cancelled repairs a D record, and open() replays P−D. Repair
+///    work is idempotent (providers store puts idempotently and CAS
+///    check-before-push skips present chunks), so replaying a record
+///    whose repair already finished costs one no-op pass — the journal
+///    therefore needs no fsync-per-record discipline, and a torn tail
+///    record is simply ignored.
+///
+/// Not thread-safe by itself: the owning ProviderManager serializes all
+/// access under its membership mutex.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "chunk/chunk_key.hpp"
+#include "common/error.hpp"
+
+namespace blobseer::provider {
+
+class RepairQueue {
+  public:
+    struct Counters {
+        std::uint64_t enqueued = 0;   ///< keys ever admitted
+        std::uint64_t completed = 0;  ///< repairs that copied bytes
+        std::uint64_t skipped = 0;    ///< already converged on inspection
+        std::uint64_t failed = 0;     ///< repair attempts that errored
+        std::uint64_t deferred = 0;   ///< parks for want of peers
+        std::uint64_t high_water = 0; ///< max pending+deferred
+    };
+
+    RepairQueue() = default;
+
+    /// Attach the journal at \p path, replaying any surviving records
+    /// into the pending set, then compact it (rewrite P records for the
+    /// survivors only).
+    explicit RepairQueue(const std::string& path) : path_(path) {
+        replay();
+        compact();
+    }
+
+    ~RepairQueue() {
+        if (journal_ != nullptr) {
+            std::fclose(journal_);
+        }
+    }
+
+    RepairQueue(const RepairQueue&) = delete;
+    RepairQueue& operator=(const RepairQueue&) = delete;
+
+    /// Admit \p key unless it is already pending or deferred. Returns
+    /// true when the key was newly queued.
+    bool enqueue(const chunk::ChunkKey& key) {
+        if (!members_.insert(key).second) {
+            return false;
+        }
+        fifo_.push_back(key);
+        ++counters_.enqueued;
+        note_high_water();
+        append('P', key);
+        return true;
+    }
+
+    /// Next key to repair, or nullopt when the FIFO is empty (deferred
+    /// keys are not eligible until rearm_deferred()).
+    [[nodiscard]] std::optional<chunk::ChunkKey> pop() {
+        if (fifo_.empty()) {
+            return std::nullopt;
+        }
+        const chunk::ChunkKey key = fifo_.front();
+        fifo_.pop_front();
+        return key;
+    }
+
+    /// The popped key was repaired (or found converged / obsolete):
+    /// retire it. \p copied distinguishes the completed counter from
+    /// the skipped one.
+    void finish(const chunk::ChunkKey& key, bool copied) {
+        members_.erase(key);
+        (copied ? counters_.completed : counters_.skipped) += 1;
+        append('D', key);
+    }
+
+    /// The popped key cannot be repaired right now: park it. It stays a
+    /// member (dedup holds) but leaves the FIFO until rearm_deferred().
+    void defer(const chunk::ChunkKey& key) {
+        deferred_.insert(key);
+        ++counters_.deferred;
+    }
+
+    /// Record a failed attempt and requeue the key at the back.
+    void retry(const chunk::ChunkKey& key) {
+        ++counters_.failed;
+        fifo_.push_back(key);
+    }
+
+    /// Move every deferred key back onto the FIFO (a provider joined:
+    /// repairs that lacked peers may now succeed).
+    std::size_t rearm_deferred() {
+        const std::size_t n = deferred_.size();
+        for (const chunk::ChunkKey& key : deferred_) {
+            fifo_.push_back(key);
+        }
+        deferred_.clear();
+        note_high_water();
+        return n;
+    }
+
+    [[nodiscard]] std::size_t backlog() const {
+        return fifo_.size() + deferred_.size();
+    }
+    [[nodiscard]] std::size_t fifo_size() const { return fifo_.size(); }
+    [[nodiscard]] std::size_t deferred_size() const {
+        return deferred_.size();
+    }
+    [[nodiscard]] bool contains(const chunk::ChunkKey& key) const {
+        return members_.contains(key);
+    }
+    [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  private:
+    void note_high_water() {
+        counters_.high_water =
+            std::max<std::uint64_t>(counters_.high_water, backlog());
+    }
+
+    void append(char record, const chunk::ChunkKey& key) {
+        if (journal_ == nullptr) {
+            return;
+        }
+        std::fprintf(journal_, "%c %u %llu %llu\n", record,
+                     static_cast<unsigned>(key.kind),
+                     static_cast<unsigned long long>(key.blob),
+                     static_cast<unsigned long long>(key.uid));
+        std::fflush(journal_);
+    }
+
+    void replay() {
+        std::FILE* in = std::fopen(path_.c_str(), "r");
+        if (in == nullptr) {
+            return;  // fresh deployment: no journal yet
+        }
+        char record = 0;
+        unsigned kind = 0;
+        unsigned long long blob = 0;
+        unsigned long long uid = 0;
+        while (std::fscanf(in, " %c %u %llu %llu", &record, &kind, &blob,
+                           &uid) == 4) {
+            if (kind >
+                static_cast<unsigned>(chunk::ChunkKey::Kind::kContent)) {
+                continue;  // torn or corrupt record
+            }
+            chunk::ChunkKey key;
+            key.kind = static_cast<chunk::ChunkKey::Kind>(kind);
+            key.blob = blob;
+            key.uid = uid;
+            if (record == 'P') {
+                if (members_.insert(key).second) {
+                    fifo_.push_back(key);
+                }
+            } else if (record == 'D') {
+                if (members_.erase(key) != 0) {
+                    std::erase(fifo_, key);
+                }
+            }
+        }
+        std::fclose(in);
+        note_high_water();
+    }
+
+    void compact() {
+        const std::string tmp = path_ + ".tmp";
+        std::FILE* out = std::fopen(tmp.c_str(), "w");
+        if (out == nullptr) {
+            throw Error("repair journal: cannot write " + tmp);
+        }
+        for (const chunk::ChunkKey& key : fifo_) {
+            std::fprintf(out, "P %u %llu %llu\n",
+                         static_cast<unsigned>(key.kind),
+                         static_cast<unsigned long long>(key.blob),
+                         static_cast<unsigned long long>(key.uid));
+        }
+        std::fclose(out);
+        if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+            throw Error("repair journal: cannot replace " + path_);
+        }
+        journal_ = std::fopen(path_.c_str(), "a");
+        if (journal_ == nullptr) {
+            throw Error("repair journal: cannot append to " + path_);
+        }
+    }
+
+    std::string path_;
+    std::FILE* journal_ = nullptr;
+    std::deque<chunk::ChunkKey> fifo_;
+    std::unordered_set<chunk::ChunkKey, chunk::ChunkKeyHash> members_;
+    std::unordered_set<chunk::ChunkKey, chunk::ChunkKeyHash> deferred_;
+    Counters counters_;
+};
+
+}  // namespace blobseer::provider

@@ -59,6 +59,14 @@ Buffer Dispatcher::dispatch(ConstBytes frame) noexcept {
 }
 
 Buffer Dispatcher::handle(const FrameView& f) {
+    // Fault gate: a request addressed to a node the deployment considers
+    // down fails exactly like a dead simulated endpoint, so TCP clients
+    // observe the same fault semantics as in-process ones.
+    if (fault_check_ && f.type != MsgType::kTopology &&
+        !fault_check_(f.dst())) {
+        throw RpcError("target node " + std::to_string(f.dst()) +
+                       " is down");
+    }
     switch (f.type) {
         case MsgType::kChunkPut:
         case MsgType::kChunkGet:
@@ -97,10 +105,15 @@ Buffer Dispatcher::handle(const FrameView& f) {
 
         case MsgType::kPlace:
         case MsgType::kMarkDead:
+        case MsgType::kProviderJoin:
+        case MsgType::kProviderAnnounce:
+        case MsgType::kProviderBeat:
+        case MsgType::kReportFailure:
+        case MsgType::kRepairStatus:
             return handle_provider_manager(f);
 
         case MsgType::kTopology: {
-            Topology t = topology_;
+            Topology t = topology();
             t.client_id = next_client_id_.fetch_add(1);
             WireWriter w;
             put_topology(w, t);
@@ -434,6 +447,51 @@ Buffer Dispatcher::handle_provider_manager(const FrameView& f) {
             r.expect_end();
             pm.mark_dead(node);
             return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kProviderJoin: {
+            const std::string name = r.str();
+            r.expect_end();
+            if (name.empty()) {
+                throw InvalidArgument("provider join without a name");
+            }
+            const auto jr = pm.join(name);
+            WireWriter w;
+            w.u32(jr.node);
+            w.u8(jr.rejoin ? 1 : 0);
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kProviderAnnounce: {
+            const NodeId node = r.u32();
+            const std::string host = r.str();
+            const std::uint32_t port = r.u32();
+            const auto inventory = get_chunk_holdings(r);
+            r.expect_end();
+            pm.announce(node, host, port, inventory);
+            return seal_response(f.type, WireWriter());
+        }
+        case MsgType::kProviderBeat: {
+            const NodeId node = r.u32();
+            const std::uint64_t seq = r.u64();
+            const auto added = get_chunk_holdings(r);
+            const auto removed = get_chunk_keys(r);
+            r.expect_end();
+            WireWriter w;
+            w.u8(pm.heartbeat(node, seq, added, removed) ? 1 : 0);
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kReportFailure: {
+            const NodeId suspect = r.u32();
+            const NodeId reporter = r.u32();
+            r.expect_end();
+            WireWriter w;
+            w.u8(pm.report_failure(suspect, reporter) ? 1 : 0);
+            return seal_response(f.type, std::move(w));
+        }
+        case MsgType::kRepairStatus: {
+            r.expect_end();
+            WireWriter w;
+            put_repair_status(w, pm.repair_status());
+            return seal_response(f.type, std::move(w));
         }
         default:
             throw RpcError("bad provider-manager message");

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/buffer.hpp"
@@ -68,8 +70,33 @@ class Dispatcher {
     /// Install the topology advertised to remote clients. client_id in
     /// the template is ignored; each kTopology request gets a fresh one.
     void set_topology(Topology t, NodeId first_client_id) {
+        const std::scoped_lock lock(topo_mu_);
         topology_ = std::move(t);
         next_client_id_.store(first_client_id);
+    }
+
+    /// Replace the advertised topology without resetting the client-id
+    /// sequence. Membership changes (an external provider announcing)
+    /// call this at runtime, concurrently with kTopology requests.
+    void refresh_topology(Topology t) {
+        const std::scoped_lock lock(topo_mu_);
+        t.client_id = topology_.client_id;
+        topology_ = std::move(t);
+    }
+
+    /// Snapshot of the currently advertised topology.
+    [[nodiscard]] Topology topology() const {
+        const std::scoped_lock lock(topo_mu_);
+        return topology_;
+    }
+
+    /// Liveness gate applied to every request's destination node (the
+    /// control pseudo-node excepted). When installed and returning
+    /// false, the request fails with RpcError exactly like a simulated
+    /// dead endpoint — this is what gives TcpTransport deployments the
+    /// same fault semantics SimNetwork enforces in-process.
+    void set_fault_check(std::function<bool(NodeId)> alive) {
+        fault_check_ = std::move(alive);
     }
 
     /// Decode one request frame, invoke the addressed service, return the
@@ -91,8 +118,10 @@ class Dispatcher {
     std::unordered_map<NodeId, provider::DataProvider*> data_providers_;
     std::unordered_map<NodeId, dht::MetadataProvider*> meta_providers_;
 
+    mutable std::mutex topo_mu_;  // guards topology_ (refreshed at runtime)
     Topology topology_;
     std::atomic<NodeId> next_client_id_{1u << 20};
+    std::function<bool(NodeId)> fault_check_;
 };
 
 }  // namespace blobseer::rpc

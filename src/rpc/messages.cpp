@@ -310,6 +310,110 @@ std::vector<NodeId> get_node_ids(WireReader& r) {
     return v;
 }
 
+// ---- membership & repair (protocol v6) -------------------------------------
+
+void put_chunk_holding(WireWriter& w, const provider::ChunkHolding& h) {
+    put_chunk_key(w, h.key);
+    w.u64(h.bytes);
+}
+
+provider::ChunkHolding get_chunk_holding(WireReader& r) {
+    provider::ChunkHolding h;
+    h.key = get_chunk_key(r);
+    h.bytes = r.u64();
+    return h;
+}
+
+void put_chunk_holdings(WireWriter& w,
+                        const std::vector<provider::ChunkHolding>& v) {
+    w.varint(v.size());
+    for (const auto& h : v) {
+        put_chunk_holding(w, h);
+    }
+}
+
+std::vector<provider::ChunkHolding> get_chunk_holdings(WireReader& r) {
+    const std::uint64_t n = r.varint_count(25);  // key (17) + bytes (8)
+    std::vector<provider::ChunkHolding> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        v.push_back(get_chunk_holding(r));
+    }
+    return v;
+}
+
+void put_chunk_keys(WireWriter& w, const std::vector<chunk::ChunkKey>& v) {
+    w.varint(v.size());
+    for (const auto& k : v) {
+        put_chunk_key(w, k);
+    }
+}
+
+std::vector<chunk::ChunkKey> get_chunk_keys(WireReader& r) {
+    const std::uint64_t n = r.varint_count(17);  // kind + blob + uid
+    std::vector<chunk::ChunkKey> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        v.push_back(get_chunk_key(r));
+    }
+    return v;
+}
+
+void put_provider_health(WireWriter& w, const provider::ProviderHealth& h) {
+    w.u32(h.node);
+    w.u8(h.alive ? 1 : 0);
+    w.u8(h.heartbeating ? 1 : 0);
+    w.u64(h.beats);
+    w.u64(h.last_beat_age_ms);
+    w.u64(h.chunks);
+    w.u64(h.bytes);
+}
+
+provider::ProviderHealth get_provider_health(WireReader& r) {
+    provider::ProviderHealth h;
+    h.node = r.u32();
+    h.alive = r.u8() != 0;
+    h.heartbeating = r.u8() != 0;
+    h.beats = r.u64();
+    h.last_beat_age_ms = r.u64();
+    h.chunks = r.u64();
+    h.bytes = r.u64();
+    return h;
+}
+
+void put_repair_status(WireWriter& w, const provider::RepairStatus& s) {
+    w.u64(s.backlog);
+    w.u64(s.high_water);
+    w.u64(s.enqueued);
+    w.u64(s.completed);
+    w.u64(s.skipped);
+    w.u64(s.failed);
+    w.u64(s.deferred);
+    w.u64(s.under_replicated);
+    w.varint(s.providers.size());
+    for (const auto& h : s.providers) {
+        put_provider_health(w, h);
+    }
+}
+
+provider::RepairStatus get_repair_status(WireReader& r) {
+    provider::RepairStatus s;
+    s.backlog = r.u64();
+    s.high_water = r.u64();
+    s.enqueued = r.u64();
+    s.completed = r.u64();
+    s.skipped = r.u64();
+    s.failed = r.u64();
+    s.deferred = r.u64();
+    s.under_replicated = r.u64();
+    const std::uint64_t n = r.varint_count(38);  // encoded ProviderHealth
+    s.providers.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        s.providers.push_back(get_provider_health(r));
+    }
+    return s;
+}
+
 // ---- control plane ---------------------------------------------------------
 
 void put_topology(WireWriter& w, const Topology& t) {
@@ -323,6 +427,12 @@ void put_topology(WireWriter& w, const Topology& t) {
     w.u32(t.client_id);
     w.u64(t.uid_epoch);
     w.u8(t.content_addressed ? 1 : 0);
+    w.varint(t.provider_endpoints.size());
+    for (const auto& ep : t.provider_endpoints) {
+        w.u32(ep.node);
+        w.str(ep.host);
+        w.u32(ep.port);
+    }
 }
 
 Topology get_topology(WireReader& r) {
@@ -342,6 +452,15 @@ Topology get_topology(WireReader& r) {
     t.client_id = r.u32();
     t.uid_epoch = r.u64();
     t.content_addressed = r.u8() != 0;
+    const std::uint64_t n = r.varint_count(9);  // node + empty host + port
+    t.provider_endpoints.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Topology::ProviderEndpoint ep;
+        ep.node = r.u32();
+        ep.host = r.str();
+        ep.port = r.u32();
+        t.provider_endpoints.push_back(std::move(ep));
+    }
     return t;
 }
 

@@ -72,6 +72,26 @@ void put_placement_plan(WireWriter& w, const provider::PlacementPlan& p);
 void put_node_ids(WireWriter& w, const std::vector<NodeId>& v);
 [[nodiscard]] std::vector<NodeId> get_node_ids(WireReader& r);
 
+// ---- membership & repair (protocol v6) -------------------------------------
+
+void put_chunk_holding(WireWriter& w, const provider::ChunkHolding& h);
+[[nodiscard]] provider::ChunkHolding get_chunk_holding(WireReader& r);
+
+void put_chunk_holdings(WireWriter& w,
+                        const std::vector<provider::ChunkHolding>& v);
+[[nodiscard]] std::vector<provider::ChunkHolding> get_chunk_holdings(
+    WireReader& r);
+
+void put_chunk_keys(WireWriter& w,
+                    const std::vector<chunk::ChunkKey>& v);
+[[nodiscard]] std::vector<chunk::ChunkKey> get_chunk_keys(WireReader& r);
+
+void put_provider_health(WireWriter& w, const provider::ProviderHealth& h);
+[[nodiscard]] provider::ProviderHealth get_provider_health(WireReader& r);
+
+void put_repair_status(WireWriter& w, const provider::RepairStatus& s);
+[[nodiscard]] provider::RepairStatus get_repair_status(WireReader& r);
+
 // ---- control plane ---------------------------------------------------------
 
 /// Everything a remote client needs to bootstrap against a cluster it
@@ -97,6 +117,20 @@ struct Topology {
     /// v5: deployment stores chunks content-addressed — clients hash
     /// locally, place by digest and use check-before-push dedup.
     bool content_addressed = false;
+
+    /// v6: dial endpoint of a data provider that runs as its own daemon
+    /// (in-process providers live behind the main endpoint and are not
+    /// listed). Remote clients add these as transport routes so chunk
+    /// RPCs reach the provider directly.
+    struct ProviderEndpoint {
+        NodeId node = kInvalidNode;
+        std::string host;
+        std::uint32_t port = 0;
+
+        friend bool operator==(const ProviderEndpoint&,
+                               const ProviderEndpoint&) = default;
+    };
+    std::vector<ProviderEndpoint> provider_endpoints;
 
     friend bool operator==(const Topology&, const Topology&) = default;
 };

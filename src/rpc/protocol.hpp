@@ -58,7 +58,14 @@ inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
 /// provider block gained kChunkCheck (check-before-push dedup),
 /// streaming kChunkPushStart/Some/End, ranged kChunkPullStart/Some,
 /// kChunkDecref (refcounted GC) and kDedupStatus.
-inline constexpr std::uint8_t kWireVersion = 5;
+/// v6: active membership — the provider manager block gained
+/// kProviderJoin / kProviderAnnounce / kProviderBeat (external provider
+/// daemons register, advertise their endpoint + inventory and heartbeat
+/// with incremental inventory deltas), kReportFailure (clients report
+/// suspected deaths for corroboration) and kRepairStatus (repair-queue
+/// observability); Topology advertises provider endpoints after the
+/// content_addressed flag so remote clients can dial providers directly.
+inline constexpr std::uint8_t kWireVersion = 6;
 inline constexpr std::size_t kFrameHeaderSize = 24;
 /// Byte offset of the correlation id within the header.
 inline constexpr std::size_t kFrameCorrOffset = 16;
@@ -117,6 +124,11 @@ enum class MsgType : std::uint16_t {
     // provider manager service
     kPlace = 64,
     kMarkDead = 65,
+    kProviderJoin = 66,
+    kProviderAnnounce = 67,
+    kProviderBeat = 68,
+    kReportFailure = 69,
+    kRepairStatus = 70,
 
     // control plane
     kTopology = 80,
@@ -155,6 +167,11 @@ enum class MsgType : std::uint16_t {
         case MsgType::kMetaErase: return "meta-erase";
         case MsgType::kPlace: return "place";
         case MsgType::kMarkDead: return "mark-dead";
+        case MsgType::kProviderJoin: return "provider-join";
+        case MsgType::kProviderAnnounce: return "provider-announce";
+        case MsgType::kProviderBeat: return "provider-beat";
+        case MsgType::kReportFailure: return "report-failure";
+        case MsgType::kRepairStatus: return "repair-status";
         case MsgType::kTopology: return "topology";
     }
     return "?";

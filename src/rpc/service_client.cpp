@@ -287,6 +287,71 @@ void ServiceClient::mark_dead(NodeId node) {
     open_reply(resp, MsgType::kMarkDead).expect_end();
 }
 
+bool ServiceClient::report_failure(NodeId suspect) {
+    WireWriter w;
+    w.u32(suspect);
+    w.u32(self_);
+    const Buffer resp =
+        invoke(MsgType::kReportFailure, pm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kReportFailure);
+    const bool dead = r.u8() != 0;
+    r.expect_end();
+    return dead;
+}
+
+provider::ProviderManager::JoinResult ServiceClient::provider_join(
+    const std::string& name) {
+    WireWriter w;
+    w.str(name);
+    const Buffer resp =
+        invoke(MsgType::kProviderJoin, pm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kProviderJoin);
+    provider::ProviderManager::JoinResult out;
+    out.node = r.u32();
+    out.rejoin = r.u8() != 0;
+    r.expect_end();
+    return out;
+}
+
+void ServiceClient::provider_announce(
+    NodeId node, const std::string& host, std::uint32_t port,
+    const std::vector<provider::ChunkHolding>& inventory) {
+    WireWriter w;
+    w.u32(node);
+    w.str(host);
+    w.u32(port);
+    put_chunk_holdings(w, inventory);
+    const Buffer resp =
+        invoke(MsgType::kProviderAnnounce, pm_node_, std::move(w));
+    open_reply(resp, MsgType::kProviderAnnounce).expect_end();
+}
+
+bool ServiceClient::provider_beat(
+    NodeId node, std::uint64_t seq,
+    const std::vector<provider::ChunkHolding>& added,
+    const std::vector<chunk::ChunkKey>& removed) {
+    WireWriter w;
+    w.u32(node);
+    w.u64(seq);
+    put_chunk_holdings(w, added);
+    put_chunk_keys(w, removed);
+    const Buffer resp =
+        invoke(MsgType::kProviderBeat, pm_node_, std::move(w));
+    auto r = open_reply(resp, MsgType::kProviderBeat);
+    const bool known = r.u8() != 0;
+    r.expect_end();
+    return known;
+}
+
+provider::RepairStatus ServiceClient::repair_status() {
+    const Buffer resp =
+        invoke(MsgType::kRepairStatus, pm_node_, WireWriter());
+    auto r = open_reply(resp, MsgType::kRepairStatus);
+    auto out = get_repair_status(r);
+    r.expect_end();
+    return out;
+}
+
 // ---- data providers --------------------------------------------------------
 
 void ServiceClient::put_chunk(NodeId dp, const chunk::ChunkKey& key,

@@ -103,6 +103,36 @@ class ServiceClient {
                                                 std::uint64_t chunk_bytes);
     void mark_dead(NodeId node);
 
+    // ---- provider membership & repair (protocol v6) ----------------------
+
+    /// Report a suspected-dead provider. The manager corroborates the
+    /// report against recent heartbeats; returns true iff the suspect is
+    /// (now) considered dead.
+    bool report_failure(NodeId suspect);
+
+    /// External provider daemon handshake: register by stable name and
+    /// receive the node id to serve under (the same id again on re-join).
+    [[nodiscard]] provider::ProviderManager::JoinResult provider_join(
+        const std::string& name);
+
+    /// Advertise a joined provider's dial endpoint and full inventory;
+    /// this is what activates it for placement.
+    void provider_announce(NodeId node, const std::string& host,
+                           std::uint32_t port,
+                           const std::vector<provider::ChunkHolding>&
+                               inventory);
+
+    /// One heartbeat with inventory deltas since the last acknowledged
+    /// beat. Returns false when the manager does not know the node
+    /// (manager restart: the provider must re-join).
+    [[nodiscard]] bool provider_beat(
+        NodeId node, std::uint64_t seq,
+        const std::vector<provider::ChunkHolding>& added,
+        const std::vector<chunk::ChunkKey>& removed);
+
+    /// Repair-queue gauges + per-provider membership snapshot.
+    [[nodiscard]] provider::RepairStatus repair_status();
+
     // ---- data providers --------------------------------------------------
 
     /// Upload one chunk replica to \p dp. \p via != kInvalidNode charges

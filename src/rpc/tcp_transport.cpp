@@ -297,15 +297,23 @@ TcpTransport::~TcpTransport() {
     }
 }
 
-const Endpoint& TcpTransport::endpoint_of(NodeId dst) const {
-    if (!peers_.empty()) {
-        const auto it = peers_.find(dst);
-        if (it == peers_.end()) {
-            throw RpcError("no endpoint for node " + std::to_string(dst));
-        }
+void TcpTransport::add_peer(NodeId node, Endpoint endpoint) {
+    const std::scoped_lock lock(peers_mu_);
+    peers_[node] = std::move(endpoint);
+}
+
+Endpoint TcpTransport::endpoint_of(NodeId dst) const {
+    const std::scoped_lock lock(peers_mu_);
+    const auto it = peers_.find(dst);
+    if (it != peers_.end()) {
         return it->second;
     }
-    return default_endpoint_;
+    // Unknown node: an all-in-one daemon hosts every node not explicitly
+    // mapped, so fall back to its address when one was configured.
+    if (!default_endpoint_.host.empty()) {
+        return default_endpoint_;
+    }
+    throw RpcError("no endpoint for node " + std::to_string(dst));
 }
 
 void TcpTransport::retire_locked(std::shared_ptr<MuxConn> conn) {
@@ -331,7 +339,7 @@ void TcpTransport::reap_graveyard() {
 
 std::shared_ptr<TcpTransport::MuxConn> TcpTransport::get_conn(NodeId dst) {
     reap_graveyard();
-    const Endpoint& ep = endpoint_of(dst);
+    const Endpoint ep = endpoint_of(dst);
     const std::string key = ep.host + ":" + std::to_string(ep.port);
     {
         const std::scoped_lock lock(mu_);

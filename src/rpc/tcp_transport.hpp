@@ -60,6 +60,11 @@ class TcpTransport final : public Transport {
 
     ~TcpTransport() override;
 
+    /// Map (or remap) one node to its own address. External providers
+    /// announce at runtime, so this is safe alongside in-flight calls;
+    /// nodes without a mapping keep using the default endpoint.
+    void add_peer(NodeId node, Endpoint endpoint);
+
     TcpTransport(const TcpTransport&) = delete;
     TcpTransport& operator=(const TcpTransport&) = delete;
 
@@ -71,7 +76,7 @@ class TcpTransport final : public Transport {
     /// correlation-id -> promise table of requests awaiting responses.
     struct MuxConn;
 
-    [[nodiscard]] const Endpoint& endpoint_of(NodeId dst) const;
+    [[nodiscard]] Endpoint endpoint_of(NodeId dst) const;
 
     /// Healthy connection to \p dst's endpoint — reuses the live one,
     /// probes an idle one for staleness, reconnects when needed.
@@ -88,6 +93,7 @@ class TcpTransport final : public Transport {
     static void reader_loop(const std::shared_ptr<MuxConn>& conn);
 
     Endpoint default_endpoint_;
+    mutable std::mutex peers_mu_;  // peers_ grows at runtime (add_peer)
     std::unordered_map<NodeId, Endpoint> peers_;
 
     std::mutex mu_;  // guards conns_ and graveyard_

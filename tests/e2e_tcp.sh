@@ -11,6 +11,10 @@
 # into two blobs stores one physical copy, deleting one blob releases
 # only its references, and after a kill/restart the survivor still
 # reads back byte-identical while a final delete reclaims the store.
+# A fourth phase boots a manager with zero in-process providers plus
+# three standalone provider daemons (--provider), SIGKILLs one mid-
+# workload, and asserts heartbeat-driven death detection, repair, and
+# rejoin rebalancing — with byte-identical readbacks throughout.
 #
 # Usage: e2e_tcp.sh <path-to-blobseer_serverd> <path-to-blobseer_cli>
 set -u
@@ -19,7 +23,8 @@ SERVERD=$1
 CLI=$2
 WORK=$(mktemp -d)
 SERVER_PID=""
-trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+EXTRA_PIDS=""
+trap 'kill $SERVER_PID $EXTRA_PIDS 2>/dev/null; rm -rf "$WORK"' EXIT
 
 fail() {
     echo "FAIL: $1"
@@ -282,6 +287,164 @@ grep -q "stored: *0 chunks, 0 bytes" "$WORK/cli6.log" ||
 grep -q "4 chunks / 262144 bytes reclaimed" "$WORK/cli6.log" ||
     fail "gc reclaim counters did not account for the deleted chunks"
 grep -q "error:" "$WORK/cli6.log" && fail "command error after cas restart"
+
+# --- phase 4: provider daemons, heartbeat death, repair, rejoin -------------
+
+# Manager with no in-process data providers: the data plane is three
+# standalone provider daemons that join over the wire, heartbeat, and
+# get repaired by the manager's background worker when one dies.
+start_serverd "$WORK/serverd6.log" --data-providers 0 --meta-providers 2 \
+    --replication 3 --heartbeat-timeout-ms 1500 --repair-interval-ms 200
+MGR_PORT=$PORT
+
+# Start a provider daemon joined to the manager; sets DP_PID and DP_NODE
+# (the node id the manager minted — repair-status rows key off it).
+start_provider() {
+    local log=$1 name=$2
+    "$SERVERD" --provider --join "127.0.0.1:$MGR_PORT" --name "$name" \
+        --bind 127.0.0.1 --port 0 --beat-interval-ms 200 \
+        >"$log" 2>&1 &
+    DP_PID=$!
+    EXTRA_PIDS="$EXTRA_PIDS $DP_PID"
+    DP_NODE=""
+    for _ in $(seq 1 100); do
+        DP_NODE=$(sed -n 's/.*node \([0-9]*\) (.*listening on.*/\1/p' \
+            "$log")
+        [ -n "$DP_NODE" ] && break
+        kill -0 "$DP_PID" 2>/dev/null || {
+            echo "FAIL: provider $name died during startup"
+            cat "$log"
+            exit 1
+        }
+        sleep 0.1
+    done
+    if [ -z "$DP_NODE" ]; then
+        echo "FAIL: provider $name never joined"
+        cat "$log"
+        exit 1
+    fi
+}
+
+start_provider "$WORK/dpA.log" dpA
+DPA_PID=$DP_PID
+DPA_NODE=$DP_NODE
+start_provider "$WORK/dpB.log" dpB
+DPB_PID=$DP_PID
+DPB_NODE=$DP_NODE
+start_provider "$WORK/dpC.log" dpC
+DPC_NODE=$DP_NODE
+
+# Poll `repair-status` until every grep pattern matches its output.
+poll_repair_status() {
+    local tries=$1
+    shift
+    local ok pat
+    for _ in $(seq 1 "$tries"); do
+        "$CLI" --connect "127.0.0.1:$MGR_PORT" >"$WORK/rs.log" 2>&1 <<'EOF'
+repair-status
+quit
+EOF
+        ok=1
+        for pat in "$@"; do
+            grep -q -- "$pat" "$WORK/rs.log" || { ok=0; break; }
+        done
+        [ "$ok" -eq 1 ] && return 0
+        sleep 0.2
+    done
+    echo "FAIL: repair-status never converged to: $*"
+    cat "$WORK/rs.log"
+    exit 1
+}
+
+poll_repair_status 50 \
+    "provider $DPA_NODE: alive" \
+    "provider $DPB_NODE: alive" \
+    "provider $DPC_NODE: alive"
+
+# Replication-3 write: with three providers every chunk lands on all of
+# them, so losing any single daemon must stay invisible to readers.
+"$CLI" --connect "127.0.0.1:$MGR_PORT" >"$WORK/cli7.log" 2>&1 <<'EOF'
+create 65536
+write 1 0 200000 7
+read 1 1 0 200000 7
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli7.log"; fail "repl-3 write session failed"; }
+echo "--- repl-3 write output ---"
+cat "$WORK/cli7.log"
+grep -q "blob 1 created" "$WORK/cli7.log" || fail "repl-3 create failed"
+grep -q "tag matches" "$WORK/cli7.log" || fail "repl-3 readback mismatch"
+FNV_V1=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli7.log" | head -1)
+[ -n "$FNV_V1" ] || fail "no repl-3 fnv recorded"
+
+# SIGKILL provider A: no goodbye, and its RAM store dies with it. The
+# manager must notice via missed heartbeats; readers must not.
+kill -9 "$DPA_PID"
+
+# Mid-outage: v1 still reads byte-identical off the survivors, and a
+# new write fails over to the two live providers.
+"$CLI" --connect "127.0.0.1:$MGR_PORT" >"$WORK/cli8.log" 2>&1 <<'EOF'
+read 1 1 0 200000 7
+write 1 0 200000 9
+read 1 2 0 200000 9
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli8.log"; fail "mid-outage session failed"; }
+echo "--- mid-outage output ---"
+cat "$WORK/cli8.log"
+[ "$(grep -c "tag matches" "$WORK/cli8.log")" -eq 2 ] ||
+    fail "mid-outage readback mismatch"
+FNV_V1_OUTAGE=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli8.log" |
+    sed -n 1p)
+[ "$FNV_V1" = "$FNV_V1_OUTAGE" ] ||
+    fail "mid-outage v1 bytes differ (fnv $FNV_V1 != $FNV_V1_OUTAGE)"
+grep -q "error:" "$WORK/cli8.log" && fail "client-visible error mid-outage"
+
+# The missed-beat sweep must declare A dead (timeout 1500ms).
+poll_repair_status 50 "provider $DPA_NODE: dead"
+
+# Rejoin under the same name: the daemon reclaims its node id, announces
+# an empty inventory (the kill wiped its RAM store), and the manager
+# re-replicates every under-replicated chunk onto it — v1's chunks lost
+# with the store AND v2's chunks written while it was away. Converged
+# means: backlog drained, nothing under-replicated, and the rejoined
+# provider actually holds chunks again.
+start_provider "$WORK/dpA2.log" dpA
+[ "$DP_NODE" = "$DPA_NODE" ] ||
+    fail "rejoin minted a new node id ($DP_NODE != $DPA_NODE)"
+poll_repair_status 100 \
+    "provider $DPA_NODE: alive" \
+    "repair: backlog 0 " \
+    "under-replicated 0" \
+    "provider $DPA_NODE: alive.* [1-9][0-9]* chunks"
+
+echo "--- post-rejoin repair gauges ---"
+cat "$WORK/rs.log"
+if [ -n "${REPAIR_GAUGE_OUT:-}" ]; then
+    cp "$WORK/rs.log" "$REPAIR_GAUGE_OUT"
+fi
+
+# The repaired copies must be real: kill provider B (again with data
+# loss) and read both versions back — every chunk now needs the copies
+# the repair worker pushed to the rejoined A.
+kill -9 "$DPB_PID"
+"$CLI" --connect "127.0.0.1:$MGR_PORT" >"$WORK/cli9.log" 2>&1 <<'EOF'
+read 1 1 0 200000 7
+read 1 2 0 200000 9
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli9.log"; fail "post-repair session failed"; }
+echo "--- post-repair readback output ---"
+cat "$WORK/cli9.log"
+[ "$(grep -c "tag matches" "$WORK/cli9.log")" -eq 2 ] ||
+    fail "post-repair readback mismatch"
+FNV_V1_FINAL=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli9.log" |
+    sed -n 1p)
+[ "$FNV_V1" = "$FNV_V1_FINAL" ] ||
+    fail "post-repair v1 bytes differ (fnv $FNV_V1 != $FNV_V1_FINAL)"
+grep -q "error:" "$WORK/cli9.log" && fail "client-visible error post-repair"
+
+stop_serverd
 
 echo "PASS"
 exit 0

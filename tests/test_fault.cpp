@@ -2,11 +2,21 @@
 /// \brief Fault-injection tests: provider death with and without
 ///        replication, metadata replica failover, dead-writer abort
 ///        cascades and garbage collection of aborted versions.
+///
+/// The kill/partition scenarios run twice — once with in-process
+/// SimTransport clients and once with real remote clients speaking
+/// TcpTransport against an in-process TcpRpcServer — so the wire path
+/// (topology handshake, dispatcher fault gate, typed-error round-trip)
+/// proves out the same failover behaviour as the simulated one.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string_view>
 #include <thread>
 
+#include "core/remote.hpp"
+#include "rpc/tcp_transport.hpp"
 #include "testing_util.hpp"
 
 namespace blobseer::core {
@@ -25,9 +35,41 @@ core::ClusterConfig fault_config(std::uint32_t data_repl,
     return cfg;
 }
 
-TEST(Fault, ReplicatedDataSurvivesProviderDeath) {
-    Cluster cluster(fault_config(2, 2));
-    auto client = cluster.make_client();
+/// Parameterized over the client transport: "sim" clients talk through
+/// the simulated network, "tcp" clients bootstrap with the topology
+/// handshake and speak real sockets. Fault injection itself always goes
+/// through the cluster (kill/recover are control-plane operations).
+class FaultTransport : public ::testing::TestWithParam<const char*> {
+  protected:
+    Cluster& make_cluster(const core::ClusterConfig& cfg) {
+        cluster_ = std::make_unique<Cluster>(cfg);
+        return *cluster_;
+    }
+
+    std::unique_ptr<BlobSeerClient> make_client() {
+        if (std::string_view(GetParam()) == "tcp") {
+            if (server_ == nullptr) {
+                server_ = std::make_unique<rpc::TcpRpcServer>(
+                    cluster_->dispatcher(), 0, "127.0.0.1");
+            }
+            return std::make_unique<BlobSeerClient>(
+                connect_tcp("127.0.0.1", server_->port()));
+        }
+        return cluster_->make_client();
+    }
+
+    std::unique_ptr<Cluster> cluster_;
+    // Declared after cluster_: the server (which references the
+    // cluster's dispatcher) must shut down first.
+    std::unique_ptr<rpc::TcpRpcServer> server_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Transports, FaultTransport,
+                         ::testing::Values("sim", "tcp"));
+
+TEST_P(FaultTransport, ReplicatedDataSurvivesProviderDeath) {
+    Cluster& cluster = make_cluster(fault_config(2, 2));
+    auto client = make_client();
     Blob blob = client->create(kChunk, 2);
     const Buffer data = make_pattern(blob.id(), 1, 0, 8 * kChunk);
     blob.write(0, data);
@@ -43,15 +85,15 @@ TEST(Fault, ReplicatedDataSurvivesProviderDeath) {
     cluster.kill_data_provider(victim, /*lose_volatile=*/true);
 
     Buffer out(data.size());
-    auto reader = cluster.make_client();
+    auto reader = make_client();
     EXPECT_EQ(reader->read(blob.id(), 1, 0, out), data.size());
     EXPECT_EQ(out, data);
     EXPECT_GT(reader->stats().chunk_retries.get(), 0u);
 }
 
-TEST(Fault, UnreplicatedDataLostOnDeath) {
-    Cluster cluster(fault_config(1, 1));
-    auto client = cluster.make_client();
+TEST_P(FaultTransport, UnreplicatedDataLostOnDeath) {
+    Cluster& cluster = make_cluster(fault_config(1, 1));
+    auto client = make_client();
     Blob blob = client->create(kChunk, 1);
     blob.write(0, make_pattern(blob.id(), 1, 0, 8 * kChunk));
 
@@ -62,9 +104,9 @@ TEST(Fault, UnreplicatedDataLostOnDeath) {
     EXPECT_THROW(client->read(blob.id(), 1, 0, out), Error);
 }
 
-TEST(Fault, WriteFailsOverToLiveProviders) {
-    Cluster cluster(fault_config(1, 1));
-    auto client = cluster.make_client();
+TEST_P(FaultTransport, WriteFailsOverToLiveProviders) {
+    Cluster& cluster = make_cluster(fault_config(1, 1));
+    auto client = make_client();
     Blob blob = client->create(kChunk, 1);
 
     // Kill one provider at the NETWORK level only — the provider manager
@@ -82,9 +124,9 @@ TEST(Fault, WriteFailsOverToLiveProviders) {
         cluster.data_provider(0).node()));
 }
 
-TEST(Fault, MetadataReplicaFailover) {
-    Cluster cluster(fault_config(2, 2));
-    auto client = cluster.make_client();
+TEST_P(FaultTransport, MetadataReplicaFailover) {
+    Cluster& cluster = make_cluster(fault_config(2, 2));
+    auto client = make_client();
     Blob blob = client->create(kChunk, 2);
     const Buffer data = make_pattern(blob.id(), 1, 0, 16 * kChunk);
     blob.write(0, data);
@@ -93,7 +135,7 @@ TEST(Fault, MetadataReplicaFailover) {
 
     // A fresh client (cold cache) must read everything through the
     // surviving metadata replicas.
-    auto reader = cluster.make_client();
+    auto reader = make_client();
     Buffer out(data.size());
     EXPECT_EQ(reader->read(blob.id(), 1, 0, out), data.size());
     EXPECT_EQ(out, data);
@@ -223,9 +265,9 @@ TEST(Fault, DegradedProviderStillCorrect) {
     EXPECT_EQ(out, data);
 }
 
-TEST(Fault, RecoveredProviderServesOldChunks) {
-    Cluster cluster(fault_config(1, 1));
-    auto client = cluster.make_client();
+TEST_P(FaultTransport, RecoveredProviderServesOldChunks) {
+    Cluster& cluster = make_cluster(fault_config(1, 1));
+    auto client = make_client();
     Blob blob = client->create(kChunk, 1);
     const Buffer data = make_pattern(blob.id(), 1, 0, 8 * kChunk);
     blob.write(0, data);

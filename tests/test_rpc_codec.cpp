@@ -241,11 +241,118 @@ TEST(Codec, TopologyRoundTrip) {
     t.default_replication = 3;
     t.publish_timeout_ms = 12345;
     t.client_id = 1u << 20;
+    // v6: external provider daemons carried as dial endpoints.
+    t.provider_endpoints = {{1u << 21, "10.0.0.7", 40001},
+                            {(1u << 21) + 1, "dp-b.example", 40002}};
     WireWriter w;
     put_topology(w, t);
     const Buffer buf = w.take();
     WireReader r{ConstBytes(buf)};
     EXPECT_EQ(get_topology(r), t);
+    r.expect_end();
+}
+
+// ---- membership & repair (protocol v6) --------------------------------------
+
+chunk::ChunkKey random_key(Rng& rng) {
+    chunk::ChunkKey k;
+    k.blob = rng();
+    k.uid = rng();
+    k.kind = (rng() % 2 == 0) ? chunk::ChunkKey::Kind::kUid
+                              : chunk::ChunkKey::Kind::kContent;
+    return k;
+}
+
+TEST(Codec, ChunkHoldingsRandomRoundTrip) {
+    Rng rng(29);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<provider::ChunkHolding> v;
+        const std::size_t n = rng() % 8;
+        for (std::size_t k = 0; k < n; ++k) {
+            v.push_back({random_key(rng), rng()});
+        }
+        WireWriter w;
+        put_chunk_holdings(w, v);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        EXPECT_EQ(get_chunk_holdings(r), v);
+        r.expect_end();
+    }
+}
+
+TEST(Codec, ChunkKeysRandomRoundTrip) {
+    Rng rng(31);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<chunk::ChunkKey> v;
+        const std::size_t n = rng() % 8;
+        for (std::size_t k = 0; k < n; ++k) {
+            v.push_back(random_key(rng));
+        }
+        WireWriter w;
+        put_chunk_keys(w, v);
+        const Buffer buf = w.take();
+        WireReader r{ConstBytes(buf)};
+        EXPECT_EQ(get_chunk_keys(r), v);
+        r.expect_end();
+    }
+}
+
+TEST(Codec, ProviderHealthRoundTrip) {
+    provider::ProviderHealth h;
+    h.node = 1u << 21;
+    h.alive = true;
+    h.heartbeating = true;
+    h.beats = 420;
+    h.last_beat_age_ms = 1234;
+    h.chunks = 77;
+    h.bytes = 1ULL << 33;
+    WireWriter w;
+    put_provider_health(w, h);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_EQ(get_provider_health(r), h);
+    r.expect_end();
+
+    // The never-beaten sentinel (~0) must survive the wire unchanged —
+    // the CLI renders it as "never", not as a huge age.
+    provider::ProviderHealth silent;
+    silent.node = 3;
+    silent.last_beat_age_ms = ~0ull;
+    WireWriter w2;
+    put_provider_health(w2, silent);
+    const Buffer buf2 = w2.take();
+    WireReader r2{ConstBytes(buf2)};
+    EXPECT_EQ(get_provider_health(r2).last_beat_age_ms, ~0ull);
+    r2.expect_end();
+}
+
+TEST(Codec, RepairStatusRoundTrip) {
+    Rng rng(37);
+    provider::RepairStatus s;
+    s.backlog = rng();
+    s.high_water = rng();
+    s.enqueued = rng();
+    s.completed = rng();
+    s.skipped = rng();
+    s.failed = rng();
+    s.deferred = rng();
+    s.under_replicated = rng();
+    for (int i = 0; i < 5; ++i) {
+        provider::ProviderHealth h;
+        h.node = static_cast<NodeId>(rng());
+        h.alive = rng() % 2 == 0;
+        h.heartbeating = rng() % 2 == 0;
+        h.beats = rng();
+        h.last_beat_age_ms = rng();
+        h.chunks = rng();
+        h.bytes = rng();
+        s.providers.push_back(h);
+    }
+    WireWriter w;
+    put_repair_status(w, s);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    EXPECT_EQ(get_repair_status(r), s);
     r.expect_end();
 }
 

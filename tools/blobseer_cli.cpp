@@ -178,6 +178,8 @@ class Shell {
                 print_stats();
             } else if (cmd == "vm-status") {
                 print_vm_status();
+            } else if (cmd == "repair-status") {
+                print_repair_status();
             } else if (cmd == "parallel") {
                 std::size_t n = 1;
                 in >> n;
@@ -394,6 +396,44 @@ class Shell {
         }
     }
 
+    void print_repair_status() {
+        // One kRepairStatus RPC, so the same command works against a
+        // remote daemon and the in-process cluster alike. Scripts parse
+        // the `repair:` line (e2e_tcp.sh phase 4 polls it).
+        const auto st = client_->services().repair_status();
+        std::printf(
+            "repair: backlog %llu (high-water %llu), enqueued %llu, "
+            "completed %llu, skipped %llu, failed %llu, deferred %llu, "
+            "under-replicated %llu\n",
+            (unsigned long long)st.backlog,
+            (unsigned long long)st.high_water,
+            (unsigned long long)st.enqueued,
+            (unsigned long long)st.completed,
+            (unsigned long long)st.skipped,
+            (unsigned long long)st.failed,
+            (unsigned long long)st.deferred,
+            (unsigned long long)st.under_replicated);
+        for (const auto& p : st.providers) {
+            if (p.last_beat_age_ms == ~0ull) {
+                std::printf("  provider %u: %s%s, %llu chunks / %llu "
+                            "bytes\n",
+                            p.node, p.alive ? "alive" : "dead",
+                            p.heartbeating ? ", heartbeating (no beat yet)"
+                                           : "",
+                            (unsigned long long)p.chunks,
+                            (unsigned long long)p.bytes);
+            } else {
+                std::printf("  provider %u: %s, %llu beats (last %llums "
+                            "ago), %llu chunks / %llu bytes\n",
+                            p.node, p.alive ? "alive" : "dead",
+                            (unsigned long long)p.beats,
+                            (unsigned long long)p.last_beat_age_ms,
+                            (unsigned long long)p.chunks,
+                            (unsigned long long)p.bytes);
+            }
+        }
+    }
+
     void dispatch_cluster(const std::string& cmd, std::istringstream& in) {
         if (cmd == "providers") {
             for (std::size_t i = 0;
@@ -454,6 +494,7 @@ class Shell {
             "  stats                              (client counter dump)\n"
             "  vm-status                  (per-shard version-manager dump)\n"
             "  dedup-stats                (per-provider dedup/GC dump)\n"
+            "  repair-status              (membership + repair gauges)\n"
             "  parallel <n>                       (async read splitting)\n"
             "  providers | kill <i> <lose01> | recover <i>\n"
             "  degrade <i> <factor> | restore <i>\n"

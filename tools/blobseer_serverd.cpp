@@ -28,7 +28,12 @@
 #include <string>
 #include <thread>
 
+#include "chunk/disk_store.hpp"
+#include "chunk/log_store.hpp"
+#include "chunk/ram_store.hpp"
+#include "chunk/two_tier_store.hpp"
 #include "core/cluster.hpp"
+#include "rpc/service_client.hpp"
 #include "rpc/tcp_transport.hpp"
 
 using namespace blobseer;
@@ -57,8 +62,152 @@ void usage(const char* argv0) {
         "  --sim-latency-us <n>  simulated intra-daemon latency (default 0)\n"
         "  --workers <n>         RPC dispatch worker threads (default:\n"
         "                        hardware-sized; min 4)\n"
+        "  --heartbeat-timeout-ms <n>  declare an external provider dead\n"
+        "                        after n ms without a heartbeat (default\n"
+        "                        0 = off)\n"
+        "  --repair-interval-ms <n>  background re-replication drain\n"
+        "                        period (default 0 = off)\n"
+        "provider mode (standalone data-provider daemon):\n"
+        "  --provider            run as a data provider instead of a\n"
+        "                        full deployment\n"
+        "  --join <host:port>    manager daemon to join (required)\n"
+        "  --name <s>            stable provider name; rejoining under\n"
+        "                        the same name reclaims the node id\n"
+        "                        (required)\n"
+        "  --announce-host <addr> address advertised to clients\n"
+        "                        (default 127.0.0.1)\n"
+        "  --beat-interval-ms <n> heartbeat period (default 500)\n"
         "  --help\n",
         argv0);
+}
+
+std::unique_ptr<chunk::ChunkStore> make_provider_store(
+    const core::ClusterConfig& cfg, const std::string& name) {
+    const auto root = cfg.disk_root / ("dp-" + name);
+    switch (cfg.store) {
+        case core::StoreBackend::kRam:
+            return std::make_unique<chunk::RamStore>();
+        case core::StoreBackend::kDisk:
+            return std::make_unique<chunk::DiskStore>(root);
+        case core::StoreBackend::kTwoTier:
+            return std::make_unique<chunk::TwoTierStore>(
+                std::make_unique<chunk::DiskStore>(root),
+                cfg.ram_cache_budget);
+        case core::StoreBackend::kLog:
+            return std::make_unique<chunk::LogStore>(root);
+        case core::StoreBackend::kTwoTierLog:
+            return std::make_unique<chunk::TwoTierStore>(
+                std::make_unique<chunk::LogStore>(root),
+                cfg.ram_cache_budget);
+    }
+    throw InvalidArgument("unknown store backend");
+}
+
+/// Standalone data-provider daemon: join the manager by name, serve the
+/// data-provider RPCs on an own port, announce endpoint + inventory, and
+/// heartbeat with incremental inventory deltas until shut down.
+int run_provider(const core::ClusterConfig& cfg, const std::string& join,
+                 const std::string& name, std::uint16_t port,
+                 const std::string& bind_addr,
+                 const std::string& announce_host, long long beat_ms,
+                 std::size_t workers, sigset_t* signals) {
+    const auto colon = join.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= join.size()) {
+        std::fprintf(stderr, "--join wants host:port, got '%s'\n",
+                     join.c_str());
+        return 2;
+    }
+    const std::string mgr_host = join.substr(0, colon);
+    const auto mgr_port = static_cast<std::uint16_t>(
+        std::atoi(join.c_str() + colon + 1));
+
+    rpc::TcpTransport to_manager(mgr_host, mgr_port);
+    const rpc::Topology topo = rpc::fetch_topology(to_manager);
+    rpc::ServiceClient svc(to_manager, topo.vm_nodes, topo.pm_node,
+                           topo.client_id);
+
+    const auto joined = svc.provider_join(name);
+    provider::DataProvider dp(joined.node, make_provider_store(cfg, name));
+
+    rpc::Dispatcher dispatcher;
+    dispatcher.add_data_provider(joined.node, &dp);
+    rpc::TcpRpcServer server(dispatcher, port, bind_addr, workers);
+
+    // A durable store restarts with its chunks; the announce carries the
+    // full inventory so the manager can count them (and cancel repairs
+    // the rejoin just satisfied).
+    svc.provider_announce(joined.node, announce_host, server.port(),
+                          dp.inventory());
+    std::printf("blobseer-serverd: provider '%s' node %u (%s) listening "
+                "on %s:%u, joined %s\n",
+                name.c_str(), joined.node,
+                joined.rejoin ? "rejoin" : "new", bind_addr.c_str(),
+                server.port(), join.c_str());
+    std::fflush(stdout);
+
+    std::jthread beater([&](std::stop_token stop) {
+        std::uint64_t seq = 0;
+        // Deltas drain only after an acknowledged beat, so a beat lost
+        // to a manager hiccup is retried with the same payload — the
+        // inventory view converges without a full re-announce.
+        provider::DataProvider::InventoryDelta pending;
+        bool have_pending = false;
+        const auto tick = milliseconds(std::max(beat_ms, 50LL));
+        std::mutex mu;
+        std::condition_variable_any cv;
+        std::unique_lock lock(mu);
+        while (!stop.stop_requested()) {
+            lock.unlock();
+            try {
+                if (!have_pending) {
+                    pending = dp.drain_inventory_delta();
+                    have_pending = true;
+                }
+                if (svc.provider_beat(joined.node, ++seq, pending.added,
+                                      pending.removed)) {
+                    pending = {};
+                    have_pending = false;
+                } else {
+                    // The manager does not know us — it restarted. Joining
+                    // again under our name reclaims the id on a manager
+                    // that journals membership; a manager that lost it
+                    // mints a fresh id we cannot adopt mid-flight.
+                    const auto back = svc.provider_join(name);
+                    if (back.node == joined.node) {
+                        svc.provider_announce(joined.node, announce_host,
+                                              server.port(),
+                                              dp.inventory());
+                        pending = {};  // the announce carried everything
+                        have_pending = false;
+                    } else {
+                        std::fprintf(stderr,
+                                     "blobseer-serverd: manager reassigned "
+                                     "node %u -> %u; restart this "
+                                     "provider\n",
+                                     joined.node, back.node);
+                        lock.lock();
+                        return;
+                    }
+                }
+            } catch (const Error& e) {
+                // Manager unreachable: keep the pending delta and retry.
+                std::fprintf(stderr,
+                             "blobseer-serverd: heartbeat failed: %s\n",
+                             e.what());
+            }
+            lock.lock();
+            cv.wait_for(lock, stop, tick, [] { return false; });
+        }
+    });
+
+    int sig = 0;
+    sigwait(signals, &sig);
+    std::printf("blobseer-serverd: %s, provider '%s' shutting down\n",
+                strsignal(sig), name.c_str());
+    beater = {};
+    server.stop();
+    return 0;
 }
 
 }  // namespace
@@ -73,10 +222,17 @@ int main(int argc, char** argv) {
     cfg.network.node_bandwidth_bps = 0;
 
     std::uint16_t port = 4400;
+    bool port_set = false;
     std::string bind_addr = "0.0.0.0";
     std::size_t workers = 0;  // 0 = TcpRpcServer's hardware-sized default
     bool meta_store_set = false;
     long long abort_stalled_ms = 0;  // 0 = no background stalled sweep
+
+    bool provider_mode = false;
+    std::string join_addr;
+    std::string provider_name;
+    std::string announce_host = "127.0.0.1";
+    long long beat_interval_ms = 500;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -89,6 +245,7 @@ int main(int argc, char** argv) {
         };
         if (arg == "--port") {
             port = static_cast<std::uint16_t>(std::atoi(next()));
+            port_set = true;
         } else if (arg == "--bind") {
             bind_addr = next();
         } else if (arg == "--data-providers") {
@@ -146,6 +303,20 @@ int main(int argc, char** argv) {
             cfg.network.latency = microseconds(std::atoll(next()));
         } else if (arg == "--workers") {
             workers = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--heartbeat-timeout-ms") {
+            cfg.heartbeat_timeout = milliseconds(std::atoll(next()));
+        } else if (arg == "--repair-interval-ms") {
+            cfg.repair_interval = milliseconds(std::atoll(next()));
+        } else if (arg == "--provider") {
+            provider_mode = true;
+        } else if (arg == "--join") {
+            join_addr = next();
+        } else if (arg == "--name") {
+            provider_name = next();
+        } else if (arg == "--announce-host") {
+            announce_host = next();
+        } else if (arg == "--beat-interval-ms") {
+            beat_interval_ms = std::atoll(next());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -174,6 +345,27 @@ int main(int argc, char** argv) {
     sigaddset(&set, SIGINT);
     sigaddset(&set, SIGTERM);
     pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    if (provider_mode) {
+        if (join_addr.empty() || provider_name.empty()) {
+            std::fprintf(stderr,
+                         "--provider requires --join and --name\n");
+            return 2;
+        }
+        // Provider mode defaults to an ephemeral port: several providers
+        // usually share a host (and port 4400 belongs to the manager).
+        if (!port_set) {
+            port = 0;
+        }
+        try {
+            return run_provider(cfg, join_addr, provider_name, port,
+                                bind_addr, announce_host,
+                                beat_interval_ms, workers, &set);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "blobseer-serverd: %s\n", e.what());
+            return 1;
+        }
+    }
 
     try {
         core::Cluster cluster(cfg);
