@@ -1,19 +1,43 @@
 /// \file logging.hpp
-/// \brief Minimal leveled, thread-safe logger.
+/// \brief Minimal leveled, thread-safe structured logger.
 ///
 /// Logging defaults to WARN so that tests and benchmarks stay quiet; the
-/// examples turn it up to INFO to narrate what the cluster is doing.
+/// examples turn it up to INFO to narrate what the cluster is doing, and
+/// `blobseer_serverd --log-level` lets operators pick at startup.
+///
+/// Each line is structured for grep/cut: UTC wall-clock timestamp with
+/// microseconds, level, thread id, and — when the calling thread is
+/// inside a traced operation — the trace id, so daemon logs can be
+/// joined against `blobseer_cli trace <id>` output.
+///
+///   2026-08-07T12:34:56.789012Z WARN  [tid 140212] [trace 1f2e3d4c...] provider-manager: provider 7 missed 3 beats
 
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
+
+#include "common/trace.hpp"
 
 namespace blobseer {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Parse "debug" / "info" / "warn" / "error" (case-sensitive, the forms
+/// the --log-level flag documents). nullopt on anything else.
+[[nodiscard]] inline std::optional<LogLevel> parse_log_level(
+    std::string_view text) noexcept {
+    if (text == "debug") return LogLevel::kDebug;
+    if (text == "info") return LogLevel::kInfo;
+    if (text == "warn") return LogLevel::kWarn;
+    if (text == "error") return LogLevel::kError;
+    return std::nullopt;
+}
 
 class Logger {
   public:
@@ -31,14 +55,42 @@ class Logger {
         if (static_cast<int>(level) < static_cast<int>(level_)) {
             return;
         }
+
+        // Format the prefix outside the lock; only the write serializes.
+        char stamp[40];
+        format_timestamp(stamp, sizeof(stamp));
+
+        char trace_field[32] = "";
+        if (const trace::TraceContext ctx = trace::current(); ctx.active()) {
+            std::snprintf(trace_field, sizeof(trace_field),
+                          " [trace %016llx]",
+                          static_cast<unsigned long long>(ctx.trace_id));
+        }
+
+        const std::size_t tid =
+            std::hash<std::thread::id>{}(std::this_thread::get_id());
+
         const std::scoped_lock lock(mu_);
-        std::fprintf(stderr, "[%s] %.*s: %s\n", name(level),
+        std::fprintf(stderr, "%s %s [tid %zx]%s %.*s: %s\n", stamp,
+                     name(level), tid, trace_field,
                      static_cast<int>(component.size()), component.data(),
                      message.c_str());
     }
 
   private:
     Logger() = default;
+
+    /// ISO-8601 UTC with microseconds, e.g. 2026-08-07T12:34:56.789012Z.
+    static void format_timestamp(char* buf, std::size_t n) {
+        const std::uint64_t us = trace::now_unix_us();
+        const std::time_t secs = static_cast<std::time_t>(us / 1'000'000);
+        std::tm tm{};
+        gmtime_r(&secs, &tm);
+        char date[32];
+        std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+        std::snprintf(buf, n, "%s.%06uZ", date,
+                      static_cast<unsigned>(us % 1'000'000));
+    }
 
     static const char* name(LogLevel level) noexcept {
         switch (level) {

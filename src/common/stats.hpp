@@ -13,7 +13,6 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -76,6 +75,19 @@ class Gauge {
 /// values). 128 buckets cover [1, ~1.8e13] with ~25% resolution.
 class Histogram {
   public:
+    static constexpr std::size_t kBuckets = 128;
+
+    /// Consistent point-in-time copy of every accumulator (the metrics
+    /// registry samples this; buckets are per-bucket counts, not
+    /// cumulative).
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+    };
+
     void record(std::uint64_t value) noexcept {
         const std::scoped_lock lock(mu_);
         buckets_[bucket_of(value)]++;
@@ -131,9 +143,18 @@ class Histogram {
         count_ = sum_ = max_ = min_ = 0;
     }
 
-  private:
-    static constexpr std::size_t kBuckets = 128;
+    [[nodiscard]] Snapshot snapshot() const noexcept {
+        const std::scoped_lock lock(mu_);
+        Snapshot s;
+        s.count = count_;
+        s.sum = sum_;
+        s.min = min_;
+        s.max = max_;
+        s.buckets = buckets_;
+        return s;
+    }
 
+    /// Bucket index a value lands in (public for tests and renderers).
     static std::size_t bucket_of(std::uint64_t v) noexcept {
         if (v < 2) {
             return v;  // buckets 0 and 1 are exact
@@ -146,6 +167,7 @@ class Histogram {
         return std::min(idx, kBuckets - 1);
     }
 
+    /// Largest value bucket \p idx covers (inclusive).
     static std::uint64_t upper_bound(std::size_t idx) noexcept {
         if (idx < 2) {
             return idx;
@@ -155,6 +177,7 @@ class Histogram {
         return (1ULL << log2) + ((sub + 1) << (log2 >= 2 ? log2 - 2 : 0)) - 1;
     }
 
+  private:
     mutable std::mutex mu_;  // guards everything below
     std::array<std::uint64_t, kBuckets> buckets_{};
     std::uint64_t count_ = 0;
@@ -166,18 +189,30 @@ class Histogram {
 /// Windowed throughput meter: record(bytes) events are bucketed into fixed
 /// wall-clock windows; the QoS monitor samples per-window byte totals to
 /// build its time series.
+///
+/// Only the most recent kMaxWindows windows are retained, as a ring — a
+/// meter in a long-running daemon must not grow with uptime (the original
+/// deque-backed implementation leaked one slot per window forever).
+/// Bytes that age out of the ring stay visible through total_bytes() and
+/// dropped_windows().
 class Meter {
   public:
-    explicit Meter(Duration window = milliseconds(100))
-        : window_(window), origin_(Clock::now()) {}
+    /// Retained window count: 10 minutes of history at the default
+    /// 100 ms window.
+    static constexpr std::size_t kMaxWindows = 6000;
+
+    explicit Meter(Duration window = milliseconds(100),
+                   std::size_t max_windows = kMaxWindows)
+        : window_(window),
+          origin_(Clock::now()),
+          ring_(std::max<std::size_t>(max_windows, 2), 0) {}
 
     void record(std::uint64_t bytes) {
         const auto idx = window_index(Clock::now());
         const std::scoped_lock lock(mu_);
-        if (windows_.size() <= idx) {
-            windows_.resize(idx + 1, 0);
-        }
-        windows_[idx] += bytes;
+        advance_to(idx);
+        ring_[idx % ring_.size()] += bytes;
+        total_ += bytes;
     }
 
     /// Total bytes in the most recent \p n complete windows.
@@ -190,17 +225,41 @@ class Meter {
                 break;
             }
             const std::size_t idx = current - 1 - i;
-            if (idx < windows_.size()) {
-                total += windows_[idx];
+            if (idx > last_ || idx < first_retained()) {
+                continue;  // never materialized / aged out of the ring
             }
+            total += ring_[idx % ring_.size()];
         }
         return total;
     }
 
-    /// Snapshot of all windows so far (for offline analysis).
+    /// Snapshot of the retained windows, oldest to newest (for offline
+    /// analysis). Windows older than the ring start at dropped_windows().
     [[nodiscard]] std::vector<std::uint64_t> series() const {
         const std::scoped_lock lock(mu_);
-        return {windows_.begin(), windows_.end()};
+        std::vector<std::uint64_t> out;
+        out.reserve(last_ - first_retained() + 1);
+        for (std::size_t i = first_retained(); i <= last_; ++i) {
+            out.push_back(ring_[i % ring_.size()]);
+        }
+        return out;
+    }
+
+    /// All-time recorded bytes (survives windows aging out of the ring).
+    [[nodiscard]] std::uint64_t total_bytes() const {
+        const std::scoped_lock lock(mu_);
+        return total_;
+    }
+
+    /// Index of the first window series() still covers.
+    [[nodiscard]] std::size_t dropped_windows() const {
+        const std::scoped_lock lock(mu_);
+        return first_retained();
+    }
+
+    /// Number of windows the ring retains (capacity, not occupancy).
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return ring_.size();
     }
 
     [[nodiscard]] Duration window() const noexcept { return window_; }
@@ -210,10 +269,34 @@ class Meter {
         return static_cast<std::size_t>((t - origin_) / window_);
     }
 
+    /// Oldest window index the ring still holds (callers hold mu_).
+    [[nodiscard]] std::size_t first_retained() const {
+        return last_ >= ring_.size() - 1 ? last_ - (ring_.size() - 1) : 0;
+    }
+
+    /// Slide the ring forward so \p idx is the newest slot, zeroing every
+    /// slot that changes hands (callers hold mu_). A long idle gap zeroes
+    /// at most one full ring, not one slot per elapsed window.
+    void advance_to(std::size_t idx) {
+        if (idx <= last_) {
+            return;  // same window, or a stale reading under contention
+        }
+        if (idx - last_ >= ring_.size()) {
+            std::fill(ring_.begin(), ring_.end(), 0);
+        } else {
+            for (std::size_t i = last_ + 1; i <= idx; ++i) {
+                ring_[i % ring_.size()] = 0;
+            }
+        }
+        last_ = idx;
+    }
+
     const Duration window_;
     const TimePoint origin_;
-    mutable std::mutex mu_;  // guards windows_
-    std::deque<std::uint64_t> windows_;
+    mutable std::mutex mu_;  // guards ring_, last_ and total_
+    std::vector<std::uint64_t> ring_;
+    std::size_t last_ = 0;    ///< newest window index materialized
+    std::uint64_t total_ = 0; ///< all-time byte total
 };
 
 /// Fixed set of counters every RPC-exposed service keeps.

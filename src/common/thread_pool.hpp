@@ -52,6 +52,13 @@ class ThreadPool {
     /// Number of worker threads.
     [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+    /// Tasks queued but not yet picked up by a worker (the metrics
+    /// registry samples this as a backlog gauge).
+    [[nodiscard]] std::size_t backlog() const {
+        const std::scoped_lock lock(mu_);
+        return queue_.size();
+    }
+
     /// Fire-and-forget submission: no future, no packaged_task wrapper —
     /// the per-task cost is one queue node. The task must not throw
     /// (worker threads have nowhere to put the exception).
@@ -129,7 +136,7 @@ class ThreadPool {
     }
 
     // mu_ guards queue_ and stopping_ (CP.50: mutex lives with its data).
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;

@@ -9,6 +9,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 #include "meta/tree_builder.hpp"
 
 namespace blobseer::core {
@@ -21,6 +22,59 @@ namespace {
 constexpr std::size_t kStreamThresholdBytes = 4u << 20;
 /// Slice size of a streaming push (bounded per-frame memory).
 constexpr std::size_t kStreamSliceBytes = 1u << 20;
+
+/// Root span of one traced top-level operation. Mints a fresh sampled
+/// trace context, installs it for the calling thread (every nested RPC
+/// the operation issues propagates it on the wire), and records the
+/// root client span on destruction. Inert when tracing is off or when
+/// the thread is already inside a traced operation — nesting keeps the
+/// outer root.
+class RootTrace {
+  public:
+    RootTrace(bool enabled, const char* op, NodeId node,
+              std::atomic<std::uint64_t>& last_trace_id)
+        : active_(enabled && !trace::current().active()), op_(op),
+          node_(node) {
+        if (!active_) {
+            return;
+        }
+        trace::TraceContext ctx;
+        ctx.trace_id = trace::new_trace_id();
+        ctx.span_id = trace::new_span_id();
+        ctx.flags = trace::TraceContext::kSampled;
+        last_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+        start_unix_us_ = trace::now_unix_us();
+        scope_.emplace(ctx);
+    }
+
+    ~RootTrace() {
+        if (!active_) {
+            return;
+        }
+        const trace::TraceContext ctx = trace::current();
+        trace::SpanRecord rec;
+        rec.trace_id = ctx.trace_id;
+        rec.span_id = ctx.span_id;
+        rec.parent_span = 0;
+        rec.start_unix_us = start_unix_us_;
+        rec.duration_us = trace::now_unix_us() - start_unix_us_;
+        rec.node = node_;
+        rec.kind = trace::SpanRecord::kClient;
+        rec.status = std::uncaught_exceptions() > 0 ? 1 : 0;
+        rec.set_op(op_);
+        trace::buffer().record(rec);
+    }
+
+    RootTrace(const RootTrace&) = delete;
+    RootTrace& operator=(const RootTrace&) = delete;
+
+  private:
+    bool active_;
+    const char* op_;
+    NodeId node_;
+    std::uint64_t start_unix_us_ = 0;
+    std::optional<trace::TraceScope> scope_;
+};
 
 }  // namespace
 
@@ -51,6 +105,37 @@ BlobSeerClient::BlobSeerClient(ClientEnv env)
     for (const NodeId node : env_.data_nodes) {
         data_ring_.add_node(node);
     }
+
+    const MetricLabels labels{{"node", std::to_string(env_.self)}};
+    metrics_.counter("client_writes_total", labels, stats_.writes);
+    metrics_.counter("client_appends_total", labels, stats_.appends);
+    metrics_.counter("client_reads_total", labels, stats_.reads);
+    metrics_.counter("client_bytes_written_total", labels,
+                     stats_.bytes_written);
+    metrics_.counter("client_bytes_read_total", labels, stats_.bytes_read);
+    metrics_.counter("client_chunk_put_rpcs_total", labels,
+                     stats_.chunk_put_rpcs);
+    metrics_.counter("client_chunk_get_rpcs_total", labels,
+                     stats_.chunk_get_rpcs);
+    metrics_.counter("client_chunk_retries_total", labels,
+                     stats_.chunk_retries);
+    metrics_.counter("client_chunk_locates_total", labels,
+                     stats_.chunk_locates);
+    metrics_.counter("client_cas_chunks_total", labels, stats_.cas_chunks);
+    metrics_.counter("client_cas_dedup_hits_total", labels,
+                     stats_.cas_dedup_hits);
+    metrics_.counter("client_cas_bytes_skipped_total", labels,
+                     stats_.cas_bytes_skipped);
+    metrics_.counter("client_cas_bytes_sent_total", labels,
+                     stats_.cas_bytes_sent);
+    metrics_.counter("client_cas_stream_pushes_total", labels,
+                     stats_.cas_stream_pushes);
+    metrics_.gauge("client_inflight_chunk_rpcs", labels,
+                   stats_.inflight_chunk_rpcs);
+    metrics_.histogram("client_write_latency_us", labels,
+                       stats_.write_latency_us);
+    metrics_.histogram("client_read_latency_us", labels,
+                       stats_.read_latency_us);
 }
 
 // ---- blob lifecycle ------------------------------------------------------
@@ -572,6 +657,8 @@ Version BlobSeerClient::write_impl(BlobId blob,
     if (data.empty()) {
         throw InvalidArgument("zero-sized write");
     }
+    const RootTrace root(env_.trace, offset_opt ? "write" : "append",
+                         env_.self, last_trace_id_);
     const Stopwatch sw;
     const version::BlobInfo info = blob_info(blob);
     const std::uint64_t c = info.chunk_size;
@@ -695,6 +782,7 @@ std::size_t BlobSeerClient::read(BlobId blob, Version version,
     if (out.empty()) {
         return 0;
     }
+    const RootTrace root(env_.trace, "read", env_.self, last_trace_id_);
     const Stopwatch sw;
     version::VersionInfo vi;
     if (const auto cached =

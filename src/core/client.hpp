@@ -56,6 +56,7 @@
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
 #include "common/future.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -107,6 +108,11 @@ struct ClientEnv {
     /// Deployment boot epoch for chunk-uid allocation (see next_uid():
     /// client ids repeat across daemon restarts, the epoch must not).
     std::uint64_t uid_epoch = 0;
+    /// Originate a sampled distributed trace (protocol v7) around every
+    /// top-level write/append/read, so the whole RPC fan-out is
+    /// recorded in the deployment's span rings and retrievable with
+    /// trace_dump / `blobseer_cli trace`.
+    bool trace = false;
 };
 
 /// Client-side operation counters surfaced to experiments.
@@ -277,6 +283,12 @@ class BlobSeerClient {
     // ---- introspection ---------------------------------------------------------
 
     [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+    /// Trace id of the most recent traced operation (0 when tracing is
+    /// off or nothing ran yet) — what `blobseer_cli --trace` prints and
+    /// then feeds to trace_dump.
+    [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+        return last_trace_id_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] meta::MetaCache& meta_cache() noexcept { return cache_; }
     [[nodiscard]] rpc::ServiceClient& services() noexcept { return svc_; }
     /// The deployment's data-provider nodes (dedup-stats sweeps them).
@@ -397,6 +409,10 @@ class BlobSeerClient {
     /// chunks and recycles uids — see next_uid()).
     std::atomic<std::uint64_t> uid_counter_{0};
     ClientStats stats_;
+    /// Registry bindings for stats_; declared right after it so they
+    /// unbind before the counters destruct.
+    MetricsGroup metrics_;
+    std::atomic<std::uint64_t> last_trace_id_{0};
 
     std::mutex info_mu_;  // guards info_cache_ and version_cache_
     std::unordered_map<BlobId, version::BlobInfo> info_cache_;

@@ -329,6 +329,7 @@ std::unique_ptr<BlobSeerClient> Cluster::make_client(
     env.max_inflight_chunks = config_.client_max_inflight_chunks;
     env.publish_timeout = config_.publish_timeout;
     env.uid_epoch = uid_epoch_;
+    env.trace = config_.client_trace;
     return std::make_unique<BlobSeerClient>(std::move(env));
 }
 

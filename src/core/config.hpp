@@ -98,6 +98,9 @@ struct ClusterConfig {
     /// Bound on chunk RPCs one client write/read keeps in flight at
     /// once (the async window; see ClientEnv::max_inflight_chunks).
     std::size_t client_max_inflight_chunks = 64;
+    /// Minted clients originate a sampled distributed trace per
+    /// top-level write/append/read (ClientEnv::trace).
+    bool client_trace = false;
 
     /// How long a reader waits for a pending version to publish before
     /// giving up, and how long the unaligned-append path waits for its

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/bandwidth_gate.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "meta/meta_store.hpp"
@@ -31,7 +32,13 @@ class MetadataProvider {
                          std::make_unique<meta::InMemoryMetaStore>())
         : node_(node),
           service_gate_(ops_per_second),
-          store_(std::move(store)) {}
+          store_(std::move(store)) {
+        const MetricLabels labels{{"service", "meta-provider"},
+                                  {"node", std::to_string(node_)}};
+        bind_service_stats(metrics_, stats_, labels);
+        metrics_.callback("meta_nodes_stored", labels,
+                          [this] { return store_->count(); });
+    }
 
     [[nodiscard]] NodeId node() const noexcept { return node_; }
 
@@ -81,6 +88,9 @@ class MetadataProvider {
     BandwidthGate service_gate_;  // rate = ops/second, 1 token per op
     std::unique_ptr<meta::LocalMetaStore> store_;
     ServiceStats stats_;
+    /// Registry bindings; declared last so they unbind before stats_
+    /// and the store the callback samples.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::dht

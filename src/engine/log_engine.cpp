@@ -99,6 +99,33 @@ LogEngine::LogEngine(EngineConfig cfg)
     : cfg_(std::move(cfg)), dir_lock_(cfg_.dir) {
     recover();
     pool_ = std::make_unique<ThreadPool>(1);
+
+    const MetricLabels labels{{"dir", cfg_.dir}};
+    metrics_.counter("engine_appends_total", labels, appends_);
+    metrics_.counter("engine_overwrites_total", labels, overwrites_);
+    metrics_.counter("engine_removes_total", labels, removes_);
+    metrics_.counter("engine_gets_total", labels, gets_);
+    metrics_.counter("engine_compactions_total", labels, compactions_);
+    metrics_.counter("engine_relocated_records_total", labels,
+                     relocated_records_);
+    metrics_.counter("engine_reclaimed_bytes_total", labels,
+                     reclaimed_bytes_);
+    metrics_.counter("engine_checkpoints_written_total", labels,
+                     checkpoints_written_);
+    metrics_.counter("engine_torn_bytes_discarded_total", labels,
+                     torn_bytes_discarded_);
+    metrics_.counter("engine_crc_read_failures_total", labels,
+                     crc_read_failures_);
+    metrics_.counter("engine_background_failures_total", labels,
+                     background_failures_);
+    metrics_.callback("engine_live_value_bytes", labels, [this] {
+        const std::scoped_lock lock(mu_);
+        return live_value_bytes_;
+    });
+    metrics_.callback("engine_segments", labels, [this] {
+        const std::scoped_lock lock(mu_);
+        return segments_.size();
+    });
 }
 
 LogEngine::~LogEngine() {

@@ -36,6 +36,7 @@
 
 #include "common/buffer.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/format.hpp"
@@ -305,6 +306,9 @@ class LogEngine {
     /// One worker is enough: compaction and checkpointing are sequential
     /// background chores, not a parallel workload.
     std::unique_ptr<ThreadPool> pool_;
+    /// Registry bindings; declared last so they unbind before the
+    /// counters above destruct.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::engine

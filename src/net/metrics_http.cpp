@@ -1,0 +1,147 @@
+#include "net/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace blobseer::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_string() {
+    return std::string(std::strerror(errno));
+}
+
+/// Write all of \p data, swallowing errors — the client hanging up
+/// mid-response is its problem, not the daemon's.
+void send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            return;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+[[nodiscard]] std::string http_response(const std::string& status,
+                                        const std::string& content_type,
+                                        const std::string& body) {
+    std::string out;
+    out.reserve(body.size() + 128);
+    out += "HTTP/1.0 " + status + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port,
+                                     const std::string& bind_addr) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw RpcError("metrics socket: " + errno_string());
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        throw RpcError("metrics bind: bad address " + bind_addr);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const std::string err = errno_string();
+        ::close(listen_fd_);
+        throw RpcError("metrics bind " + bind_addr + ":" +
+                       std::to_string(port) + ": " + err);
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        const std::string err = errno_string();
+        ::close(listen_fd_);
+        throw RpcError("metrics listen: " + err);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+    {
+        const std::scoped_lock lock(mu_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) {
+        accept_thread_.join();
+    }
+    ::close(listen_fd_);
+}
+
+void MetricsHttpServer::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            const std::scoped_lock lock(mu_);
+            if (stopping_) {
+                return;
+            }
+            continue;  // transient accept error (EINTR, EMFILE...)
+        }
+        // Detached: one request, one response, close. The handler never
+        // touches the server object, so shutdown need not wait for it.
+        std::thread([fd] { answer(fd); }).detach();
+    }
+}
+
+void MetricsHttpServer::answer(int fd) {
+    // Read whatever fits in one buffer; the request line is all that
+    // matters and any real scraper sends it in the first packet.
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    if (n <= 0) {
+        ::close(fd);
+        return;
+    }
+    buf[n] = '\0';
+    const std::string_view request(buf, static_cast<std::size_t>(n));
+
+    if (request.starts_with("GET /metrics ") ||
+        request.starts_with("GET /metrics\r") ||
+        request.starts_with("GET /metrics HTTP")) {
+        const std::string body =
+            render_prometheus(MetricsRegistry::instance().snapshot());
+        send_all(fd, http_response("200 OK",
+                                   "text/plain; version=0.0.4; "
+                                   "charset=utf-8",
+                                   body));
+    } else {
+        send_all(fd, http_response("404 Not Found", "text/plain",
+                                   "only /metrics is served here\n"));
+    }
+    ::close(fd);
+}
+
+}  // namespace blobseer::net

@@ -1,0 +1,56 @@
+/// \file metrics_http.hpp
+/// \brief Minimal HTTP/1.0 responder serving the Prometheus scrape
+///        endpoint (DESIGN.md §13).
+///
+/// One accept thread, one short-lived handler thread per request:
+/// `GET /metrics` answers with render_prometheus() over the process
+/// registry, anything else gets 404, and the connection closes after
+/// the response (Connection: close — a scraper opens a fresh connection
+/// per scrape, which is exactly Prometheus's default behaviour). This
+/// is deliberately not a web server: no keep-alive, no chunked
+/// encoding, no TLS; it exists so `curl http://daemon:port/metrics`
+/// and a stock Prometheus scrape config work against any daemon
+/// started with --metrics-port.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace blobseer::net {
+
+class MetricsHttpServer {
+  public:
+    /// Bind \p bind_addr:\p port (port 0 = ephemeral; read the chosen
+    /// one back with port()) and start answering scrapes.
+    explicit MetricsHttpServer(std::uint16_t port = 0,
+                               const std::string& bind_addr = "0.0.0.0");
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer&) = delete;
+    MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Shut down the listener and join the accept thread. Idempotent.
+    /// In-flight handler threads finish their single response on their
+    /// own (they hold no reference to this object).
+    void stop();
+
+  private:
+    void accept_loop();
+
+    /// Answer one request on \p fd and close it (static: runs on a
+    /// detached thread that may outlive the server object).
+    static void answer(int fd);
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+    std::mutex mu_;  // guards stopping_
+    bool stopping_ = false;
+};
+
+}  // namespace blobseer::net

@@ -27,6 +27,7 @@
 #include "chunk/store.hpp"
 #include "chunk/two_tier_store.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "provider/location_index.hpp"
@@ -50,7 +51,28 @@ class DataProvider {
     };
 
     DataProvider(NodeId node, std::unique_ptr<chunk::ChunkStore> store)
-        : node_(node), store_(std::move(store)) {}
+        : node_(node), store_(std::move(store)) {
+        const MetricLabels labels{{"service", "data-provider"},
+                                  {"node", std::to_string(node_)}};
+        bind_service_stats(metrics_, stats_, labels);
+        metrics_.meter("provider_read_bytes", labels, read_meter_);
+        metrics_.meter("provider_write_bytes", labels, write_meter_);
+        metrics_.counter("dedup_check_hits_total", labels, check_hits_);
+        metrics_.counter("dedup_check_misses_total", labels, check_misses_);
+        metrics_.counter("dedup_bytes_skipped_total", labels, bytes_skipped_);
+        metrics_.counter("dedup_dup_puts_total", labels, dup_puts_);
+        metrics_.counter("cas_decrefs_total", labels, decrefs_);
+        metrics_.counter("cas_reclaimed_chunks_total", labels,
+                         reclaimed_chunks_);
+        metrics_.counter("cas_reclaimed_bytes_total", labels,
+                         reclaimed_bytes_);
+        // Live store occupancy: ChunkStore serializes internally, the
+        // callbacks are snapshot-time only.
+        metrics_.callback("provider_chunks_stored", labels,
+                          [this] { return store_->count(); });
+        metrics_.callback("provider_stored_bytes", labels,
+                          [this] { return store_->bytes(); });
+    }
 
     [[nodiscard]] NodeId node() const noexcept { return node_; }
 
@@ -439,6 +461,9 @@ class DataProvider {
     Counter decrefs_;
     Counter reclaimed_chunks_;
     Counter reclaimed_bytes_;
+    /// Registry bindings; declared last so they unbind before the stats
+    /// and the store the callbacks sample.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::provider

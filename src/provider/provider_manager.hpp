@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -112,7 +113,41 @@ class ProviderManager {
   public:
     explicit ProviderManager(PlacementStrategy strategy,
                              std::uint64_t seed = 42)
-        : strategy_(strategy), rng_(seed) {}
+        : strategy_(strategy), rng_(seed) {
+        metrics_.counter("pm_placements_total", {}, placements_);
+        // Repair gauges are callbacks into the queue under mu_; the
+        // registry never runs them while holding mu_ (snapshot takes its
+        // own lock first and nothing under mu_ calls the registry), so
+        // the order registry-lock -> mu_ is acyclic.
+        metrics_.callback("repair_backlog", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->backlog();
+        });
+        metrics_.callback("repair_enqueued_total", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->counters().enqueued;
+        });
+        metrics_.callback("repair_completed_total", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->counters().completed;
+        });
+        metrics_.callback("repair_skipped_total", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->counters().skipped;
+        });
+        metrics_.callback("repair_failed_total", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->counters().failed;
+        });
+        metrics_.callback("repair_deferred_total", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return queue_->counters().deferred;
+        });
+        metrics_.callback("pm_providers", {}, [this] {
+            const std::scoped_lock lock(mu_);
+            return entries_.size();
+        });
+    }
 
     /// Register an in-process data provider node (observed
     /// synchronously; never expected to heartbeat).
@@ -743,6 +778,9 @@ class ProviderManager {
     LocationIndex index_;
     std::unique_ptr<RepairQueue> queue_ = std::make_unique<RepairQueue>();
     std::size_t repair_floor_ = 1;
+    /// Registry bindings; declared last so they unbind before the state
+    /// the callbacks sample.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::provider

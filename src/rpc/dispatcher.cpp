@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/trace.hpp"
 #include "dht/metadata_provider.hpp"
 #include "provider/data_provider.hpp"
 #include "provider/provider_manager.hpp"
@@ -19,42 +20,131 @@ namespace {
     return r.u64();
 }
 
+[[nodiscard]] std::uint64_t us_between(TimePoint from, TimePoint to) {
+    if (to <= from) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+            .count());
+}
+
 }  // namespace
 
-Buffer Dispatcher::dispatch(ConstBytes frame) noexcept {
+Dispatcher::OpTelemetry* Dispatcher::telemetry_for(MsgType type) noexcept {
+    const auto tag = static_cast<std::uint16_t>(type);
+    if (tag >= op_telemetry_.size()) {
+        return nullptr;  // corrupt tag; no series for it
+    }
+    OpTelemetry& t = op_telemetry_[tag];
+    if (t.latency.load(std::memory_order_acquire) == nullptr) {
+        // First dispatch of this op in this dispatcher. The registry
+        // get-or-creates by name+label, so every dispatcher in the
+        // process resolves to the same shared series, and a racing
+        // resolve stores the same pointers.
+        auto& registry = MetricsRegistry::instance();
+        const MetricLabels labels{{"op", to_string(type)}};
+        t.requests.store(
+            &registry.counter("rpc_server_requests_total", labels),
+            std::memory_order_relaxed);
+        t.errors.store(&registry.counter("rpc_server_errors_total", labels),
+                       std::memory_order_relaxed);
+        t.latency.store(&registry.histogram("rpc_server_latency_us", labels),
+                        std::memory_order_release);
+    }
+    return &t;
+}
+
+Buffer Dispatcher::dispatch(ConstBytes frame,
+                            TimePoint received_at) noexcept {
     MsgType type = MsgType::kTopology;
     // The request's correlation id is echoed into whatever response —
     // success or error — leaves here, so a multiplexing transport can
     // match it. A frame too corrupt to parse keeps corr 0; its sender's
     // stream is beyond saving anyway.
     std::uint64_t corr = 0;
+    Status status = Status::kOk;
+    trace::TraceContext ctx;
+    NodeId dst = kInvalidNode;
+    std::uint64_t payload_bytes = 0;
+    bool known_type = false;
+    const TimePoint started = Clock::now();
     Buffer response;
     try {
         const FrameView f = parse_frame(frame);
         type = f.type;
         corr = f.corr;
+        ctx.trace_id = f.trace_id;
+        ctx.span_id = f.span_id;
+        ctx.flags = f.trace_flags;
+        dst = f.dst();
+        payload_bytes = f.payload.size();
+        known_type = true;
         if (f.response) {
             throw RpcError("dispatch of a response frame");
         }
+        // Handlers run inside the frame's trace context, so every nested
+        // RPC a service issues (DHT replica puts, CAS check→push chains,
+        // repair copies) inherits the trace.
+        const trace::TraceScope scope(ctx);
         response = handle(f);
     } catch (const RpcError& e) {
-        response = seal_error(type, Status::kRpcError, e.what());
+        status = Status::kRpcError;
+        response = seal_error(type, status, e.what());
     } catch (const TimeoutError& e) {
-        response = seal_error(type, Status::kTimeout, e.what());
+        status = Status::kTimeout;
+        response = seal_error(type, status, e.what());
     } catch (const NotFoundError& e) {
-        response = seal_error(type, Status::kNotFound, e.what());
+        status = Status::kNotFound;
+        response = seal_error(type, status, e.what());
     } catch (const ConsistencyError& e) {
-        response = seal_error(type, Status::kConsistency, e.what());
+        status = Status::kConsistency;
+        response = seal_error(type, status, e.what());
     } catch (const InvalidArgument& e) {
-        response = seal_error(type, Status::kInvalidArgument, e.what());
+        status = Status::kInvalidArgument;
+        response = seal_error(type, status, e.what());
     } catch (const VersionAborted& e) {
-        response = seal_error(type, Status::kVersionAborted, e.what());
+        status = Status::kVersionAborted;
+        response = seal_error(type, status, e.what());
     } catch (const VersionRetired& e) {
-        response = seal_error(type, Status::kVersionRetired, e.what());
+        status = Status::kVersionRetired;
+        response = seal_error(type, status, e.what());
     } catch (const std::exception& e) {
-        response = seal_error(type, Status::kError, e.what());
+        status = Status::kError;
+        response = seal_error(type, status, e.what());
     }
     set_frame_corr(response, corr);
+
+    const std::uint64_t handle_us = us_between(started, Clock::now());
+    if (known_type) {
+        if (OpTelemetry* t = telemetry_for(type)) {
+            t->requests.load(std::memory_order_relaxed)->add();
+            t->latency.load(std::memory_order_relaxed)->record(handle_us);
+            if (status != Status::kOk) {
+                t->errors.load(std::memory_order_relaxed)->add();
+            }
+        }
+    }
+
+    if (ctx.active()) {
+        // Echo the request's context so the client can sanity-check the
+        // response belongs to its trace.
+        set_frame_trace(response, ctx);
+        if (trace::TraceBuffer::should_record(ctx.sampled(), handle_us)) {
+            trace::SpanRecord span;
+            span.trace_id = ctx.trace_id;
+            span.span_id = ctx.span_id;  // shared with the client half
+            span.start_unix_us = trace::now_unix_us() - handle_us;
+            span.queue_us = us_between(received_at, started);
+            span.duration_us = handle_us;
+            span.bytes = payload_bytes;
+            span.node = dst;
+            span.kind = trace::SpanRecord::kServer;
+            span.status = static_cast<std::uint8_t>(status);
+            span.set_op(to_string(type));
+            trace::buffer().record(span);
+        }
+    }
     return response;
 }
 
@@ -62,8 +152,12 @@ Buffer Dispatcher::handle(const FrameView& f) {
     // Fault gate: a request addressed to a node the deployment considers
     // down fails exactly like a dead simulated endpoint, so TCP clients
     // observe the same fault semantics as in-process ones.
-    if (fault_check_ && f.type != MsgType::kTopology &&
-        !fault_check_(f.dst())) {
+    // Control-plane introspection (topology, metrics, traces) stays
+    // reachable on a "dead" deployment — exactly when operators need it.
+    const bool control = f.type == MsgType::kTopology ||
+                         f.type == MsgType::kMetricsDump ||
+                         f.type == MsgType::kTraceDump;
+    if (fault_check_ && !control && !fault_check_(f.dst())) {
         throw RpcError("target node " + std::to_string(f.dst()) +
                        " is down");
     }
@@ -117,6 +211,27 @@ Buffer Dispatcher::handle(const FrameView& f) {
             t.client_id = next_client_id_.fetch_add(1);
             WireWriter w;
             put_topology(w, t);
+            return seal_response(f.type, std::move(w));
+        }
+
+        case MsgType::kMetricsDump: {
+            WireReader r(f.payload);
+            r.expect_end();
+            WireWriter w;
+            put_metrics_snapshot(w, MetricsRegistry::instance().snapshot());
+            return seal_response(f.type, std::move(w));
+        }
+
+        case MsgType::kTraceDump: {
+            WireReader r(f.payload);
+            const std::uint64_t trace_id = r.u64();
+            const std::uint64_t max = r.u64();
+            r.expect_end();
+            WireWriter w;
+            put_span_records(
+                w, trace::buffer().snapshot(
+                       trace_id, max == 0 ? trace::TraceBuffer::kDefaultCapacity
+                                          : max));
             return seal_response(f.type, std::move(w));
         }
     }

@@ -17,12 +17,15 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
 
 #include "common/buffer.hpp"
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "rpc/messages.hpp"
 #include "rpc/protocol.hpp"
@@ -102,9 +105,32 @@ class Dispatcher {
     /// Decode one request frame, invoke the addressed service, return the
     /// sealed response frame. Never throws: every failure becomes an
     /// error response.
-    [[nodiscard]] Buffer dispatch(ConstBytes frame) noexcept;
+    ///
+    /// Every dispatch records per-op-family telemetry (latency histogram,
+    /// request/error counters, registry-owned and therefore shared by all
+    /// dispatchers in the process) and, when the frame carries a trace
+    /// context, installs it around the handler and records the server
+    /// half of the span.
+    [[nodiscard]] Buffer dispatch(ConstBytes frame) noexcept {
+        return dispatch(frame, Clock::now());
+    }
+
+    /// Same, with the instant the transport finished reading the frame —
+    /// the gap to now is the dispatch-queue wait the span reports.
+    [[nodiscard]] Buffer dispatch(ConstBytes frame,
+                                  TimePoint received_at) noexcept;
 
   private:
+    /// Per-MsgType telemetry, resolved from the registry on first use and
+    /// cached so the steady-state cost is two atomic loads per dispatch.
+    struct OpTelemetry {
+        std::atomic<Histogram*> latency{nullptr};
+        std::atomic<Counter*> requests{nullptr};
+        std::atomic<Counter*> errors{nullptr};
+    };
+
+    [[nodiscard]] OpTelemetry* telemetry_for(MsgType type) noexcept;
+
     [[nodiscard]] Buffer handle(const FrameView& f);
 
     [[nodiscard]] Buffer handle_data_provider(const FrameView& f);
@@ -122,6 +148,9 @@ class Dispatcher {
     Topology topology_;
     std::atomic<NodeId> next_client_id_{1u << 20};
     std::function<bool(NodeId)> fault_check_;
+    /// Indexed by MsgType tag (tags are small by construction; anything
+    /// out of range — a corrupt frame — just skips telemetry).
+    std::array<OpTelemetry, 128> op_telemetry_;
 };
 
 }  // namespace blobseer::rpc

@@ -414,6 +414,132 @@ provider::RepairStatus get_repair_status(WireReader& r) {
     return s;
 }
 
+// ---- observability (protocol v7) -------------------------------------------
+
+void put_metric_sample(WireWriter& w, const MetricSample& s) {
+    w.str(s.name);
+    w.varint(s.labels.size());
+    for (const auto& [k, v] : s.labels) {
+        w.str(k);
+        w.str(v);
+    }
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    w.u64(s.value);
+    w.u64(s.high_water);
+    w.u64(s.count);
+    w.u64(s.sum);
+    w.u64(s.min);
+    w.u64(s.max);
+    w.varint(s.buckets.size());
+    for (const auto& [upper, count] : s.buckets) {
+        w.u64(upper);
+        w.u64(count);
+    }
+}
+
+MetricSample get_metric_sample(WireReader& r) {
+    MetricSample s;
+    s.name = r.str();
+    const std::uint64_t n_labels = r.varint_count(2);  // two empty strings
+    s.labels.reserve(n_labels);
+    for (std::uint64_t i = 0; i < n_labels; ++i) {
+        std::string k = r.str();
+        std::string v = r.str();
+        s.labels.emplace_back(std::move(k), std::move(v));
+    }
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(MetricKind::kCallback)) {
+        throw RpcError("frame decode: bad metric kind " +
+                       std::to_string(kind));
+    }
+    s.kind = static_cast<MetricKind>(kind);
+    s.value = r.u64();
+    s.high_water = r.u64();
+    s.count = r.u64();
+    s.sum = r.u64();
+    s.min = r.u64();
+    s.max = r.u64();
+    const std::uint64_t n_buckets = r.varint_count(16);  // two u64s
+    s.buckets.reserve(n_buckets);
+    for (std::uint64_t i = 0; i < n_buckets; ++i) {
+        const std::uint64_t upper = r.u64();
+        const std::uint64_t count = r.u64();
+        s.buckets.emplace_back(upper, count);
+    }
+    return s;
+}
+
+void put_metrics_snapshot(WireWriter& w, const MetricsSnapshot& snap) {
+    w.varint(snap.samples.size());
+    for (const MetricSample& s : snap.samples) {
+        put_metric_sample(w, s);
+    }
+}
+
+MetricsSnapshot get_metrics_snapshot(WireReader& r) {
+    // Minimum encoded sample: empty name + no labels + kind + 6 u64s +
+    // no buckets.
+    const std::uint64_t n = r.varint_count(51);
+    MetricsSnapshot snap;
+    snap.samples.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        snap.samples.push_back(get_metric_sample(r));
+    }
+    return snap;
+}
+
+void put_span_record(WireWriter& w, const trace::SpanRecord& s) {
+    w.u64(s.trace_id);
+    w.u32(s.span_id);
+    w.u32(s.parent_span);
+    w.u64(s.start_unix_us);
+    w.u64(s.queue_us);
+    w.u64(s.duration_us);
+    w.u64(s.bytes);
+    w.u32(s.node);
+    w.u8(s.kind);
+    w.u8(s.status);
+    w.str(s.op_name());
+}
+
+trace::SpanRecord get_span_record(WireReader& r) {
+    trace::SpanRecord s;
+    s.trace_id = r.u64();
+    s.span_id = r.u32();
+    s.parent_span = r.u32();
+    s.start_unix_us = r.u64();
+    s.queue_us = r.u64();
+    s.duration_us = r.u64();
+    s.bytes = r.u64();
+    s.node = r.u32();
+    s.kind = r.u8();
+    if (s.kind > trace::SpanRecord::kServer) {
+        throw RpcError("frame decode: bad span kind " +
+                       std::to_string(s.kind));
+    }
+    s.status = r.u8();
+    s.set_op(r.str());
+    return s;
+}
+
+void put_span_records(WireWriter& w,
+                      const std::vector<trace::SpanRecord>& v) {
+    w.varint(v.size());
+    for (const auto& s : v) {
+        put_span_record(w, s);
+    }
+}
+
+std::vector<trace::SpanRecord> get_span_records(WireReader& r) {
+    const std::uint64_t n = r.varint_count(51);  // fixed fields + empty op
+    std::vector<trace::SpanRecord> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        v.push_back(get_span_record(r));
+    }
+    return v;
+}
+
 // ---- control plane ---------------------------------------------------------
 
 void put_topology(WireWriter& w, const Topology& t) {

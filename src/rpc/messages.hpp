@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "chunk/chunk_key.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "meta/meta_node.hpp"
 #include "meta/write_descriptor.hpp"
@@ -91,6 +93,21 @@ void put_provider_health(WireWriter& w, const provider::ProviderHealth& h);
 
 void put_repair_status(WireWriter& w, const provider::RepairStatus& s);
 [[nodiscard]] provider::RepairStatus get_repair_status(WireReader& r);
+
+// ---- observability (protocol v7) -------------------------------------------
+
+void put_metric_sample(WireWriter& w, const MetricSample& s);
+[[nodiscard]] MetricSample get_metric_sample(WireReader& r);
+
+void put_metrics_snapshot(WireWriter& w, const MetricsSnapshot& snap);
+[[nodiscard]] MetricsSnapshot get_metrics_snapshot(WireReader& r);
+
+void put_span_record(WireWriter& w, const trace::SpanRecord& s);
+[[nodiscard]] trace::SpanRecord get_span_record(WireReader& r);
+
+void put_span_records(WireWriter& w,
+                      const std::vector<trace::SpanRecord>& v);
+[[nodiscard]] std::vector<trace::SpanRecord> get_span_records(WireReader& r);
 
 // ---- control plane ---------------------------------------------------------
 

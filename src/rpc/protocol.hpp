@@ -2,7 +2,7 @@
 /// \brief Frame layout, message-type tags and the error status mapping of
 ///        the BlobSeer wire protocol.
 ///
-/// Frame layout (DESIGN.md §7.1), fixed 24-byte header + payload:
+/// Frame layout (DESIGN.md §7.1), fixed 40-byte header + payload:
 ///
 ///   offset  size  field
 ///   0       4     magic 0x42535250 ("BSRP" little-endian)
@@ -12,7 +12,11 @@
 ///   8       4     request: destination node id / response: status code
 ///   12      4     payload length in bytes
 ///   16      8     correlation id (response echoes its request's)
-///   24      ...   payload (message codec, see messages.hpp)
+///   24      8     trace id (0 = untraced)
+///   32      4     span id of the carrying RPC
+///   36      1     trace flags (bit 0: sampled)
+///   37      3     reserved, zero
+///   40      ...   payload (message codec, see messages.hpp)
 ///
 /// The correlation id is what lets one connection carry many in-flight
 /// requests with out-of-order responses (protocol v3): a multiplexing
@@ -20,6 +24,13 @@
 /// id, the dispatcher echoes it into the response, and the transport's
 /// reader matches responses back to their futures by id. Transports
 /// that dispatch inline (SimTransport) may leave it 0 everywhere.
+///
+/// The trace context (protocol v7, DESIGN.md §13) follows the same
+/// stamped-after-seal pattern: ServiceClient writes the calling thread's
+/// trace id + a fresh span id into each outgoing request, the dispatcher
+/// installs them around the handler so nested RPCs inherit the trace,
+/// and responses echo the request's context back for symmetry. All-zero
+/// means untraced and costs nothing beyond the header bytes.
 ///
 /// The destination node id travels *in the frame* so that a single
 /// listening endpoint (the all-in-one blobseer_serverd daemon) can host
@@ -37,6 +48,7 @@
 
 #include "common/buffer.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "rpc/wire.hpp"
 
@@ -65,10 +77,18 @@ inline constexpr std::uint32_t kFrameMagic = 0x42535250;  // "PRSB" LE
 /// suspected deaths for corroboration) and kRepairStatus (repair-queue
 /// observability); Topology advertises provider endpoints after the
 /// content_addressed flag so remote clients can dial providers directly.
-inline constexpr std::uint8_t kWireVersion = 6;
-inline constexpr std::size_t kFrameHeaderSize = 24;
+/// v7: observability — the header grew a 16-byte trace context (trace
+/// id, span id, sampled flag, reserved bytes; offsets 24-39) so one
+/// client operation can be followed across every nested RPC, and the
+/// control block gained kMetricsDump (full metrics-registry snapshot
+/// from any node) and kTraceDump (drain the node's span ring).
+inline constexpr std::uint8_t kWireVersion = 7;
+inline constexpr std::size_t kFrameHeaderSize = 40;
 /// Byte offset of the correlation id within the header.
 inline constexpr std::size_t kFrameCorrOffset = 16;
+/// Byte offset of the trace context (trace id u64, span id u32, flags
+/// u8, 3 reserved) within the header.
+inline constexpr std::size_t kFrameTraceOffset = 24;
 
 /// Upper bound on a frame payload; anything larger is a corrupt or
 /// hostile frame and is rejected before its length is trusted for an
@@ -132,6 +152,8 @@ enum class MsgType : std::uint16_t {
 
     // control plane
     kTopology = 80,
+    kMetricsDump = 81,
+    kTraceDump = 82,
 };
 
 [[nodiscard]] inline const char* to_string(MsgType t) noexcept {
@@ -173,6 +195,8 @@ enum class MsgType : std::uint16_t {
         case MsgType::kReportFailure: return "report-failure";
         case MsgType::kRepairStatus: return "repair-status";
         case MsgType::kTopology: return "topology";
+        case MsgType::kMetricsDump: return "metrics-dump";
+        case MsgType::kTraceDump: return "trace-dump";
     }
     return "?";
 }
@@ -216,6 +240,10 @@ struct FrameView {
     std::uint32_t dst_or_status = 0;
     /// Request-correlation id (0 on non-multiplexed paths).
     std::uint64_t corr = 0;
+    /// Trace context (all zero when the operation is untraced).
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    std::uint8_t trace_flags = 0;
     ConstBytes payload;
 
     [[nodiscard]] NodeId dst() const noexcept { return dst_or_status; }
@@ -248,6 +276,12 @@ struct FrameView {
     out.dst_or_status = r.u32();
     const std::uint32_t len = r.u32();
     out.corr = r.u64();
+    out.trace_id = r.u64();
+    out.span_id = r.u32();
+    out.trace_flags = r.u8();
+    (void)r.u8();  // 3 reserved bytes
+    (void)r.u8();
+    (void)r.u8();
     if (len > kMaxPayload) {
         throw RpcError("frame decode: payload length " + std::to_string(len) +
                        " exceeds limit");
@@ -288,8 +322,8 @@ namespace detail {
     std::memcpy(h + 6, &tag, 2);
     std::memcpy(h + 8, &dst_or_status, 4);
     std::memcpy(h + 12, &len, 4);
-    // Bytes 16..24 stay zero: the correlation id is stamped later by
-    // set_frame_corr.
+    // Bytes 16..40 stay zero: the correlation id and trace context are
+    // stamped later by set_frame_corr / set_frame_trace.
     return body;
 }
 
@@ -314,6 +348,44 @@ inline void set_frame_corr(MutableBytes frame, std::uint64_t corr) {
                        std::to_string(frame.size()) + " bytes)");
     }
     std::memcpy(frame.data() + kFrameCorrOffset, &corr, sizeof corr);
+}
+
+/// Read the trace context out of a sealed frame without a full parse
+/// (the tracing hot path touches only these 13 bytes).
+[[nodiscard]] inline trace::TraceContext frame_trace(ConstBytes frame) {
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("frame decode: short frame (" +
+                       std::to_string(frame.size()) + " bytes)");
+    }
+    trace::TraceContext ctx;
+    std::memcpy(&ctx.trace_id, frame.data() + kFrameTraceOffset, 8);
+    std::memcpy(&ctx.span_id, frame.data() + kFrameTraceOffset + 8, 4);
+    ctx.flags = frame[kFrameTraceOffset + 12];
+    return ctx;
+}
+
+/// Stamp a trace context into a sealed frame (requests at send time,
+/// responses at dispatch time). Reserved bytes stay zero from seal.
+inline void set_frame_trace(MutableBytes frame,
+                            const trace::TraceContext& ctx) {
+    if (frame.size() < kFrameHeaderSize) {
+        throw RpcError("frame encode: short frame (" +
+                       std::to_string(frame.size()) + " bytes)");
+    }
+    std::memcpy(frame.data() + kFrameTraceOffset, &ctx.trace_id, 8);
+    std::memcpy(frame.data() + kFrameTraceOffset + 8, &ctx.span_id, 4);
+    frame[kFrameTraceOffset + 12] = ctx.flags;
+}
+
+/// Read a sealed response frame's Status without a full parse (used by
+/// the client-side span recorder; requests return their dst instead).
+[[nodiscard]] inline Status frame_status(ConstBytes frame) noexcept {
+    if (frame.size() < kFrameHeaderSize) {
+        return Status::kRpcError;
+    }
+    std::uint32_t s = 0;
+    std::memcpy(&s, frame.data() + 8, 4);
+    return static_cast<Status>(s);
 }
 
 /// Seal a request frame addressed to logical node \p dst.

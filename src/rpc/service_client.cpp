@@ -27,6 +27,30 @@ namespace {
     return WireReader(f.payload);
 }
 
+/// Record the client half of an RPC span (the server half shares the
+/// span id and is merged in by the trace viewer).
+void record_client_span(const trace::TraceContext& child,
+                        std::uint32_t parent_span, MsgType type, NodeId dst,
+                        std::uint64_t start_unix_us,
+                        std::uint64_t duration_us, std::uint64_t bytes,
+                        Status status) {
+    if (!trace::TraceBuffer::should_record(child.sampled(), duration_us)) {
+        return;
+    }
+    trace::SpanRecord span;
+    span.trace_id = child.trace_id;
+    span.span_id = child.span_id;
+    span.parent_span = parent_span;
+    span.start_unix_us = start_unix_us;
+    span.duration_us = duration_us;
+    span.bytes = bytes;
+    span.node = dst;
+    span.kind = trace::SpanRecord::kClient;
+    span.status = static_cast<std::uint8_t>(status);
+    span.set_op(to_string(type));
+    trace::buffer().record(span);
+}
+
 }  // namespace
 
 ServiceClient::ServiceClient(Transport& transport,
@@ -76,20 +100,76 @@ NodeId ServiceClient::pick_create_node() {
 
 Buffer ServiceClient::invoke(MsgType type, NodeId dst, WireWriter&& body,
                              NodeId via) {
-    const Buffer frame = seal_request(type, dst, std::move(body));
-    if (via != kInvalidNode) {
-        return transport_.roundtrip_via(via, dst, frame);
+    Buffer frame = seal_request(type, dst, std::move(body));
+    const trace::TraceContext parent = trace::current();
+    if (!parent.active()) {
+        if (via != kInvalidNode) {
+            return transport_.roundtrip_via(via, dst, frame);
+        }
+        return transport_.roundtrip(dst, frame);
     }
-    return transport_.roundtrip(dst, frame);
+
+    // Traced: mint a child span for this RPC and carry it in the frame.
+    trace::TraceContext child = parent;
+    child.span_id = trace::new_span_id();
+    set_frame_trace(frame, child);
+    const std::uint64_t start_unix = trace::now_unix_us();
+    const TimePoint started = Clock::now();
+    const auto elapsed_us = [started] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - started)
+                .count());
+    };
+    try {
+        Buffer resp = via != kInvalidNode
+                          ? transport_.roundtrip_via(via, dst, frame)
+                          : transport_.roundtrip(dst, frame);
+        record_client_span(child, parent.span_id, type, dst, start_unix,
+                           elapsed_us(), frame.size() + resp.size(),
+                           frame_status(resp));
+        return resp;
+    } catch (...) {
+        record_client_span(child, parent.span_id, type, dst, start_unix,
+                           elapsed_us(), frame.size(), Status::kRpcError);
+        throw;
+    }
 }
 
 Future<Buffer> ServiceClient::invoke_async(MsgType type, NodeId dst,
                                            WireWriter&& body, NodeId via) {
-    const Buffer frame = seal_request(type, dst, std::move(body));
-    if (via != kInvalidNode) {
-        return transport_.call_async_via(via, dst, frame);
+    Buffer frame = seal_request(type, dst, std::move(body));
+    const trace::TraceContext parent = trace::current();
+    if (!parent.active()) {
+        if (via != kInvalidNode) {
+            return transport_.call_async_via(via, dst, frame);
+        }
+        return transport_.call_async(dst, frame);
     }
-    return transport_.call_async(dst, frame);
+
+    trace::TraceContext child = parent;
+    child.span_id = trace::new_span_id();
+    set_frame_trace(frame, child);
+    const std::uint64_t start_unix = trace::now_unix_us();
+    const TimePoint started = Clock::now();
+    const std::uint64_t sent = frame.size();
+    Future<Buffer> fut = via != kInvalidNode
+                             ? transport_.call_async_via(via, dst, frame)
+                             : transport_.call_async(dst, frame);
+    // The adapter runs only when the future succeeds, so async client
+    // spans cover successful RPCs; failures still surface as the server
+    // half of the span (and in the error counters).
+    return map_future<Buffer>(
+        std::move(fut),
+        [child, parent, type, dst, start_unix, started, sent](Buffer resp) {
+            const auto us = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - started)
+                    .count());
+            record_client_span(child, parent.span_id, type, dst, start_unix,
+                               us, sent + resp.size(), frame_status(resp));
+            return resp;
+        });
 }
 
 // ---- version manager -------------------------------------------------------
@@ -348,6 +428,28 @@ provider::RepairStatus ServiceClient::repair_status() {
         invoke(MsgType::kRepairStatus, pm_node_, WireWriter());
     auto r = open_reply(resp, MsgType::kRepairStatus);
     auto out = get_repair_status(r);
+    r.expect_end();
+    return out;
+}
+
+// ---- observability (protocol v7) -------------------------------------------
+
+MetricsSnapshot ServiceClient::metrics_dump(NodeId node) {
+    const Buffer resp = invoke(MsgType::kMetricsDump, node, WireWriter());
+    auto r = open_reply(resp, MsgType::kMetricsDump);
+    auto out = get_metrics_snapshot(r);
+    r.expect_end();
+    return out;
+}
+
+std::vector<trace::SpanRecord> ServiceClient::trace_dump(
+    std::uint64_t trace_id, std::uint64_t max, NodeId node) {
+    WireWriter w;
+    w.u64(trace_id);
+    w.u64(max);
+    const Buffer resp = invoke(MsgType::kTraceDump, node, std::move(w));
+    auto r = open_reply(resp, MsgType::kTraceDump);
+    auto out = get_span_records(r);
     r.expect_end();
     return out;
 }

@@ -133,6 +133,20 @@ class ServiceClient {
     /// Repair-queue gauges + per-provider membership snapshot.
     [[nodiscard]] provider::RepairStatus repair_status();
 
+    // ---- observability (protocol v7) -------------------------------------
+
+    /// Full metrics-registry snapshot of the process serving \p node
+    /// (default: the control pseudo-node, i.e. whatever process answers
+    /// the default endpoint — address a data node to scrape an external
+    /// provider daemon instead).
+    [[nodiscard]] MetricsSnapshot metrics_dump(NodeId node = kControlNode);
+
+    /// Drain the span ring of the process serving \p node. \p trace_id 0
+    /// matches all traces; \p max 0 means "everything retained".
+    [[nodiscard]] std::vector<trace::SpanRecord> trace_dump(
+        std::uint64_t trace_id = 0, std::uint64_t max = 0,
+        NodeId node = kControlNode);
+
     // ---- data providers --------------------------------------------------
 
     /// Upload one chunk replica to \p dp. \p via != kInvalidNode charges

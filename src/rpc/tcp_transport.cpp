@@ -526,12 +526,23 @@ TcpRpcServer::TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port,
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     port_ = ntohs(addr.sin_port);
 
+    const MetricLabels labels{{"port", std::to_string(port_)}};
+    metrics_.callback("rpc_server_worker_backlog", labels,
+                      [this] { return workers_ ? workers_->backlog() : 0; });
+    metrics_.callback("rpc_server_connections", labels, [this] {
+        const std::scoped_lock lock(mu_);
+        return active_conns_;
+    });
+
     accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 TcpRpcServer::~TcpRpcServer() { stop(); }
 
 void TcpRpcServer::stop() {
+    // Unbind before tearing anything down: a concurrent registry
+    // snapshot must not sample workers_ mid-reset.
+    metrics_.release();
     {
         const std::scoped_lock lock(mu_);
         if (stopping_) {
@@ -592,8 +603,8 @@ void TcpRpcServer::accept_loop() {
 }
 
 void TcpRpcServer::answer(const std::shared_ptr<ServerConn>& conn,
-                          const Buffer& request) {
-    const Buffer response = dispatcher_.dispatch(request);
+                          const Buffer& request, TimePoint received_at) {
+    const Buffer response = dispatcher_.dispatch(request, received_at);
     if (!conn->ok.load()) {
         return;  // connection doomed; spare the write
     }
@@ -616,6 +627,7 @@ void TcpRpcServer::serve(const std::shared_ptr<ServerConn>& conn) {
             if (request.empty()) {
                 break;  // peer closed cleanly
             }
+            const TimePoint received_at = Clock::now();
             // Requests that block by design must not occupy a pool
             // worker: enough parked wait_published calls would exhaust
             // the pool and stall the very commit frame that wakes them.
@@ -626,9 +638,9 @@ void TcpRpcServer::serve(const std::shared_ptr<ServerConn>& conn) {
                     const std::scoped_lock lock(mu_);
                     ++blocking_ops_;
                 }
-                std::thread([this, conn,
+                std::thread([this, conn, received_at,
                              req = std::move(request)]() mutable {
-                    answer(conn, req);
+                    answer(conn, req, received_at);
                     const std::scoped_lock lock(mu_);
                     --blocking_ops_;
                     conn_done_.notify_all();
@@ -639,9 +651,9 @@ void TcpRpcServer::serve(const std::shared_ptr<ServerConn>& conn) {
             // block the requests queued behind it on this connection.
             // The task shares ownership of the connection so the
             // response write races neither close() nor fd-number reuse.
-            workers_->post([this, conn,
+            workers_->post([this, conn, received_at,
                             req = std::move(request)]() mutable {
-                answer(conn, req);
+                answer(conn, req, received_at);
             });
         }
     } catch (const RpcError& e) {

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "rpc/transport.hpp"
@@ -146,8 +148,10 @@ class TcpRpcServer {
 
     /// Dispatch one request and write its response back (worker-pool
     /// task body, also run by dedicated blocking-op threads).
+    /// \p received_at is when the reader finished the frame — the gap to
+    /// dispatch is the queue wait the server span reports.
     void answer(const std::shared_ptr<ServerConn>& conn,
-                const Buffer& request);
+                const Buffer& request, TimePoint received_at);
 
     Dispatcher& dispatcher_;
     /// Dispatch pool shared by all connections; reset (drained + joined)
@@ -169,6 +173,9 @@ class TcpRpcServer {
     /// commit that would wake them. stop() drains this count too.
     std::size_t blocking_ops_ = 0;
     std::unordered_map<int, std::shared_ptr<ServerConn>> conns_;
+    /// Registry bindings (worker backlog, connection count); declared
+    /// last so they unbind before the state they sample.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::rpc

@@ -36,6 +36,13 @@ VersionManager::VersionManager(std::uint32_t shard,
                               " >= shard count " +
                               std::to_string(shard_count));
     }
+
+    const MetricLabels labels{{"shard", std::to_string(shard_)}};
+    metrics_.counter("vm_assigns_total", labels, assigns_);
+    metrics_.counter("vm_commits_total", labels, commits_);
+    metrics_.counter("vm_aborts_total", labels, aborts_);
+    metrics_.counter("vm_publishes_total", labels, publishes_);
+    metrics_.gauge("vm_publish_backlog", labels, publish_backlog_);
 }
 
 BlobInfo VersionManager::create_blob(std::uint64_t chunk_size,

@@ -53,6 +53,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "meta/tree_builder.hpp"
@@ -424,6 +425,9 @@ class VersionManager {
     Counter aborts_;
     Counter publishes_;
     Gauge publish_backlog_;
+    /// Registry bindings; declared last so they unbind before the
+    /// counters above destruct.
+    MetricsGroup metrics_;
 };
 
 }  // namespace blobseer::version

@@ -446,5 +446,107 @@ grep -q "error:" "$WORK/cli9.log" && fail "client-visible error post-repair"
 
 stop_serverd
 
+# --- phase 5: observability — /metrics scrape + end-to-end trace tree -------
+
+start_serverd "$WORK/serverd7.log" --data-providers 4 --meta-providers 2 \
+    --replication 2 --metrics-port 0 --log-level info
+
+METRICS_PORT=$(sed -n \
+    's|.*metrics on http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' \
+    "$WORK/serverd7.log")
+[ -n "$METRICS_PORT" ] || {
+    cat "$WORK/serverd7.log"
+    fail "serverd never reported a metrics port"
+}
+
+# GET a path from the metrics endpoint; curl when available, raw
+# /dev/tcp otherwise (HTTP/1.0 + Connection: close reads to EOF).
+http_get() {
+    local path=$1 out=$2
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf --max-time 10 "http://127.0.0.1:$METRICS_PORT$path" \
+            >"$out"
+    else
+        exec 9<>"/dev/tcp/127.0.0.1/$METRICS_PORT" || return 1
+        printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&9
+        sed -e '1,/^\r*$/d' <&9 >"$out"
+        exec 9<&- 9>&-
+    fi
+}
+
+# Drive a traced session through a FIFO: the shell prints the trace id
+# after each traced op, the harness reads it back mid-session and asks
+# the same session for the span tree (client halves live in the CLI
+# process, server halves come over kTraceDump).
+mkfifo "$WORK/cli_in"
+"$CLI" --connect "127.0.0.1:$PORT" --trace \
+    >"$WORK/cli10.log" 2>&1 <"$WORK/cli_in" &
+CLI_PID=$!
+exec 3>"$WORK/cli_in"
+echo "create 65536" >&3
+echo "write 1 0 200000 7" >&3
+echo "read 1 1 0 200000 7" >&3
+TRACE_ID=""
+for _ in $(seq 1 100); do
+    TRACE_ID=$(sed -n 's/^trace id \([0-9a-f]*\)$/\1/p' "$WORK/cli10.log" |
+        head -1)
+    [ -n "$TRACE_ID" ] && break
+    kill -0 "$CLI_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$TRACE_ID" ]; then
+    exec 3>&-
+    cat "$WORK/cli10.log"
+    fail "traced write never printed a trace id"
+fi
+echo "trace $TRACE_ID" >&3
+echo "quit" >&3
+exec 3>&-
+wait "$CLI_PID" || { cat "$WORK/cli10.log"; fail "traced cli failed"; }
+
+echo "--- traced cli output ---"
+cat "$WORK/cli10.log"
+grep -q "tag matches" "$WORK/cli10.log" || fail "traced readback mismatch"
+# The span tree: a rooted client write span whose children include the
+# chunk path, each child carrying both halves (client round-trip +
+# server handle time) merged under one trace id.
+grep -q "write  *client\[node" "$WORK/cli10.log" ||
+    fail "span tree has no client write root"
+grep -q "chunk-put .*client\[node .*server\[node" "$WORK/cli10.log" ||
+    fail "span tree missing a merged chunk-put span"
+grep -q "assign .*server\[node" "$WORK/cli10.log" ||
+    fail "span tree missing the version-manager assign span"
+grep -q "error:" "$WORK/cli10.log" && fail "command error in traced phase"
+
+# Scrape after the workload so the per-op histograms are non-empty.
+http_get /metrics "$WORK/metrics.scrape" || fail "GET /metrics failed"
+echo "--- /metrics scrape: $(wc -l <"$WORK/metrics.scrape") series lines ---"
+assert_series() {
+    grep -q "$1" "$WORK/metrics.scrape" || {
+        cat "$WORK/metrics.scrape"
+        fail "scrape missing series: $1"
+    }
+}
+assert_series '^rpc_server_requests_total{op="chunk-put"} [1-9]'
+assert_series '^rpc_server_latency_us_bucket{op="chunk-put",le="+Inf"} [1-9]'
+assert_series '^rpc_server_latency_us_count{op="get-version"} [1-9]'
+assert_series '^vm_publishes_total{shard="0"} [1-9]'
+assert_series '^pm_placements_total [1-9]'
+assert_series '^provider_chunks_stored{'
+assert_series '^trace_spans_recorded_total [1-9]'
+# Unknown paths must 404, not crash the daemon.
+http_get /nope "$WORK/metrics.404" 2>/dev/null
+kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died on a 404 request"
+
+# CI artifacts: the raw scrape and the traced span tree.
+if [ -n "${METRICS_SCRAPE_OUT:-}" ]; then
+    cp "$WORK/metrics.scrape" "$METRICS_SCRAPE_OUT"
+fi
+if [ -n "${TRACE_DUMP_OUT:-}" ]; then
+    cp "$WORK/cli10.log" "$TRACE_DUMP_OUT"
+fi
+
+stop_serverd
+
 echo "PASS"
 exit 0

@@ -437,5 +437,167 @@ TEST(Frame, PayloadLengthMismatchThrows) {
     EXPECT_THROW((void)parse_frame(frame), RpcError);
 }
 
+// ---- v7 header layout (wire ABI pin) -----------------------------------------
+
+TEST(FrameV7, GoldenHeaderLayout) {
+    // Byte-exact pin of the 40-byte v7 header. If this test breaks, the
+    // wire ABI changed: bump kWireVersion and update DESIGN.md §7.
+    static_assert(kWireVersion == 7);
+    static_assert(kFrameHeaderSize == 40);
+    static_assert(kFrameCorrOffset == 16);
+    static_assert(kFrameTraceOffset == 24);
+
+    WireWriter body;
+    body.u64(0x1122334455667788ULL);
+    Buffer frame = seal_request(MsgType::kGetVersion, 0x0a0b0c0d,
+                                std::move(body));
+    set_frame_corr(frame, 0x00c0ffee00c0ffeeULL);
+    trace::TraceContext ctx;
+    ctx.trace_id = 0xfeedfacecafebeefULL;
+    ctx.span_id = 0x21436587u;
+    ctx.flags = trace::TraceContext::kSampled;
+    set_frame_trace(frame, ctx);
+
+    ASSERT_EQ(frame.size(), kFrameHeaderSize + 8);
+    const std::uint8_t expected_header[kFrameHeaderSize] = {
+        0x50, 0x52, 0x53, 0x42,  //  0: magic "PRSB" little-endian
+        0x07,                    //  4: wire version
+        0x00,                    //  5: kind = request
+        0x15, 0x00,              //  6: MsgType::kGetVersion tag (21)
+        0x0d, 0x0c, 0x0b, 0x0a,  //  8: destination node id
+        0x08, 0x00, 0x00, 0x00,  // 12: payload length
+        0xee, 0xff, 0xc0, 0x00, 0xee, 0xff, 0xc0, 0x00,  // 16: corr id
+        0xef, 0xbe, 0xfe, 0xca, 0xce, 0xfa, 0xed, 0xfe,  // 24: trace id
+        0x87, 0x65, 0x43, 0x21,  // 32: span id
+        0x01,                    // 36: flags (sampled)
+        0x00, 0x00, 0x00,        // 37: reserved, zero
+    };
+    for (std::size_t i = 0; i < kFrameHeaderSize; ++i) {
+        EXPECT_EQ(frame[i], expected_header[i]) << "header byte " << i;
+    }
+    EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kGetVersion), 21)
+        << "update the golden bytes if the tag moved";
+}
+
+TEST(FrameV7, TraceContextRoundTrip) {
+    Buffer frame = seal_request(MsgType::kAssign, 1, WireWriter{});
+    // Untraced by default: sealed frames carry an all-zero context.
+    EXPECT_EQ(frame_trace(frame), trace::TraceContext{});
+
+    trace::TraceContext ctx;
+    ctx.trace_id = 0xabcdef0123456789ULL;
+    ctx.span_id = 0xdeadbeefu;
+    ctx.flags = trace::TraceContext::kSampled;
+    set_frame_trace(frame, ctx);
+    EXPECT_EQ(frame_trace(frame), ctx);
+
+    // The context must survive parse_frame untouched (and not disturb
+    // the rest of the header).
+    const FrameView f = parse_frame(frame);
+    EXPECT_EQ(f.type, MsgType::kAssign);
+    EXPECT_EQ(f.dst(), 1u);
+    EXPECT_EQ(frame_trace(frame), ctx);
+}
+
+TEST(FrameV7, TraceAccessorsRejectShortFrames) {
+    Buffer runt(kFrameHeaderSize - 1, 0);
+    EXPECT_THROW((void)frame_trace(runt), RpcError);
+    trace::TraceContext ctx;
+    ctx.trace_id = 1;
+    EXPECT_THROW(set_frame_trace(runt, ctx), RpcError);
+}
+
+// ---- observability payload codecs --------------------------------------------
+
+TEST(MetricsCodec, SampleRoundTripsEveryKind) {
+    MetricSample s;
+    s.name = "rpc_server_latency_us";
+    s.labels = {{"op", "chunk-put"}, {"node", "3"}};
+    s.kind = MetricKind::kHistogram;
+    s.value = 1;
+    s.high_water = 2;
+    s.count = 17;
+    s.sum = 123456;
+    s.min = 3;
+    s.max = 99999;
+    s.buckets = {{1, 4}, {255, 9}, {1023, 4}};
+
+    WireWriter w;
+    put_metric_sample(w, s);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    const MetricSample got = get_metric_sample(r);
+    r.expect_end();
+    EXPECT_EQ(got, s);
+}
+
+TEST(MetricsCodec, SnapshotRoundTrip) {
+    MetricsSnapshot snap;
+    for (int i = 0; i < 5; ++i) {
+        MetricSample s;
+        s.name = "series_" + std::to_string(i);
+        s.labels = {{"i", std::to_string(i)}};
+        s.kind = static_cast<MetricKind>(i);
+        s.value = static_cast<std::uint64_t>(i) * 1000;
+        snap.samples.push_back(std::move(s));
+    }
+    WireWriter w;
+    put_metrics_snapshot(w, snap);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    const MetricsSnapshot got = get_metrics_snapshot(r);
+    r.expect_end();
+    EXPECT_EQ(got, snap);
+}
+
+TEST(TraceCodec, SpanRecordRoundTrip) {
+    trace::SpanRecord s;
+    s.trace_id = 0x1234567890abcdefULL;
+    s.span_id = 42;
+    s.parent_span = 7;
+    s.start_unix_us = 1'700'000'000'000'000ULL;
+    s.queue_us = 12;
+    s.duration_us = 345;
+    s.bytes = 65536;
+    s.node = 9;
+    s.kind = trace::SpanRecord::kServer;
+    s.status = 2;
+    s.set_op("chunk-push-some");
+
+    WireWriter w;
+    put_span_record(w, s);
+    const Buffer buf = w.take();
+    WireReader r{ConstBytes(buf)};
+    const trace::SpanRecord got = get_span_record(r);
+    r.expect_end();
+    EXPECT_EQ(std::memcmp(&got, &s, sizeof(s)), 0);
+}
+
+TEST(TraceCodec, SpanRecordVectorRoundTripAndTruncationThrows) {
+    std::vector<trace::SpanRecord> spans(3);
+    for (std::uint32_t i = 0; i < spans.size(); ++i) {
+        spans[i].trace_id = 0xabc;
+        spans[i].span_id = i + 1;
+        spans[i].set_op("op");
+    }
+    WireWriter w;
+    put_span_records(w, spans);
+    const Buffer buf = w.take();
+    {
+        WireReader r{ConstBytes(buf)};
+        const auto got = get_span_records(r);
+        r.expect_end();
+        ASSERT_EQ(got.size(), spans.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(std::memcmp(&got[i], &spans[i], sizeof spans[i]), 0);
+        }
+    }
+    for (std::size_t n = 0; n < buf.size(); ++n) {
+        WireReader r{ConstBytes(buf.data(), n)};
+        EXPECT_THROW((void)get_span_records(r), RpcError)
+            << "prefix length " << n;
+    }
+}
+
 }  // namespace
 }  // namespace blobseer::rpc

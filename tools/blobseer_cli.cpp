@@ -25,10 +25,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/client.hpp"
 #include "core/cluster.hpp"
 #include "core/remote.hpp"
@@ -39,7 +43,8 @@ namespace {
 
 class Shell {
   public:
-    explicit Shell(std::size_t parallel) : parallel_(parallel) {
+    Shell(std::size_t parallel, bool trace)
+        : parallel_(parallel), trace_(trace) {
         core::ClusterConfig cfg;
         cfg.data_providers = 8;
         cfg.metadata_providers = 4;
@@ -47,6 +52,7 @@ class Shell {
         cfg.network.latency = microseconds(50);
         cfg.network.node_bandwidth_bps = 400ULL << 20;
         cfg.client_max_inflight_chunks = std::max<std::size_t>(parallel, 1);
+        cfg.client_trace = trace;
         cluster_ = std::make_unique<core::Cluster>(cfg);
         client_ = cluster_->make_client();
         std::printf("blobseer-cli: cluster up (%zu data providers, %zu "
@@ -55,12 +61,14 @@ class Shell {
                     cluster_->metadata_provider_count());
     }
 
-    Shell(const std::string& host, std::uint16_t port, std::size_t parallel)
-        : parallel_(parallel) {
+    Shell(const std::string& host, std::uint16_t port, std::size_t parallel,
+          bool trace)
+        : parallel_(parallel), trace_(trace) {
         core::RemoteOptions options;
         options.max_inflight_chunks = std::max<std::size_t>(parallel, 1);
-        client_ = std::make_unique<core::BlobSeerClient>(
-            core::connect_tcp(host, port, options));
+        core::ClientEnv env = core::connect_tcp(host, port, options);
+        env.trace = trace;
+        client_ = std::make_unique<core::BlobSeerClient>(std::move(env));
         std::printf("blobseer-cli: connected to %s:%u (client id %u). "
                     "Type 'help'.\n",
                     host.c_str(), port, client_->node());
@@ -136,6 +144,7 @@ class Shell {
                                ? client_->append_async(id, data).get()
                                : client_->append(id, data));
                 std::printf("-> version %llu\n", (unsigned long long)v);
+                print_trace_id();
             } else if (cmd == "read") {
                 BlobId id = 0;
                 std::string vs;
@@ -174,8 +183,17 @@ class Shell {
                             : verify_pattern(id, tag, 0, out) == -1
                                 ? " [tag matches]"
                                 : " [TAG MISMATCH]");
+                print_trace_id();
             } else if (cmd == "stats") {
                 print_stats();
+            } else if (cmd == "metrics") {
+                NodeId node = rpc::kControlNode;
+                in >> node;
+                print_metrics(node);
+            } else if (cmd == "trace") {
+                std::string id_text;
+                in >> id_text;
+                print_trace(std::stoull(id_text, nullptr, 16));
             } else if (cmd == "vm-status") {
                 print_vm_status();
             } else if (cmd == "repair-status") {
@@ -318,6 +336,141 @@ class Shell {
             (unsigned long long)st.write_latency_us.quantile(0.99),
             st.read_latency_us.mean(),
             (unsigned long long)st.read_latency_us.quantile(0.99));
+    }
+
+    /// After a traced write/read: tell the operator the id to feed to
+    /// `trace <id>` (scripts grep this line).
+    void print_trace_id() const {
+        if (trace_ && client_->last_trace_id() != 0) {
+            std::printf("trace id %016llx\n",
+                        (unsigned long long)client_->last_trace_id());
+        }
+    }
+
+    void print_metrics(NodeId node) {
+        const auto snap = client_->services().metrics_dump(node);
+        const std::string text = render_prometheus(snap);
+        std::fputs(text.c_str(), stdout);
+        std::printf("# %zu series\n", snap.samples.size());
+    }
+
+    /// Collect the trace's spans from this process plus every daemon
+    /// reachable through the transport and print the merged span tree.
+    void print_trace(std::uint64_t trace_id) {
+        // Local half: root + per-RPC client spans live in this process's
+        // ring, not behind any RPC.
+        std::vector<trace::SpanRecord> spans =
+            trace::buffer().snapshot(trace_id);
+        // Remote halves: the default endpoint plus each data node (an
+        // external provider daemon answers for its own node; in the
+        // all-in-one deployment every query lands on the same process
+        // and the duplicates are filtered below).
+        auto& svc = client_->services();
+        auto fetch = [&](NodeId node) {
+            try {
+                const auto remote = svc.trace_dump(trace_id, 0, node);
+                spans.insert(spans.end(), remote.begin(), remote.end());
+            } catch (const Error&) {
+                // A dead node keeps its spans; show what the rest saw.
+            }
+        };
+        fetch(rpc::kControlNode);
+        for (const NodeId node : client_->data_nodes()) {
+            fetch(node);
+        }
+
+        // One record per (span id, kind, node): querying one process
+        // through several node ids returns identical copies.
+        std::sort(spans.begin(), spans.end(),
+                  [](const trace::SpanRecord& a, const trace::SpanRecord& b) {
+                      return std::tie(a.span_id, a.kind, a.node,
+                                      a.start_unix_us) <
+                             std::tie(b.span_id, b.kind, b.node,
+                                      b.start_unix_us);
+                  });
+        spans.erase(std::unique(spans.begin(), spans.end(),
+                                [](const trace::SpanRecord& a,
+                                   const trace::SpanRecord& b) {
+                                    return a.span_id == b.span_id &&
+                                           a.kind == b.kind &&
+                                           a.node == b.node &&
+                                           a.start_unix_us ==
+                                               b.start_unix_us;
+                                }),
+                    spans.end());
+        if (spans.empty()) {
+            std::printf("no spans for trace %016llx (ring rolled over, or "
+                        "wrong id?)\n",
+                        (unsigned long long)trace_id);
+            return;
+        }
+
+        // Dapper-style merge: the client half carries the parent edge,
+        // the server half (same span id) the remote-side timing.
+        std::map<std::uint32_t, const trace::SpanRecord*> client_half;
+        std::map<std::uint32_t, const trace::SpanRecord*> server_half;
+        for (const auto& s : spans) {
+            auto& half = s.kind == trace::SpanRecord::kClient ? client_half
+                                                              : server_half;
+            half.emplace(s.span_id, &s);
+        }
+        std::map<std::uint32_t, std::vector<std::uint32_t>> children;
+        std::vector<std::uint32_t> roots;
+        for (const auto& [id, rec] : client_half) {
+            if (rec->parent_span != 0 &&
+                client_half.count(rec->parent_span) != 0) {
+                children[rec->parent_span].push_back(id);
+            } else {
+                roots.push_back(id);
+            }
+        }
+        // Server-only spans (their client half aged out of a ring).
+        for (const auto& [id, rec] : server_half) {
+            if (client_half.count(id) == 0) {
+                roots.push_back(id);
+            }
+        }
+
+        std::printf("trace %016llx: %zu span(s)\n",
+                    (unsigned long long)trace_id, spans.size());
+        auto print_node = [&](auto&& self, std::uint32_t id,
+                              int depth) -> void {
+            const auto* c = client_half.count(id) != 0 ? client_half[id]
+                                                       : nullptr;
+            const auto* s = server_half.count(id) != 0 ? server_half[id]
+                                                       : nullptr;
+            const auto* any = c != nullptr ? c : s;
+            const std::string op(any->op_name());
+            std::printf("%*s%s", depth * 2, "", op.c_str());
+            if (c != nullptr) {
+                std::printf("  client[node %u] %llu us", c->node,
+                            (unsigned long long)c->duration_us);
+                if (c->bytes != 0) {
+                    std::printf(", %llu bytes",
+                                (unsigned long long)c->bytes);
+                }
+                if (c->status != 0) {
+                    std::printf(", status %u", c->status);
+                }
+            }
+            if (s != nullptr) {
+                std::printf("  server[node %u] %llu us (queued %llu us)",
+                            s->node, (unsigned long long)s->duration_us,
+                            (unsigned long long)s->queue_us);
+                if (s->status != 0) {
+                    std::printf(", status %u", s->status);
+                }
+            }
+            std::printf("\n");
+            if (const auto it = children.find(id); it != children.end()) {
+                for (const std::uint32_t child : it->second) {
+                    self(self, child, depth + 1);
+                }
+            }
+        };
+        for (const std::uint32_t root : roots) {
+            print_node(print_node, root, 1);
+        }
     }
 
     void print_dedup_stats() {
@@ -492,6 +645,10 @@ class Shell {
             "  delete <blob>              (decref chunks, erase metadata)\n"
             "  locate <blob> <version|latest> <offset> <size>\n"
             "  stats                              (client counter dump)\n"
+            "  metrics [node]     (Prometheus-text registry snapshot of\n"
+            "                      the daemon serving that node; default:\n"
+            "                      the default endpoint)\n"
+            "  trace <id-hex>     (merged span tree of one --trace'd op)\n"
             "  vm-status                  (per-shard version-manager dump)\n"
             "  dedup-stats                (per-provider dedup/GC dump)\n"
             "  repair-status              (membership + repair gauges)\n"
@@ -504,13 +661,19 @@ class Shell {
     std::unique_ptr<core::Cluster> cluster_;
     std::unique_ptr<core::BlobSeerClient> client_;
     std::size_t parallel_ = 1;
+    bool trace_ = false;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Line-buffer stdout even when redirected: scripted sessions (the
+    // e2e harness drives the shell through a FIFO) read results — e.g.
+    // the printed trace id — back mid-session.
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
     std::string connect;
     std::size_t parallel = 1;
+    bool trace = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--connect" && i + 1 < argc) {
@@ -523,9 +686,12 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "--parallel needs a number\n");
                 return 2;
             }
+        } else if (arg == "--trace") {
+            trace = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--connect host:port] [--parallel N]\n",
+                         "usage: %s [--connect host:port] [--parallel N] "
+                         "[--trace]\n",
                          argv[0]);
             return 2;
         }
@@ -549,10 +715,10 @@ int main(int argc, char** argv) {
                 return 2;
             }
             Shell shell(connect.substr(0, colon),
-                        static_cast<std::uint16_t>(port), parallel);
+                        static_cast<std::uint16_t>(port), parallel, trace);
             return shell.run();
         }
-        Shell shell(parallel);
+        Shell shell(parallel, trace);
         return shell.run();
     } catch (const Error& e) {
         std::fprintf(stderr, "blobseer-cli: %s\n", e.what());

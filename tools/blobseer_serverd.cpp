@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -32,7 +33,9 @@
 #include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
 #include "chunk/two_tier_store.hpp"
+#include "common/logging.hpp"
 #include "core/cluster.hpp"
+#include "net/metrics_http.hpp"
 #include "rpc/service_client.hpp"
 #include "rpc/tcp_transport.hpp"
 
@@ -67,6 +70,11 @@ void usage(const char* argv0) {
         "                        0 = off)\n"
         "  --repair-interval-ms <n>  background re-replication drain\n"
         "                        period (default 0 = off)\n"
+        "  --metrics-port <n>    serve Prometheus text exposition on\n"
+        "                        GET /metrics at this port (0 =\n"
+        "                        ephemeral; default: endpoint off)\n"
+        "  --log-level <debug|info|warn|error>\n"
+        "                        stderr log threshold (default warn)\n"
         "provider mode (standalone data-provider daemon):\n"
         "  --provider            run as a data provider instead of a\n"
         "                        full deployment\n"
@@ -106,11 +114,26 @@ std::unique_ptr<chunk::ChunkStore> make_provider_store(
 /// Standalone data-provider daemon: join the manager by name, serve the
 /// data-provider RPCs on an own port, announce endpoint + inventory, and
 /// heartbeat with incremental inventory deltas until shut down.
+/// Start the scrape endpoint when --metrics-port was given; returns null
+/// (endpoint off) otherwise. \p metrics_port is -1 for "flag absent".
+std::unique_ptr<net::MetricsHttpServer> maybe_serve_metrics(
+    int metrics_port, const std::string& bind_addr) {
+    if (metrics_port < 0) {
+        return nullptr;
+    }
+    auto http = std::make_unique<net::MetricsHttpServer>(
+        static_cast<std::uint16_t>(metrics_port), bind_addr);
+    std::printf("blobseer-serverd: metrics on http://%s:%u/metrics\n",
+                bind_addr.c_str(), http->port());
+    std::fflush(stdout);
+    return http;
+}
+
 int run_provider(const core::ClusterConfig& cfg, const std::string& join,
                  const std::string& name, std::uint16_t port,
                  const std::string& bind_addr,
                  const std::string& announce_host, long long beat_ms,
-                 std::size_t workers, sigset_t* signals) {
+                 std::size_t workers, int metrics_port, sigset_t* signals) {
     const auto colon = join.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
         colon + 1 >= join.size()) {
@@ -133,6 +156,7 @@ int run_provider(const core::ClusterConfig& cfg, const std::string& join,
     rpc::Dispatcher dispatcher;
     dispatcher.add_data_provider(joined.node, &dp);
     rpc::TcpRpcServer server(dispatcher, port, bind_addr, workers);
+    const auto metrics_http = maybe_serve_metrics(metrics_port, bind_addr);
 
     // A durable store restarts with its chunks; the announce carries the
     // full inventory so the manager can count them (and cancel repairs
@@ -233,6 +257,7 @@ int main(int argc, char** argv) {
     std::string provider_name;
     std::string announce_host = "127.0.0.1";
     long long beat_interval_ms = 500;
+    int metrics_port = -1;  // -1 = endpoint off
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -317,6 +342,16 @@ int main(int argc, char** argv) {
             announce_host = next();
         } else if (arg == "--beat-interval-ms") {
             beat_interval_ms = std::atoll(next());
+        } else if (arg == "--metrics-port") {
+            metrics_port = std::atoi(next());
+        } else if (arg == "--log-level") {
+            const char* s = next();
+            const auto level = parse_log_level(s);
+            if (!level) {
+                std::fprintf(stderr, "unknown log level '%s'\n", s);
+                return 2;
+            }
+            Logger::instance().set_level(*level);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -360,7 +395,8 @@ int main(int argc, char** argv) {
         try {
             return run_provider(cfg, join_addr, provider_name, port,
                                 bind_addr, announce_host,
-                                beat_interval_ms, workers, &set);
+                                beat_interval_ms, workers, metrics_port,
+                                &set);
         } catch (const Error& e) {
             std::fprintf(stderr, "blobseer-serverd: %s\n", e.what());
             return 1;
@@ -371,6 +407,8 @@ int main(int argc, char** argv) {
         core::Cluster cluster(cfg);
         rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr,
                                  workers);
+        const auto metrics_http =
+            maybe_serve_metrics(metrics_port, bind_addr);
         std::printf("blobseer-serverd: listening on %s:%u (%zu data "
                     "providers, %zu metadata providers, %zu vm shards)\n",
                     bind_addr.c_str(), server.port(), cfg.data_providers,
