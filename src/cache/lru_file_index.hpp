@@ -1,0 +1,138 @@
+/// \file lru_file_index.hpp
+/// \brief In-memory index of the compressed file cache.
+///
+/// Maps a key to where its compressed bytes live on disk — (file id,
+/// offset, raw size, stored size) — and keeps the recency order plus the
+/// byte accounting needed for budget-driven eviction. The index is the
+/// ONLY authority over what the cache holds: it is never persisted, so a
+/// restart (or a deleted cache directory) simply starts empty and the
+/// cache rebuilds from demotions — the "recovery-free" half of the
+/// cache's disposability contract (DESIGN.md §14.2).
+///
+/// Not thread-safe; CompressedFileCache wraps it with its mutex.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace blobseer::cache {
+
+/// Where one cached value lives on disk.
+struct FileLocation {
+    std::uint64_t file_id = 0;  ///< cache-<id>.dat
+    std::uint64_t offset = 0;   ///< entry start within that file
+    std::uint32_t raw_len = 0;  ///< value size before compression
+    std::uint32_t stored_len = 0;  ///< framed (compressed) payload size
+};
+
+class LruFileIndex {
+  public:
+    struct Entry {
+        std::string key;
+        FileLocation loc;
+    };
+
+    /// Insert or refresh \p key at the front of the recency order.
+    void insert(const std::string& key, const FileLocation& loc) {
+        if (const auto it = map_.find(key); it != map_.end()) {
+            stored_bytes_ -= it->second->loc.stored_len;
+            raw_bytes_ -= it->second->loc.raw_len;
+            it->second->loc = loc;
+            lru_.splice(lru_.begin(), lru_, it->second);
+        } else {
+            lru_.push_front(Entry{key, loc});
+            map_[key] = lru_.begin();
+        }
+        stored_bytes_ += loc.stored_len;
+        raw_bytes_ += loc.raw_len;
+    }
+
+    /// Look up \p key, optionally marking it most-recently-used.
+    [[nodiscard]] std::optional<FileLocation> find(const std::string& key,
+                                                   bool touch) {
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            return std::nullopt;
+        }
+        if (touch) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+        }
+        return it->second->loc;
+    }
+
+    [[nodiscard]] bool contains(const std::string& key) const {
+        return map_.contains(key);
+    }
+
+    /// Drop \p key; returns its location if it was present.
+    std::optional<FileLocation> erase(const std::string& key) {
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            return std::nullopt;
+        }
+        const FileLocation loc = it->second->loc;
+        stored_bytes_ -= loc.stored_len;
+        raw_bytes_ -= loc.raw_len;
+        lru_.erase(it->second);
+        map_.erase(it);
+        return loc;
+    }
+
+    /// Evict the least-recently-used entry; nullopt when empty.
+    std::optional<Entry> pop_lru() {
+        if (lru_.empty()) {
+            return std::nullopt;
+        }
+        Entry victim = std::move(lru_.back());
+        stored_bytes_ -= victim.loc.stored_len;
+        raw_bytes_ -= victim.loc.raw_len;
+        map_.erase(victim.key);
+        lru_.pop_back();
+        return victim;
+    }
+
+    /// Drop every entry whose bytes live in file \p file_id (used when a
+    /// whole cache file is retired to bound physical disk usage).
+    /// Returns how many entries were dropped.
+    std::size_t erase_file(std::uint64_t file_id) {
+        std::size_t dropped = 0;
+        for (auto it = lru_.begin(); it != lru_.end();) {
+            if (it->loc.file_id == file_id) {
+                stored_bytes_ -= it->loc.stored_len;
+                raw_bytes_ -= it->loc.raw_len;
+                map_.erase(it->key);
+                it = lru_.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+        return dropped;
+    }
+
+    void clear() {
+        lru_.clear();
+        map_.clear();
+        stored_bytes_ = 0;
+        raw_bytes_ = 0;
+    }
+
+    [[nodiscard]] std::size_t size() const { return map_.size(); }
+    /// Live compressed bytes (what the budget is charged against).
+    [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+    /// Live pre-compression bytes (for the compression-ratio gauge).
+    [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+
+  private:
+    std::list<Entry> lru_;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+    std::uint64_t stored_bytes_ = 0;
+    std::uint64_t raw_bytes_ = 0;
+};
+
+}  // namespace blobseer::cache

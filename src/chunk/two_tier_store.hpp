@@ -1,166 +1,20 @@
 /// \file two_tier_store.hpp
-/// \brief RAM cache over a persistent backend.
+/// \brief Historical name of the RAM-over-durable cache store.
 ///
 /// Paper §IV-B: "We also introduced persistent data and metadata storage
 /// while keeping our initial RAM-based storage scheme as an underlying
-/// caching mechanism." Writes go through to the backend (durability) and
-/// populate the RAM tier; reads hit RAM first and fall back to the
-/// backend, re-populating RAM. The RAM tier evicts least-recently-used
-/// chunks once a byte budget is exceeded — safe because the backend always
-/// holds everything.
+/// caching mechanism." The implementation grew an optional compressed
+/// file-cache middle tier and now lives in tiered_store.hpp as
+/// TieredStore; constructed with the original (backend, ram_budget)
+/// signature it behaves exactly as the old two-tier store did, so the
+/// name survives as an alias.
 
 #pragma once
 
-#include <list>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
-
-#include "chunk/store.hpp"
-#include "common/stats.hpp"
+#include "chunk/tiered_store.hpp"
 
 namespace blobseer::chunk {
 
-class TwoTierStore final : public ChunkStore {
-  public:
-    /// \param backend   durable store (owned).
-    /// \param ram_budget max bytes kept in the RAM tier; 0 = unlimited.
-    TwoTierStore(std::unique_ptr<ChunkStore> backend,
-                 std::uint64_t ram_budget)
-        : backend_(std::move(backend)), ram_budget_(ram_budget) {}
-
-    void put(const ChunkKey& key, ChunkData data) override {
-        backend_->put(key, data);
-        cache_insert(key, std::move(data));
-    }
-
-    [[nodiscard]] std::optional<ChunkData> get(const ChunkKey& key) override {
-        {
-            const std::scoped_lock lock(mu_);
-            const auto it = map_.find(key);
-            if (it != map_.end()) {
-                hits_.add();
-                lru_.splice(lru_.begin(), lru_, it->second);
-                return it->second->data;
-            }
-        }
-        misses_.add();
-        auto from_disk = backend_->get(key);
-        if (from_disk) {
-            cache_insert(key, *from_disk);
-        }
-        return from_disk;
-    }
-
-    [[nodiscard]] bool contains(const ChunkKey& key) override {
-        {
-            const std::scoped_lock lock(mu_);
-            if (map_.contains(key)) {
-                return true;
-            }
-        }
-        return backend_->contains(key);
-    }
-
-    void erase(const ChunkKey& key) override {
-        {
-            const std::scoped_lock lock(mu_);
-            const auto it = map_.find(key);
-            if (it != map_.end()) {
-                ram_bytes_ -= it->second->data->size();
-                lru_.erase(it->second);
-                map_.erase(it);
-            }
-        }
-        backend_->erase(key);
-    }
-
-    [[nodiscard]] std::size_t count() override { return backend_->count(); }
-
-    [[nodiscard]] std::uint64_t bytes() override { return backend_->bytes(); }
-
-    // Refcounts live in the durable tier; the cache only needs to drop
-    // its copy when the last reference goes so a reclaimed chunk cannot
-    // be served from RAM.
-    std::uint64_t incref(const ChunkKey& key) override {
-        return backend_->incref(key);
-    }
-
-    std::uint64_t decref(const ChunkKey& key) override {
-        const std::uint64_t remaining = backend_->decref(key);
-        if (remaining == 0) {
-            const std::scoped_lock lock(mu_);
-            const auto it = map_.find(key);
-            if (it != map_.end()) {
-                ram_bytes_ -= it->second->data->size();
-                lru_.erase(it->second);
-                map_.erase(it);
-            }
-        }
-        return remaining;
-    }
-
-    [[nodiscard]] std::uint64_t refcount(const ChunkKey& key) override {
-        return backend_->refcount(key);
-    }
-
-    /// Bytes currently held in the RAM tier.
-    [[nodiscard]] std::uint64_t ram_bytes() {
-        const std::scoped_lock lock(mu_);
-        return ram_bytes_;
-    }
-
-    [[nodiscard]] std::uint64_t cache_hits() const { return hits_.get(); }
-    [[nodiscard]] std::uint64_t cache_misses() const { return misses_.get(); }
-    [[nodiscard]] std::uint64_t cache_evictions() const {
-        return evictions_.get();
-    }
-
-    /// Drop the RAM tier (crash of the caching layer; durable data stays).
-    void drop_cache() {
-        const std::scoped_lock lock(mu_);
-        lru_.clear();
-        map_.clear();
-        ram_bytes_ = 0;
-    }
-
-  private:
-    struct Entry {
-        ChunkKey key;
-        ChunkData data;
-    };
-    using LruList = std::list<Entry>;
-
-    void cache_insert(const ChunkKey& key, ChunkData data) {
-        const std::scoped_lock lock(mu_);
-        if (map_.contains(key)) {
-            return;
-        }
-        ram_bytes_ += data->size();
-        lru_.push_front(Entry{key, std::move(data)});
-        map_[key] = lru_.begin();
-        while (ram_budget_ != 0 && ram_bytes_ > ram_budget_ &&
-               !lru_.empty()) {
-            const Entry& victim = lru_.back();
-            ram_bytes_ -= victim.data->size();
-            map_.erase(victim.key);
-            lru_.pop_back();
-            evictions_.add();
-        }
-    }
-
-    std::unique_ptr<ChunkStore> backend_;
-    const std::uint64_t ram_budget_;
-
-    std::mutex mu_;  // guards lru_, map_, ram_bytes_
-    LruList lru_;
-    std::unordered_map<ChunkKey, LruList::iterator, ChunkKeyHash> map_;
-    std::uint64_t ram_bytes_ = 0;
-
-    Counter hits_;
-    Counter misses_;
-    Counter evictions_;
-};
+using TwoTierStore = TieredStore;
 
 }  // namespace blobseer::chunk

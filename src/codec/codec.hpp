@@ -1,0 +1,127 @@
+/// \file codec.hpp
+/// \brief Block-compression codec interface and the one-byte frame tag.
+///
+/// A Codec turns a byte block into a (hopefully) smaller byte block and
+/// back. Consumers never store bare codec output: they store a *frame*,
+/// which prefixes a one-byte tag so incompressible data rides through
+/// untouched and a reader can always tell what it is looking at:
+///
+///   [0x00 | raw bytes]                      kFrameRaw: passthrough
+///   [0x01 | raw_size u32 LE | codec block]  kFrameLz4: compressed
+///
+/// encode_frame() compresses and keeps the result only if the whole frame
+/// is strictly smaller than a raw frame would be, so framing never
+/// inflates a value by more than the single tag byte. decode_frame()
+/// throws Error on any malformed input (unknown tag, truncated header,
+/// block that does not decode to exactly raw_size bytes) — callers that
+/// treat a frame as untrusted disk bytes (the engine, the file cache)
+/// turn that into their own corruption handling.
+///
+/// Like the vendored SHA-256 (src/cas/sha256.hpp), codecs here are
+/// dependency-free reimplementations pinned against format test vectors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+
+namespace blobseer::codec {
+
+/// Frame tag byte: the first byte of every framed value.
+inline constexpr std::uint8_t kFrameRaw = 0x00;
+inline constexpr std::uint8_t kFrameLz4 = 0x01;
+
+/// Size of the compressed-frame prefix: tag + raw_size u32.
+inline constexpr std::size_t kCompressedFrameHeader = 5;
+
+class Codec {
+  public:
+    virtual ~Codec() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Compress \p raw into a self-contained block. Always succeeds (the
+    /// output may be larger than the input for incompressible data —
+    /// encode_frame() handles that case).
+    [[nodiscard]] virtual Buffer compress(ConstBytes raw) const = 0;
+
+    /// Decompress a block produced by compress() into exactly
+    /// \p raw_size bytes. Throws Error on malformed input; never reads
+    /// or writes out of bounds regardless of how corrupt the block is.
+    [[nodiscard]] virtual Buffer decompress(ConstBytes block,
+                                            std::size_t raw_size) const = 0;
+};
+
+/// Frame \p raw with \p codec: compressed frame if that is strictly
+/// smaller than tag+raw, raw passthrough frame otherwise.
+[[nodiscard]] inline Buffer encode_frame(const Codec& codec, ConstBytes raw) {
+    if (raw.size() >= kCompressedFrameHeader) {
+        Buffer block = codec.compress(raw);
+        if (kCompressedFrameHeader + block.size() < 1 + raw.size()) {
+            Buffer out;
+            out.reserve(kCompressedFrameHeader + block.size());
+            out.push_back(kFrameLz4);
+            const auto n = static_cast<std::uint32_t>(raw.size());
+            for (int i = 0; i < 4; ++i) {
+                out.push_back(static_cast<std::uint8_t>(n >> (i * 8)));
+            }
+            out.insert(out.end(), block.begin(), block.end());
+            return out;
+        }
+    }
+    Buffer out;
+    out.reserve(1 + raw.size());
+    out.push_back(kFrameRaw);
+    out.insert(out.end(), raw.begin(), raw.end());
+    return out;
+}
+
+/// Inverse of encode_frame(). Throws Error on malformed frames.
+[[nodiscard]] inline Buffer decode_frame(const Codec& codec,
+                                         ConstBytes frame) {
+    if (frame.empty()) {
+        throw Error("codec: empty frame");
+    }
+    if (frame[0] == kFrameRaw) {
+        return Buffer(frame.begin() + 1, frame.end());
+    }
+    if (frame[0] != kFrameLz4) {
+        throw Error("codec: unknown frame tag " + std::to_string(frame[0]));
+    }
+    if (frame.size() < kCompressedFrameHeader) {
+        throw Error("codec: truncated compressed frame header");
+    }
+    std::uint32_t raw_size = 0;
+    for (int i = 0; i < 4; ++i) {
+        raw_size |= static_cast<std::uint32_t>(
+                        frame[1 + static_cast<std::size_t>(i)])
+                    << (i * 8);
+    }
+    return codec.decompress(frame.subspan(kCompressedFrameHeader), raw_size);
+}
+
+/// Raw (pre-compression) size a frame will decode to, without decoding.
+/// Throws Error on malformed frames.
+[[nodiscard]] inline std::size_t frame_raw_size(ConstBytes frame) {
+    if (frame.empty()) {
+        throw Error("codec: empty frame");
+    }
+    if (frame[0] == kFrameRaw) {
+        return frame.size() - 1;
+    }
+    if (frame[0] != kFrameLz4 || frame.size() < kCompressedFrameHeader) {
+        throw Error("codec: malformed frame");
+    }
+    std::uint32_t raw_size = 0;
+    for (int i = 0; i < 4; ++i) {
+        raw_size |= static_cast<std::uint32_t>(
+                        frame[1 + static_cast<std::size_t>(i)])
+                    << (i * 8);
+    }
+    return raw_size;
+}
+
+}  // namespace blobseer::codec

@@ -1,0 +1,199 @@
+#include "codec/lz4.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace blobseer::codec {
+
+namespace {
+
+// Format constants from lz4_Block_format.md.
+constexpr std::size_t kMinMatch = 4;       // shortest encodable match
+constexpr std::size_t kMfLimit = 12;       // no match starts in last 12 B
+constexpr std::size_t kLastLiterals = 5;   // final 5 B are always literals
+constexpr std::size_t kMaxOffset = 65535;  // u16 back-reference
+
+// Single-probe hash table: 2^14 entries keeps the per-call footprint at
+// 64 KiB while still finding the matches that matter for chunk-sized
+// (64 KiB..1 MiB) inputs.
+constexpr unsigned kHashLog = 14;
+constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+[[nodiscard]] std::uint32_t read32(ConstBytes in, std::size_t pos) noexcept {
+    return static_cast<std::uint32_t>(in[pos]) |
+           (static_cast<std::uint32_t>(in[pos + 1]) << 8) |
+           (static_cast<std::uint32_t>(in[pos + 2]) << 16) |
+           (static_cast<std::uint32_t>(in[pos + 3]) << 24);
+}
+
+[[nodiscard]] std::uint32_t hash32(std::uint32_t v) noexcept {
+    return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+/// Append a length in the token-nibble + 255-run-extension encoding.
+void put_length_ext(Buffer& out, std::size_t len) {
+    std::size_t rem = len - 15;
+    while (rem >= 255) {
+        out.push_back(0xFF);
+        rem -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(rem));
+}
+
+/// Emit one sequence: literals [anchor, lit_end) and, if offset != 0, a
+/// match of match_len bytes at offset back.
+void emit_sequence(Buffer& out, ConstBytes raw, std::size_t anchor,
+                   std::size_t lit_end, std::size_t offset,
+                   std::size_t match_len) {
+    const std::size_t lit_len = lit_end - anchor;
+    std::uint8_t token = 0;
+    token |= static_cast<std::uint8_t>((lit_len >= 15 ? 15 : lit_len) << 4);
+    if (offset != 0) {
+        const std::size_t m = match_len - kMinMatch;
+        token |= static_cast<std::uint8_t>(m >= 15 ? 15 : m);
+    }
+    out.push_back(token);
+    if (lit_len >= 15) {
+        put_length_ext(out, lit_len);
+    }
+    out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(anchor),
+               raw.begin() + static_cast<std::ptrdiff_t>(lit_end));
+    if (offset != 0) {
+        out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (match_len - kMinMatch >= 15) {
+            put_length_ext(out, match_len - kMinMatch);
+        }
+    }
+}
+
+}  // namespace
+
+Buffer Lz4Codec::compress(ConstBytes raw) const {
+    Buffer out;
+    const std::size_t n = raw.size();
+    out.reserve(n + n / 255 + 16);
+    if (n == 0) {
+        out.push_back(0x00);  // empty block: zero literals, no match
+        return out;
+    }
+    std::size_t anchor = 0;
+    if (n > kMfLimit) {
+        std::vector<std::uint32_t> table(std::size_t{1} << kHashLog,
+                                         kEmptySlot);
+        const std::size_t match_limit = n - kMfLimit;  // last legal start
+        const std::size_t end_limit = n - kLastLiterals;
+        std::size_t ip = 0;
+        while (ip < match_limit) {
+            const std::uint32_t h = hash32(read32(raw, ip));
+            const std::uint32_t cand = table[h];
+            table[h] = static_cast<std::uint32_t>(ip);
+            if (cand != kEmptySlot && ip - cand <= kMaxOffset &&
+                read32(raw, cand) == read32(raw, ip)) {
+                std::size_t len = kMinMatch;
+                while (ip + len < end_limit && raw[cand + len] == raw[ip + len]) {
+                    ++len;
+                }
+                emit_sequence(out, raw, anchor, ip, ip - cand, len);
+                ip += len;
+                anchor = ip;
+            } else {
+                ++ip;
+            }
+        }
+    }
+    emit_sequence(out, raw, anchor, n, 0, 0);  // trailing literals
+    return out;
+}
+
+Buffer Lz4Codec::decompress(ConstBytes block, std::size_t raw_size) const {
+    // A sequence of k input bytes expands to fewer than 255*k output
+    // bytes, so anything claiming more is malformed — reject before
+    // allocating the output buffer.
+    if (raw_size > 0 &&
+        (block.empty() || raw_size / 255 > block.size())) {
+        throw Error("lz4: claimed raw size impossible for block size");
+    }
+    Buffer out(raw_size);
+    const std::size_t ie = block.size();
+    std::size_t ip = 0;
+    std::size_t op = 0;
+    if (ie == 0) {
+        if (raw_size != 0) {
+            throw Error("lz4: empty block with nonzero raw size");
+        }
+        return out;
+    }
+    while (true) {
+        if (ip >= ie) {
+            throw Error("lz4: block ends mid-sequence");
+        }
+        const std::uint8_t token = block[ip++];
+        std::size_t lit_len = token >> 4;
+        if (lit_len == 15) {
+            std::uint8_t b = 0;
+            do {
+                if (ip >= ie) {
+                    throw Error("lz4: truncated literal-length extension");
+                }
+                b = block[ip++];
+                lit_len += b;
+            } while (b == 0xFF);
+        }
+        if (lit_len > ie - ip) {
+            throw Error("lz4: literal run past end of block");
+        }
+        if (lit_len > raw_size - op) {
+            throw Error("lz4: literal run past declared raw size");
+        }
+        for (std::size_t i = 0; i < lit_len; ++i) {
+            out[op + i] = block[ip + i];
+        }
+        ip += lit_len;
+        op += lit_len;
+        if (ip == ie) {
+            // Proper end of block: the last sequence is literals-only.
+            if (op != raw_size) {
+                throw Error("lz4: block decodes to wrong size");
+            }
+            return out;
+        }
+        if (ie - ip < 2) {
+            throw Error("lz4: truncated match offset");
+        }
+        const std::size_t offset =
+            static_cast<std::size_t>(block[ip]) |
+            (static_cast<std::size_t>(block[ip + 1]) << 8);
+        ip += 2;
+        if (offset == 0) {
+            throw Error("lz4: zero match offset");
+        }
+        if (offset > op) {
+            throw Error("lz4: match offset before start of output");
+        }
+        std::size_t match_len = token & 0x0F;
+        if (match_len == 15) {
+            std::uint8_t b = 0;
+            do {
+                if (ip >= ie) {
+                    throw Error("lz4: truncated match-length extension");
+                }
+                b = block[ip++];
+                match_len += b;
+            } while (b == 0xFF);
+        }
+        match_len += kMinMatch;
+        if (match_len > raw_size - op) {
+            throw Error("lz4: match past declared raw size");
+        }
+        // Byte-at-a-time so overlapping matches (offset < length) repeat
+        // already-written output, which is what the format specifies.
+        std::size_t src = op - offset;
+        for (std::size_t i = 0; i < match_len; ++i) {
+            out[op + i] = out[src + i];
+        }
+        op += match_len;
+    }
+}
+
+}  // namespace blobseer::codec

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "cache/compressed_file_cache.hpp"
 #include "chunk/disk_store.hpp"
 #include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
@@ -24,6 +25,14 @@ namespace blobseer::core {
 
 namespace {
 
+std::unique_ptr<chunk::LogStore> make_log_store(const ClusterConfig& cfg,
+                                                std::size_t index) {
+    engine::EngineConfig ecfg;
+    ecfg.dir = cfg.disk_root / ("dp-" + std::to_string(index));
+    ecfg.compress_on_compact = cfg.compress_cold_segments;
+    return std::make_unique<chunk::LogStore>(std::move(ecfg));
+}
+
 std::unique_ptr<chunk::ChunkStore> make_store(const ClusterConfig& cfg,
                                               std::size_t index) {
     switch (cfg.store) {
@@ -38,13 +47,21 @@ std::unique_ptr<chunk::ChunkStore> make_store(const ClusterConfig& cfg,
                     cfg.disk_root / ("dp-" + std::to_string(index))),
                 cfg.ram_cache_budget);
         case StoreBackend::kLog:
-            return std::make_unique<chunk::LogStore>(
-                cfg.disk_root / ("dp-" + std::to_string(index)));
+            return make_log_store(cfg, index);
         case StoreBackend::kTwoTierLog:
-            return std::make_unique<chunk::TwoTierStore>(
-                std::make_unique<chunk::LogStore>(
-                    cfg.disk_root / ("dp-" + std::to_string(index))),
-                cfg.ram_cache_budget);
+            return std::make_unique<chunk::TieredStore>(
+                make_log_store(cfg, index), cfg.ram_cache_budget);
+        case StoreBackend::kThreeTierLog: {
+            cache::FileCacheConfig fcfg;
+            const auto root = cfg.file_cache_dir.empty()
+                                  ? cfg.disk_root / "file-cache"
+                                  : cfg.file_cache_dir;
+            fcfg.dir = root / ("dp-" + std::to_string(index));
+            fcfg.budget_bytes = cfg.file_cache_budget;
+            return std::make_unique<chunk::TieredStore>(
+                make_log_store(cfg, index), cfg.ram_cache_budget,
+                std::make_unique<cache::CompressedFileCache>(fcfg));
+        }
     }
     throw InvalidArgument("unknown store backend");
 }

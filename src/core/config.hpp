@@ -25,6 +25,11 @@ enum class StoreBackend : std::uint8_t {
     kTwoTier,     ///< disk with a RAM cache on top (§IV-B)
     kLog,         ///< log-structured engine (DESIGN.md §8)
     kTwoTierLog,  ///< log engine with a RAM cache on top
+    /// Log engine with a compressed file-cache middle tier under the RAM
+    /// cache (DESIGN.md §14): RAM evictions demote into the file cache,
+    /// hits promote back, so working sets well past the RAM budget stay
+    /// off the engine-read path.
+    kThreeTierLog,
 };
 
 struct ClusterConfig {
@@ -68,6 +73,20 @@ struct ClusterConfig {
     std::filesystem::path disk_root = "/tmp/blobseer-store";
     /// RAM budget of the two-tier cache per provider (bytes).
     std::uint64_t ram_cache_budget = 64ULL << 20;
+
+    /// kThreeTierLog only: byte budget of the compressed file cache per
+    /// provider. Evicted RAM entries are demoted here (LZ4-compressed,
+    /// CRC-checked) and promoted back on hit. The cache is disposable —
+    /// deleting its directory loses no data.
+    std::uint64_t file_cache_budget = 256ULL << 20;
+    /// kThreeTierLog only: root directory for per-provider file caches
+    /// (provider i uses file_cache_dir / "dp-<i>"). Empty = put them
+    /// under disk_root / "file-cache".
+    std::filesystem::path file_cache_dir;
+    /// Log-family backends: recompress cold records at compaction time
+    /// (engine format v2, DESIGN.md §14.3). Off by default so existing
+    /// deployments keep producing byte-identical v1 files.
+    bool compress_cold_segments = false;
 
     /// Metadata durability: RAM-only (the paper's initial prototype),
     /// file-per-node with a RAM cache (§IV-B's persistent metadata), or

@@ -39,7 +39,24 @@ inline constexpr std::array<std::uint8_t, 8> kCheckpointMagic = {
     'B', 'S', 'L', 'G', 'C', 'K', 'P', '1'};
 
 /// On-disk format version, bumped on incompatible layout changes.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version history:
+///   1  original layout (record types kPut/kTombstone only).
+///   2  adds the kPutCompressed record type: the value bytes are a
+///      codec frame (codec/codec.hpp) instead of the raw value. The
+///      record and checkpoint-entry layouts are unchanged — the CRC
+///      still covers the stored (compressed) bytes — so v1 readers of
+///      the *structure* only differ in the extra type byte value.
+/// Readers accept kMinFormatVersion..kFormatVersion; writers emit
+/// version 2 only when compact-time compression is enabled, so a
+/// deployment that never turns it on keeps producing byte-identical v1
+/// files.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
+
+[[nodiscard]] constexpr bool supported_format_version(
+    std::uint32_t v) noexcept {
+    return v >= kMinFormatVersion && v <= kFormatVersion;
+}
 
 inline constexpr std::size_t kSegmentHeaderSize = 24;
 inline constexpr std::size_t kRecordHeaderSize = 13;  // crc + klen + vlen + type
@@ -53,11 +70,21 @@ inline constexpr std::uint32_t kMaxValueLen = 1u << 30;       // 1 GiB
 enum class RecordType : std::uint8_t {
     kPut = 1,        ///< key/value insertion (or overwrite)
     kTombstone = 2,  ///< deletion marker; value is empty
+    /// Put whose value bytes are a codec frame (format v2; written by
+    /// the compactor when cold-segment recompression is enabled). The
+    /// CRC covers the stored frame; get() decompresses transparently.
+    kPutCompressed = 3,
 };
 
 [[nodiscard]] constexpr bool valid_record_type(std::uint8_t t) noexcept {
     return t == static_cast<std::uint8_t>(RecordType::kPut) ||
-           t == static_cast<std::uint8_t>(RecordType::kTombstone);
+           t == static_cast<std::uint8_t>(RecordType::kTombstone) ||
+           t == static_cast<std::uint8_t>(RecordType::kPutCompressed);
+}
+
+/// Both flavors of live-value record.
+[[nodiscard]] constexpr bool is_put_type(RecordType t) noexcept {
+    return t == RecordType::kPut || t == RecordType::kPutCompressed;
 }
 
 // ---- little-endian primitives ----------------------------------------------
@@ -111,12 +138,13 @@ inline void poke_u32(Buffer& out, std::size_t pos, std::uint32_t v) {
     return kRecordHeaderSize + klen + vlen;
 }
 
-/// 24-byte segment header for segment \p id.
-[[nodiscard]] inline Buffer encode_segment_header(std::uint64_t id) {
+/// 24-byte segment header for segment \p id, stamped \p version.
+[[nodiscard]] inline Buffer encode_segment_header(
+    std::uint64_t id, std::uint32_t version = kFormatVersion) {
     Buffer out;
     out.reserve(kSegmentHeaderSize);
     out.insert(out.end(), kSegmentMagic.begin(), kSegmentMagic.end());
-    put_u32(out, kFormatVersion);
+    put_u32(out, version);
     put_u32(out, 0);  // reserved
     put_u64(out, id);
     return out;
@@ -134,7 +162,7 @@ inline void poke_u32(Buffer& out, std::size_t pos, std::uint32_t v) {
             return std::nullopt;
         }
     }
-    if (get_u32(in, 8) != kFormatVersion) {
+    if (!supported_format_version(get_u32(in, 8))) {
         return std::nullopt;
     }
     return get_u64(in, 16);

@@ -6,11 +6,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "codec/codec.hpp"
+#include "codec/lz4.hpp"
 #include "engine/crc32c.hpp"
 
 namespace blobseer::engine {
 
 namespace {
+
+/// Stateless; shared by every engine for transparent decompression (and
+/// by the compactor for recompression when the config enables it).
+const codec::Lz4Codec kLz4;
 
 /// Encode one record: [crc32c | klen | vlen | type | key | value], CRC
 /// over everything after the CRC field.
@@ -110,6 +116,12 @@ LogEngine::LogEngine(EngineConfig cfg)
                      relocated_records_);
     metrics_.counter("engine_reclaimed_bytes_total", labels,
                      reclaimed_bytes_);
+    metrics_.counter("engine_compact_compressed_records_total", labels,
+                     compact_compressed_records_);
+    metrics_.counter("engine_compact_raw_bytes_in_total", labels,
+                     compact_raw_bytes_in_);
+    metrics_.counter("engine_compact_stored_bytes_out_total", labels,
+                     compact_stored_bytes_out_);
     metrics_.counter("engine_checkpoints_written_total", labels,
                      checkpoints_written_);
     metrics_.counter("engine_torn_bytes_discarded_total", labels,
@@ -125,6 +137,16 @@ LogEngine::LogEngine(EngineConfig cfg)
     metrics_.callback("engine_segments", labels, [this] {
         const std::scoped_lock lock(mu_);
         return segments_.size();
+    });
+    // Compressed-vs-raw live bytes: with engine_live_value_bytes these
+    // give the on-disk compression ratio as a /metrics series.
+    metrics_.callback("engine_compressed_live_records", labels, [this] {
+        const std::scoped_lock lock(mu_);
+        return compressed_live_records_;
+    });
+    metrics_.callback("engine_compressed_live_bytes", labels, [this] {
+        const std::scoped_lock lock(mu_);
+        return compressed_live_bytes_;
     });
 }
 
@@ -190,7 +212,7 @@ void LogEngine::recover() {
             // Crash while creating the newest segment: reset it.
             torn_bytes_discarded_.add(file->size());
             file->truncate(0);
-            file->append(encode_segment_header(id));
+            file->append(encode_segment_header(id, write_version()));
         }
         segments_.emplace(
             id, Segment{.file = std::move(file), .sealed = true});
@@ -283,7 +305,7 @@ bool LogEngine::try_load_checkpoint(const std::filesystem::path& file) {
             return false;
         }
     }
-    if (get_u32(raw, 8) != kFormatVersion) {
+    if (!supported_format_version(get_u32(raw, 8))) {
         return false;
     }
     const std::uint64_t wm_seg = get_u64(raw, 16);
@@ -302,6 +324,8 @@ bool LogEngine::try_load_checkpoint(const std::filesystem::path& file) {
     std::unordered_map<std::uint64_t, std::uint64_t> tomb;
     index.reserve(count);  // rehash-free bulk load: reopen is O(live keys)
     std::uint64_t value_bytes = 0;
+    std::uint64_t compressed_records = 0;
+    std::uint64_t compressed_bytes = 0;
     std::size_t pos = kCheckpointHeaderSize;
     // Entries cluster by segment; memoize the last lookup.
     std::uint64_t cached_seg = 0;
@@ -338,7 +362,13 @@ bool LogEngine::try_load_checkpoint(const std::filesystem::path& file) {
         std::string key(reinterpret_cast<const char*>(raw.data() + pos),
                         loc.klen);
         pos += loc.klen;
-        if (kind == static_cast<std::uint8_t>(RecordType::kPut)) {
+        if (is_put_type(static_cast<RecordType>(kind))) {
+            loc.compressed =
+                kind == static_cast<std::uint8_t>(RecordType::kPutCompressed);
+            if (loc.compressed) {
+                ++compressed_records;
+                compressed_bytes += loc.vlen;
+            }
             live[loc.segment] += loc.size();
             value_bytes += loc.vlen;
             index.emplace(std::move(key), loc);
@@ -360,6 +390,8 @@ bool LogEngine::try_load_checkpoint(const std::filesystem::path& file) {
         segments_[seg].tomb_bytes = bytes;
     }
     live_value_bytes_ = value_bytes;
+    compressed_live_records_ = compressed_records;
+    compressed_live_bytes_ = compressed_bytes;
     ckpt_watermark_seg_ = wm_seg;
     ckpt_watermark_off_ = wm_off;
     return true;
@@ -464,13 +496,14 @@ std::optional<Buffer> LogEngine::get(std::string_view key) {
         throw ConsistencyError("short record read for engine key in " +
                                file->path().string());
     }
+    const std::uint8_t expected_type = static_cast<std::uint8_t>(
+        loc.compressed ? RecordType::kPutCompressed : RecordType::kPut);
     const std::uint32_t crc = get_u32(head, 0);
     std::uint32_t state = crc32c_init();
     state = crc32c_update(state, ConstBytes(head).subspan(4));
     state = crc32c_update(state, value);
     if (crc32c_final(state) != crc || get_u32(head, 4) != loc.klen ||
-        get_u32(head, 8) != loc.vlen ||
-        head[12] != static_cast<std::uint8_t>(RecordType::kPut) ||
+        get_u32(head, 8) != loc.vlen || head[12] != expected_type ||
         std::string_view(reinterpret_cast<const char*>(head.data()) +
                              kRecordHeaderSize,
                          loc.klen) != key) {
@@ -479,7 +512,19 @@ std::optional<Buffer> LogEngine::get(std::string_view key) {
                                file->path().string() + " at offset " +
                                std::to_string(loc.offset));
     }
-    return value;
+    if (!loc.compressed) {
+        return value;
+    }
+    // The CRC covers the stored frame; a frame that then fails to decode
+    // is corruption the CRC happened to bless — surface it identically.
+    try {
+        return codec::decode_frame(kLz4, value);
+    } catch (const Error&) {
+        crc_read_failures_.add();
+        throw ConsistencyError("undecodable compressed engine record in " +
+                               file->path().string() + " at offset " +
+                               std::to_string(loc.offset));
+    }
 }
 
 bool LogEngine::contains(std::string_view key) {
@@ -534,7 +579,7 @@ void LogEngine::append_locked(RecordType type, std::string_view key,
 
 bool LogEngine::apply_record_locked(RecordType type, std::string_view key,
                                     std::uint32_t vlen, const Location& loc) {
-    if (type == RecordType::kPut) {
+    if (is_put_type(type)) {
         auto [it, inserted] = index_.try_emplace(std::string(key));
         if (!inserted) {
             account_dead_put_locked(it->second);
@@ -547,6 +592,11 @@ bool LogEngine::apply_record_locked(RecordType type, std::string_view key,
             dead_keys_.erase(dead);
         }
         it->second = loc;
+        it->second.compressed = type == RecordType::kPutCompressed;
+        if (it->second.compressed) {
+            ++compressed_live_records_;
+            compressed_live_bytes_ += vlen;
+        }
         segments_.at(loc.segment).live_bytes += loc.size();
         live_value_bytes_ += vlen;
         return !inserted;
@@ -571,7 +621,7 @@ void LogEngine::open_fresh_segment_locked(std::uint64_t id) {
         throw ConsistencyError("fresh segment " + segment_path(id).string() +
                                " already exists");
     }
-    file->append(encode_segment_header(id));
+    file->append(encode_segment_header(id, write_version()));
     segments_.emplace(
         id, Segment{.file = std::move(file), .sealed = false});
     active_id_ = id;
@@ -594,6 +644,10 @@ void LogEngine::account_dead_put_locked(const Location& loc) {
         victim_hint_ |= it->second.sealed;
     }
     live_value_bytes_ -= loc.vlen;
+    if (loc.compressed) {
+        --compressed_live_records_;
+        compressed_live_bytes_ -= loc.vlen;
+    }
 }
 
 void LogEngine::account_dead_tomb_locked(const Location& loc) {
@@ -746,14 +800,34 @@ bool LogEngine::compact_one() {
             if (closing_) {
                 return;
             }
-            if (type == RecordType::kPut) {
+            if (is_put_type(type)) {
                 const auto it = index_.find(key);
-                if (it != index_.end() &&
-                    it->second.segment == victim_id &&
-                    it->second.offset == offset) {
-                    append_locked(RecordType::kPut, key, value);
-                    relocated_records_.add();
+                if (it == index_.end() || it->second.segment != victim_id ||
+                    it->second.offset != offset) {
+                    return;  // stale copy; the live one is elsewhere
                 }
+                if (type == RecordType::kPutCompressed) {
+                    // Already a frame: relocate as-is, never re-frame.
+                    append_locked(RecordType::kPutCompressed, key, value);
+                } else if (cfg_.compress_on_compact &&
+                           value.size() >= cfg_.compress_min_bytes) {
+                    // Cold-segment recompression: this record survived at
+                    // least one segment lifetime, so spend the CPU to
+                    // shrink it — but only if framing actually wins.
+                    const Buffer frame = codec::encode_frame(kLz4, value);
+                    if (frame.size() < value.size()) {
+                        append_locked(RecordType::kPutCompressed, key,
+                                      frame);
+                        compact_compressed_records_.add();
+                        compact_raw_bytes_in_.add(value.size());
+                        compact_stored_bytes_out_.add(frame.size());
+                    } else {
+                        append_locked(RecordType::kPut, key, value);
+                    }
+                } else {
+                    append_locked(RecordType::kPut, key, value);
+                }
+                relocated_records_.add();
                 return;
             }
             // Tombstone: only the *current* one of a still-dead key
@@ -807,7 +881,10 @@ void LogEngine::checkpoint() {
         const std::scoped_lock lock(mu_);
         out.insert(out.end(), kCheckpointMagic.begin(),
                    kCheckpointMagic.end());
-        put_u32(out, kFormatVersion);
+        // v2 whenever compressed entries exist (or may soon), v1
+        // otherwise so no-compression deployments stay byte-identical.
+        put_u32(out, compressed_live_records_ > 0 ? kFormatVersion
+                                                  : write_version());
         put_u32(out, 0);  // reserved
         put_u64(out, active_id_);
         put_u64(out, segments_.at(active_id_).file->size());
@@ -822,7 +899,9 @@ void LogEngine::checkpoint() {
             out.insert(out.end(), key.begin(), key.end());
         };
         for (const auto& [key, loc] : index_) {
-            emit(key, loc, RecordType::kPut);
+            emit(key, loc,
+                 loc.compressed ? RecordType::kPutCompressed
+                                : RecordType::kPut);
         }
         for (const auto& [key, loc] : dead_keys_) {
             emit(key, loc, RecordType::kTombstone);
@@ -887,6 +966,11 @@ EngineStatsSnapshot LogEngine::stats() {
     s.compactions = compactions_.get();
     s.relocated_records = relocated_records_.get();
     s.reclaimed_bytes = reclaimed_bytes_.get();
+    s.compressed_live_records = compressed_live_records_;
+    s.compressed_live_bytes = compressed_live_bytes_;
+    s.compact_compressed_records = compact_compressed_records_.get();
+    s.compact_raw_bytes_in = compact_raw_bytes_in_.get();
+    s.compact_stored_bytes_out = compact_stored_bytes_out_.get();
     s.checkpoints_written = checkpoints_written_.get();
     s.recovered_from_checkpoint = recovered_from_checkpoint_;
     s.torn_bytes_discarded = torn_bytes_discarded_.get();
@@ -919,7 +1003,7 @@ void LogEngine::scan(
             *file, kSegmentHeaderSize,
             [&](std::uint64_t offset, RecordType type, std::string_view key,
                 ConstBytes value) {
-                if (type != RecordType::kPut) {
+                if (!is_put_type(type)) {
                     return;
                 }
                 // Unlocked index_ read: no writer is active by the
@@ -927,7 +1011,14 @@ void LogEngine::scan(
                 const auto it = index_.find(key);
                 if (it != index_.end() && it->second.segment == id &&
                     it->second.offset == offset) {
-                    fn(key, value);
+                    if (type == RecordType::kPutCompressed) {
+                        // Consumers replay raw values; the frame is a
+                        // storage detail.
+                        const Buffer raw = codec::decode_frame(kLz4, value);
+                        fn(key, raw);
+                    } else {
+                        fn(key, value);
+                    }
                 }
             });
         if (!outcome.clean) {

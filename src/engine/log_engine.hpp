@@ -68,6 +68,18 @@ struct EngineConfig {
     /// crashes either way (the write hits the page cache synchronously);
     /// this knob buys power-failure durability at a large cost.
     bool fsync_appends = false;
+
+    /// Cold-segment recompression (DESIGN.md §14.3): when the compactor
+    /// relocates a live record out of a victim segment, store the value
+    /// as an LZ4 codec frame if that shrinks it (kPutCompressed, format
+    /// v2). Reads decompress transparently whether or not this is set;
+    /// off by default so a deployment that never opts in keeps writing
+    /// byte-identical v1 files.
+    bool compress_on_compact = false;
+
+    /// Values below this size skip the compression attempt when
+    /// relocating (framing overhead dominates tiny values).
+    std::uint32_t compress_min_bytes = 64;
 };
 
 /// Point-in-time observability snapshot (all counters monotonic except
@@ -86,6 +98,13 @@ struct EngineStatsSnapshot {
     std::uint64_t compactions = 0;
     std::uint64_t relocated_records = 0;
     std::uint64_t reclaimed_bytes = 0;
+
+    /// Compact-time recompression (zero unless compress_on_compact).
+    std::uint64_t compressed_live_records = 0;  ///< gauge
+    std::uint64_t compressed_live_bytes = 0;    ///< gauge, stored bytes
+    std::uint64_t compact_compressed_records = 0;
+    std::uint64_t compact_raw_bytes_in = 0;     ///< pre-compression bytes
+    std::uint64_t compact_stored_bytes_out = 0; ///< post-compression bytes
 
     std::uint64_t checkpoints_written = 0;
     bool recovered_from_checkpoint = false;
@@ -169,7 +188,9 @@ class LogEngine {
         std::uint64_t segment = 0;
         std::uint64_t offset = 0;  // of the record header within the file
         std::uint32_t klen = 0;
-        std::uint32_t vlen = 0;
+        std::uint32_t vlen = 0;  // stored bytes (the frame, if compressed)
+        /// The stored value is a codec frame (record type kPutCompressed).
+        bool compressed = false;
 
         [[nodiscard]] std::uint64_t size() const noexcept {
             return record_size(klen, vlen);
@@ -264,6 +285,12 @@ class LogEngine {
     using KeyMap =
         std::unordered_map<std::string, Location, KeyHash, std::equal_to<>>;
 
+    /// Segment/checkpoint header version this engine writes (v2 only
+    /// when compression may produce kPutCompressed records).
+    [[nodiscard]] std::uint32_t write_version() const noexcept {
+        return cfg_.compress_on_compact ? kFormatVersion : kMinFormatVersion;
+    }
+
     std::mutex mu_;  // guards index_, segments_, gauges, scheduling flags
     KeyMap index_;
     /// Current tombstone of each removed key. Needed so compaction can
@@ -274,6 +301,8 @@ class LogEngine {
     std::map<std::uint64_t, Segment> segments_;  // ordered by segment id
     std::uint64_t active_id_ = 0;
     std::uint64_t live_value_bytes_ = 0;
+    std::uint64_t compressed_live_records_ = 0;  // gauges; guarded by mu_
+    std::uint64_t compressed_live_bytes_ = 0;
     std::uint64_t appends_since_checkpoint_ = 0;
     std::uint64_t next_checkpoint_seq_ = 1;
     bool compaction_pending_ = false;
@@ -298,6 +327,9 @@ class LogEngine {
     Counter compactions_;
     Counter relocated_records_;
     Counter reclaimed_bytes_;
+    Counter compact_compressed_records_;
+    Counter compact_raw_bytes_in_;
+    Counter compact_stored_bytes_out_;
     Counter checkpoints_written_;
     Counter torn_bytes_discarded_;
     Counter crc_read_failures_;

@@ -548,5 +548,59 @@ fi
 
 stop_serverd
 
+# --- phase 6: compressed tiering — three-tier store + disposable file cache
+
+# A 1 MiB RAM cache against a 16 MiB working set: >10x RAM, so almost
+# every re-read must be served by the compressed file cache (or, after
+# we delete it, by the log engine) — never incorrectly.
+start_serverd "$WORK/serverd8.log" --data-providers 2 --meta-providers 1 \
+    --store three-tier-log --disk-root "$WORK/root6" \
+    --file-cache-dir "$WORK/fc6" --file-cache-mb 32 --ram-cache-mb 1 \
+    --compress-cold
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli11.log" 2>&1 <<'EOF'
+create 65536
+write 1 0 16777216 5
+read 1 1 0 16777216 5
+read 1 1 0 16777216 5
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli11.log"; fail "three-tier session failed"; }
+echo "--- three-tier cli output ---"
+cat "$WORK/cli11.log"
+[ "$(grep -c "tag matches" "$WORK/cli11.log")" -eq 2 ] ||
+    fail "three-tier readback not byte-identical"
+FNV_TIER=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli11.log" | head -1)
+[ -n "$FNV_TIER" ] || fail "no three-tier fnv recorded"
+grep -q "error:" "$WORK/cli11.log" && fail "client-visible three-tier error"
+
+# The RAM tier cannot hold the set, so demotions must have reached disk.
+find "$WORK/fc6" -name 'cache-*.dat' 2>/dev/null | grep -q . ||
+    fail "file cache never spilled to disk"
+
+# Delete the cache directory out from under the live daemon: the cache
+# is disposable by contract, so the only acceptable outcome is a slower
+# byte-identical re-read (served by the engine and re-promoted), with
+# no client-visible error and no daemon crash.
+rm -rf "$WORK/fc6"
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli12.log" 2>&1 <<'EOF'
+read 1 1 0 16777216 5
+read 1 1 0 16777216 5
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli12.log"; fail "post-deletion session failed"; }
+echo "--- post-cache-deletion cli output ---"
+cat "$WORK/cli12.log"
+[ "$(grep -c "tag matches" "$WORK/cli12.log")" -eq 2 ] ||
+    fail "post-deletion readback not byte-identical"
+FNV_TIER_AFTER=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli12.log" |
+    head -1)
+[ "$FNV_TIER" = "$FNV_TIER_AFTER" ] ||
+    fail "bytes differ after cache deletion (fnv $FNV_TIER != $FNV_TIER_AFTER)"
+grep -q "error:" "$WORK/cli12.log" && fail "client-visible error after deletion"
+kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died after cache deletion"
+
+stop_serverd
+
 echo "PASS"
 exit 0

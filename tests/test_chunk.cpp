@@ -10,6 +10,7 @@
 #include <fstream>
 #include <thread>
 
+#include "cache/compressed_file_cache.hpp"
 #include "chunk/disk_store.hpp"
 #include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
@@ -373,6 +374,200 @@ TEST(TwoTierStore, WorksOverLogStoreBackend) {
     EXPECT_EQ(verify_pattern(5, 1, 0, **got), -1);
     EXPECT_EQ(store.cache_misses(), 1u);
     EXPECT_EQ(store.count(), 1u);
+}
+
+// Regression: cache_insert used to early-return when the key was already
+// resident, so a re-put neither replaced the cached data nor refreshed
+// the entry's recency — the RAM tier kept serving the old buffer and
+// ram_bytes went stale when sizes differed.
+TEST(TwoTierStore, RePutRefreshesCachedDataAndBytes) {
+    TwoTierStore store(std::make_unique<RamStore>(), 1 << 20);
+    store.put({1, 1}, payload(1, 1, 100));
+    EXPECT_EQ(store.ram_bytes(), 100u);
+
+    const auto fresh = payload(1, 1, 300);
+    store.put({1, 1}, fresh);
+    EXPECT_EQ(store.ram_bytes(), 300u);
+    const auto got = store.get({1, 1});
+    ASSERT_TRUE(got.has_value());
+    // The RAM tier serves the newly-put buffer, not the first one.
+    EXPECT_EQ(got->get(), fresh.get());
+}
+
+TEST(TwoTierStore, RePutRefreshesLruRecency) {
+    // Budget fits exactly two 100-byte entries.
+    TwoTierStore store(std::make_unique<RamStore>(), 200);
+    store.put({1, 1}, payload(1, 1, 100));
+    store.put({1, 2}, payload(1, 2, 100));
+    // Re-put of {1,1} must make it most-recent, so inserting a third
+    // entry evicts {1,2}. The pre-fix code left {1,1} coldest.
+    store.put({1, 1}, payload(1, 1, 100));
+    store.put({1, 3}, payload(1, 3, 100));
+    (void)store.get({1, 1});
+    EXPECT_EQ(store.cache_hits(), 1u);
+    (void)store.get({1, 2});
+    EXPECT_EQ(store.cache_misses(), 1u);
+}
+
+// ---- TieredStore with the compressed file-cache middle tier ---------------
+
+[[nodiscard]] std::unique_ptr<cache::CompressedFileCache> file_cache(
+    const TempDir& dir, std::uint64_t budget) {
+    cache::FileCacheConfig cfg;
+    cfg.dir = dir.path() / "file-cache";
+    cfg.budget_bytes = budget;
+    cfg.file_target_bytes = 64 << 10;
+    return std::make_unique<cache::CompressedFileCache>(cfg);
+}
+
+TEST(ThreeTierStore, DemotesRamEvictionsAndPromotesOnHit) {
+    TempDir dir;
+    // RAM holds one 4 KiB chunk; everything else demotes to the file
+    // cache on eviction.
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      4 << 10, file_cache(dir, 16 << 20));
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        store.put({7, uid}, payload(7, uid, 4 << 10));
+    }
+    EXPECT_GE(store.demotions(), 7u);
+    ASSERT_TRUE(store.file_cache() != nullptr);
+    EXPECT_GE(store.file_cache()->entries(), 7u);
+
+    // Reading a demoted chunk: RAM miss, file-cache hit, promoted back.
+    const auto got = store.get({7, 0});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(verify_pattern(7, 0, 0, **got), -1);
+    EXPECT_GE(store.promotions(), 1u);
+    // The miss/hit invariant counts the RAM tier only.
+    EXPECT_EQ(store.cache_misses(), 1u);
+}
+
+TEST(ThreeTierStore, ServesWorkingSetLargerThanRamFromFileCache) {
+    TempDir dir;
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      8 << 10, file_cache(dir, 16 << 20));
+    constexpr std::uint64_t kChunks = 32;  // 16x the RAM budget
+    for (std::uint64_t uid = 0; uid < kChunks; ++uid) {
+        store.put({9, uid}, payload(9, uid, 4 << 10));
+    }
+    const auto engine_reads_before = store.promotions();
+    for (std::uint64_t uid = 0; uid < kChunks; ++uid) {
+        const auto got = store.get({9, uid});
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(verify_pattern(9, static_cast<std::uint64_t>(uid), 0,
+                                 **got),
+                  -1);
+    }
+    // The sweep was served by the middle tier, not the engine: nearly
+    // every read promoted from the file cache.
+    EXPECT_GE(store.promotions() - engine_reads_before, kChunks - 4);
+}
+
+TEST(ThreeTierStore, CorruptFileCacheFallsThroughToBackend) {
+    TempDir dir;
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      4 << 10, file_cache(dir, 16 << 20));
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        store.put({3, uid}, payload(3, uid, 4 << 10));
+    }
+    // Flip a byte mid-file in every cache file.
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             dir.path() / "file-cache")) {
+        if (!entry.is_regular_file()) {
+            continue;
+        }
+        std::fstream f(entry.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(64);
+        f.put(static_cast<char>(0xA5));
+    }
+    // Every chunk still reads back correct — CRC-rejected cache entries
+    // fall through to the durable engine.
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        const auto got = store.get({3, uid});
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(verify_pattern(3, uid, 0, **got), -1);
+    }
+}
+
+TEST(ThreeTierStore, DeletingCacheDirLosesNoData) {
+    TempDir dir;
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      4 << 10, file_cache(dir, 16 << 20));
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        store.put({4, uid}, payload(4, uid, 4 << 10));
+    }
+    std::filesystem::remove_all(dir.path() / "file-cache");
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        const auto got = store.get({4, uid});
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(verify_pattern(4, uid, 0, **got), -1);
+    }
+    EXPECT_EQ(store.count(), 8u);
+}
+
+TEST(ThreeTierStore, EraseAndDecrefDropAllTiers) {
+    TempDir dir;
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      4 << 10, file_cache(dir, 16 << 20));
+    for (std::uint64_t uid = 0; uid < 4; ++uid) {
+        store.put({6, uid}, payload(6, uid, 4 << 10));
+    }
+    store.erase({6, 0});
+    EXPECT_FALSE(store.get({6, 0}).has_value());
+
+    // decref to zero reclaims the chunk everywhere, including any
+    // demoted file-cache copy.
+    EXPECT_EQ(store.decref({6, 1}), 0u);
+    EXPECT_FALSE(store.get({6, 1}).has_value());
+    EXPECT_EQ(store.count(), 2u);
+}
+
+TEST(ThreeTierStore, DropCacheClearsRamAndFileTiers) {
+    TempDir dir;
+    TieredStore store(std::make_unique<LogStore>(dir.path() / "log"),
+                      4 << 10, file_cache(dir, 16 << 20));
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        store.put({8, uid}, payload(8, uid, 4 << 10));
+    }
+    store.drop_cache();
+    EXPECT_EQ(store.ram_bytes(), 0u);
+    EXPECT_EQ(store.file_cache()->entries(), 0u);
+    // Durable tier still serves everything.
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+        const auto got = store.get({8, uid});
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(verify_pattern(8, uid, 0, **got), -1);
+    }
+}
+
+TEST(ThreeTierStore, StatsConsistentUnderConcurrentGetPut) {
+    TempDir dir;
+    TieredStore store(std::make_unique<RamStore>(), 8 << 10,
+                      file_cache(dir, 1 << 20));
+    constexpr int kThreads = 4;
+    constexpr int kOps = 300;
+    std::atomic<std::uint64_t> gets{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, &gets, t] {
+            for (int i = 0; i < kOps; ++i) {
+                const auto uid = static_cast<std::uint64_t>(i % 32);
+                const auto blob = static_cast<BlobId>(t % 2);
+                store.put({blob, uid}, payload(blob, uid, 1024));
+                const auto got = store.get({blob, uid});
+                gets.fetch_add(1);
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(verify_pattern(blob, uid, 0, **got), -1);
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(store.cache_hits() + store.cache_misses(), gets.load());
+    EXPECT_LE(store.ram_bytes(), 8u << 10);
 }
 
 }  // namespace

@@ -549,5 +549,246 @@ TEST(LogEngine, ScanVisitsLiveRecordsInAppendOrder) {
     }
 }
 
+// ---- compact-time recompression (format v2, DESIGN.md §14.3) ---------------
+
+/// Compressible value: long runs keyed by \p i so every key's bytes are
+/// distinct but shrink well under LZ4.
+Buffer runs_value(int i, std::size_t size) {
+    Buffer v(size);
+    for (std::size_t j = 0; j < size; ++j) {
+        v[j] = static_cast<std::uint8_t>((j / 32) + static_cast<unsigned>(i));
+    }
+    return v;
+}
+
+/// Interleaved triple-puts: every segment is ~2/3 dead first-and-second
+/// versions, comfortably past the 50% victim threshold, so compact()
+/// relocates (and, with the flag on, recompresses) live records from
+/// essentially every sealed segment.
+void fill_with_dead_space(LogEngine& eng, int keys, std::size_t size,
+                          bool compressible) {
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < keys; ++i) {
+        Buffer v = compressible ? runs_value(i, size) : Buffer(size);
+        if (!compressible) {
+            for (auto& b : v) {
+                b = static_cast<std::uint8_t>(rng());
+            }
+        }
+        eng.put("key-" + std::to_string(i), v);
+        eng.put("key-" + std::to_string(i), v);  // goes dead
+        eng.put("key-" + std::to_string(i), v);  // goes dead
+    }
+}
+
+EngineConfig compress_config(const fs::path& dir) {
+    EngineConfig cfg = manual_config(dir);
+    cfg.segment_target_bytes = 2048;
+    cfg.compress_on_compact = true;
+    return cfg;
+}
+
+TEST(LogEngineCompression, CompactRecompressesColdRecordsAndReadsBack) {
+    TempDir dir;
+    LogEngine eng(compress_config(dir.path()));
+    fill_with_dead_space(eng, 50, 300, /*compressible=*/true);
+    EXPECT_EQ(eng.stats().compressed_live_records, 0u);
+
+    EXPECT_GT(eng.compact(), 0u);
+    const auto st = eng.stats();
+    EXPECT_GT(st.compact_compressed_records, 0u);
+    EXPECT_GT(st.compressed_live_records, 0u);
+    EXPECT_GT(st.compressed_live_bytes, 0u);
+    // The whole point: stored bytes shrank versus the raw bytes fed in.
+    EXPECT_LT(st.compact_stored_bytes_out, st.compact_raw_bytes_in);
+
+    for (int i = 0; i < 50; ++i) {
+        const auto got = eng.get("key-" + std::to_string(i));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, runs_value(i, 300));
+    }
+}
+
+TEST(LogEngineCompression, ScanDecompressesTransparently) {
+    TempDir dir;
+    LogEngine eng(compress_config(dir.path()));
+    fill_with_dead_space(eng, 20, 300, true);
+    EXPECT_GT(eng.compact(), 0u);
+    std::map<std::string, Buffer> seen;
+    eng.scan([&seen](std::string_view key, ConstBytes value) {
+        seen[std::string(key)] = Buffer(value.begin(), value.end());
+    });
+    ASSERT_EQ(seen.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(seen["key-" + std::to_string(i)], runs_value(i, 300));
+    }
+}
+
+TEST(LogEngineCompression, SurvivesReopenByScanAndByCheckpoint) {
+    TempDir dir;
+    EngineConfig cfg = compress_config(dir.path());
+    std::uint64_t compressed = 0;
+    {
+        LogEngine eng(cfg);
+        fill_with_dead_space(eng, 30, 300, true);
+        EXPECT_GT(eng.compact(), 0u);
+        compressed = eng.stats().compressed_live_records;
+        EXPECT_GT(compressed, 0u);
+    }  // no checkpoint: next open replays segments
+    {
+        LogEngine eng(cfg);
+        EXPECT_FALSE(eng.stats().recovered_from_checkpoint);
+        EXPECT_EQ(eng.stats().compressed_live_records, compressed);
+        for (int i = 0; i < 30; ++i) {
+            const auto got = eng.get("key-" + std::to_string(i));
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, runs_value(i, 300));
+        }
+        eng.checkpoint();  // persists the kPutCompressed kinds
+    }
+    LogEngine eng(cfg);
+    EXPECT_TRUE(eng.stats().recovered_from_checkpoint);
+    EXPECT_EQ(eng.stats().compressed_live_records, compressed);
+    for (int i = 0; i < 30; ++i) {
+        const auto got = eng.get("key-" + std::to_string(i));
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, runs_value(i, 300));
+    }
+}
+
+TEST(LogEngineCompression, IncompressibleRecordsStayRaw) {
+    TempDir dir;
+    LogEngine eng(compress_config(dir.path()));
+    fill_with_dead_space(eng, 30, 300, /*compressible=*/false);
+    EXPECT_GT(eng.compact(), 0u);
+    // encode_frame refuses frames that do not shrink, so random values
+    // relocate as plain kPut records.
+    EXPECT_EQ(eng.stats().compressed_live_records, 0u);
+    EXPECT_EQ(eng.stats().compact_compressed_records, 0u);
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(eng.get("key-" + std::to_string(i)).has_value());
+    }
+}
+
+TEST(LogEngineCompression, SmallRecordsBelowThresholdStayRaw) {
+    TempDir dir;
+    EngineConfig cfg = compress_config(dir.path());
+    cfg.compress_min_bytes = 1024;  // all test values are below this
+    LogEngine eng(cfg);
+    fill_with_dead_space(eng, 30, 300, true);
+    EXPECT_GT(eng.compact(), 0u);
+    EXPECT_EQ(eng.stats().compressed_live_records, 0u);
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(eng.get("key-" + std::to_string(i)).has_value());
+    }
+}
+
+TEST(LogEngineCompression, FlagOffProducesByteIdenticalV1Headers) {
+    TempDir v1_dir;
+    {
+        // Default config (flag off): files must stay format v1 so a
+        // deployment that never opts in is byte-identical to the seed.
+        LogEngine eng(manual_config(v1_dir.path()));
+        eng.put("k", Buffer(64, 0x42));
+    }
+    std::FILE* f = std::fopen(only_segment(v1_dir.path()).c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::uint8_t header[24] = {};
+    ASSERT_EQ(std::fread(header, 1, sizeof header, f), sizeof header);
+    std::fclose(f);
+    EXPECT_EQ(get_u32(ConstBytes(header, sizeof header), 8), 1u);
+
+    TempDir v2_dir;
+    {
+        LogEngine eng(compress_config(v2_dir.path()));
+        eng.put("k", Buffer(64, 0x42));
+    }
+    f = std::fopen(only_segment(v2_dir.path()).c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fread(header, 1, sizeof header, f), sizeof header);
+    std::fclose(f);
+    EXPECT_EQ(get_u32(ConstBytes(header, sizeof header), 8), 2u);
+}
+
+/// Hand-build a segment file: \p version header plus one record per
+/// (type, key, value) triple — the layout contract, written without the
+/// engine's help.
+void write_segment(const fs::path& file, std::uint32_t version,
+                   const std::vector<std::tuple<RecordType, std::string,
+                                                Buffer>>& records) {
+    Buffer out = encode_segment_header(1, version);
+    for (const auto& [type, key, value] : records) {
+        const std::size_t crc_pos = out.size();
+        put_u32(out, 0);  // CRC placeholder
+        put_u32(out, static_cast<std::uint32_t>(key.size()));
+        put_u32(out, static_cast<std::uint32_t>(value.size()));
+        out.push_back(static_cast<std::uint8_t>(type));
+        out.insert(out.end(), key.begin(), key.end());
+        out.insert(out.end(), value.begin(), value.end());
+        const std::uint32_t crc = crc32c(
+            ConstBytes(out.data() + crc_pos + 4, out.size() - crc_pos - 4));
+        poke_u32(out, crc_pos, crc);
+    }
+    std::FILE* f = std::fopen(file.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(out.data(), 1, out.size(), f), out.size());
+    std::fclose(f);
+}
+
+TEST(LogEngineCompression, HandBuiltV1SegmentStillReadable) {
+    TempDir dir;
+    fs::create_directories(dir.path());
+    write_segment(dir.path() / "seg-0000000001.log", 1,
+                  {{RecordType::kPut, "old-key", Buffer(48, 0x33)}});
+    LogEngine eng(manual_config(dir.path()));
+    const auto got = eng.get("old-key");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, Buffer(48, 0x33));
+}
+
+TEST(LogEngineCompression, UndecodableCompressedRecordThrows) {
+    TempDir dir;
+    fs::create_directories(dir.path());
+    // A kPutCompressed record whose CRC is valid but whose frame is
+    // garbage: CRC passes, the codec rejects, and the engine must
+    // surface ConsistencyError — never bogus bytes.
+    Buffer bogus_frame;
+    bogus_frame.push_back(0x01);          // "compressed" tag
+    put_u32(bogus_frame, 4096);           // claimed raw size
+    for (int i = 0; i < 32; ++i) {
+        bogus_frame.push_back(0xEE);      // not a valid LZ4 block
+    }
+    write_segment(dir.path() / "seg-0000000001.log", 2,
+                  {{RecordType::kPutCompressed, "bad", bogus_frame}});
+    LogEngine eng(manual_config(dir.path()));
+    EXPECT_THROW((void)eng.get("bad"), ConsistencyError);
+    EXPECT_GT(eng.stats().crc_read_failures, 0u);
+}
+
+TEST(LogEngineCompression, CorruptCompressedRecordCaughtByCrc) {
+    TempDir dir;
+    EngineConfig cfg = compress_config(dir.path());
+    cfg.segment_target_bytes = 1024;
+    LogEngine eng(cfg);
+    // Four puts of the one key: 3/4 of the sealed segment is dead, so it
+    // is a compaction victim, and relocation re-appends the lone live
+    // record — compressed — first into the empty active segment.
+    for (int i = 0; i < 4; ++i) {
+        eng.put("k", runs_value(1, 300));
+    }
+    EXPECT_GT(eng.compact(), 0u);
+    ASSERT_GT(eng.stats().compressed_live_records, 0u);
+    // Flip a byte inside the first record's value in every segment; the
+    // compressed record must CRC-fail, never decompress garbage.
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+        if (entry.path().filename().string().starts_with("seg-") &&
+            fs::file_size(entry.path()) > 24 + 13 + 1 + 6) {
+            flip_byte(entry.path(), 24 + 13 + 1 + 5);
+        }
+    }
+    EXPECT_THROW((void)eng.get("k"), ConsistencyError);
+    EXPECT_GT(eng.stats().crc_read_failures, 0u);
+}
+
 }  // namespace
 }  // namespace blobseer::engine

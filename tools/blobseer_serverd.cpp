@@ -29,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "cache/compressed_file_cache.hpp"
 #include "chunk/disk_store.hpp"
 #include "chunk/log_store.hpp"
 #include "chunk/ram_store.hpp"
@@ -55,8 +56,22 @@ void usage(const char* argv0) {
         "                        (background sweep; default 0 = off)\n"
         "  --replication <n>     default chunk replication (default 2)\n"
         "  --meta-replication <n> metadata replication (default 1)\n"
-        "  --store <ram|disk|two-tier|log|two-tier-log>\n"
-        "                        chunk store backend (default ram)\n"
+        "  --store <ram|disk|two-tier|log|two-tier-log|three-tier-log>\n"
+        "                        chunk store backend (default ram);\n"
+        "                        three-tier-log adds a compressed file\n"
+        "                        cache between the RAM tier and the log\n"
+        "                        engine\n"
+        "  --ram-cache-mb <n>    RAM cache budget per provider in MiB\n"
+        "                        (tiered stores; default 64)\n"
+        "  --file-cache-mb <n>   compressed file-cache budget per\n"
+        "                        provider in MiB (three-tier-log;\n"
+        "                        default 256)\n"
+        "  --file-cache-dir <path>  root for the per-provider file\n"
+        "                        caches (default: <disk-root>/file-cache;\n"
+        "                        disposable, safe on tmpfs)\n"
+        "  --compress-cold       recompress cold records at compaction\n"
+        "                        time (log-family stores; engine files\n"
+        "                        become format v2)\n"
         "  --cas                 content-addressed chunks: dedup by\n"
         "                        SHA-256, check-before-push, refcounted GC\n"
         "  --meta-store <ram|disk|log>  metadata backend (default ram;\n"
@@ -92,6 +107,12 @@ void usage(const char* argv0) {
 std::unique_ptr<chunk::ChunkStore> make_provider_store(
     const core::ClusterConfig& cfg, const std::string& name) {
     const auto root = cfg.disk_root / ("dp-" + name);
+    const auto make_log = [&] {
+        engine::EngineConfig ecfg;
+        ecfg.dir = root;
+        ecfg.compress_on_compact = cfg.compress_cold_segments;
+        return std::make_unique<chunk::LogStore>(std::move(ecfg));
+    };
     switch (cfg.store) {
         case core::StoreBackend::kRam:
             return std::make_unique<chunk::RamStore>();
@@ -102,11 +123,21 @@ std::unique_ptr<chunk::ChunkStore> make_provider_store(
                 std::make_unique<chunk::DiskStore>(root),
                 cfg.ram_cache_budget);
         case core::StoreBackend::kLog:
-            return std::make_unique<chunk::LogStore>(root);
+            return make_log();
         case core::StoreBackend::kTwoTierLog:
-            return std::make_unique<chunk::TwoTierStore>(
-                std::make_unique<chunk::LogStore>(root),
-                cfg.ram_cache_budget);
+            return std::make_unique<chunk::TieredStore>(
+                make_log(), cfg.ram_cache_budget);
+        case core::StoreBackend::kThreeTierLog: {
+            cache::FileCacheConfig fcfg;
+            const auto cache_root = cfg.file_cache_dir.empty()
+                                        ? cfg.disk_root / "file-cache"
+                                        : cfg.file_cache_dir;
+            fcfg.dir = cache_root / ("dp-" + name);
+            fcfg.budget_bytes = cfg.file_cache_budget;
+            return std::make_unique<chunk::TieredStore>(
+                make_log(), cfg.ram_cache_budget,
+                std::make_unique<cache::CompressedFileCache>(fcfg));
+        }
     }
     throw InvalidArgument("unknown store backend");
 }
@@ -301,6 +332,8 @@ int main(int argc, char** argv) {
                 cfg.store = core::StoreBackend::kLog;
             } else if (s == "two-tier-log") {
                 cfg.store = core::StoreBackend::kTwoTierLog;
+            } else if (s == "three-tier-log") {
+                cfg.store = core::StoreBackend::kThreeTierLog;
             } else {
                 std::fprintf(stderr, "unknown store backend '%s'\n",
                              s.c_str());
@@ -324,6 +357,16 @@ int main(int argc, char** argv) {
             cfg.content_addressed = true;
         } else if (arg == "--disk-root") {
             cfg.disk_root = next();
+        } else if (arg == "--ram-cache-mb") {
+            cfg.ram_cache_budget =
+                static_cast<std::uint64_t>(std::atoll(next())) << 20;
+        } else if (arg == "--file-cache-mb") {
+            cfg.file_cache_budget =
+                static_cast<std::uint64_t>(std::atoll(next())) << 20;
+        } else if (arg == "--file-cache-dir") {
+            cfg.file_cache_dir = next();
+        } else if (arg == "--compress-cold") {
+            cfg.compress_cold_segments = true;
         } else if (arg == "--sim-latency-us") {
             cfg.network.latency = microseconds(std::atoll(next()));
         } else if (arg == "--workers") {
@@ -366,7 +409,8 @@ int main(int argc, char** argv) {
     // metadata onto the same engine and journal the version manager so a
     // restart on the same --disk-root serves every published blob again.
     if (cfg.store == core::StoreBackend::kLog ||
-        cfg.store == core::StoreBackend::kTwoTierLog) {
+        cfg.store == core::StoreBackend::kTwoTierLog ||
+        cfg.store == core::StoreBackend::kThreeTierLog) {
         if (!meta_store_set) {
             cfg.meta_store = core::ClusterConfig::MetaBackend::kLog;
         }
