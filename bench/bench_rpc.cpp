@@ -21,13 +21,21 @@
 ///
 ///   $ BLOBSEER_BENCH_SCALE=0.25 ./bench_rpc   # quick smoke run
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <functional>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/metrics.hpp"
 #include "rpc/service_client.hpp"
 #include "rpc/sim_transport.hpp"
 #include "rpc/tcp_transport.hpp"
@@ -42,6 +50,34 @@ struct RunStats {
     double p99_us = 0;
     double mb_per_s = 0;  ///< payload throughput (chunk workload only)
 };
+
+/// Blocking loopback connect (no framing: used for parked idle
+/// connections in the connection sweep).
+int connect_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::size_t open_fd_count() {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator("/proc/self/fd")) {
+        ++n;
+    }
+    return n;
+}
 
 RunStats timed_loop(std::size_t n, std::uint64_t payload_bytes,
                     const std::function<void()>& op) {
@@ -220,6 +256,208 @@ int main() {
                     ", in-flight window over one TCP connection (" +
                     std::to_string(c.n) +
                     " ops; window 1 = old serial wire)");
+    }
+
+    // -- bytes copied per 64 KiB get_chunk: zero-copy on vs. off -------------
+    //
+    // rpc_bytes_copied_total counts payload bytes flattened into the
+    // response buffer; the scatter-gather path ships the store's bytes
+    // by reference and never touches the counter. The per-read diff is
+    // the direct measure of what the zero-copy read path removes.
+    {
+        Counter& copied = MetricsRegistry::instance().counter(
+            "rpc_bytes_copied_total", {});
+        const std::size_t n_zc = bench::scaled(2000);
+        const chunk::ChunkKey zc_key{id, uid++};
+        const Buffer zc_payload = make_pattern(id, 11, 0, 64 << 10);
+        bench::Table zc(
+            {"mode", "reads", "bytes copied", "copied/read", "MB/s"});
+        for (const bool zero_copy : {false, true}) {
+            rpc::TcpRpcServer::Options o;
+            o.bind_addr = "127.0.0.1";
+            o.zero_copy = zero_copy;
+            rpc::TcpRpcServer zc_server(cluster.dispatcher(),
+                                        std::move(o));
+            rpc::TcpTransport zc_tcp("127.0.0.1", zc_server.port());
+            rpc::ServiceClient zc_svc(zc_tcp,
+                                      cluster.version_manager_nodes(),
+                                      cluster.provider_manager_node());
+            if (!zero_copy) {  // first pass: store the chunk once
+                zc_svc.put_chunk(dp_node, zc_key, zc_payload);
+            }
+            const std::uint64_t before = copied.get();
+            const Stopwatch sw;
+            std::deque<Future<rpc::ServiceClient::ChunkSlice>> inflight;
+            for (std::size_t i = 0; i < n_zc; ++i) {
+                if (inflight.size() == 16) {
+                    if (inflight.front().get().bytes !=
+                        zc_payload) {
+                        std::fprintf(stderr, "zc: bad readback\n");
+                        return 1;
+                    }
+                    inflight.pop_front();
+                }
+                inflight.push_back(
+                    zc_svc.get_chunk_async(dp_node, zc_key, 0, 0));
+            }
+            while (!inflight.empty()) {
+                (void)inflight.front().get();
+                inflight.pop_front();
+            }
+            const double secs = sw.elapsed_seconds();
+            const std::uint64_t delta = copied.get() - before;
+            zc.row(zero_copy ? "zero-copy" : "flatten", n_zc, delta,
+                   static_cast<double>(delta) /
+                       static_cast<double>(n_zc),
+                   static_cast<double>(n_zc) *
+                       static_cast<double>(zc_payload.size()) / secs /
+                       (1 << 20));
+        }
+        zc.print("64 KiB get_chunk response copies "
+                 "(rpc_bytes_copied_total diff)");
+    }
+
+    // -- connection sweep: a parked crowd on fixed io threads ----------------
+    //
+    // 1k+ idle connections cost the reactor fds, not threads; active
+    // clients keep full throughput through the crowd; the idle-timeout
+    // sweep then reaps every parked connection (fd-count verified).
+    {
+        rlimit rl{};
+        if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < 8192) {
+            rlimit want = rl;
+            want.rlim_cur = std::min<rlim_t>(8192, rl.rlim_max);
+            if (::setrlimit(RLIMIT_NOFILE, &want) == 0) {
+                rl = want;
+            }
+        }
+        const std::size_t baseline_fds = open_fd_count();
+        // Both endpoints of every loopback connection live in this
+        // process: 2 fds each, plus headroom for the active clients.
+        std::size_t idle_target = bench::scaled(1024);
+        if (rl.rlim_cur > baseline_fds + 256) {
+            idle_target = std::min<std::size_t>(
+                idle_target, (rl.rlim_cur - baseline_fds - 256) / 2);
+        } else {
+            idle_target = std::min<std::size_t>(idle_target, 64);
+        }
+
+        rpc::TcpRpcServer::Options copt;
+        copt.bind_addr = "127.0.0.1";
+        copt.io_threads = 2;
+        copt.idle_timeout_ms = 3000;
+        rpc::TcpRpcServer conn_server(cluster.dispatcher(),
+                                      std::move(copt));
+
+        std::vector<int> idle;
+        idle.reserve(idle_target);
+        for (std::size_t i = 0; i < idle_target; ++i) {
+            const int fd = connect_loopback(conn_server.port());
+            if (fd < 0) {
+                break;
+            }
+            idle.push_back(fd);
+        }
+        const Stopwatch accept_sw;
+        while (conn_server.connection_count() < idle.size() &&
+               accept_sw.elapsed_seconds() < 10.0) {
+            std::this_thread::sleep_for(milliseconds(5));
+        }
+        if (conn_server.connection_count() < idle.size()) {
+            std::fprintf(stderr, "sweep: only %zu/%zu connections up\n",
+                         conn_server.connection_count(), idle.size());
+            return 1;
+        }
+        const std::size_t fds_parked = open_fd_count();
+
+        // Active traffic through the parked crowd.
+        const chunk::ChunkKey conn_key{id, uid++};
+        const Buffer conn_payload = make_pattern(id, 13, 0, 64 << 10);
+        {
+            rpc::TcpTransport seed_tcp("127.0.0.1", conn_server.port());
+            rpc::ServiceClient seed_svc(
+                seed_tcp, cluster.version_manager_nodes(),
+                cluster.provider_manager_node());
+            seed_svc.put_chunk(dp_node, conn_key, conn_payload);
+        }
+        const std::size_t active_clients = 8;
+        const std::size_t per_client = bench::scaled(400);
+        std::atomic<bool> failed{false};
+        const double secs = bench::run_clients(
+            active_clients, [&](std::size_t) {
+                rpc::TcpTransport t("127.0.0.1", conn_server.port());
+                rpc::ServiceClient svc(
+                    t, cluster.version_manager_nodes(),
+                    cluster.provider_manager_node());
+                std::deque<Future<rpc::ServiceClient::ChunkSlice>> fl;
+                for (std::size_t i = 0; i < per_client; ++i) {
+                    if (fl.size() == 8) {
+                        if (fl.front().get().bytes.size() !=
+                            conn_payload.size()) {
+                            failed.store(true);
+                            return;
+                        }
+                        fl.pop_front();
+                    }
+                    fl.push_back(svc.get_chunk_async(dp_node, conn_key,
+                                                     0, 0));
+                }
+                while (!fl.empty()) {
+                    (void)fl.front().get();
+                    fl.pop_front();
+                }
+            });
+        if (failed.load()) {
+            std::fprintf(stderr, "sweep: short readback under load\n");
+            return 1;
+        }
+        const std::uint64_t reads = active_clients * per_client;
+
+        bench::Table conns({"idle conns", "io threads", "open fds",
+                            "reads/s", "MB/s"});
+        conns.row(idle.size(), std::size_t{2}, fds_parked,
+                  static_cast<double>(reads) / secs,
+                  static_cast<double>(reads) *
+                      static_cast<double>(conn_payload.size()) / secs /
+                      (1 << 20));
+        conns.print("64 KiB reads through " +
+                    std::to_string(idle.size()) +
+                    " parked idle connections (8 clients, window 8)");
+
+        // Idle reaping: every parked connection must be closed by the
+        // sweep, surfacing EOF client-side, and the server fd count
+        // must fall back to the baseline.
+        const Stopwatch reap_sw;
+        while (conn_server.connection_count() > 0 &&
+               reap_sw.elapsed_seconds() < 20.0) {
+            std::this_thread::sleep_for(milliseconds(20));
+        }
+        if (conn_server.connection_count() != 0) {
+            std::fprintf(stderr, "sweep: %zu connections not reaped\n",
+                         conn_server.connection_count());
+            return 1;
+        }
+        char b = 0;
+        if (::recv(idle.front(), &b, 1, 0) != 0) {
+            std::fprintf(stderr, "sweep: no EOF on a reaped conn\n");
+            return 1;
+        }
+        for (const int fd : idle) {
+            ::close(fd);
+        }
+        // Give the loops one beat to settle retired handlers (the
+        // server-side fds close when those release their last refs).
+        std::this_thread::sleep_for(milliseconds(100));
+        const std::size_t fds_after = open_fd_count();
+        if (fds_after > baseline_fds + 16) {
+            std::fprintf(stderr, "sweep: fd leak (%zu -> %zu)\n",
+                         baseline_fds, fds_after);
+            return 1;
+        }
+        std::printf("\nidle sweep: %zu connections reaped in %.1fs; "
+                    "fds %zu -> %zu -> %zu\n",
+                    idle.size(), reap_sw.elapsed_seconds(),
+                    baseline_fds, fds_parked, fds_after);
     }
 
     return 0;

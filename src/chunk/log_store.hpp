@@ -45,6 +45,15 @@ class LogStore final : public ChunkStore {
         return std::make_shared<Buffer>(std::move(*value));
     }
 
+    [[nodiscard]] std::optional<ChunkRef> get_ref(
+        const ChunkKey& key) override {
+        auto ref = engine_.get_ref(encode_key(key));
+        if (!ref) {
+            return std::nullopt;
+        }
+        return ChunkRef{ref->bytes, std::move(ref->keepalive)};
+    }
+
     [[nodiscard]] bool contains(const ChunkKey& key) override {
         return engine_.contains(encode_key(key));
     }

@@ -26,6 +26,14 @@ namespace blobseer::chunk {
 /// Shared immutable chunk payload.
 using ChunkData = std::shared_ptr<const Buffer>;
 
+/// Borrowed chunk payload: bytes valid while `keepalive` is held. The
+/// zero-copy read path (DESIGN.md §15) hands these from the backing
+/// engine's segment mappings straight to the RPC response writer.
+struct ChunkRef {
+    ConstBytes bytes{};
+    std::shared_ptr<const void> keepalive{};
+};
+
 class ChunkStore {
   public:
     virtual ~ChunkStore() = default;
@@ -36,6 +44,19 @@ class ChunkStore {
     /// Fetch the chunk, or nullopt if this store has never seen it.
     [[nodiscard]] virtual std::optional<ChunkData> get(
         const ChunkKey& key) = 0;
+
+    /// Borrow the chunk without copying where the backend supports it.
+    /// The default adapts get(): the shared ChunkData buffer itself is
+    /// the keepalive, so RAM-backed stores are already copy-free here.
+    [[nodiscard]] virtual std::optional<ChunkRef> get_ref(
+        const ChunkKey& key) {
+        auto data = get(key);
+        if (!data) {
+            return std::nullopt;
+        }
+        const ConstBytes bytes(**data);
+        return ChunkRef{bytes, std::move(*data)};
+    }
 
     /// True iff the chunk is retrievable from this store.
     [[nodiscard]] virtual bool contains(const ChunkKey& key) = 0;

@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -28,6 +30,33 @@ using ConstBytes = std::span<const std::uint8_t>;
 
 /// Mutable view over bytes.
 using MutableBytes = std::span<std::uint8_t>;
+
+/// Borrowed bytes with shared ownership of whatever keeps them alive.
+///
+/// The dispatcher→transport seam passes these instead of copying payloads
+/// into response frames: `bytes` may point into an mmap'd log segment, a
+/// shared ChunkData buffer, or any other region whose lifetime `owner`
+/// extends. An empty slice with a null owner is the natural "no tail"
+/// state. The view is immutable; whoever holds the slice may read `bytes`
+/// for as long as they hold `owner`.
+struct SharedSlice {
+    ConstBytes bytes{};
+    std::shared_ptr<const void> owner{};
+
+    SharedSlice() = default;
+    SharedSlice(ConstBytes b, std::shared_ptr<const void> o) noexcept
+        : bytes(b), owner(std::move(o)) {}
+
+    /// Wrap an owned buffer as a slice over its whole contents.
+    [[nodiscard]] static SharedSlice from_buffer(Buffer b) {
+        auto owned = std::make_shared<const Buffer>(std::move(b));
+        ConstBytes view(*owned);
+        return SharedSlice(view, std::move(owned));
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+    [[nodiscard]] bool empty() const noexcept { return bytes.empty(); }
+};
 
 /// The deterministic content byte for absolute position \p pos of version
 /// \p v of blob \p blob. One multiply-mix per 8 bytes when used through

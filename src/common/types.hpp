@@ -88,8 +88,16 @@ struct ByteRange {
 
 /// Human-readable "[offset, end)" rendering used in logs and test failures.
 [[nodiscard]] inline std::string to_string(const ByteRange& r) {
-    return "[" + std::to_string(r.offset) + ", " + std::to_string(r.end()) +
-           ")";
+    // Built by append: the operator+ chain trips a GCC 12 -Wrestrict
+    // false positive under -Werror at some inlining depths.
+    std::string s;
+    s.reserve(32);
+    s += '[';
+    s += std::to_string(r.offset);
+    s += ", ";
+    s += std::to_string(r.end());
+    s += ')';
+    return s;
 }
 
 /// Round \p v up to the next power of two (minimum 1).

@@ -116,6 +116,10 @@ LogEngine::LogEngine(EngineConfig cfg)
                      relocated_records_);
     metrics_.counter("engine_reclaimed_bytes_total", labels,
                      reclaimed_bytes_);
+    metrics_.counter("engine_ref_gets_mmap_total", labels, ref_gets_mmap_);
+    metrics_.counter("engine_ref_gets_copy_total", labels, ref_gets_copy_);
+    metrics_.counter("engine_deferred_unlinks_total", labels,
+                     deferred_unlinks_);
     metrics_.counter("engine_compact_compressed_records_total", labels,
                      compact_compressed_records_);
     metrics_.counter("engine_compact_raw_bytes_in_total", labels,
@@ -482,19 +486,24 @@ std::optional<Buffer> LogEngine::get(std::string_view key) {
         loc = it->second;
         file = segments_.at(loc.segment).file;
     }
+    return read_value_checked(loc, *file, key);
+}
 
+Buffer LogEngine::read_value_checked(const Location& loc, SegmentFile& file,
+                                     std::string_view key) {
     // Read and re-verify outside the lock: the record is immutable and the
-    // shared_ptr keeps the file alive even if the compactor unlinks it.
-    // Two preads — header+key into a scratch buffer, value straight into
-    // the returned Buffer — so the (up to chunk-sized) value is never
-    // copied a second time; the incremental CRC covers both pieces.
+    // caller's shared_ptr keeps the file alive even if the compactor
+    // unlinks it. Two preads — header+key into a scratch buffer, value
+    // straight into the returned Buffer — so the (up to chunk-sized)
+    // value is never copied a second time; the incremental CRC covers
+    // both pieces.
     Buffer head(kRecordHeaderSize + loc.klen);
     Buffer value(loc.vlen);
-    if (!file->read_exact(loc.offset, head) ||
-        !file->read_exact(loc.offset + head.size(), value)) {
+    if (!file.read_exact(loc.offset, head) ||
+        !file.read_exact(loc.offset + head.size(), value)) {
         crc_read_failures_.add();
         throw ConsistencyError("short record read for engine key in " +
-                               file->path().string());
+                               file.path().string());
     }
     const std::uint8_t expected_type = static_cast<std::uint8_t>(
         loc.compressed ? RecordType::kPutCompressed : RecordType::kPut);
@@ -509,7 +518,7 @@ std::optional<Buffer> LogEngine::get(std::string_view key) {
                          loc.klen) != key) {
         crc_read_failures_.add();
         throw ConsistencyError("CRC mismatch reading engine record in " +
-                               file->path().string() + " at offset " +
+                               file.path().string() + " at offset " +
                                std::to_string(loc.offset));
     }
     if (!loc.compressed) {
@@ -522,9 +531,106 @@ std::optional<Buffer> LogEngine::get(std::string_view key) {
     } catch (const Error&) {
         crc_read_failures_.add();
         throw ConsistencyError("undecodable compressed engine record in " +
-                               file->path().string() + " at offset " +
+                               file.path().string() + " at offset " +
                                std::to_string(loc.offset));
     }
+}
+
+std::optional<ValueRef> LogEngine::get_ref(std::string_view key) {
+    Location loc;
+    std::shared_ptr<SegmentFile> file;
+    std::shared_ptr<SegmentPin> pin;
+    bool sealed = false;
+    std::uint64_t seg_size = 0;
+    {
+        const std::scoped_lock lock(mu_);
+        gets_.add();
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            return std::nullopt;
+        }
+        loc = it->second;
+        const Segment& seg = segments_.at(loc.segment);
+        file = seg.file;
+        pin = seg.pin;
+        sealed = seg.sealed;
+        seg_size = seg.file->size();
+        // Pin while locked: the compactor erases the segment (and
+        // retires the file) only under this same mutex, so a view is
+        // always pinned before its segment can be retired.
+        pin->add();
+    }
+
+    // Release the pin unless the mmap path below takes ownership of it.
+    struct PinRelease {
+        std::shared_ptr<SegmentPin> pin;
+        ~PinRelease() {
+            if (pin) {
+                pin->release();
+            }
+        }
+    } guard{pin};
+
+    if (sealed && !loc.compressed) {
+        // A sealed segment's bytes and size are final, so one shared
+        // full-size read-only mapping serves all readers; never map an
+        // unsealed tail (touching pages past EOF is SIGBUS).
+        if (auto map = file->map_prefix(seg_size)) {
+            const ConstBytes seg_bytes = map->bytes();
+            if (loc.offset + loc.size() > seg_bytes.size()) {
+                crc_read_failures_.add();
+                throw ConsistencyError(
+                    "record extends past mapped segment " +
+                    file->path().string());
+            }
+            const ConstBytes rec = seg_bytes.subspan(loc.offset, loc.size());
+            const std::uint32_t crc = get_u32(rec, 0);
+            const std::string_view stored_key(
+                reinterpret_cast<const char*>(rec.data()) + kRecordHeaderSize,
+                loc.klen);
+            if (crc32c(rec.subspan(4)) != crc || get_u32(rec, 4) != loc.klen ||
+                get_u32(rec, 8) != loc.vlen ||
+                rec[12] != static_cast<std::uint8_t>(RecordType::kPut) ||
+                stored_key != key) {
+                crc_read_failures_.add();
+                throw ConsistencyError(
+                    "CRC mismatch reading engine record in " +
+                    file->path().string() + " at offset " +
+                    std::to_string(loc.offset));
+            }
+            ref_gets_mmap_.add();
+            // The view owns the mapping AND the pin: bytes stay mapped
+            // and the file stays on disk (unlink deferred) until the
+            // last holder drops. Non-copyable with an in-place
+            // make_shared: a copied temporary would run this destructor
+            // early and release the pin while the view is still live.
+            struct PinnedView {
+                std::shared_ptr<const SegmentFile::Mapping> map;
+                std::shared_ptr<SegmentPin> pin;
+                PinnedView(std::shared_ptr<const SegmentFile::Mapping> m,
+                           std::shared_ptr<SegmentPin> p)
+                    : map(std::move(m)), pin(std::move(p)) {}
+                PinnedView(const PinnedView&) = delete;
+                PinnedView& operator=(const PinnedView&) = delete;
+                ~PinnedView() { pin->release(); }
+            };
+            auto view = std::make_shared<const PinnedView>(
+                std::move(map), std::move(guard.pin));
+            return ValueRef{
+                rec.subspan(kRecordHeaderSize + loc.klen, loc.vlen),
+                std::move(view)};
+        }
+    }
+
+    // Fallback — unsealed segment, compressed record, or mmap failure:
+    // pread into an owned buffer. The pin is released by the guard (the
+    // file shared_ptr alone keeps the inode readable); the copy is
+    // self-contained.
+    ref_gets_copy_.add();
+    auto owned = std::make_shared<const Buffer>(
+        read_value_checked(loc, *file, key));
+    const ConstBytes bytes(*owned);
+    return ValueRef{bytes, std::move(owned)};
 }
 
 bool LogEngine::contains(std::string_view key) {
@@ -855,6 +961,7 @@ bool LogEngine::compact_one() {
                                file->path().string());
     }
 
+    std::shared_ptr<SegmentPin> pin;
     {
         const std::scoped_lock lock(mu_);
         if (closing_) {
@@ -862,10 +969,18 @@ bool LogEngine::compact_one() {
         }
         reclaimed_bytes_.add(file->size());
         compactions_.add();
+        pin = segments_.at(victim_id).pin;
         segments_.erase(victim_id);
     }
-    std::error_code ec;  // reads in flight keep the inode alive
-    std::filesystem::remove(file->path(), ec);
+    // Hand the unlink to the pin: immediate when no get_ref() view is
+    // live, deferred to the last view release otherwise (a pinned mmap
+    // view must keep reading byte-identical data — see DESIGN.md §15.3).
+    // In-flight preads are safe either way; the SegmentFile shared_ptr
+    // keeps the inode alive.
+    if (pin->pinned()) {
+        deferred_unlinks_.add();
+    }
+    pin->retire(file->path());
     return true;
 }
 
@@ -966,6 +1081,9 @@ EngineStatsSnapshot LogEngine::stats() {
     s.compactions = compactions_.get();
     s.relocated_records = relocated_records_.get();
     s.reclaimed_bytes = reclaimed_bytes_.get();
+    s.ref_gets_mmap = ref_gets_mmap_.get();
+    s.ref_gets_copy = ref_gets_copy_.get();
+    s.deferred_unlinks = deferred_unlinks_.get();
     s.compressed_live_records = compressed_live_records_;
     s.compressed_live_bytes = compressed_live_bytes_;
     s.compact_compressed_records = compact_compressed_records_.get();

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -99,6 +100,14 @@ struct EngineStatsSnapshot {
     std::uint64_t relocated_records = 0;
     std::uint64_t reclaimed_bytes = 0;
 
+    /// get_ref() outcomes: served from a shared segment mapping vs.
+    /// pread-copied (unsealed segment, compressed record, or mmap
+    /// failure), and victim files whose unlink the compactor deferred to
+    /// the last live pinned view.
+    std::uint64_t ref_gets_mmap = 0;
+    std::uint64_t ref_gets_copy = 0;
+    std::uint64_t deferred_unlinks = 0;
+
     /// Compact-time recompression (zero unless compress_on_compact).
     std::uint64_t compressed_live_records = 0;  ///< gauge
     std::uint64_t compressed_live_bytes = 0;    ///< gauge, stored bytes
@@ -114,6 +123,66 @@ struct EngineStatsSnapshot {
     /// failures latch background_compaction/checkpoints off and count
     /// here; reads keep surfacing corruption per access).
     std::uint64_t background_failures = 0;
+};
+
+/// Per-segment pin coordinating live get_ref() views with the compactor's
+/// unlink. Readers add() under the engine lock (so a pin always lands
+/// before the compactor can retire the segment) and release() when the
+/// last view owner drops; the compactor calls retire() instead of
+/// unlinking directly. Whichever of "last release" and "retire" happens
+/// second removes the file — the mutex-guarded path swap makes the unlink
+/// exactly-once.
+class SegmentPin {
+  public:
+    void add() noexcept { count_.fetch_add(1); }
+
+    void release() noexcept {
+        if (count_.fetch_sub(1) == 1 && retired_.load()) {
+            unlink_now();
+        }
+    }
+
+    /// Hand the file over for deferred deletion. Unlinks immediately when
+    /// no view is pinned.
+    void retire(std::filesystem::path path) {
+        {
+            const std::scoped_lock lock(mu_);
+            path_ = std::move(path);
+        }
+        retired_.store(true);
+        if (count_.load() == 0) {
+            unlink_now();
+        }
+    }
+
+    [[nodiscard]] bool pinned() const noexcept { return count_.load() > 0; }
+
+  private:
+    void unlink_now() noexcept {
+        std::filesystem::path p;
+        {
+            const std::scoped_lock lock(mu_);
+            p.swap(path_);
+        }
+        if (!p.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(p, ec);
+        }
+    }
+
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<bool> retired_{false};
+    std::mutex mu_;  // guards path_ (one-shot unlink handoff)
+    std::filesystem::path path_;
+};
+
+/// Borrowed, CRC-verified view of a live value. `bytes` stays valid (and
+/// byte-identical, even across compaction) for as long as `keepalive` is
+/// held: it owns the segment mapping plus a SegmentPin reference that
+/// defers the compactor's unlink. See DESIGN.md §15.3.
+struct ValueRef {
+    ConstBytes bytes{};
+    std::shared_ptr<const void> keepalive{};
 };
 
 class LogEngine {
@@ -144,6 +213,14 @@ class LogEngine {
     /// Fetch the live value of \p key, or nullopt if absent. Throws
     /// ConsistencyError if the stored record fails its CRC.
     [[nodiscard]] std::optional<Buffer> get(std::string_view key);
+
+    /// Zero-copy variant of get(): returns a CRC-verified view served
+    /// directly from the mmap'd segment when possible (sealed segment,
+    /// uncompressed record), falling back to a pread copy otherwise.
+    /// Either way the returned bytes are valid and immutable for the
+    /// keepalive's lifetime — a pinned view defers the compactor's
+    /// unlink of its segment file. Same error contract as get().
+    [[nodiscard]] std::optional<ValueRef> get_ref(std::string_view key);
 
     [[nodiscard]] bool contains(std::string_view key);
 
@@ -208,6 +285,9 @@ class LogEngine {
         /// weight.
         std::uint64_t tomb_bytes = 0;
         bool sealed = false;
+        /// Live get_ref() views of this segment; the compactor retires
+        /// the file through it instead of unlinking directly.
+        std::shared_ptr<SegmentPin> pin = std::make_shared<SegmentPin>();
     };
 
     struct ScanOutcome {
@@ -243,6 +323,12 @@ class LogEngine {
 
     /// Bounds-check one user key/value pair.
     static void validate_kv(std::string_view key, ConstBytes value);
+
+    /// The unlocked half of get(): pread + CRC-verify + (if compressed)
+    /// decode the record at \p loc. Throws ConsistencyError on mismatch.
+    [[nodiscard]] Buffer read_value_checked(const Location& loc,
+                                            SegmentFile& file,
+                                            std::string_view key);
 
     // Append path (callers hold mu_).
     void append_locked(RecordType type, std::string_view key,
@@ -327,6 +413,9 @@ class LogEngine {
     Counter compactions_;
     Counter relocated_records_;
     Counter reclaimed_bytes_;
+    Counter ref_gets_mmap_;
+    Counter ref_gets_copy_;
+    Counter deferred_unlinks_;
     Counter compact_compressed_records_;
     Counter compact_raw_bytes_in_;
     Counter compact_stored_bytes_out_;

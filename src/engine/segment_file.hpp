@@ -11,6 +11,7 @@
 #pragma once
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -18,6 +19,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 
 #include "common/buffer.hpp"
 #include "common/error.hpp"
@@ -125,6 +127,48 @@ class SegmentFile {
         return path_;
     }
 
+    /// Read-only mapping of a file prefix. Holding the shared_ptr keeps
+    /// the pages valid; the last owner munmaps.
+    class Mapping {
+      public:
+        Mapping(const std::uint8_t* data, std::size_t len) noexcept
+            : data_(data), len_(len) {}
+        Mapping(const Mapping&) = delete;
+        Mapping& operator=(const Mapping&) = delete;
+        ~Mapping() {
+            if (data_ != nullptr) {
+                ::munmap(const_cast<std::uint8_t*>(data_), len_);
+            }
+        }
+        [[nodiscard]] ConstBytes bytes() const noexcept {
+            return {data_, len_};
+        }
+
+      private:
+        const std::uint8_t* data_;
+        std::size_t len_;
+    };
+
+    /// Map the first \p len bytes read-only, or return nullptr if mmap
+    /// fails (caller falls back to pread). The mapping is cached: sealed
+    /// segments are mapped once at their final size and every reader
+    /// shares the same pages. Never call with len beyond the durable file
+    /// size — touching pages past EOF raises SIGBUS.
+    [[nodiscard]] std::shared_ptr<const Mapping> map_prefix(
+        std::uint64_t len) {
+        const std::scoped_lock lock(map_mu_);
+        if (map_ && map_->bytes().size() >= len) {
+            return map_;
+        }
+        void* p = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd_, 0);
+        if (p == MAP_FAILED) {
+            return nullptr;
+        }
+        map_ = std::make_shared<const Mapping>(
+            static_cast<const std::uint8_t*>(p), len);
+        return map_;
+    }
+
   private:
     SegmentFile(std::filesystem::path path, int fd, std::uint64_t size)
         : path_(std::move(path)), fd_(fd), size_(size) {}
@@ -132,6 +176,9 @@ class SegmentFile {
     const std::filesystem::path path_;
     const int fd_;
     std::uint64_t size_;  // tail offset; guarded by the engine mutex
+
+    std::mutex map_mu_;  // guards map_ creation
+    std::shared_ptr<const Mapping> map_;
 };
 
 }  // namespace blobseer::engine

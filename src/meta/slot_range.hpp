@@ -56,8 +56,16 @@ struct SlotRange {
     friend bool operator==(const SlotRange&, const SlotRange&) = default;
 
     [[nodiscard]] std::string to_string() const {
-        return "[" + std::to_string(first) + "," + std::to_string(end()) +
-               ")";
+        // Built by append: the operator+ chain trips a GCC 12 -Wrestrict
+        // false positive under -Werror at some inlining depths.
+        std::string s;
+        s.reserve(24);
+        s += '[';
+        s += std::to_string(first);
+        s += ',';
+        s += std::to_string(end());
+        s += ')';
+        return s;
     }
 };
 

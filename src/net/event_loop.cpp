@@ -1,0 +1,230 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace blobseer::net {
+
+EventLoop::EventLoop() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+        throw Error(std::string("epoll_create1: ") + std::strerror(errno));
+    }
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+        const int err = errno;
+        ::close(epoll_fd_);
+        throw Error(std::string("eventfd: ") + std::strerror(err));
+    }
+    struct epoll_event ev {};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+        const int err = errno;
+        ::close(wake_fd_);
+        ::close(epoll_fd_);
+        throw Error(std::string("epoll_ctl(wakefd): ") + std::strerror(err));
+    }
+}
+
+EventLoop::~EventLoop() {
+    stop();
+    // Handlers captured shared state (connections); drop it before the
+    // fds they own close in their destructors.
+    handlers_.clear();
+    if (wake_fd_ >= 0) {
+        ::close(wake_fd_);
+    }
+    if (epoll_fd_ >= 0) {
+        ::close(epoll_fd_);
+    }
+}
+
+void EventLoop::start() {
+    if (started_.exchange(true)) {
+        return;
+    }
+    thread_ = std::thread([this] {
+        thread_id_.store(std::this_thread::get_id());
+        run();
+    });
+}
+
+void EventLoop::stop() {
+    if (!started_.load()) {
+        stopping_.store(true);
+        return;
+    }
+    if (!stopping_.exchange(true)) {
+        wake();
+    }
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+}
+
+void EventLoop::post(Task fn) {
+    {
+        const std::scoped_lock lock(task_mu_);
+        if (stopping_.load()) {
+            return;  // discarded: the loop will never run again
+        }
+        tasks_.push_back(std::move(fn));
+    }
+    wake();
+}
+
+void EventLoop::wake() {
+    const std::uint64_t one = 1;
+    // Nonblocking eventfd: EAGAIN means the counter is already nonzero
+    // and the loop will wake anyway.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+    struct epoll_event ev {};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        throw Error(std::string("epoll_ctl(add): ") + std::strerror(errno));
+    }
+    handlers_[fd] = std::move(handler);
+    fd_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+    struct epoll_event ev {};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+        throw Error(std::string("epoll_ctl(mod): ") + std::strerror(errno));
+    }
+}
+
+void EventLoop::del_fd(int fd) {
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) {
+        return;
+    }
+    // Defer the handler's destruction: del_fd is routinely called from
+    // inside the very handler being removed (a connection tearing itself
+    // down), and destroying a std::function mid-invocation frees the
+    // running closure's captured state under its feet.
+    zombies_.push_back(std::move(it->second));
+    handlers_.erase(it);
+    fd_count_.fetch_sub(1, std::memory_order_relaxed);
+    // The fd may already be closed by the owner in rare teardown orders;
+    // a failed DEL is harmless then.
+    struct epoll_event ev {};
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+}
+
+void EventLoop::set_tick(std::chrono::milliseconds period, Task fn) {
+    tick_period_ = period;
+    tick_fn_ = std::move(fn);
+}
+
+void EventLoop::drain_tasks() {
+    std::deque<Task> batch;
+    {
+        const std::scoped_lock lock(task_mu_);
+        batch.swap(tasks_);
+    }
+    for (auto& t : batch) {
+        t();
+    }
+}
+
+void EventLoop::run() {
+    constexpr int kMaxEvents = 64;
+    struct epoll_event events[kMaxEvents];
+    auto next_tick = std::chrono::steady_clock::now() + tick_period_;
+    while (!stopping_.load()) {
+        int timeout_ms = -1;
+        if (tick_fn_) {
+            const auto now = std::chrono::steady_clock::now();
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    next_tick - now)
+                    .count();
+            timeout_ms = left < 0 ? 0 : static_cast<int>(left);
+        }
+        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // epoll fd itself broken; nothing recoverable
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wake_fd_) {
+                std::uint64_t drained = 0;
+                while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+                }
+                continue;
+            }
+            // Look the handler up per event: an earlier handler in this
+            // wave may have del_fd'd this fd.
+            const auto it = handlers_.find(fd);
+            if (it != handlers_.end()) {
+                it->second(events[i].events);
+            }
+        }
+        // Now that no handler is on the stack, retired ones can die.
+        zombies_.clear();
+        drain_tasks();
+        zombies_.clear();  // del_fd from a task is safe to settle too
+        if (tick_fn_ &&
+            std::chrono::steady_clock::now() >= next_tick) {
+            tick_fn_();
+            // A tick may del_fd too (idle sweeps); settle immediately
+            // rather than holding the retired handlers' captures until
+            // the next wakeup.
+            zombies_.clear();
+            next_tick = std::chrono::steady_clock::now() + tick_period_;
+        }
+    }
+    // Final drain so a post() that won the race against stop() is not
+    // silently lost (its effects may release resources).
+    drain_tasks();
+    zombies_.clear();
+}
+
+Reactor::Reactor(std::size_t n,
+                 const std::function<void(EventLoop&, std::size_t)>& pre_start) {
+    if (n == 0) {
+        n = 1;
+    }
+    loops_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        loops_.push_back(std::make_unique<EventLoop>());
+    }
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        if (pre_start) {
+            pre_start(*loops_[i], i);
+        }
+        loops_[i]->start();
+    }
+}
+
+Reactor::~Reactor() { stop(); }
+
+EventLoop& Reactor::next() {
+    return *loops_[rr_.fetch_add(1, std::memory_order_relaxed) %
+                   loops_.size()];
+}
+
+void Reactor::stop() {
+    for (auto& l : loops_) {
+        l->stop();
+    }
+}
+
+}  // namespace blobseer::net

@@ -1,0 +1,129 @@
+/// \file event_loop.hpp
+/// \brief Epoll event loop and fixed-size reactor thread group.
+///
+/// One EventLoop owns one epoll instance and one thread. File descriptors
+/// are registered with a readiness callback; all registration mutation and
+/// all callbacks run on the loop thread, so handlers need no locking
+/// against each other. Cross-thread work enters through post(), which
+/// enqueues a task and wakes the loop via an eventfd. A Reactor is N loops
+/// with round-robin assignment — the fixed thread count that replaces
+/// thread-per-connection serving (DESIGN.md §15).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace blobseer::net {
+
+class EventLoop {
+  public:
+    /// Readiness callback: receives the epoll event mask for the fd.
+    using FdHandler = std::function<void(std::uint32_t events)>;
+    using Task = std::function<void()>;
+
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+
+    /// Spawn the loop thread. Call once.
+    void start();
+
+    /// Ask the loop to exit and join its thread. Idempotent; safe from
+    /// any thread except the loop thread itself. Registered handlers are
+    /// destroyed after the join (dropping any captured shared state).
+    void stop();
+
+    /// Run \p fn on the loop thread. Always enqueues (even when called
+    /// from the loop thread — keeps re-entrancy out of handlers). After
+    /// stop() the task is silently discarded.
+    void post(Task fn);
+
+    /// Register \p fd with \p events (EPOLLIN etc.; level-triggered
+    /// unless the caller ors in EPOLLET). Loop thread only.
+    void add_fd(int fd, std::uint32_t events, FdHandler handler);
+
+    /// Change the event mask of a registered fd. Loop thread only.
+    void mod_fd(int fd, std::uint32_t events);
+
+    /// Unregister \p fd and drop its handler. Loop thread only. The fd is
+    /// NOT closed — ownership stays with the caller.
+    void del_fd(int fd);
+
+    /// Install a periodic tick that fires on the loop thread roughly
+    /// every \p period. One tick per loop; call before start().
+    void set_tick(std::chrono::milliseconds period, Task fn);
+
+    [[nodiscard]] bool on_loop_thread() const noexcept {
+        return std::this_thread::get_id() == thread_id_.load();
+    }
+
+    [[nodiscard]] std::size_t fd_count() const noexcept {
+        return fd_count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+    void drain_tasks();
+    void wake();
+
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    std::thread thread_;
+    std::atomic<std::thread::id> thread_id_{};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<std::size_t> fd_count_{0};
+
+    std::mutex task_mu_;  // leaf lock: guards tasks_ only
+    std::deque<Task> tasks_;
+
+    // Loop-thread-only state.
+    std::unordered_map<int, FdHandler> handlers_;
+    /// Handlers removed by del_fd mid-wave; destroyed only once no
+    /// handler is executing (a handler may del_fd itself).
+    std::vector<FdHandler> zombies_;
+
+    std::chrono::milliseconds tick_period_{0};
+    Task tick_fn_;
+};
+
+/// Fixed group of event loops with round-robin connection assignment.
+class Reactor {
+  public:
+    /// \p n loops (clamped to >= 1), all started immediately. When given,
+    /// \p pre_start runs for each loop before its thread spawns — the
+    /// only window where set_tick() may be called.
+    explicit Reactor(
+        std::size_t n,
+        const std::function<void(EventLoop&, std::size_t)>& pre_start = {});
+    ~Reactor();
+
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// Next loop in round-robin order.
+    [[nodiscard]] EventLoop& next();
+
+    [[nodiscard]] EventLoop& loop(std::size_t i) { return *loops_[i]; }
+    [[nodiscard]] std::size_t size() const noexcept { return loops_.size(); }
+
+    /// Stop and join every loop. Idempotent.
+    void stop();
+
+  private:
+    std::vector<std::unique_ptr<EventLoop>> loops_;
+    std::atomic<std::size_t> rr_{0};
+};
+
+}  // namespace blobseer::net

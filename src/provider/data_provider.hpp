@@ -112,6 +112,22 @@ class DataProvider {
         return *data;
     }
 
+    /// Zero-copy variant of get_chunk(): borrow the payload straight
+    /// from the store (mmap'd engine segment where supported). Identical
+    /// stats/metering and NotFoundError contract.
+    [[nodiscard]] chunk::ChunkRef get_chunk_ref(const chunk::ChunkKey& key) {
+        auto ref = store_->get_ref(key);
+        stats_.ops.add();
+        if (!ref) {
+            stats_.errors.add();
+            throw NotFoundError(key.to_string() + " on provider " +
+                                std::to_string(node_));
+        }
+        stats_.bytes_out.add(ref->bytes.size());
+        read_meter_.record(ref->bytes.size());
+        return std::move(*ref);
+    }
+
     [[nodiscard]] bool has_chunk(const chunk::ChunkKey& key) {
         return store_->contains(key);
     }
@@ -270,6 +286,27 @@ class DataProvider {
         stats_.bytes_out.add(n);
         read_meter_.record(n);
         return {total, std::move(*data)};
+    }
+
+    /// Zero-copy variant of get_chunk_range(); same range clamping and
+    /// metering (only the shipped bytes count).
+    [[nodiscard]] std::pair<std::uint64_t, chunk::ChunkRef>
+    get_chunk_range_ref(const chunk::ChunkKey& key, std::uint64_t offset,
+                        std::uint64_t size) {
+        auto ref = store_->get_ref(key);
+        stats_.ops.add();
+        if (!ref) {
+            stats_.errors.add();
+            throw NotFoundError(key.to_string() + " on provider " +
+                                std::to_string(node_));
+        }
+        const std::uint64_t total = ref->bytes.size();
+        const std::uint64_t begin = std::min(offset, total);
+        const std::uint64_t n =
+            size == 0 ? total - begin : std::min(size, total - begin);
+        stats_.bytes_out.add(n);
+        read_meter_.record(n);
+        return {total, std::move(*ref)};
     }
 
     /// Release one reference; the chunk is reclaimed at zero. Returns

@@ -57,6 +57,19 @@ Dispatcher::OpTelemetry* Dispatcher::telemetry_for(MsgType type) noexcept {
 
 Buffer Dispatcher::dispatch(ConstBytes frame,
                             TimePoint received_at) noexcept {
+    RpcResponse resp = dispatch_sg(frame, received_at);
+    if (!resp.tail.empty()) {
+        // Flattening IS the copy the scatter-gather path avoids; count
+        // the payload bytes so before/after is a counter diff.
+        static Counter& bytes_copied = MetricsRegistry::instance().counter(
+            "rpc_bytes_copied_total", {});
+        bytes_copied.add(resp.tail.size());
+    }
+    return std::move(resp).flatten();
+}
+
+RpcResponse Dispatcher::dispatch_sg(ConstBytes frame,
+                                    TimePoint received_at) noexcept {
     MsgType type = MsgType::kTopology;
     // The request's correlation id is echoed into whatever response —
     // success or error — leaves here, so a multiplexing transport can
@@ -69,7 +82,7 @@ Buffer Dispatcher::dispatch(ConstBytes frame,
     std::uint64_t payload_bytes = 0;
     bool known_type = false;
     const TimePoint started = Clock::now();
-    Buffer response;
+    RpcResponse response;
     try {
         const FrameView f = parse_frame(frame);
         type = f.type;
@@ -113,7 +126,7 @@ Buffer Dispatcher::dispatch(ConstBytes frame,
         status = Status::kError;
         response = seal_error(type, status, e.what());
     }
-    set_frame_corr(response, corr);
+    set_frame_corr(response.head, corr);
 
     const std::uint64_t handle_us = us_between(started, Clock::now());
     if (known_type) {
@@ -129,7 +142,7 @@ Buffer Dispatcher::dispatch(ConstBytes frame,
     if (ctx.active()) {
         // Echo the request's context so the client can sanity-check the
         // response belongs to its trace.
-        set_frame_trace(response, ctx);
+        set_frame_trace(response.head, ctx);
         if (trace::TraceBuffer::should_record(ctx.sampled(), handle_us)) {
             trace::SpanRecord span;
             span.trace_id = ctx.trace_id;
@@ -148,7 +161,7 @@ Buffer Dispatcher::dispatch(ConstBytes frame,
     return response;
 }
 
-Buffer Dispatcher::handle(const FrameView& f) {
+RpcResponse Dispatcher::handle(const FrameView& f) {
     // Fault gate: a request addressed to a node the deployment considers
     // down fails exactly like a dead simulated endpoint, so TCP clients
     // observe the same fault semantics as in-process ones.
@@ -239,7 +252,7 @@ Buffer Dispatcher::handle(const FrameView& f) {
                    std::to_string(static_cast<unsigned>(f.type)));
 }
 
-Buffer Dispatcher::handle_data_provider(const FrameView& f) {
+RpcResponse Dispatcher::handle_data_provider(const FrameView& f) {
     const auto it = data_providers_.find(f.dst());
     if (it == data_providers_.end()) {
         throw RpcError("no data-provider service on node " +
@@ -262,18 +275,23 @@ Buffer Dispatcher::handle_data_provider(const FrameView& f) {
             const std::uint64_t offset = r.u64();
             const std::uint64_t size = r.u64();  // 0 = whole chunk
             r.expect_end();
-            const chunk::ChunkData data = dp.get_chunk(key);
-            const std::uint64_t total = data->size();
+            // Zero-copy: borrow the payload from the store and ship it
+            // as the response tail. The sealed head carries exactly the
+            // bytes w.blob() would have put before the payload (u64
+            // total + varint length), so the wire format is unchanged.
+            chunk::ChunkRef ref = dp.get_chunk_ref(key);
+            const std::uint64_t total = ref.bytes.size();
             const std::uint64_t begin = std::min(offset, total);
             const std::uint64_t n = size == 0
                                         ? total - begin
                                         : std::min(size, total - begin);
-            // Over-reserve so seal's in-place header prepend never
-            // reallocates.
-            WireWriter w(n + 64);
+            WireWriter w(64);
             w.u64(total);
-            w.blob(ConstBytes(data->data() + begin, n));
-            return seal_response(f.type, std::move(w));
+            w.varint(n);  // the blob() length prefix, payload shipped as tail
+            return RpcResponse(
+                seal_response_with_tail(f.type, std::move(w), n),
+                SharedSlice(ref.bytes.subspan(begin, n),
+                            std::move(ref.keepalive)));
         }
         case MsgType::kChunkErase: {
             const chunk::ChunkKey key = get_chunk_key(r);
@@ -324,14 +342,17 @@ Buffer Dispatcher::handle_data_provider(const FrameView& f) {
             const std::uint64_t offset = r.u64();
             const std::uint64_t size = r.u64();  // 0 = rest of the chunk
             r.expect_end();
-            const auto [total, data] = dp.get_chunk_range(key, offset, size);
+            auto [total, ref] = dp.get_chunk_range_ref(key, offset, size);
             const std::uint64_t begin = std::min(offset, total);
             const std::uint64_t n =
                 size == 0 ? total - begin : std::min(size, total - begin);
-            WireWriter w(n + 64);
+            WireWriter w(64);
             w.u64(total);
-            w.blob(ConstBytes(data->data() + begin, n));
-            return seal_response(f.type, std::move(w));
+            w.varint(n);
+            return RpcResponse(
+                seal_response_with_tail(f.type, std::move(w), n),
+                SharedSlice(ref.bytes.subspan(begin, n),
+                            std::move(ref.keepalive)));
         }
         case MsgType::kChunkDecref: {
             const chunk::ChunkKey key = get_chunk_key(r);

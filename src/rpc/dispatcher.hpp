@@ -45,6 +45,39 @@ class VersionManager;
 
 namespace blobseer::rpc {
 
+/// One sealed response: a contiguous head (frame header + body bytes)
+/// plus an optional borrowed tail the head's length field already covers.
+/// Handlers that serve large payloads (chunk reads) return the payload as
+/// the tail — a SharedSlice pointing into the chunk store's memory — so
+/// the bytes are never copied into the frame; a scatter-gather transport
+/// writes head and tail with one writev. Transports without scatter-
+/// gather call flatten(), which is exactly the copy the zero-copy path
+/// avoids (counted by rpc_bytes_copied_total).
+struct RpcResponse {
+    Buffer head;
+    SharedSlice tail;
+
+    RpcResponse() = default;
+    // Implicit: most handlers seal plain contiguous frames.
+    RpcResponse(Buffer h) : head(std::move(h)) {}  // NOLINT
+    RpcResponse(Buffer h, SharedSlice t)
+        : head(std::move(h)), tail(std::move(t)) {}
+
+    /// Total wire size of the frame.
+    [[nodiscard]] std::size_t size() const noexcept {
+        return head.size() + tail.size();
+    }
+
+    /// Collapse into one contiguous frame (copies the tail).
+    [[nodiscard]] Buffer flatten() && {
+        if (!tail.empty()) {
+            head.insert(head.end(), tail.bytes.begin(), tail.bytes.end());
+            tail = {};
+        }
+        return std::move(head);
+    }
+};
+
 class Dispatcher {
   public:
     Dispatcher() = default;
@@ -117,8 +150,16 @@ class Dispatcher {
 
     /// Same, with the instant the transport finished reading the frame —
     /// the gap to now is the dispatch-queue wait the span reports.
+    /// Flattens the scatter-gather response into one contiguous frame
+    /// (the copied tail bytes count into rpc_bytes_copied_total).
     [[nodiscard]] Buffer dispatch(ConstBytes frame,
                                   TimePoint received_at) noexcept;
+
+    /// Scatter-gather dispatch: the zero-copy entry point. Chunk-read
+    /// responses carry their payload as a borrowed tail; everything else
+    /// arrives with an empty tail. Same never-throws contract.
+    [[nodiscard]] RpcResponse dispatch_sg(ConstBytes frame,
+                                          TimePoint received_at) noexcept;
 
   private:
     /// Per-MsgType telemetry, resolved from the registry on first use and
@@ -131,9 +172,9 @@ class Dispatcher {
 
     [[nodiscard]] OpTelemetry* telemetry_for(MsgType type) noexcept;
 
-    [[nodiscard]] Buffer handle(const FrameView& f);
+    [[nodiscard]] RpcResponse handle(const FrameView& f);
 
-    [[nodiscard]] Buffer handle_data_provider(const FrameView& f);
+    [[nodiscard]] RpcResponse handle_data_provider(const FrameView& f);
     [[nodiscard]] Buffer handle_version_manager(const FrameView& f);
     [[nodiscard]] Buffer handle_meta_provider(const FrameView& f);
     [[nodiscard]] Buffer handle_provider_manager(const FrameView& f);

@@ -299,17 +299,20 @@ namespace detail {
 
 [[nodiscard]] inline Buffer seal(MsgType type, bool response,
                                  std::uint32_t dst_or_status,
-                                 WireWriter&& payload) {
+                                 WireWriter&& payload,
+                                 std::size_t tail_bytes = 0) {
     Buffer body = payload.take();
-    if (body.size() > kMaxPayload) {
+    if (body.size() + tail_bytes > kMaxPayload) {
         // Fail at the sender with a clear error — a receiver would just
         // drop the connection, and a >4 GiB body would silently
         // truncate in the header's 32-bit length field.
         throw InvalidArgument(
-            std::string("rpc payload of ") + std::to_string(body.size()) +
+            std::string("rpc payload of ") +
+            std::to_string(body.size() + tail_bytes) +
             " bytes exceeds the frame limit (" + to_string(type) + ")");
     }
-    const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(body.size() + tail_bytes);
     // Prepend the header in place — one memmove into the writer's spare
     // capacity instead of allocating and copying a second buffer (this
     // sits on the per-RPC hot path of both client and server).
@@ -399,6 +402,18 @@ inline void set_frame_trace(MutableBytes frame,
                                           WireWriter&& payload) {
     return detail::seal(type, true, static_cast<std::uint32_t>(Status::kOk),
                         std::move(payload));
+}
+
+/// Seal a successful response whose payload continues for \p tail_bytes
+/// past the sealed buffer: the header's length field covers body + tail,
+/// but only the body is materialized here. The caller ships the tail as
+/// a separate iovec (zero-copy scatter-gather responses); the receiver
+/// sees one ordinary contiguous frame.
+[[nodiscard]] inline Buffer seal_response_with_tail(MsgType type,
+                                                    WireWriter&& payload,
+                                                    std::size_t tail_bytes) {
+    return detail::seal(type, true, static_cast<std::uint32_t>(Status::kOk),
+                        std::move(payload), tail_bytes);
 }
 
 /// Seal an error response; the payload is the error string.

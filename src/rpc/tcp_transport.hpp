@@ -1,26 +1,31 @@
 /// \file tcp_transport.hpp
 /// \brief POSIX-socket Transport multiplexing many in-flight requests
-///        over one connection per peer, plus the accept/dispatch server
+///        over one connection per peer, plus the epoll reactor server
 ///        that answers it.
 ///
-/// Framing on the socket is the frame itself — the 24-byte header
+/// Framing on the socket is the frame itself — the 40-byte header
 /// carries the payload length, so a receiver reads the header, validates
 /// it, then reads exactly the payload. One connection per peer endpoint
 /// carries any number of in-flight requests (protocol v3): the sender
-/// stamps each request with a per-connection unique correlation id, a
-/// dedicated reader thread matches responses — which arrive in whatever
-/// order the server finishes them — back to their futures by that id.
-/// A connection that dies (reset, EOF, desync) fails *every* future
-/// still in flight on it with RpcError; the next call opens a fresh
-/// connection.
+/// stamps each request with a per-connection unique correlation id and
+/// the transport's event loop matches responses — which arrive in
+/// whatever order the server finishes them — back to their futures by
+/// that id. A connection that dies (reset, EOF, desync) fails *every*
+/// future still in flight on it with RpcError; the next call opens a
+/// fresh connection.
 ///
-/// The server keeps one reader thread per connection but hands each
-/// decoded frame to a shared worker pool, so a slow request (a large
-/// get_chunk, a blocking wait_published) no longer blocks the requests
-/// queued behind it on the same connection. Responses are written back
-/// under a per-connection send lock in completion order. stop() (or
-/// destruction) shuts down the listener and every live connection,
-/// drains the worker pool and joins all threads.
+/// Both sides are event-driven (DESIGN.md §15): the client runs one
+/// epoll loop per transport instead of one reader thread per peer, and
+/// the server runs a fixed Reactor of N loops with nonblocking sockets
+/// instead of one thread per connection — 1k+ concurrent connections
+/// cost fds, not stacks. Loops only move bytes; each decoded request is
+/// dispatched on the shared worker ThreadPool, so a slow handler never
+/// blocks a loop. Responses are scatter-gather (sealed head + borrowed
+/// payload tail) written with one writev; when the kernel send buffer
+/// fills, the remainder parks in a per-connection frame queue and
+/// EPOLLOUT drains it (backpressure without a blocked thread). stop()
+/// (or destruction) shuts down the listener and every live connection,
+/// stops the loops, drains the worker pool and joins all threads.
 
 #pragma once
 
@@ -39,11 +44,13 @@
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "net/event_loop.hpp"
 #include "rpc/transport.hpp"
 
 namespace blobseer::rpc {
 
 class Dispatcher;
+struct RpcResponse;
 
 /// TCP address of one logical node (or of a whole daemon).
 struct Endpoint {
@@ -74,8 +81,9 @@ class TcpTransport final : public Transport {
                                             ConstBytes frame) override;
 
   private:
-    /// One multiplexed connection: socket, reader thread, and the
-    /// correlation-id -> promise table of requests awaiting responses.
+    /// One multiplexed connection: nonblocking socket, loop-registered
+    /// read state, and the correlation-id -> promise table of requests
+    /// awaiting responses.
     struct MuxConn;
 
     [[nodiscard]] Endpoint endpoint_of(NodeId dst) const;
@@ -84,15 +92,26 @@ class TcpTransport final : public Transport {
     /// probes an idle one for staleness, reconnects when needed.
     [[nodiscard]] std::shared_ptr<MuxConn> get_conn(NodeId dst);
 
-    /// Move a dead connection out of the active map; its reader is
-    /// joined (and fd closed) by reap_graveyard()/the destructor.
+    /// Install the readiness handler for a fresh connection (loop
+    /// thread only).
+    void register_conn(const std::shared_ptr<MuxConn>& conn);
+
+    /// Move a dead connection out of the active map; its loop
+    /// registration unwinds via the shutdown-triggered EOF event.
     void retire_locked(std::shared_ptr<MuxConn> conn);
 
-    /// Join and close connections retired earlier. Cheap: retired
-    /// readers exit as soon as their socket is shut down.
+    /// Drop references to connections retired earlier (their fds close
+    /// when the loop releases the last reference).
     void reap_graveyard();
 
-    static void reader_loop(const std::shared_ptr<MuxConn>& conn);
+    /// The shared doom path: mark dead, shut the socket down, fail all
+    /// in-flight futures, and unwind the loop registration.
+    void doom_conn(const std::shared_ptr<MuxConn>& conn,
+                   const std::string& reason);
+
+    /// One event loop serves every connection of this transport
+    /// (replaces one reader thread per peer).
+    std::unique_ptr<net::EventLoop> loop_;
 
     Endpoint default_endpoint_;
     mutable std::mutex peers_mu_;  // peers_ grows at runtime (add_peer)
@@ -108,10 +127,26 @@ class TcpTransport final : public Transport {
 
 class TcpRpcServer {
   public:
-    /// Bind and listen on \p bind_addr:\p port (port 0 = ephemeral; read
-    /// the chosen one back with port()) and start the accept loop.
-    /// \p workers sizes the shared dispatch pool (0 = a hardware-sized
-    /// default).
+    struct Options {
+        std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
+        std::string bind_addr = "0.0.0.0";
+        /// Dispatch pool size (0 = a hardware-sized default).
+        std::size_t workers = 0;
+        /// Event-loop (reactor) threads moving bytes (0 = default 2).
+        std::size_t io_threads = 0;
+        /// Close connections idle longer than this (0 = never). Guards
+        /// fd exhaustion under thousands of parked clients.
+        std::uint64_t idle_timeout_ms = 0;
+        /// Serve chunk reads scatter-gather straight from store memory.
+        /// Off flattens every response through the copy path — only
+        /// useful for measuring what zero-copy saves.
+        bool zero_copy = true;
+    };
+
+    TcpRpcServer(Dispatcher& dispatcher, Options opts);
+
+    /// Back-compat convenience: bind \p bind_addr:\p port with default
+    /// reactor sizing.
     explicit TcpRpcServer(Dispatcher& dispatcher, std::uint16_t port = 0,
                           const std::string& bind_addr = "0.0.0.0",
                           std::size_t workers = 0);
@@ -122,58 +157,63 @@ class TcpRpcServer {
 
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-    /// Shut down listener and connections, drain the worker pool, join
-    /// every thread. Idempotent.
+    /// Live accepted connections (tests and the idle-timeout sweeps).
+    [[nodiscard]] std::size_t connection_count() const;
+
+    /// Shut down listener and connections, stop the loops, drain the
+    /// worker pool, join every thread. Idempotent.
     void stop();
 
   private:
-    /// Shared state of one accepted connection. Dispatch tasks hold a
-    /// reference while they run, so the fd stays open (and the number
-    /// is not recycled by a concurrent accept) until the last response
-    /// writer is done.
-    struct ServerConn {
-        explicit ServerConn(int fd_) : fd(fd_) {}
-        ~ServerConn();  // closes fd
+    struct ServerConn;
 
-        ServerConn(const ServerConn&) = delete;
-        ServerConn& operator=(const ServerConn&) = delete;
+    void on_accept(std::uint32_t events);
+    void register_conn(const std::shared_ptr<ServerConn>& conn);
+    void on_readable(const std::shared_ptr<ServerConn>& conn,
+                     std::uint32_t events);
+    void on_writable(const std::shared_ptr<ServerConn>& conn);
+    /// Loop-thread-only teardown of one connection.
+    void close_conn(const std::shared_ptr<ServerConn>& conn);
+    /// Route one complete request frame (loop thread).
+    void handle_frame(const std::shared_ptr<ServerConn>& conn,
+                      Buffer request);
 
-        int fd;
-        std::mutex send_mu;           ///< serializes response writes
-        std::atomic<bool> ok{true};   ///< false once the conn is doomed
-    };
-
-    void accept_loop();
-    void serve(const std::shared_ptr<ServerConn>& conn);
-
-    /// Dispatch one request and write its response back (worker-pool
-    /// task body, also run by dedicated blocking-op threads).
-    /// \p received_at is when the reader finished the frame — the gap to
+    /// Dispatch one request and queue its response (worker-pool task
+    /// body, also run by dedicated blocking-op threads).
+    /// \p received_at is when the loop finished the frame — the gap to
     /// dispatch is the queue wait the server span reports.
     void answer(const std::shared_ptr<ServerConn>& conn,
                 const Buffer& request, TimePoint received_at);
 
+    /// Queue + opportunistically flush one response; arms EPOLLOUT when
+    /// the kernel buffer is full (backpressure).
+    void send_response(const std::shared_ptr<ServerConn>& conn,
+                       RpcResponse&& resp);
+
+    /// Idle-timeout tick body for one loop.
+    void sweep_idle(net::EventLoop* loop);
+
     Dispatcher& dispatcher_;
+    const Options opts_;
     /// Dispatch pool shared by all connections; reset (drained + joined)
-    /// by stop() after every reader thread has exited.
+    /// by stop() after the reactor loops have been joined.
     std::unique_ptr<ThreadPool> workers_;
+    std::unique_ptr<net::Reactor> reactor_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
-    std::thread accept_thread_;
 
-    std::mutex mu_;  // guards conns_, active_conns_, stopping_
+    mutable std::mutex mu_;  // guards conns_, blocking_ops_, stopping_
     std::condition_variable conn_done_;
     bool stopping_ = false;
-    /// Connection reader threads are detached so finished ones cost
-    /// nothing; stop() waits on this count instead of joining handles.
-    std::size_t active_conns_ = 0;
     /// Requests that block by design (wait_published) run on dedicated
     /// detached threads, NOT pool workers: N of them parked in a
     /// condition wait must never exhaust the pool and stall the very
-    /// commit that would wake them. stop() drains this count too.
+    /// commit that would wake them. stop() drains this count.
     std::size_t blocking_ops_ = 0;
-    std::unordered_map<int, std::shared_ptr<ServerConn>> conns_;
-    /// Registry bindings (worker backlog, connection count); declared
+    std::unordered_map<ServerConn*, std::shared_ptr<ServerConn>> conns_;
+    /// Per-loop dispatch counters (registry-owned, stable addresses).
+    std::vector<Counter*> loop_dispatch_;
+    /// Registry bindings (worker backlog, connection gauges); declared
     /// last so they unbind before the state they sample.
     MetricsGroup metrics_;
 };

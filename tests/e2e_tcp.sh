@@ -602,5 +602,67 @@ kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died after cache deletion"
 
 stop_serverd
 
+# --- phase 7: epoll reactor — connection burst on fixed io threads ----------
+
+# Two event-loop threads and a 2 s idle timeout. A 256-connection burst
+# of raw idle sockets parks on the reactor while a concurrent cli
+# session streams a full read through the crowd; the idle sweep then
+# reaps the burst, reads stay byte-identical, and the daemon shuts
+# down cleanly.
+start_serverd "$WORK/serverd9.log" --data-providers 2 --meta-providers 1 \
+    --io-threads 2 --idle-timeout-ms 2000
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli13.log" 2>&1 <<'EOF'
+create 65536
+write 1 0 4194304 6
+read 1 1 0 4194304 6
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli13.log"; fail "reactor write session failed"; }
+echo "--- reactor cli output ---"
+cat "$WORK/cli13.log"
+grep -q "tag matches" "$WORK/cli13.log" || fail "reactor readback mismatch"
+FNV_REACTOR=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli13.log" | head -1)
+[ -n "$FNV_REACTOR" ] || fail "no reactor fnv recorded"
+
+# 256 idle connections, each held open by a sleeping subshell.
+BURST_PIDS=""
+for _ in $(seq 1 256); do
+    ( exec 3<>"/dev/tcp/127.0.0.1/$PORT" && sleep 8 ) 2>/dev/null &
+    BURST_PIDS="$BURST_PIDS $!"
+done
+sleep 0.5
+
+# A full read runs THROUGH the parked burst on the same two loops.
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli14.log" 2>&1 <<'EOF'
+read 1 1 0 4194304 6
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli14.log"; fail "read under burst failed"; }
+grep -q "tag matches" "$WORK/cli14.log" || fail "burst readback mismatch"
+
+# The idle timeout reaps the burst underneath the sleeping holders
+# while the daemon stays up.
+sleep 3
+kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died under connection burst"
+kill $BURST_PIDS 2>/dev/null
+wait $BURST_PIDS 2>/dev/null
+
+"$CLI" --connect "127.0.0.1:$PORT" >"$WORK/cli15.log" 2>&1 <<'EOF'
+read 1 1 0 4194304 6
+quit
+EOF
+[ $? -eq 0 ] || { cat "$WORK/cli15.log"; fail "post-burst session failed"; }
+echo "--- post-burst cli output ---"
+cat "$WORK/cli15.log"
+grep -q "tag matches" "$WORK/cli15.log" || fail "post-burst readback mismatch"
+FNV_AFTER_BURST=$(sed -n 's/.*fnv=\([0-9a-f]*\).*/\1/p' "$WORK/cli15.log" |
+    head -1)
+[ "$FNV_REACTOR" = "$FNV_AFTER_BURST" ] ||
+    fail "bytes differ after burst (fnv $FNV_REACTOR != $FNV_AFTER_BURST)"
+grep -q "error:" "$WORK/cli15.log" && fail "client-visible error after burst"
+
+stop_serverd
+
 echo "PASS"
 exit 0

@@ -303,6 +303,56 @@ TEST(LogEngine, CompactionReclaimsAfterReopen) {
     }
 }
 
+TEST(LogEngine, PinnedReadSurvivesCompaction) {
+    // get_ref() contract (DESIGN.md §15.3): a pinned view stays valid
+    // and byte-identical even after the compactor rewrites and retires
+    // its segment — the unlink is deferred to the last view release.
+    TempDir dir;
+    EngineConfig cfg = manual_config(dir.path());
+    cfg.segment_target_bytes = 128;    // a couple of puts per segment
+    cfg.compact_min_live_ratio = 1.0;  // any dead byte makes a victim
+    LogEngine eng(cfg);
+    for (int i = 0; i < 32; ++i) {
+        eng.put("key-" + std::to_string(i),
+                Buffer(64, static_cast<std::uint8_t>(i)));
+    }
+    // Dead space in the early segments so they become victims.
+    for (int i = 0; i < 32; i += 2) {
+        eng.put("key-" + std::to_string(i), Buffer(64, 0xEE));
+    }
+
+    auto count_files = [&] {
+        std::size_t n = 0;
+        for (const auto& e : fs::directory_iterator(dir.path())) {
+            n += e.is_regular_file() ? 1 : 0;
+        }
+        return n;
+    };
+
+    auto ref = eng.get_ref("key-3");  // odd key: still in its sealed home
+    ASSERT_TRUE(ref.has_value());
+    ASSERT_EQ(ref->bytes.size(), 64u);
+    EXPECT_GE(eng.stats().ref_gets_mmap, 1u);
+
+    // Kill the pinned key itself: its segment is now certainly a victim,
+    // yet the live view must not notice.
+    EXPECT_TRUE(eng.remove("key-3"));
+
+    EXPECT_GT(eng.compact(), 0u);
+    EXPECT_GE(eng.stats().deferred_unlinks, 1u);
+    const std::size_t files_pinned = count_files();
+
+    // The view still reads the original bytes from the retired (but not
+    // yet unlinked) segment's mapping, even though the key is gone.
+    const Buffer expect(64, 3);
+    EXPECT_EQ(0, std::memcmp(ref->bytes.data(), expect.data(), 64));
+    EXPECT_FALSE(eng.get("key-3").has_value());
+
+    ref.reset();  // last release fires the deferred unlink
+    EXPECT_LT(count_files(), files_pinned);
+    ASSERT_TRUE(eng.get("key-5").has_value());  // survivors intact
+}
+
 TEST(LogEngine, CleanCloseAdvancesCheckpointPastReplayedSuffix) {
     TempDir dir;
     EngineConfig cfg = manual_config(dir.path());

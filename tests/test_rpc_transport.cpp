@@ -8,11 +8,21 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/client.hpp"
 #include "core/cluster.hpp"
+#include "rpc/messages.hpp"
+#include "rpc/protocol.hpp"
 #include "rpc/service_client.hpp"
 #include "rpc/sim_transport.hpp"
 #include "rpc/tcp_transport.hpp"
@@ -452,6 +462,213 @@ TEST_P(TransportConformance, DaemonRestartReconnectsTransparently) {
     server_ = std::make_unique<TcpRpcServer>(cluster_->dispatcher(), port,
                                              "127.0.0.1");
     EXPECT_NO_THROW((void)svc_->blob_info(info.id));
+}
+
+// ---- reactor wire mechanics (real wire) ------------------------------------
+
+namespace {
+
+/// Raw loopback socket, optionally with a deliberately tiny receive
+/// buffer so the server's writes hit EAGAIN after a few KiB.
+int connect_raw(std::uint16_t port, int rcvbuf_bytes) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    if (rcvbuf_bytes > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                     sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool write_all(int fd, const std::uint8_t* src, std::size_t n) {
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, src, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        src += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+    while (n > 0) {
+        const ssize_t got = ::recv(fd, dst, n, 0);
+        if (got < 0 && errno == EINTR) {
+            continue;
+        }
+        if (got <= 0) {
+            return false;
+        }
+        dst += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/// Pipeline \p count whole-chunk kChunkGet frames (corr 1..count) onto a
+/// raw socket without reading anything back.
+void pipeline_chunk_gets(int fd, NodeId dp, const chunk::ChunkKey& key,
+                         std::uint64_t count) {
+    for (std::uint64_t corr = 1; corr <= count; ++corr) {
+        WireWriter w;
+        put_chunk_key(w, key);
+        w.u64(0);
+        w.u64(0);  // 0 = whole chunk
+        Buffer f = seal_request(MsgType::kChunkGet, dp, std::move(w));
+        set_frame_corr(MutableBytes(f), corr);
+        ASSERT_TRUE(write_all(fd, f.data(), f.size()));
+    }
+}
+
+}  // namespace
+
+TEST_P(TransportConformance, PartialWriteBackpressureDeliversAllResponses) {
+    if (is_sim()) {
+        GTEST_SKIP() << "socket backpressure is a TCP feature";
+    }
+    // A client that reads nothing while 64 whole-chunk responses
+    // (16 MiB) head for a few-KiB receive window: the server's writes
+    // go partial, the remainders park in the per-connection frame
+    // queue, and EPOLLOUT drains them as the window reopens. Every
+    // byte must still arrive, matched to its correlation id.
+    const NodeId dp = cluster_->data_provider(0).node();
+    const chunk::ChunkKey key{21, 1};
+    const Buffer payload = make_pattern(21, 1, 0, 256 << 10);
+    svc_->put_chunk(dp, key, payload);
+
+    const int fd = connect_raw(server_->port(), 4096);
+    ASSERT_GE(fd, 0);
+    constexpr std::uint64_t kPipelined = 64;
+    pipeline_chunk_gets(fd, dp, key, kPipelined);
+    // Give every response time to land in the tiny window or park.
+    std::this_thread::sleep_for(milliseconds(300));
+
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < kPipelined; ++i) {
+        Buffer frame(kFrameHeaderSize);
+        ASSERT_TRUE(read_exact(fd, frame.data(), kFrameHeaderSize));
+        std::uint32_t len = 0;
+        std::memcpy(&len, frame.data() + 12, sizeof(len));
+        frame.resize(kFrameHeaderSize + len);
+        ASSERT_TRUE(
+            read_exact(fd, frame.data() + kFrameHeaderSize, len));
+        const FrameView fv = parse_frame(frame);
+        EXPECT_EQ(fv.type, MsgType::kChunkGet);
+        EXPECT_EQ(fv.status(), Status::kOk);
+        EXPECT_TRUE(seen.insert(fv.corr).second)
+            << "duplicate correlation id " << fv.corr;
+        WireReader r(fv.payload);
+        EXPECT_EQ(r.u64(), payload.size());
+        const ConstBytes bytes = r.blob();
+        ASSERT_EQ(bytes.size(), payload.size());
+        EXPECT_EQ(0, std::memcmp(bytes.data(), payload.data(),
+                                 payload.size()));
+    }
+    EXPECT_EQ(seen.size(), kPipelined);
+    EXPECT_EQ(*seen.begin(), 1u);
+    EXPECT_EQ(*seen.rbegin(), kPipelined);
+    ::close(fd);
+}
+
+TEST_P(TransportConformance, SlowReaderDoesNotBlockLoopSiblings) {
+    if (is_sim()) {
+        GTEST_SKIP() << "event-loop scheduling is a TCP feature";
+    }
+    // One io thread serves both connections. The slow one never reads
+    // its parked multi-MiB backlog; the sibling's small RPCs must still
+    // turn around promptly — a parked writer costs an EPOLLOUT
+    // registration, not the loop thread.
+    TcpRpcServer::Options opts;
+    opts.bind_addr = "127.0.0.1";
+    opts.io_threads = 1;
+    TcpRpcServer server(cluster_->dispatcher(), std::move(opts));
+
+    const NodeId dp = cluster_->data_provider(0).node();
+    const chunk::ChunkKey key{22, 1};
+    const Buffer payload = make_pattern(22, 1, 0, 256 << 10);
+    svc_->put_chunk(dp, key, payload);  // same dispatcher as `server`
+
+    const int slow = connect_raw(server.port(), 4096);
+    ASSERT_GE(slow, 0);
+    pipeline_chunk_gets(slow, dp, key, 32);
+    std::this_thread::sleep_for(milliseconds(200));  // responses park
+
+    TcpTransport sibling("127.0.0.1", server.port());
+    ServiceClient svc(sibling, cluster_->version_manager_nodes(),
+                      cluster_->provider_manager_node());
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 16; ++i) {
+        const auto got = svc.get_chunk(
+            dp, key, static_cast<std::uint64_t>(i) * 1024, 512);
+        ASSERT_EQ(got.bytes.size(), 512u);
+        EXPECT_EQ(0, std::memcmp(got.bytes.data(),
+                                 payload.data() + i * 1024, 512));
+    }
+    EXPECT_LT(Clock::now() - t0, seconds(5))
+        << "sibling RPCs starved behind a parked writer";
+    ::close(slow);
+}
+
+TEST_P(TransportConformance, IdleConnectionsAreReaped) {
+    if (is_sim()) {
+        GTEST_SKIP() << "idle sweep is a TCP feature";
+    }
+    TcpRpcServer::Options opts;
+    opts.bind_addr = "127.0.0.1";
+    opts.idle_timeout_ms = 200;
+    TcpRpcServer server(cluster_->dispatcher(), std::move(opts));
+
+    TcpTransport active_t("127.0.0.1", server.port());
+    ServiceClient active(active_t, cluster_->version_manager_nodes(),
+                         cluster_->provider_manager_node());
+    const auto info = active.create_blob(4096, 1);
+
+    const int idle = connect_raw(server.port(), 0);
+    ASSERT_GE(idle, 0);
+    for (int i = 0; i < 200 && server.connection_count() < 2; ++i) {
+        std::this_thread::sleep_for(milliseconds(10));
+    }
+    ASSERT_GE(server.connection_count(), 2u);
+
+    // The active connection keeps traffic flowing (so the sweep must
+    // not touch it); the idle one must be closed underneath it.
+    bool eof = false;
+    const auto deadline = Clock::now() + seconds(5);
+    while (Clock::now() < deadline) {
+        EXPECT_EQ(active.blob_info(info.id).id, info.id);
+        std::uint8_t b = 0;
+        const ssize_t got = ::recv(idle, &b, 1, MSG_DONTWAIT);
+        if (got == 0) {
+            eof = true;  // server closed the idle connection
+            break;
+        }
+        ASSERT_LE(got, 0) << "unexpected bytes on an idle connection";
+        std::this_thread::sleep_for(milliseconds(50));
+    }
+    EXPECT_TRUE(eof) << "idle connection was never reaped";
+    for (int i = 0; i < 200 && server.connection_count() > 1; ++i) {
+        std::this_thread::sleep_for(milliseconds(10));
+    }
+    EXPECT_EQ(server.connection_count(), 1u);
+    // ...and the survivor still answers.
+    EXPECT_EQ(active.blob_info(info.id).id, info.id);
+    ::close(idle);
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, TransportConformance,

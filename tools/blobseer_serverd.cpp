@@ -80,6 +80,10 @@ void usage(const char* argv0) {
         "  --sim-latency-us <n>  simulated intra-daemon latency (default 0)\n"
         "  --workers <n>         RPC dispatch worker threads (default:\n"
         "                        hardware-sized; min 4)\n"
+        "  --io-threads <n>      RPC event-loop (reactor) threads moving\n"
+        "                        socket bytes (default 2)\n"
+        "  --idle-timeout-ms <n> close client connections idle longer\n"
+        "                        than n ms (default 0 = never)\n"
         "  --heartbeat-timeout-ms <n>  declare an external provider dead\n"
         "                        after n ms without a heartbeat (default\n"
         "                        0 = off)\n"
@@ -164,7 +168,8 @@ int run_provider(const core::ClusterConfig& cfg, const std::string& join,
                  const std::string& name, std::uint16_t port,
                  const std::string& bind_addr,
                  const std::string& announce_host, long long beat_ms,
-                 std::size_t workers, int metrics_port, sigset_t* signals) {
+                 const rpc::TcpRpcServer::Options& server_opts,
+                 int metrics_port, sigset_t* signals) {
     const auto colon = join.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
         colon + 1 >= join.size()) {
@@ -186,7 +191,10 @@ int run_provider(const core::ClusterConfig& cfg, const std::string& join,
 
     rpc::Dispatcher dispatcher;
     dispatcher.add_data_provider(joined.node, &dp);
-    rpc::TcpRpcServer server(dispatcher, port, bind_addr, workers);
+    rpc::TcpRpcServer::Options opts = server_opts;
+    opts.port = port;
+    opts.bind_addr = bind_addr;
+    rpc::TcpRpcServer server(dispatcher, opts);
     const auto metrics_http = maybe_serve_metrics(metrics_port, bind_addr);
 
     // A durable store restarts with its chunks; the announce carries the
@@ -279,7 +287,8 @@ int main(int argc, char** argv) {
     std::uint16_t port = 4400;
     bool port_set = false;
     std::string bind_addr = "0.0.0.0";
-    std::size_t workers = 0;  // 0 = TcpRpcServer's hardware-sized default
+    // workers 0 = hardware-sized default; io_threads 0 = reactor default.
+    rpc::TcpRpcServer::Options server_opts;
     bool meta_store_set = false;
     long long abort_stalled_ms = 0;  // 0 = no background stalled sweep
 
@@ -370,7 +379,13 @@ int main(int argc, char** argv) {
         } else if (arg == "--sim-latency-us") {
             cfg.network.latency = microseconds(std::atoll(next()));
         } else if (arg == "--workers") {
-            workers = static_cast<std::size_t>(std::atoll(next()));
+            server_opts.workers = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--io-threads") {
+            server_opts.io_threads =
+                static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--idle-timeout-ms") {
+            server_opts.idle_timeout_ms =
+                static_cast<std::uint64_t>(std::atoll(next()));
         } else if (arg == "--heartbeat-timeout-ms") {
             cfg.heartbeat_timeout = milliseconds(std::atoll(next()));
         } else if (arg == "--repair-interval-ms") {
@@ -439,8 +454,8 @@ int main(int argc, char** argv) {
         try {
             return run_provider(cfg, join_addr, provider_name, port,
                                 bind_addr, announce_host,
-                                beat_interval_ms, workers, metrics_port,
-                                &set);
+                                beat_interval_ms, server_opts,
+                                metrics_port, &set);
         } catch (const Error& e) {
             std::fprintf(stderr, "blobseer-serverd: %s\n", e.what());
             return 1;
@@ -449,8 +464,9 @@ int main(int argc, char** argv) {
 
     try {
         core::Cluster cluster(cfg);
-        rpc::TcpRpcServer server(cluster.dispatcher(), port, bind_addr,
-                                 workers);
+        server_opts.port = port;
+        server_opts.bind_addr = bind_addr;
+        rpc::TcpRpcServer server(cluster.dispatcher(), server_opts);
         const auto metrics_http =
             maybe_serve_metrics(metrics_port, bind_addr);
         std::printf("blobseer-serverd: listening on %s:%u (%zu data "
